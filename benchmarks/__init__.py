@@ -1,0 +1,1 @@
+"""Benchmark harness: one bench per paper table/figure plus ablations."""

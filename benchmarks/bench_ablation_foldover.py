@@ -1,0 +1,46 @@
+"""Ablation: Plackett-Burman with and without foldover.
+
+Yi et al. [Yi03] fold the design over to cancel two-factor-interaction
+aliasing.  This ablation checks how much the foldover changes the
+bottleneck ranking on one benchmark: the top parameters should be
+stable (main effects dominate), while lower ranks may shuffle.
+"""
+
+import numpy as np
+
+from repro.characterization.plackett_burman import PlackettBurmanDesign
+from repro.cpu.config import ARCH_CONFIGS
+from repro.scale import Scale
+from repro.techniques.reference import ReferenceTechnique
+from repro.workloads.spec import get_workload
+
+SCALE = Scale(25)
+
+
+def test_foldover_rank_stability(benchmark, results_dir):
+    workload = get_workload("gzip")
+    technique = ReferenceTechnique()
+    plain = PlackettBurmanDesign(foldover=False)
+    folded = PlackettBurmanDesign(foldover=True)
+
+    def run():
+        cpis = [
+            technique.run(workload, config, SCALE).cpi
+            for config in folded.configs()
+        ]
+        plain_ranks = plain.ranks(cpis[:44])
+        folded_ranks = folded.ranks(cpis)
+        return plain_ranks, folded_ranks
+
+    plain_ranks, folded_ranks = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    names = [p.name for p in plain.parameters]
+    top_plain = {names[i] for i in np.argsort(plain_ranks)[:5]}
+    top_folded = {names[i] for i in np.argsort(folded_ranks)[:5]}
+    overlap = len(top_plain & top_folded)
+    (results_dir / "ablation_foldover.txt").write_text(
+        f"top-5 plain:   {sorted(top_plain)}\n"
+        f"top-5 foldover: {sorted(top_folded)}\n"
+        f"overlap: {overlap}/5\n"
+    )
+    assert overlap >= 3

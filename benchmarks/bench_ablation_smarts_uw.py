@@ -1,0 +1,33 @@
+"""Ablation: SMARTS U/W sensitivity (all nine Table 1 permutations).
+
+The paper: the accuracy of all nine SMARTS permutations is very
+similar, with the largest sampling units the most accurate.  This
+ablation measures CPI error for the full U x W grid on one benchmark.
+"""
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.techniques.registry import smarts_permutations
+
+
+def test_smarts_uw_grid(benchmark, ctx, results_dir):
+    workload = ctx.workload("gcc")
+    config = ARCH_CONFIGS[1]
+
+    def run():
+        reference = ctx.reference(workload, config)
+        rows = []
+        for technique in smarts_permutations():
+            result = ctx.run(technique, workload, config)
+            error = abs(result.cpi - reference.cpi) / reference.cpi
+            rows.append((technique.permutation, error, result.runs))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (results_dir / "ablation_smarts_uw.txt").write_text(
+        "\n".join(f"{p}: error={e:.4f} runs={r}" for p, e, r in rows) + "\n"
+    )
+    errors = [e for _, e, _ in rows]
+    # All nine permutations land in a narrow accuracy band (paper: very
+    # similar), and none is catastrophically wrong.
+    assert max(errors) < 0.12
+    assert max(errors) - min(errors) < 0.10

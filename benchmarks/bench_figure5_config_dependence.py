@@ -1,0 +1,26 @@
+"""Figure 5: configuration-dependence histograms across the envelope.
+
+Shape assertions: SMARTS's best permutation keeps (almost) all
+configurations within small CPI error, while the truncated/reduced
+families put configurations into the large-error bins; sampling errors
+trend, truncation errors need not.
+"""
+
+from repro.experiments import figure5
+
+from benchmarks.conftest import save_report
+
+
+def test_figure5(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(figure5.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(results_dir, "figure5", report)
+
+    best_within = {}
+    for family, kind, permutation, within3, over30, trends in report.rows:
+        if kind == "best":
+            best_within[family] = within3
+
+    # SMARTS: virtually no configuration dependence.
+    assert best_within["SMARTS"] > 0.6
+    # Sampling beats truncation on share-of-configs-within-3%.
+    assert best_within["SMARTS"] >= best_within["Run Z"]

@@ -1,0 +1,15 @@
+"""Figure 7: the technique-selection decision tree."""
+
+from repro.analysis.decision import recommend
+from repro.experiments import figure7
+
+from benchmarks.conftest import save_report
+
+
+def test_figure7(benchmark, results_dir):
+    report = benchmark(figure7.run)
+    save_report(results_dir, "figure7", report)
+    # Recommendation #2: sampling first for reference-like results.
+    assert recommend(["accuracy"])[0][0] == "SMARTS"
+    assert recommend(["speed_vs_accuracy"])[0][0] == "SimPoint"
+    assert recommend(["complexity_to_use"])[0][0] == "Reduced"

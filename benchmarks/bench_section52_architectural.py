@@ -1,0 +1,26 @@
+"""Section 5.2: architectural metric-vector characterization.
+
+Shape assertion: the conclusions cohere with the other two
+characterizations -- sampling techniques sit closer to the reference
+than reduced inputs and truncation on average.
+"""
+
+from repro.experiments import section52
+
+from benchmarks.conftest import save_report
+
+
+def test_section52_architectural(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        section52.run_architectural, args=(ctx,), rounds=1, iterations=1
+    )
+    save_report(results_dir, "section52_architectural", report)
+
+    per_family = {}
+    for bench_name, family, permutation, distance in report.rows:
+        per_family.setdefault(family, []).append(distance)
+    averages = {family: sum(v) / len(v) for family, v in per_family.items()}
+
+    sampling = (averages["SimPoint"] + averages["SMARTS"]) / 2
+    others = (averages["Run Z"] + averages["Reduced"]) / 2
+    assert sampling < others

@@ -1,0 +1,24 @@
+"""Section 5.2: execution-profile (BBV chi-squared) characterization.
+
+Shape assertion: SimPoint/SMARTS profiles are closer to the reference
+profile than truncation's (normalized chi-squared), per benchmark.
+"""
+
+from repro.experiments import section52
+
+from benchmarks.conftest import save_report
+
+
+def test_section52_profile(benchmark, ctx, results_dir):
+    report = benchmark.pedantic(
+        section52.run_profile, args=(ctx,), rounds=1, iterations=1
+    )
+    save_report(results_dir, "section52_profile", report)
+
+    per_family = {}
+    for bench_name, family, permutation, chi, normalized, similar in report.rows:
+        per_family.setdefault(family, []).append(normalized)
+
+    sampling = min(min(per_family["SimPoint"]), min(per_family["SMARTS"]))
+    truncated = min(per_family["Run Z"])
+    assert sampling < truncated

@@ -1,0 +1,12 @@
+"""Section 2: the methodology-survey table."""
+
+from repro.analysis.survey import top_four_share
+from repro.experiments import survey
+
+from benchmarks.conftest import save_report
+
+
+def test_survey(benchmark, results_dir):
+    report = benchmark(survey.run)
+    save_report(results_dir, "survey", report)
+    assert 0.85 < top_four_share() < 0.90

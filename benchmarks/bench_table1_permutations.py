@@ -1,0 +1,13 @@
+"""Table 1: regenerate the 69 technique permutations."""
+
+from repro.experiments.tables import table1
+from repro.techniques.registry import count_permutations
+
+from benchmarks.conftest import save_report
+
+
+def test_table1(benchmark, results_dir):
+    report = benchmark(table1)
+    save_report(results_dir, "table1", report)
+    assert count_permutations("gzip") == 69
+    assert len(report.rows) == 69

@@ -1,0 +1,16 @@
+"""Table 2: build all ten benchmark models and their input sets."""
+
+from repro.experiments.tables import table2
+from repro.workloads.spec import get_benchmark
+
+from benchmarks.conftest import save_report
+
+
+def test_table2(benchmark, results_dir):
+    def build():
+        get_benchmark.cache_clear()
+        return table2()
+
+    report = benchmark.pedantic(build, rounds=1, iterations=1)
+    save_report(results_dir, "table2", report)
+    assert len(report.rows) == 10

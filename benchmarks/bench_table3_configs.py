@@ -1,0 +1,11 @@
+"""Table 3: the four architectural-characterization configurations."""
+
+from repro.experiments.tables import table3
+
+from benchmarks.conftest import save_report
+
+
+def test_table3(benchmark, results_dir):
+    report = benchmark(table3)
+    save_report(results_dir, "table3", report)
+    assert len(report.rows) == 4

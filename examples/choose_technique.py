@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Interactive-style walk of the Figure 7 decision tree.
+
+Given a set of prioritized criteria (on the command line), prints the
+paper's recommended ordering of the six simulation techniques.
+
+Run:  python examples/choose_technique.py accuracy complexity_to_use
+      python examples/choose_technique.py            (prints all criteria)
+"""
+
+import sys
+
+from repro.analysis.decision import (
+    ALL_CRITERIA,
+    DECISION_TREE,
+    recommend,
+)
+
+
+def main() -> None:
+    priorities = sys.argv[1:]
+    print("Figure 7: decision tree for selecting a simulation technique\n")
+    print(DECISION_TREE.render())
+
+    if not priorities:
+        print("\nPer-criterion orderings:")
+        for criterion in ALL_CRITERIA:
+            ranking = " > ".join(t for t, _ in recommend([criterion]))
+            print(f"  {criterion:28s} {ranking}")
+        print(
+            "\nPass criteria (most important first) for a blended "
+            f"recommendation, e.g.:\n  python {sys.argv[0]} accuracy "
+            "cost_to_generate"
+        )
+        return
+
+    print(f"\nYour priorities: {', '.join(priorities)}")
+    ranking = recommend(priorities)
+    print("Recommended techniques (best first):")
+    for position, (technique, score) in enumerate(ranking, start=1):
+        print(f"  {position}. {technique:12s} (score {score:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Extensions: random sampling [Conte96] and early SimPoints [Perelman03].
+
+The paper surveys random sampling but excludes it ("rarely used"), and
+cites early simulation points as a way to cut SimPoint's checkpoint
+cost.  Both are implemented as extensions; this example measures them
+against the techniques the paper did study.
+
+Run:  python examples/extensions_random_sampling.py [benchmark] [tiny|quick|full]
+"""
+
+import sys
+
+from repro import ARCH_CONFIGS, get_workload, scale_from_profile
+from repro.techniques import (
+    RandomSamplingTechnique,
+    ReferenceTechnique,
+    SimPointTechnique,
+    SmartsTechnique,
+)
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    profile = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    scale = scale_from_profile(profile)
+    config = ARCH_CONFIGS[1]
+    workload = get_workload(benchmark)
+
+    reference = ReferenceTechnique().run(workload, config, scale)
+    print(f"{benchmark} reference CPI: {reference.cpi:.4f}\n")
+
+    print("Conte-style random sampling (more samples / warm-up = less error):")
+    for n, warm in ((5, 1), (20, 10), (60, 10)):
+        technique = RandomSamplingTechnique(
+            num_samples=n, sample_m=10, warmup_m=warm
+        )
+        result = technique.run(workload, config, scale)
+        error = (result.cpi - reference.cpi) / reference.cpi
+        print(f"  {technique.permutation:32s} CPI={result.cpi:.4f} "
+              f"error={error:+.2%}")
+
+    print("\nSimPoint: medoid points versus early points:")
+    for early in (False, True):
+        technique = SimPointTechnique(
+            interval_m=10, max_k=100, warmup_m=1, early_points=early
+        )
+        selection = technique.select(workload, scale)
+        result = technique.run(workload, config, scale)
+        error = (result.cpi - reference.cpi) / reference.cpi
+        last = max(selection.intervals) if selection.intervals else 0
+        print(f"  {technique.permutation:32s} CPI={result.cpi:.4f} "
+              f"error={error:+.2%}  latest point at interval {last}")
+
+    smarts = SmartsTechnique(1000, 2000).run(workload, config, scale)
+    error = (smarts.cpi - reference.cpi) / reference.cpi
+    print(f"\nFor comparison, {smarts.label}: CPI={smarts.cpi:.4f} "
+          f"error={error:+.2%}")
+    print("\nEarly points trade a little representativeness for much "
+          "cheaper checkpointing (everything after the last point need "
+          "never be fast-forwarded).")
+
+
+if __name__ == "__main__":
+    main()

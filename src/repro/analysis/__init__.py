@@ -1,0 +1,41 @@
+"""Analyses built on the characterizations: speed-versus-accuracy,
+configuration dependence, enhancement speedups, the decision tree and
+the methodology survey."""
+
+from repro.analysis.svat import CostModel, SvatPoint, svat_point
+from repro.analysis.config_dependence import (
+    CPI_ERROR_BINS,
+    ConfigDependenceResult,
+    cpi_error_histogram,
+    error_trends,
+)
+from repro.analysis.speedup import SpeedupComparison, speedup, speedup_difference
+from repro.analysis.decision import (
+    DECISION_TREE,
+    DecisionNode,
+    recommend,
+)
+from repro.analysis.survey import (
+    PREVALENCE,
+    SURVEY_NOTES,
+    prevalence_table,
+)
+
+__all__ = [
+    "CostModel",
+    "SvatPoint",
+    "svat_point",
+    "CPI_ERROR_BINS",
+    "ConfigDependenceResult",
+    "cpi_error_histogram",
+    "error_trends",
+    "SpeedupComparison",
+    "speedup",
+    "speedup_difference",
+    "DECISION_TREE",
+    "DecisionNode",
+    "recommend",
+    "PREVALENCE",
+    "SURVEY_NOTES",
+    "prevalence_table",
+]

@@ -1,0 +1,111 @@
+"""Configuration-dependence analysis (Section 6.2, Figure 5).
+
+A technique is configuration-dependent when its CPI error varies wildly
+across processor configurations, or when the error's *sign* flips --
+then no correction factor can salvage its results.  This module builds
+the Figure 5 histogram (share of configurations per CPI-error bin) and
+the error-trend test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Figure 5's error bins: 0-3%, 3-6%, ..., 27-30%, >30% (absolute error).
+CPI_ERROR_BINS: Tuple[Tuple[float, float], ...] = tuple(
+    (lo / 100.0, hi / 100.0) for lo, hi in
+    [(0, 3), (3, 6), (6, 9), (9, 12), (12, 15), (15, 18), (18, 21),
+     (21, 24), (24, 27), (27, 30), (30, float("inf"))]
+)
+
+
+def bin_label(bounds: Tuple[float, float]) -> str:
+    lo, hi = bounds
+    if hi == float("inf"):
+        return f"> {lo:.0%}"
+    return f"{lo:.0%} to {hi:.0%}"
+
+
+@dataclass
+class ConfigDependenceResult:
+    """Histogram and trend statistics for one technique permutation."""
+
+    family: str
+    permutation: str
+    errors: List[float]  # signed relative CPI errors, one per config
+
+    @property
+    def histogram(self) -> List[float]:
+        """Fraction of configurations per CPI-error bin (Figure 5)."""
+        if not self.errors:
+            return [0.0] * len(CPI_ERROR_BINS)
+        counts = [0] * len(CPI_ERROR_BINS)
+        for error in self.errors:
+            magnitude = abs(error)
+            for index, (lo, hi) in enumerate(CPI_ERROR_BINS):
+                if lo <= magnitude < hi:
+                    counts[index] += 1
+                    break
+        return [c / len(self.errors) for c in counts]
+
+    @property
+    def within_3_percent(self) -> float:
+        """Fraction of configurations in the 0-3% bin (the paper's
+        headline configuration-independence number)."""
+        return self.histogram[0]
+
+    @property
+    def error_trends(self) -> bool:
+        """Whether the error is consistently positive or negative."""
+        return error_trends(self.errors)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        if not self.errors:
+            return 0.0
+        return sum(abs(e) for e in self.errors) / len(self.errors)
+
+
+def cpi_error_histogram(
+    family: str,
+    permutation: str,
+    technique_cpis: Sequence[float],
+    reference_cpis: Sequence[float],
+) -> ConfigDependenceResult:
+    """Build the per-configuration CPI-error record for one permutation."""
+    if len(technique_cpis) != len(reference_cpis):
+        raise ValueError("technique and reference must cover the same configs")
+    errors = []
+    for tech, ref in zip(technique_cpis, reference_cpis):
+        if ref == 0:
+            raise ValueError("reference CPI cannot be zero")
+        errors.append((tech - ref) / ref)
+    return ConfigDependenceResult(
+        family=family, permutation=permutation, errors=errors
+    )
+
+
+def error_trends(errors: Sequence[float], tolerance: float = 0.9) -> bool:
+    """True when at least ``tolerance`` of the errors share one sign.
+
+    The paper calls an error "trending" when it is consistently
+    positive or consistently negative, which permits calibration.
+    """
+    if not errors:
+        return True
+    positive = sum(1 for e in errors if e > 0)
+    negative = sum(1 for e in errors if e < 0)
+    dominant = max(positive, negative)
+    return dominant >= tolerance * len(errors)
+
+
+def worst_and_best(
+    results: Sequence[ConfigDependenceResult],
+) -> Tuple[ConfigDependenceResult, ConfigDependenceResult]:
+    """Figure 5's permutation selection: lowest and highest share of
+    configurations in the 0-3% error range."""
+    if not results:
+        raise ValueError("need at least one result")
+    ordered = sorted(results, key=lambda r: r.within_3_percent)
+    return ordered[0], ordered[-1]

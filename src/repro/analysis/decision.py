@@ -1,0 +1,140 @@
+"""The decision tree for selecting a simulation technique (Figure 7).
+
+The paper's Figure 7 orders the six techniques along several criteria:
+the technical factors (the three characterizations, the speed-accuracy
+trade-off and configuration dependence), the complexity of using a
+technique (simulator changes required), and the cost of generating it.
+``recommend`` walks the tree for a user's stated priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: Technique orderings per criterion, best first (from Sections 5-6 and
+#: the paper's Figure 7 / Section 9 discussion).
+_ORDERINGS: Dict[str, Tuple[str, ...]] = {
+    # Three characterizations + Section 6: sampling techniques dominate.
+    "accuracy": (
+        "SMARTS", "SimPoint", "FF+WU+Run Z", "FF+Run Z", "Run Z", "Reduced",
+    ),
+    # Section 6.1: SimPoint's SvAT edges out SMARTS.
+    "speed_vs_accuracy": (
+        "SimPoint", "SMARTS", "FF+Run Z", "FF+WU+Run Z", "Run Z", "Reduced",
+    ),
+    # Section 6.2: SMARTS has virtually no configuration dependence.
+    "configuration_independence": (
+        "SMARTS", "SimPoint", "FF+WU+Run Z", "FF+Run Z", "Run Z", "Reduced",
+    ),
+    # Section 9: reduced inputs need no simulator changes; SMARTS needs
+    # periodic sampling, functional warming and statistics.
+    "complexity_to_use": (
+        "Reduced", "Run Z", "FF+Run Z", "FF+WU+Run Z", "SimPoint", "SMARTS",
+    ),
+    # Section 9: SimPoint's points are published/cheap to generate;
+    # SMARTS and reduced inputs are the most expensive to create.
+    "cost_to_generate": (
+        "SimPoint", "Run Z", "FF+Run Z", "FF+WU+Run Z", "SMARTS", "Reduced",
+    ),
+}
+
+#: Criteria grouped as in Figure 7.
+TECHNICAL_FACTORS = (
+    "accuracy", "speed_vs_accuracy", "configuration_independence",
+)
+PRACTICAL_FACTORS = ("complexity_to_use", "cost_to_generate")
+
+ALL_CRITERIA = TECHNICAL_FACTORS + PRACTICAL_FACTORS
+
+
+@dataclass
+class DecisionNode:
+    """One branch of the decision tree."""
+
+    criterion: str
+    description: str
+    ordering: Tuple[str, ...]
+    children: List["DecisionNode"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}{self.criterion}: {self.description}"]
+        lines.append(f"{pad}  -> {' > '.join(self.ordering)}")
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def _node(criterion: str, description: str) -> DecisionNode:
+    return DecisionNode(
+        criterion=criterion,
+        description=description,
+        ordering=_ORDERINGS[criterion],
+    )
+
+
+#: Figure 7, as a tree of criteria with per-criterion orderings.
+DECISION_TREE = DecisionNode(
+    criterion="root",
+    description="Select a simulation technique",
+    ordering=_ORDERINGS["accuracy"],
+    children=[
+        DecisionNode(
+            criterion="technical_factors",
+            description="Characterizations, SvAT and configuration dependence",
+            ordering=_ORDERINGS["accuracy"],
+            children=[
+                _node("accuracy", "Fidelity to the reference input set"),
+                _node("speed_vs_accuracy", "Best accuracy per unit of simulation time"),
+                _node(
+                    "configuration_independence",
+                    "Stable error across processor configurations",
+                ),
+            ],
+        ),
+        _node("complexity_to_use", "Simulator changes required"),
+        _node("cost_to_generate", "Effort to create the technique's inputs"),
+    ],
+)
+
+
+def recommend(
+    priorities: Sequence[str],
+    weights: Sequence[float] | None = None,
+) -> List[Tuple[str, float]]:
+    """Rank techniques for the given prioritized criteria.
+
+    ``priorities`` lists criteria most-important-first; ``weights``
+    optionally overrides the default geometric decay.  Returns
+    (technique, score) pairs, best first -- a Borda-count blend of the
+    per-criterion orderings.
+    """
+    if not priorities:
+        raise ValueError("need at least one priority")
+    for criterion in priorities:
+        if criterion not in _ORDERINGS:
+            raise ValueError(
+                f"unknown criterion {criterion!r}; expected one of "
+                f"{sorted(_ORDERINGS)}"
+            )
+    if weights is None:
+        weights = [2.0 ** -i for i in range(len(priorities))]
+    if len(weights) != len(priorities):
+        raise ValueError("weights must match priorities")
+
+    scores: Dict[str, float] = {}
+    for criterion, weight in zip(priorities, weights):
+        ordering = _ORDERINGS[criterion]
+        for position, technique in enumerate(ordering):
+            points = len(ordering) - 1 - position  # Borda count
+            scores[technique] = scores.get(technique, 0.0) + weight * points
+    return sorted(scores.items(), key=lambda item: -item[1])
+
+
+def criterion_ordering(criterion: str) -> Tuple[str, ...]:
+    """The paper's ordering for one criterion (best first)."""
+    try:
+        return _ORDERINGS[criterion]
+    except KeyError:
+        raise ValueError(f"unknown criterion {criterion!r}") from None

@@ -1,0 +1,61 @@
+"""Enhancement-speedup analysis (Section 7, Figure 6).
+
+For each technique, simulate the baseline processor and the processor
+with an enhancement; the technique's *apparent speedup* is then
+compared to the speedup the reference input set reports.  The paper's
+point: an inaccurate technique can report a very different -- even
+opposite-signed -- speedup than the truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique
+from repro.workloads.inputs import Workload
+
+
+def speedup(base_cpi: float, enhanced_cpi: float) -> float:
+    """Relative speedup of the enhancement (positive = faster)."""
+    if enhanced_cpi <= 0:
+        raise ValueError("enhanced CPI must be positive")
+    return base_cpi / enhanced_cpi - 1.0
+
+
+@dataclass(frozen=True)
+class SpeedupComparison:
+    """Apparent vs true speedup of one enhancement under one technique."""
+
+    family: str
+    permutation: str
+    enhancement: str
+    technique_speedup: float
+    reference_speedup: float
+
+    @property
+    def difference(self) -> float:
+        """Figure 6's y-axis: Speedup(technique) - Speedup(reference)."""
+        return self.technique_speedup - self.reference_speedup
+
+
+def speedup_difference(
+    technique: SimulationTechnique,
+    reference_base_cpi: float,
+    reference_enhanced_cpi: float,
+    workload: Workload,
+    config: ProcessorConfig,
+    scale: Scale,
+    enhancement: Enhancements,
+) -> SpeedupComparison:
+    """Measure one technique's apparent speedup for one enhancement."""
+    base = technique.run(workload, config, scale)
+    enhanced = technique.run(workload, config, scale, enhancements=enhancement)
+    return SpeedupComparison(
+        family=technique.family,
+        permutation=technique.permutation,
+        enhancement=enhancement.label,
+        technique_speedup=speedup(base.cpi, enhanced.cpi),
+        reference_speedup=speedup(reference_base_cpi, reference_enhanced_cpi),
+    )

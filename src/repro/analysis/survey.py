@@ -1,0 +1,42 @@
+"""The methodology survey of Section 2 (and Recommendation #1).
+
+The authors surveyed ten years of HPCA, ISCA and MICRO papers to find
+the most prevalent simulation techniques.  The survey itself is data,
+not an experiment; this module records the published numbers and
+derives the observations the paper draws from them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Share of all *known* techniques in the ten-year survey (Section 2).
+PREVALENCE: Dict[str, float] = {
+    "FF X + Run Z": 0.273,
+    "Run Z": 0.231,
+    "Reduced input sets": 0.185,
+    "Complete (reference)": 0.178,
+    "Other / sampling": 0.133,  # remainder, incl. rarely-used random sampling
+}
+
+#: Additional survey observations quoted in Sections 2 and 9.
+SURVEY_NOTES: Dict[str, float] = {
+    # Fraction of papers with unknown/undocumented methodology, overall
+    # and in recent years (Recommendation #1).
+    "unknown_methodology_10yr": 0.50,
+    "unknown_methodology_recent": 0.33,
+    # Share of papers using reduced inputs or truncated execution,
+    # before and after SimPoint's introduction (Recommendation #2).
+    "reduced_or_truncated_before_simpoint": 0.689,
+    "reduced_or_truncated_after_simpoint": 0.821,
+}
+
+
+def prevalence_table() -> List[Tuple[str, float]]:
+    """(technique, share) rows, most prevalent first."""
+    return sorted(PREVALENCE.items(), key=lambda item: -item[1])
+
+
+def top_four_share() -> float:
+    """The four most popular techniques' combined share (~90%)."""
+    return sum(share for _, share in prevalence_table()[:4])

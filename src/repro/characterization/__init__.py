@@ -1,0 +1,45 @@
+"""The three characterization methods of Section 4.
+
+* :mod:`plackett_burman` / :mod:`bottleneck` -- hardware level: which
+  processor/memory parameters are the biggest performance bottlenecks
+  (Plackett-Burman design, rank vectors, Euclidean rank distance).
+* :mod:`profile` -- software level: basic-block execution frequencies
+  (BBEF) and vectors (BBV) compared with a chi-squared test.
+* :mod:`architectural` -- architecture level: normalized metric vectors
+  (IPC, branch prediction accuracy, cache hit rates) compared by
+  Euclidean distance.
+"""
+
+from repro.characterization.plackett_burman import (
+    PlackettBurmanDesign,
+    max_rank_distance,
+    paley_hadamard,
+)
+from repro.characterization.bottleneck import (
+    BottleneckResult,
+    bottleneck_ranks,
+    rank_distance,
+)
+from repro.characterization.profile import (
+    ChiSquaredComparison,
+    compare_profiles,
+)
+from repro.characterization.architectural import (
+    ARCHITECTURAL_METRICS,
+    architectural_distance,
+    metric_vector,
+)
+
+__all__ = [
+    "PlackettBurmanDesign",
+    "paley_hadamard",
+    "max_rank_distance",
+    "BottleneckResult",
+    "bottleneck_ranks",
+    "rank_distance",
+    "ChiSquaredComparison",
+    "compare_profiles",
+    "ARCHITECTURAL_METRICS",
+    "architectural_distance",
+    "metric_vector",
+]

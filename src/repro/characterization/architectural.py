@@ -1,0 +1,57 @@
+"""Architectural-level characterization (Section 4.3).
+
+A technique is summarized by a vector of architectural metrics -- IPC,
+branch prediction accuracy, L1 D-cache hit rate and L2 hit rate --
+measured on each of the four Table 3 configurations.  Each metric is
+normalized by the reference input set's value (for cross-metric
+comparability) and the technique's distance from the reference is the
+Euclidean norm of the difference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cpu.stats import SimulationStats
+
+#: The metrics of Section 4.3, in reporting order.
+ARCHITECTURAL_METRICS = ("ipc", "branch_accuracy", "dl1_hit_rate", "l2_hit_rate")
+
+
+def metric_vector(stats_by_config: Sequence[SimulationStats]) -> np.ndarray:
+    """Concatenated metric vector over a list of configurations."""
+    values: List[float] = []
+    for stats in stats_by_config:
+        for metric in ARCHITECTURAL_METRICS:
+            values.append(float(getattr(stats, metric)))
+    return np.asarray(values, dtype=np.float64)
+
+
+def architectural_distance(
+    technique_stats: Sequence[SimulationStats],
+    reference_stats: Sequence[SimulationStats],
+) -> float:
+    """Normalized Euclidean distance between metric vectors.
+
+    Both sequences must cover the same configurations in the same
+    order.  Metrics are normalized for cross-metric comparability:
+    IPC (unbounded) relative to the reference value; the rate metrics
+    (branch accuracy, hit rates) are already on [0, 1] and are compared
+    as absolute differences -- dividing a hit rate by a near-zero
+    reference value would let one noisy metric dominate the vector.
+    """
+    if len(technique_stats) != len(reference_stats):
+        raise ValueError("technique and reference must cover the same configs")
+    total = 0.0
+    for tech, ref in zip(technique_stats, reference_stats):
+        for metric in ARCHITECTURAL_METRICS:
+            t = float(getattr(tech, metric))
+            r = float(getattr(ref, metric))
+            if metric == "ipc":
+                delta = (t - r) / r if r else t
+            else:
+                delta = t - r
+            total += delta * delta
+    return float(np.sqrt(total))

@@ -1,0 +1,110 @@
+"""Processor-bottleneck characterization (Section 4.1).
+
+For a given technique and workload, simulate every row of the
+Plackett-Burman design, compute each parameter's effect on CPI, rank
+the parameters by effect magnitude, and measure the Euclidean distance
+between the technique's rank vector and the reference input set's.
+The smaller the distance, the more faithfully the technique reproduces
+the processor's true performance bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.characterization.plackett_burman import (
+    PlackettBurmanDesign,
+    max_rank_distance,
+)
+from repro.cpu.config import ProcessorConfig
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique
+from repro.util.vectors import euclidean_distance
+from repro.workloads.inputs import Workload
+
+#: Signature of a "run this technique at this config" callback,
+#: allowing callers to inject caching (e.g. reuse SimPoint selections).
+RunCallback = Callable[[ProcessorConfig], float]
+
+
+@dataclass
+class BottleneckResult:
+    """PB outcome for one (technique, workload) pair."""
+
+    ranks: List[int]
+    effects: np.ndarray
+    cpis: List[float]
+
+    def distance_to(self, other: "BottleneckResult") -> float:
+        return rank_distance(self.ranks, other.ranks)
+
+    def top_parameters(self, design: PlackettBurmanDesign, count: int = 10):
+        """The ``count`` most significant parameter names, rank order."""
+        order = np.argsort(self.ranks)
+        return [design.parameters[i].name for i in order[:count]]
+
+
+def rank_distance(ranks_a: Sequence[int], ranks_b: Sequence[int]) -> float:
+    """Euclidean distance between two rank vectors."""
+    return euclidean_distance(list(ranks_a), list(ranks_b))
+
+
+def normalized_rank_distance(
+    ranks_a: Sequence[int], ranks_b: Sequence[int], scaled_to: float = 100.0
+) -> float:
+    """Rank distance normalized to the maximum possible, scaled (Fig 1)."""
+    return (
+        rank_distance(ranks_a, ranks_b)
+        / max_rank_distance(len(ranks_a))
+        * scaled_to
+    )
+
+
+def bottleneck_ranks(
+    technique: SimulationTechnique,
+    workload: Workload,
+    scale: Scale,
+    design: Optional[PlackettBurmanDesign] = None,
+    run_callback: Optional[RunCallback] = None,
+) -> BottleneckResult:
+    """Run the full PB design for one technique and rank its bottlenecks.
+
+    ``run_callback`` overrides how a single configuration is simulated
+    (used to cache technique state like SimPoint selections across the
+    design's rows); by default ``technique.run`` is invoked per row.
+    """
+    design = design or PlackettBurmanDesign()
+    if run_callback is None:
+        def run_callback(config: ProcessorConfig) -> float:
+            return technique.run(workload, config, scale).cpi
+
+    cpis = [run_callback(config) for config in design.configs()]
+    effects = design.effects(cpis)
+    ranks = design.ranks(cpis)
+    return BottleneckResult(ranks=ranks, effects=effects, cpis=cpis)
+
+
+def cumulative_distance_by_significance(
+    result: BottleneckResult,
+    reference: BottleneckResult,
+) -> List[float]:
+    """Distance including only the N most significant reference parameters.
+
+    Reproduces Figure 2's construction: parameters are sorted by the
+    *reference* ranking; element N-1 is the Euclidean distance computed
+    over the N most significant parameters only.
+    """
+    order = np.argsort(reference.ranks)  # most significant first
+    distances = []
+    for n in range(1, len(order) + 1):
+        chosen = order[:n]
+        distances.append(
+            euclidean_distance(
+                [result.ranks[i] for i in chosen],
+                [reference.ranks[i] for i in chosen],
+            )
+        )
+    return distances

@@ -1,0 +1,109 @@
+"""Plackett-Burman experimental design over the 43-parameter space.
+
+A PB design estimates the main effect of N-1 two-level factors with
+only N simulation runs (N a multiple of 4).  For 43 factors we need the
+order-44 design, which we construct from the order-44 Hadamard matrix
+via the Paley-I construction (43 is prime and congruent 3 mod 4).
+
+The optional *foldover* doubles the design with the sign-flipped matrix,
+cancelling the aliasing of two-factor interactions into main effects
+(Yi et al. [Yi03] use PB with foldover).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.config import PB_PARAMETERS, ProcessorConfig, pb_config
+
+
+def _legendre_symbol(a: int, p: int) -> int:
+    """chi(a) over GF(p): +1 for quadratic residues, -1 otherwise, 0 for 0."""
+    a %= p
+    if a == 0:
+        return 0
+    return 1 if pow(a, (p - 1) // 2, p) == 1 else -1
+
+
+def paley_hadamard(q: int) -> np.ndarray:
+    """Hadamard matrix of order ``q + 1`` by the Paley-I construction.
+
+    Requires ``q`` prime with ``q % 4 == 3``.  The first row and column
+    of the result are all +1.
+    """
+    if q % 4 != 3:
+        raise ValueError("Paley-I requires q % 4 == 3")
+    # Primality check (q is small here; trial division suffices).
+    if q < 3 or any(q % d == 0 for d in range(2, int(math.isqrt(q)) + 1)):
+        raise ValueError(f"{q} is not prime")
+    chi = [_legendre_symbol(a, q) for a in range(q)]
+    jacobsthal = np.empty((q, q), dtype=np.int64)
+    for i in range(q):
+        for j in range(q):
+            jacobsthal[i, j] = chi[(j - i) % q]
+    order = q + 1
+    hadamard = np.ones((order, order), dtype=np.int64)
+    hadamard[1:, 1:] = jacobsthal - np.eye(q, dtype=np.int64)
+    product = hadamard @ hadamard.T
+    if not np.array_equal(product, order * np.eye(order, dtype=np.int64)):
+        raise AssertionError("Paley construction failed orthogonality check")
+    return hadamard
+
+
+def max_rank_distance(num_parameters: int) -> float:
+    """Largest possible Euclidean distance between two rank vectors.
+
+    Achieved when the two rankings are completely out of phase
+    (<n, n-1, ..., 1> versus <1, 2, ..., n>); used to normalize
+    Figure 1's distances.
+    """
+    forward = np.arange(1, num_parameters + 1)
+    return float(np.sqrt(np.sum((forward - forward[::-1]) ** 2)))
+
+
+class PlackettBurmanDesign:
+    """The concrete PB (+ optional foldover) design over PB_PARAMETERS."""
+
+    def __init__(
+        self,
+        foldover: bool = False,
+        base_config: Optional[ProcessorConfig] = None,
+    ) -> None:
+        hadamard = paley_hadamard(43)
+        design = hadamard[:, 1:]  # 44 runs x 43 factors
+        if foldover:
+            design = np.vstack([design, -design])
+        self.foldover = foldover
+        self.matrix = design
+        self.base_config = base_config or ProcessorConfig()
+        self.parameters = PB_PARAMETERS
+
+    @property
+    def num_runs(self) -> int:
+        return self.matrix.shape[0]
+
+    @property
+    def num_parameters(self) -> int:
+        return self.matrix.shape[1]
+
+    def configs(self) -> List[ProcessorConfig]:
+        """One processor configuration per design row."""
+        return [pb_config(row, base=self.base_config) for row in self.matrix]
+
+    def effects(self, responses: Sequence[float]) -> np.ndarray:
+        """Main effect of each factor given the per-row responses."""
+        y = np.asarray(responses, dtype=np.float64)
+        if y.shape != (self.num_runs,):
+            raise ValueError(
+                f"expected {self.num_runs} responses, got {y.shape}"
+            )
+        return (self.matrix.T @ y) * (2.0 / self.num_runs)
+
+    def ranks(self, responses: Sequence[float]) -> List[int]:
+        """Factor ranks by descending effect magnitude (1 = largest)."""
+        from repro.util.vectors import rank_vector
+
+        return rank_vector(self.effects(responses))

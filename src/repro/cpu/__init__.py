@@ -1,0 +1,34 @@
+"""Cycle-approximate out-of-order superscalar processor simulator.
+
+A from-scratch, trace-driven stand-in for the wattch/SimpleScalar
+``sim-outorder`` simulator the paper used.  The timing model is a
+one-pass ROB/scoreboard approximation of an out-of-order core: it is
+not cycle-exact against any real machine (neither was SimpleScalar),
+but every one of the 43 Plackett-Burman parameters, all Table 3
+configuration fields, and both studied enhancements are plumbed through
+it, so bottleneck ranks, CPI errors and speedups respond to the same
+knobs the paper varies.
+"""
+
+from repro.cpu.config import (
+    ARCH_CONFIGS,
+    PB_PARAMETERS,
+    Enhancements,
+    ProcessorConfig,
+    pb_config,
+)
+from repro.cpu.machine import Machine
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.cpu.stats import SimulationStats
+
+__all__ = [
+    "ProcessorConfig",
+    "Enhancements",
+    "ARCH_CONFIGS",
+    "PB_PARAMETERS",
+    "pb_config",
+    "Machine",
+    "Simulator",
+    "SimulationResult",
+    "SimulationStats",
+]

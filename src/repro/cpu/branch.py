@@ -1,0 +1,232 @@
+"""Branch direction predictors, BTB and return-address stack.
+
+The default predictor is SimpleScalar's *combined* predictor: a
+bimodal table and a gshare (global-history) table arbitrated by a
+chooser table of 2-bit counters.  Predictors expose a single
+``predict_update(pc, taken)`` call that returns whether the prediction
+was correct and trains the tables -- one call per branch keeps the hot
+loop cheap.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def _table(entries: int, init: int = 1) -> List[int]:
+    """A table of 2-bit saturating counters (weakly not-taken)."""
+    return [init] * entries
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counters."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.mask = entries - 1
+        if entries & self.mask:
+            raise ValueError("entries must be a power of two")
+        self.table = _table(entries)
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        index = (pc >> 2) & self.mask
+        counter = self.table[index]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        return prediction == taken
+
+
+class GsharePredictor:
+    """Global-history predictor: PC xor history indexes a counter table."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.mask = entries - 1
+        if entries & self.mask:
+            raise ValueError("entries must be a power of two")
+        self.table = _table(entries)
+        self.history = 0
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        index = ((pc >> 2) ^ self.history) & self.mask
+        counter = self.table[index]
+        prediction = counter >= 2
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        self.history = ((self.history << 1) | (1 if taken else 0)) & self.mask
+        return prediction == taken
+
+
+class CombinedPredictor:
+    """Bimodal + gshare with a chooser table (SimpleScalar ``comb``)."""
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.mask = entries - 1
+        if entries & self.mask:
+            raise ValueError("entries must be a power of two")
+        self.bimodal = _table(entries)
+        self.gshare = _table(entries)
+        self.chooser = _table(entries, init=2)  # slight initial gshare bias
+        self.history = 0
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        mask = self.mask
+        base_index = (pc >> 2) & mask
+        gs_index = (base_index ^ self.history) & mask
+
+        b_counter = self.bimodal[base_index]
+        g_counter = self.gshare[gs_index]
+        b_pred = b_counter >= 2
+        g_pred = g_counter >= 2
+        choose_gshare = self.chooser[base_index] >= 2
+        prediction = g_pred if choose_gshare else b_pred
+
+        # Train both components.
+        if taken:
+            if b_counter < 3:
+                self.bimodal[base_index] = b_counter + 1
+            if g_counter < 3:
+                self.gshare[gs_index] = g_counter + 1
+        else:
+            if b_counter > 0:
+                self.bimodal[base_index] = b_counter - 1
+            if g_counter > 0:
+                self.gshare[gs_index] = g_counter - 1
+
+        # Train the chooser toward whichever component was right.
+        if b_pred != g_pred:
+            chooser = self.chooser[base_index]
+            if g_pred == taken:
+                if chooser < 3:
+                    self.chooser[base_index] = chooser + 1
+            elif chooser > 0:
+                self.chooser[base_index] = chooser - 1
+
+        self.history = ((self.history << 1) | (1 if taken else 0)) & mask
+        return prediction == taken
+
+
+class StaticTakenPredictor:
+    """Always predicts taken (a degenerate baseline)."""
+
+    def __init__(self, entries: int = 1) -> None:
+        self.entries = entries
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        return taken
+
+
+class PerfectPredictor:
+    """Oracle direction prediction (upper-bound studies)."""
+
+    def __init__(self, entries: int = 1) -> None:
+        self.entries = entries
+
+    def predict_update(self, pc: int, taken: bool) -> bool:
+        return True
+
+
+PREDICTORS = {
+    "bimodal": BimodalPredictor,
+    "gshare": GsharePredictor,
+    "combined": CombinedPredictor,
+    "taken": StaticTakenPredictor,
+    "perfect": PerfectPredictor,
+}
+
+
+def make_predictor(kind: str, entries: int):
+    """Instantiate a direction predictor by config name."""
+    try:
+        cls = PREDICTORS[kind]
+    except KeyError:
+        raise ValueError(f"unknown predictor kind {kind!r}") from None
+    return cls(entries)
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB mapping branch PCs to predicted targets."""
+
+    def __init__(self, entries: int, assoc: int) -> None:
+        if entries <= 0 or assoc <= 0:
+            raise ValueError("BTB geometry must be positive")
+        assoc = min(assoc, entries)
+        num_sets = max(1, entries // assoc)
+        num_sets = 1 << (num_sets.bit_length() - 1)
+        self.assoc = max(1, entries // num_sets)
+        self.set_mask = num_sets - 1
+        self.sets: List[List[List[int]]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup_update(self, pc: int, target: int) -> bool:
+        """Look up ``pc``; train with the actual ``target``.
+
+        Returns ``True`` when the BTB held the correct target (i.e. the
+        front end would have fetched down the right path).
+        """
+        key = pc >> 2
+        ways = self.sets[key & self.set_mask]
+        for entry in ways:
+            if entry[0] == key:
+                correct = entry[1] == target
+                entry[1] = target
+                if ways[0] is not entry:
+                    ways.remove(entry)
+                    ways.insert(0, entry)
+                if correct:
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                return correct
+        self.misses += 1
+        ways.insert(0, [key, target])
+        if len(ways) > self.assoc:
+            ways.pop()
+        return False
+
+
+class ReturnAddressStack:
+    """Return-address stack modeled by depth tracking.
+
+    The synthetic ISA pairs calls and returns dynamically, so target
+    values are always consistent; the RAS therefore mispredicts exactly
+    when its finite depth was exceeded between the push and the pop
+    (the classic overflow failure mode), or on pop of an empty stack.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries <= 0:
+            raise ValueError("RAS entries must be positive")
+        self.entries = entries
+        self._stack: List[bool] = []  # True = entry still valid
+        self.overflows = 0
+
+    def push(self) -> None:
+        self._stack.append(True)
+        if len(self._stack) > self.entries:
+            # The oldest entry is crushed.
+            self._stack[0] = False
+            del self._stack[0]
+            self.overflows += 1
+
+    def pop(self) -> bool:
+        """Pop for a return; returns ``True`` if predicted correctly."""
+        if not self._stack:
+            return False
+        return self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)

@@ -1,0 +1,237 @@
+"""Set-associative caches, TLBs and the main-memory latency model.
+
+Caches are write-back/write-allocate with true LRU replacement (each
+set is a most-recently-used-first list).  ``access`` returns the full
+latency of the access including lower levels of the hierarchy;
+``warm`` updates state without computing latency (used by fast
+functional warming).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class MainMemory:
+    """Burst-transfer main-memory latency model.
+
+    A block fill costs ``latency_first`` for the first ``bus_width``
+    bytes plus ``latency_next`` per additional bus beat, SimpleScalar
+    style.
+    """
+
+    def __init__(self, latency_first: int, latency_next: int, bus_width: int) -> None:
+        if latency_first <= 0 or latency_next <= 0 or bus_width <= 0:
+            raise ValueError("memory latencies and bus width must be positive")
+        self.latency_first = latency_first
+        self.latency_next = latency_next
+        self.bus_width = bus_width
+        self.accesses = 0
+
+    def fill_latency(self, block_bytes: int) -> int:
+        """Latency to transfer one block of ``block_bytes``."""
+        beats = max(1, block_bytes // self.bus_width)
+        return self.latency_first + (beats - 1) * self.latency_next
+
+    def access(self, block_bytes: int) -> int:
+        self.accesses += 1
+        return self.fill_latency(block_bytes)
+
+
+class Cache:
+    """One level of a set-associative cache hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Label used in statistics reporting.
+    size_bytes, assoc, block_bytes:
+        Geometry.  ``size_bytes`` must be divisible by
+        ``assoc * block_bytes``; the set count must be a power of two.
+    hit_latency:
+        Cycles for a hit at this level.
+    parent:
+        Next level (another :class:`Cache`) or ``None``.
+    memory:
+        The :class:`MainMemory` filling this level when ``parent`` is
+        ``None``.
+    next_line_prefetch:
+        Jouppi-style next-line prefetching: a miss also fills the next
+        sequential block (speculatively, off the critical path).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        block_bytes: int,
+        hit_latency: int,
+        parent: Optional["Cache"] = None,
+        memory: Optional[MainMemory] = None,
+        next_line_prefetch: bool = False,
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or block_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if block_bytes & (block_bytes - 1):
+            raise ValueError("block size must be a power of two")
+        num_sets = size_bytes // (assoc * block_bytes)
+        if num_sets == 0:
+            raise ValueError("cache smaller than one set")
+        if num_sets & (num_sets - 1):
+            raise ValueError(
+                f"{name}: set count {num_sets} must be a power of two "
+                f"(size={size_bytes}, assoc={assoc}, block={block_bytes})"
+            )
+        if parent is None and memory is None:
+            raise ValueError("cache needs a parent or a memory model")
+        self.name = name
+        self.assoc = assoc
+        self.block_bytes = block_bytes
+        self.block_shift = block_bytes.bit_length() - 1
+        self.set_mask = num_sets - 1
+        self.num_sets = num_sets
+        self.hit_latency = hit_latency
+        self.parent = parent
+        self.memory = memory
+        self.next_line_prefetch = next_line_prefetch
+        self.sets: List[List[int]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.prefetches = 0
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def contains(self, addr: int) -> bool:
+        """Whether the block holding ``addr`` is resident (no update)."""
+        block = addr >> self.block_shift
+        return block in self.sets[block & self.set_mask]
+
+    # -- access paths ----------------------------------------------------------
+
+    def access(self, addr: int) -> int:
+        """Access ``addr``; returns total latency including fills."""
+        block = addr >> self.block_shift
+        ways = self.sets[block & self.set_mask]
+        if ways and ways[0] == block:
+            self.hits += 1
+            return self.hit_latency
+        if block in ways:
+            ways.remove(block)
+            ways.insert(0, block)
+            self.hits += 1
+            return self.hit_latency
+        # Miss: fill from below.
+        self.misses += 1
+        if self.parent is not None:
+            latency = self.hit_latency + self.parent.access(addr)
+        else:
+            latency = self.hit_latency + self.memory.access(self.block_bytes)
+        ways.insert(0, block)
+        if len(ways) > self.assoc:
+            ways.pop()
+        if self.next_line_prefetch:
+            self._prefetch(block + 1)
+        return latency
+
+    def warm(self, addr: int) -> None:
+        """State-only access (functional warming): no latency computed."""
+        block = addr >> self.block_shift
+        ways = self.sets[block & self.set_mask]
+        if ways and ways[0] == block:
+            return
+        if block in ways:
+            ways.remove(block)
+            ways.insert(0, block)
+            return
+        if self.parent is not None:
+            self.parent.warm(addr)
+        ways.insert(0, block)
+        if len(ways) > self.assoc:
+            ways.pop()
+        if self.next_line_prefetch:
+            self._warm_insert(block + 1)
+
+    def _prefetch(self, block: int) -> None:
+        """Insert the given block (and propagate to the parent) without
+        charging latency -- the prefetch overlaps execution."""
+        self.prefetches += 1
+        addr = block << self.block_shift
+        if self.parent is not None:
+            self.parent.warm(addr)
+        self._warm_insert(block)
+
+    def _warm_insert(self, block: int) -> None:
+        ways = self.sets[block & self.set_mask]
+        if block in ways:
+            ways.remove(block)
+        ways.insert(0, block)
+        if len(ways) > self.assoc:
+            ways.pop()
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.prefetches = 0
+
+
+class TLB:
+    """A translation lookaside buffer: fully configured like a tiny
+    cache of page-granular entries with a fixed miss (walk) latency."""
+
+    PAGE_BYTES = 4096
+
+    def __init__(self, name: str, entries: int, miss_latency: int, assoc: int = 4) -> None:
+        if entries <= 0 or miss_latency <= 0:
+            raise ValueError("TLB entries and miss latency must be positive")
+        assoc = min(assoc, entries)
+        num_sets = max(1, entries // assoc)
+        # Round the set count down to a power of two.
+        num_sets = 1 << (num_sets.bit_length() - 1)
+        self.name = name
+        self.assoc = max(1, entries // num_sets)
+        self.set_mask = num_sets - 1
+        self.page_shift = self.PAGE_BYTES.bit_length() - 1
+        self.miss_latency = miss_latency
+        self.sets: List[List[int]] = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> int:
+        """Translate ``addr``; returns 0 on a hit, the walk latency on a miss."""
+        page = addr >> self.page_shift
+        ways = self.sets[page & self.set_mask]
+        if ways and ways[0] == page:
+            self.hits += 1
+            return 0
+        if page in ways:
+            ways.remove(page)
+            ways.insert(0, page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        ways.insert(0, page)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return self.miss_latency
+
+    def warm(self, addr: int) -> None:
+        self.access(addr)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,292 @@
+"""Processor configuration: the 43-parameter design space and Table 3.
+
+``ProcessorConfig`` carries every microarchitectural knob the study
+varies.  ``PB_PARAMETERS`` defines the Plackett-Burman design space --
+43 parameters with low/high values spanning the envelope of realistic
+configurations, in the spirit of Yi et al. [Yi03].  ``ARCH_CONFIGS``
+reproduces the paper's Table 3 (four commercial-processor-like
+configurations used for the architectural-level characterization).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Enhancements:
+    """The two microarchitectural enhancements of Section 7.
+
+    * ``trivial_computation`` -- simplify/eliminate trivial computations
+      (Yi & Lilja [Yi02]): dynamically trivial multiply/divide
+      instructions execute in one cycle on the ALU path.  Targets the
+      processor core; non-speculative.
+    * ``next_line_prefetch`` -- next-line prefetching (Jouppi
+      [Jouppi90]): a miss in the L1 D-cache also fetches the next
+      sequential block.  Targets the memory hierarchy; speculative.
+    """
+
+    trivial_computation: bool = False
+    next_line_prefetch: bool = False
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.trivial_computation:
+            parts.append("TC")
+        if self.next_line_prefetch:
+            parts.append("NLP")
+        return "+".join(parts) if parts else "base"
+
+
+BASELINE = Enhancements()
+TC = Enhancements(trivial_computation=True)
+NLP = Enhancements(next_line_prefetch=True)
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """All microarchitectural parameters of the simulated processor.
+
+    Cache sizes are in KB, latencies in cycles, widths in
+    instructions/cycle.  Defaults approximate Table 3's config #2.
+    """
+
+    name: str = "default"
+
+    # Front end
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    ifq_size: int = 16
+    front_depth: int = 5  # fetch-to-dispatch pipeline stages
+
+    # Window / queues
+    rob_entries: int = 64
+    lsq_entries: int = 32
+    write_buffer_entries: int = 8
+
+    # Function units
+    int_alus: int = 4
+    int_mult_divs: int = 4
+    fp_alus: int = 4
+    fp_mult_divs: int = 4
+    mem_ports: int = 2
+
+    # Branch handling
+    branch_predictor: str = "combined"  # combined | bimodal | gshare | taken | perfect
+    bht_entries: int = 8192
+    btb_entries: int = 2048
+    btb_assoc: int = 4
+    ras_entries: int = 16
+    mispredict_penalty: int = 7
+
+    # L1 instruction cache
+    il1_size_kb: int = 32
+    il1_assoc: int = 2
+    il1_block: int = 32
+    il1_latency: int = 1
+
+    # L1 data cache
+    dl1_size_kb: int = 64
+    dl1_assoc: int = 4
+    dl1_block: int = 32
+    dl1_latency: int = 1
+
+    # Unified L2
+    l2_size_kb: int = 512
+    l2_assoc: int = 8
+    l2_block: int = 64
+    l2_latency: int = 10
+
+    # Main memory
+    mem_latency_first: int = 200
+    mem_latency_next: int = 5
+    mem_bus_width: int = 8  # bytes per transfer beat
+
+    # TLBs
+    itlb_entries: int = 64
+    dtlb_entries: int = 128
+    tlb_miss_latency: int = 30
+
+    # Execution latencies (cycles)
+    int_alu_lat: int = 1
+    int_mult_lat: int = 3
+    int_div_lat: int = 20
+    fp_alu_lat: int = 2
+    fp_mult_lat: int = 4
+    fp_div_lat: int = 24
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "fetch_width", "decode_width", "issue_width", "commit_width",
+            "ifq_size", "front_depth", "rob_entries", "lsq_entries",
+            "write_buffer_entries", "int_alus", "int_mult_divs", "fp_alus",
+            "fp_mult_divs", "mem_ports", "bht_entries", "btb_entries",
+            "btb_assoc", "ras_entries", "mispredict_penalty", "il1_size_kb",
+            "il1_assoc", "il1_block", "il1_latency", "dl1_size_kb",
+            "dl1_assoc", "dl1_block", "dl1_latency", "l2_size_kb",
+            "l2_assoc", "l2_block", "l2_latency", "mem_latency_first",
+            "mem_latency_next", "mem_bus_width", "itlb_entries",
+            "dtlb_entries", "tlb_miss_latency", "int_alu_lat",
+            "int_mult_lat", "int_div_lat", "fp_alu_lat", "fp_mult_lat",
+            "fp_div_lat",
+        )
+        for field_name in positive_fields:
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.branch_predictor not in (
+            "combined", "bimodal", "gshare", "taken", "perfect"
+        ):
+            raise ValueError(f"unknown predictor {self.branch_predictor!r}")
+        for block_field in ("il1_block", "dl1_block", "l2_block", "mem_bus_width"):
+            value = getattr(self, block_field)
+            if value & (value - 1):
+                raise ValueError(f"{block_field} must be a power of two")
+
+    def replace(self, **changes) -> "ProcessorConfig":
+        """A copy of this config with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class PBParameter:
+    """One factor of the Plackett-Burman design: a config field with
+    low (-1) and high (+1) values."""
+
+    name: str
+    low: int
+    high: int
+
+    def value(self, level: int) -> int:
+        if level not in (-1, 1):
+            raise ValueError("PB level must be -1 or +1")
+        return self.high if level == 1 else self.low
+
+
+#: The 43 Plackett-Burman factors.  Low/high values span the envelope
+#: of the realistic configuration hypercube (after Yi et al. [Yi03]).
+PB_PARAMETERS: Tuple[PBParameter, ...] = (
+    PBParameter("fetch_width", 2, 8),
+    PBParameter("decode_width", 2, 8),
+    PBParameter("issue_width", 2, 8),
+    PBParameter("commit_width", 2, 8),
+    PBParameter("ifq_size", 4, 32),
+    PBParameter("front_depth", 3, 10),
+    PBParameter("rob_entries", 16, 256),
+    PBParameter("lsq_entries", 8, 128),
+    PBParameter("write_buffer_entries", 2, 16),
+    PBParameter("int_alus", 1, 4),
+    PBParameter("int_mult_divs", 1, 4),
+    PBParameter("fp_alus", 1, 4),
+    PBParameter("fp_mult_divs", 1, 4),
+    PBParameter("mem_ports", 1, 4),
+    PBParameter("bht_entries", 512, 16384),
+    PBParameter("btb_entries", 128, 4096),
+    PBParameter("btb_assoc", 1, 4),
+    PBParameter("ras_entries", 4, 64),
+    PBParameter("mispredict_penalty", 2, 20),
+    PBParameter("il1_size_kb", 8, 128),
+    PBParameter("il1_assoc", 1, 8),
+    PBParameter("il1_block", 16, 64),
+    PBParameter("il1_latency", 1, 4),
+    PBParameter("dl1_size_kb", 8, 128),
+    PBParameter("dl1_assoc", 1, 8),
+    PBParameter("dl1_block", 16, 64),
+    PBParameter("dl1_latency", 1, 4),
+    PBParameter("l2_size_kb", 256, 4096),
+    PBParameter("l2_assoc", 1, 16),
+    PBParameter("l2_block", 64, 256),
+    PBParameter("l2_latency", 6, 20),
+    PBParameter("mem_latency_first", 50, 400),
+    PBParameter("mem_latency_next", 2, 10),
+    PBParameter("mem_bus_width", 4, 32),
+    PBParameter("itlb_entries", 16, 256),
+    PBParameter("dtlb_entries", 16, 256),
+    PBParameter("tlb_miss_latency", 20, 80),
+    PBParameter("int_mult_lat", 2, 15),
+    PBParameter("int_div_lat", 10, 40),
+    PBParameter("fp_alu_lat", 1, 5),
+    PBParameter("fp_mult_lat", 2, 10),
+    PBParameter("fp_div_lat", 10, 40),
+    PBParameter("int_alu_lat", 1, 2),
+)
+
+assert len(PB_PARAMETERS) == 43
+assert len({p.name for p in PB_PARAMETERS}) == 43
+
+
+def pb_config(levels: Sequence[int], base: ProcessorConfig | None = None) -> ProcessorConfig:
+    """Config for one Plackett-Burman design row.
+
+    ``levels`` holds one -1/+1 level per entry of
+    :data:`PB_PARAMETERS`; every other field keeps its value from
+    ``base`` (default :class:`ProcessorConfig`).
+    """
+    if len(levels) != len(PB_PARAMETERS):
+        raise ValueError(
+            f"expected {len(PB_PARAMETERS)} levels, got {len(levels)}"
+        )
+    base = base or ProcessorConfig()
+    changes: Dict[str, int] = {
+        param.name: param.value(level)
+        for param, level in zip(PB_PARAMETERS, levels)
+    }
+    changes["name"] = "pb-" + "".join("+" if l == 1 else "-" for l in levels)
+    return base.replace(**changes)
+
+
+#: Table 3: the four configurations used for the architectural-level
+#: characterization (chosen from a survey of commercial processors).
+#: Fields the OCR of the paper leaves ambiguous (some L2 sizes and the
+#: memory "following" latencies) are filled with the monotone values
+#: documented in DESIGN.md.
+ARCH_CONFIGS: Tuple[ProcessorConfig, ...] = (
+    ProcessorConfig(
+        name="config1",
+        fetch_width=4, decode_width=4, issue_width=4, commit_width=4,
+        bht_entries=4096, btb_entries=1024,
+        rob_entries=32, lsq_entries=16,
+        int_alus=2, fp_alus=2, int_mult_divs=1, fp_mult_divs=1,
+        dl1_size_kb=32, dl1_assoc=2, dl1_latency=1,
+        il1_size_kb=32, il1_assoc=2, il1_latency=1,
+        l2_size_kb=256, l2_assoc=4, l2_latency=8,
+        mem_latency_first=150, mem_latency_next=4,
+    ),
+    ProcessorConfig(
+        name="config2",
+        fetch_width=4, decode_width=4, issue_width=4, commit_width=4,
+        bht_entries=8192, btb_entries=2048,
+        rob_entries=64, lsq_entries=32,
+        int_alus=4, fp_alus=4, int_mult_divs=4, fp_mult_divs=4,
+        dl1_size_kb=64, dl1_assoc=4, dl1_latency=1,
+        il1_size_kb=64, il1_assoc=4, il1_latency=1,
+        l2_size_kb=512, l2_assoc=8, l2_latency=10,
+        mem_latency_first=200, mem_latency_next=5,
+    ),
+    ProcessorConfig(
+        name="config3",
+        fetch_width=8, decode_width=8, issue_width=8, commit_width=8,
+        bht_entries=16384, btb_entries=4096,
+        rob_entries=128, lsq_entries=64,
+        int_alus=6, fp_alus=6, int_mult_divs=4, fp_mult_divs=4,
+        dl1_size_kb=128, dl1_assoc=2, dl1_latency=1,
+        il1_size_kb=128, il1_assoc=2, il1_latency=1,
+        l2_size_kb=1024, l2_assoc=4, l2_latency=11,
+        mem_latency_first=300, mem_latency_next=6,
+    ),
+    ProcessorConfig(
+        name="config4",
+        fetch_width=8, decode_width=8, issue_width=8, commit_width=8,
+        bht_entries=32768, btb_entries=4096,
+        rob_entries=256, lsq_entries=128,
+        int_alus=8, fp_alus=8, int_mult_divs=8, fp_mult_divs=8,
+        dl1_size_kb=256, dl1_assoc=4, dl1_latency=1,
+        il1_size_kb=256, il1_assoc=4, il1_latency=1,
+        l2_size_kb=2048, l2_assoc=8, l2_latency=12,
+        mem_latency_first=400, mem_latency_next=7,
+    ),
+)

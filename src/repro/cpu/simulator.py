@@ -1,0 +1,112 @@
+"""High-level simulation facade.
+
+:class:`Simulator` binds a :class:`ProcessorConfig` (plus optional
+enhancements) and exposes the three primitives every technique is
+composed from: detailed simulation, functional warming, and
+fast-forwarding.  Each run reports how many instructions it spent in
+each mode so the speed-versus-accuracy analysis can cost it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.functional import run_functional_warming
+from repro.cpu.machine import Machine
+from repro.cpu.pipeline import run_detailed
+from repro.cpu.stats import SimulationStats
+from repro.isa.trace import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Statistics plus the work profile of one simulation run."""
+
+    stats: SimulationStats
+    config_name: str
+    detailed_instructions: int = 0
+    warmed_instructions: int = 0
+    fastforwarded_instructions: int = 0
+    extra_detailed_instructions: int = 0  # warm-up simulated in detail
+
+    @property
+    def cpi(self) -> float:
+        return self.stats.cpi
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def add_work(self, other: "SimulationResult") -> None:
+        """Accumulate another run's work profile (not its stats)."""
+        self.detailed_instructions += other.detailed_instructions
+        self.warmed_instructions += other.warmed_instructions
+        self.fastforwarded_instructions += other.fastforwarded_instructions
+        self.extra_detailed_instructions += other.extra_detailed_instructions
+
+
+class Simulator:
+    """Simulation driver for one processor configuration."""
+
+    def __init__(
+        self,
+        config: Optional[ProcessorConfig] = None,
+        enhancements: Optional[Enhancements] = None,
+    ) -> None:
+        self.config = config or ProcessorConfig()
+        self.enhancements = enhancements or Enhancements()
+
+    def new_machine(self) -> Machine:
+        """A fresh (cold) machine for this configuration."""
+        return Machine(self.config, self.enhancements)
+
+    # -- one-shot helpers ------------------------------------------------------
+
+    def run_reference(self, trace: Trace) -> SimulationResult:
+        """Detailed simulation of the entire trace (the ground truth)."""
+        return self.run_region(trace, 0, len(trace))
+
+    def run_region(
+        self,
+        trace: Trace,
+        start: int,
+        end: int,
+        warmup_instructions: int = 0,
+        machine: Optional[Machine] = None,
+    ) -> SimulationResult:
+        """Detailed-simulate ``[start, end)`` on a fresh machine.
+
+        ``warmup_instructions`` instructions *before* ``start`` are
+        simulated in detail but excluded from the statistics.  The
+        region before the warm-up is fast-forwarded (skipped cold).
+        """
+        if machine is None:
+            machine = self.new_machine()
+        warm_start = max(0, start - warmup_instructions)
+        stats = run_detailed(machine, trace, warm_start, end, measure_from=start)
+        return SimulationResult(
+            stats=stats,
+            config_name=self.config.name,
+            detailed_instructions=end - start,
+            extra_detailed_instructions=start - warm_start,
+            fastforwarded_instructions=warm_start,
+        )
+
+    # -- primitives for techniques that interleave modes -----------------------
+
+    def warm(self, machine: Machine, trace: Trace, start: int, end: int):
+        """Functionally warm ``[start, end)``; returns WarmingStats."""
+        return run_functional_warming(machine, trace, start, end)
+
+    def detail(
+        self,
+        machine: Machine,
+        trace: Trace,
+        start: int,
+        end: int,
+        measure_from: Optional[int] = None,
+    ) -> SimulationStats:
+        """Detailed-simulate ``[start, end)`` on a persistent machine."""
+        return run_detailed(machine, trace, start, end, measure_from=measure_from)

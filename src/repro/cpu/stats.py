@@ -1,0 +1,139 @@
+"""Simulation statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimulationStats:
+    """Counters collected over a measured simulation region.
+
+    The architectural-level characterization uses ``ipc``,
+    ``branch_accuracy``, ``dl1_hit_rate`` and ``l2_hit_rate``; the rest
+    support analysis and debugging.
+    """
+
+    instructions: int = 0
+    cycles: int = 0
+
+    branches: int = 0
+    mispredictions: int = 0
+
+    loads: int = 0
+    stores: int = 0
+
+    il1_accesses: int = 0
+    il1_misses: int = 0
+    dl1_accesses: int = 0
+    dl1_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    itlb_misses: int = 0
+    dtlb_misses: int = 0
+
+    trivial_simplified: int = 0
+    prefetches: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.branches:
+            return 1.0
+        return 1.0 - self.mispredictions / self.branches
+
+    @property
+    def dl1_hit_rate(self) -> float:
+        if not self.dl1_accesses:
+            return 1.0
+        return 1.0 - self.dl1_misses / self.dl1_accesses
+
+    @property
+    def l2_hit_rate(self) -> float:
+        if not self.l2_accesses:
+            return 1.0
+        return 1.0 - self.l2_misses / self.l2_accesses
+
+    @property
+    def il1_hit_rate(self) -> float:
+        if not self.il1_accesses:
+            return 1.0
+        return 1.0 - self.il1_misses / self.il1_accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary (counters plus derived rates) for reports."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "cpi": self.cpi,
+            "ipc": self.ipc,
+            "branch_accuracy": self.branch_accuracy,
+            "dl1_hit_rate": self.dl1_hit_rate,
+            "l2_hit_rate": self.l2_hit_rate,
+            "il1_hit_rate": self.il1_hit_rate,
+            "branches": self.branches,
+            "mispredictions": self.mispredictions,
+            "loads": self.loads,
+            "stores": self.stores,
+            "dl1_misses": self.dl1_misses,
+            "l2_misses": self.l2_misses,
+            "trivial_simplified": self.trivial_simplified,
+            "prefetches": self.prefetches,
+        }
+
+
+def combine_weighted(parts: list, weights: list) -> SimulationStats:
+    """Weight-combine per-region stats into whole-program estimates.
+
+    Used by SimPoint (cluster weights) and SMARTS (uniform weights).
+    Counter fields are combined as weighted per-instruction rates and
+    re-expressed over the total weighted instruction count, so derived
+    metrics (CPI, hit rates) equal the weighted averages of the parts'
+    rates.
+    """
+    if len(parts) != len(weights):
+        raise ValueError("parts and weights must have equal length")
+    if not parts:
+        return SimulationStats()
+    total_weight = float(sum(weights))
+    if total_weight <= 0:
+        raise ValueError("weights must sum to a positive value")
+
+    combined = SimulationStats()
+    scale_instr = sum(s.instructions * w for s, w in zip(parts, weights)) / total_weight
+    combined.instructions = int(round(scale_instr))
+    for name in (
+        "cycles",
+        "branches",
+        "mispredictions",
+        "loads",
+        "stores",
+        "il1_accesses",
+        "il1_misses",
+        "dl1_accesses",
+        "dl1_misses",
+        "l2_accesses",
+        "l2_misses",
+        "itlb_misses",
+        "dtlb_misses",
+        "trivial_simplified",
+        "prefetches",
+    ):
+        weighted_rate = (
+            sum(
+                (getattr(s, name) / s.instructions) * w
+                for s, w in zip(parts, weights)
+                if s.instructions
+            )
+            / total_weight
+        )
+        setattr(combined, name, int(round(weighted_rate * combined.instructions)))
+    return combined

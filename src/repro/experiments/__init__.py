@@ -1,0 +1,13 @@
+"""Per-table / per-figure experiment drivers.
+
+Each module reproduces one table or figure of the paper and returns an
+:class:`~repro.experiments.common.ExperimentReport` whose ``render()``
+prints the same rows/series the paper reports.  The experiments share
+an :class:`~repro.experiments.common.ExperimentContext` that caches
+simulation runs, since several figures reuse the same reference
+simulations.
+"""
+
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+__all__ = ["ExperimentContext", "ExperimentReport"]

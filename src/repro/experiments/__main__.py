@@ -1,0 +1,95 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments table2 figure7
+    python -m repro.experiments figure1 --benchmarks gcc,mcf --depth quick
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
+from repro.experiments import figure7, section52, survey, tables
+from repro.experiments.common import ExperimentContext, default_benchmarks
+from repro.scale import default_scale, scale_from_profile
+
+EXPERIMENTS = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "table3": tables.table3,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3_4.run_figure3,
+    "figure4": figure3_4.run_figure4,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "section52-profile": section52.run_profile,
+    "section52-architectural": section52.run_architectural,
+    "survey": survey.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'all'",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        choices=("tiny", "quick", "full"),
+        help="simulation scale (default: $REPRO_PROFILE or tiny)",
+    )
+    parser.add_argument(
+        "--depth",
+        default="standard",
+        choices=("quick", "standard", "full"),
+        help="permutations per technique family",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark subset",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; try 'list'")
+
+    scale = (
+        scale_from_profile(args.profile) if args.profile else default_scale()
+    )
+    benchmarks = (
+        tuple(args.benchmarks.split(",")) if args.benchmarks
+        else default_benchmarks()
+    )
+    context = ExperimentContext(
+        scale=scale, benchmarks=benchmarks, depth=args.depth
+    )
+    for name in names:
+        report = EXPERIMENTS[name](context)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Shared experiment infrastructure: context, caching, report format."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
+from repro.scale import Scale, default_scale
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.techniques.reference import ReferenceTechnique
+from repro.techniques.registry import (
+    ff_run_z_permutations,
+    ff_wu_run_z_permutations,
+    reduced_permutations,
+    run_z_permutations,
+    simpoint_permutations,
+    smarts_permutations,
+)
+from repro.techniques.simpoint import SimPointTechnique
+from repro.workloads.inputs import Workload
+from repro.workloads.spec import BENCHMARK_NAMES, get_workload
+
+#: Environment variable requesting the full 10-benchmark, all-permutation
+#: experiment sweep (expensive).
+FULL_ENV_VAR = "REPRO_FULL"
+
+#: Benchmarks used by default (the paper's most-discussed cases).
+DEFAULT_BENCHMARKS = ("gzip", "gcc", "art", "mcf")
+
+
+def default_benchmarks() -> Tuple[str, ...]:
+    if os.environ.get(FULL_ENV_VAR):
+        return BENCHMARK_NAMES
+    return DEFAULT_BENCHMARKS
+
+
+@dataclass
+class ExperimentContext:
+    """Execution context shared by experiment drivers.
+
+    ``depth`` selects how many permutations per technique family are
+    simulated: ``quick`` uses one representative permutation per
+    family, ``standard`` a small spread, ``full`` all of Table 1.
+    """
+
+    scale: Scale = field(default_factory=default_scale)
+    benchmarks: Tuple[str, ...] = field(default_factory=default_benchmarks)
+    depth: str = "standard"
+    seed: int = 1234
+
+    _run_cache: Dict[tuple, TechniqueResult] = field(default_factory=dict, repr=False)
+    _selection_cache: Dict[tuple, object] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.depth not in ("quick", "standard", "full"):
+            raise ValueError("depth must be quick, standard or full")
+
+    # -- workloads ---------------------------------------------------------------
+
+    def workload(self, benchmark: str, input_set: str = "reference") -> Workload:
+        return get_workload(benchmark, input_set, seed=self.seed)
+
+    # -- cached technique execution ------------------------------------------------
+
+    def run(
+        self,
+        technique: SimulationTechnique,
+        workload: Workload,
+        config: ProcessorConfig,
+        enhancements: Enhancements = BASELINE,
+    ) -> TechniqueResult:
+        """Run (or fetch from cache) one technique at one configuration."""
+        key = (
+            workload.benchmark,
+            workload.input_set.name,
+            workload.seed,
+            self.scale.instructions_per_m,
+            technique.family,
+            technique.permutation,
+            config.name,
+            enhancements.label,
+        )
+        cached = self._run_cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._run_technique(technique, workload, config, enhancements)
+        self._run_cache[key] = result
+        return result
+
+    def _run_technique(
+        self,
+        technique: SimulationTechnique,
+        workload: Workload,
+        config: ProcessorConfig,
+        enhancements: Enhancements,
+    ) -> TechniqueResult:
+        if isinstance(technique, SimPointTechnique):
+            # SimPoint's selection is configuration-independent: compute
+            # it once per (workload, permutation) and reuse across the
+            # PB design's 44+ configurations.
+            sel_key = (
+                workload.benchmark,
+                workload.input_set.name,
+                workload.seed,
+                self.scale.instructions_per_m,
+                technique.permutation,
+            )
+            selection = self._selection_cache.get(sel_key)
+            if selection is None:
+                selection = technique.select(workload, self.scale)
+                self._selection_cache[sel_key] = selection
+            return technique.run(
+                workload, config, self.scale,
+                enhancements=enhancements, selection=selection,
+            )
+        return technique.run(
+            workload, config, self.scale, enhancements=enhancements
+        )
+
+    def reference(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        enhancements: Enhancements = BASELINE,
+    ) -> TechniqueResult:
+        return self.run(ReferenceTechnique(), workload, config, enhancements)
+
+    # -- permutation subsets --------------------------------------------------------
+
+    def family_permutations(self, benchmark: str) -> Dict[str, List[SimulationTechnique]]:
+        """Technique permutations per family at the context's depth."""
+        if self.depth == "full":
+            return {
+                "SimPoint": simpoint_permutations(),
+                "SMARTS": smarts_permutations(),
+                "Reduced": reduced_permutations(benchmark),
+                "Run Z": run_z_permutations(),
+                "FF+Run Z": ff_run_z_permutations(),
+                "FF+WU+Run Z": ff_wu_run_z_permutations(),
+            }
+        if self.depth == "standard":
+            return {
+                "SimPoint": simpoint_permutations(),
+                "SMARTS": [smarts_permutations()[i] for i in (1, 4, 8)],
+                "Reduced": reduced_permutations(benchmark)[:3],
+                "Run Z": [run_z_permutations()[i] for i in (0, 3)],
+                "FF+Run Z": [ff_run_z_permutations()[i] for i in (1, 7)],
+                "FF+WU+Run Z": [ff_wu_run_z_permutations()[i] for i in (6, 30)],
+            }
+        # quick
+        return {
+            "SimPoint": [simpoint_permutations()[1]],
+            "SMARTS": [smarts_permutations()[4]],
+            "Reduced": reduced_permutations(benchmark)[-1:],
+            "Run Z": [run_z_permutations()[1]],
+            "FF+Run Z": [ff_run_z_permutations()[5]],
+            "FF+WU+Run Z": [ff_wu_run_z_permutations()[18]],
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered experiment: an id, headline, table rows and notes."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with aligned columns."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in table:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

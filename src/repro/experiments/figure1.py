@@ -1,0 +1,107 @@
+"""Figure 1: performance-bottleneck characterization.
+
+For each benchmark and each technique family, the normalized Euclidean
+distance between the technique's Plackett-Burman rank vector and the
+reference input set's (mean over the family's permutations, with min
+and max).  Distances are normalized to the maximum possible rank
+distance and scaled to 100, exactly as in the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.characterization.bottleneck import (
+    BottleneckResult,
+    bottleneck_ranks,
+    normalized_rank_distance,
+)
+from repro.characterization.plackett_burman import PlackettBurmanDesign
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.techniques.base import SimulationTechnique
+from repro.techniques.reference import ReferenceTechnique
+from repro.workloads.inputs import Workload
+
+_DESIGN = PlackettBurmanDesign()
+
+
+def pb_result(
+    context: ExperimentContext,
+    workload: Workload,
+    technique: SimulationTechnique,
+) -> BottleneckResult:
+    """PB characterization of one technique, through the context cache."""
+    def run_config(config):
+        return context.run(technique, workload, config).cpi
+
+    return bottleneck_ranks(
+        technique, workload, context.scale, design=_DESIGN, run_callback=run_config
+    )
+
+
+def reference_pb_result(
+    context: ExperimentContext, workload: Workload
+) -> BottleneckResult:
+    return pb_result(context, workload, ReferenceTechnique())
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or ExperimentContext()
+    rows = []
+    for benchmark in context.benchmarks:
+        workload = context.workload(benchmark)
+        reference = reference_pb_result(context, workload)
+        for family, techniques in context.family_permutations(benchmark).items():
+            distances = []
+            for technique in techniques:
+                result = pb_result(context, workload, technique)
+                distances.append(
+                    normalized_rank_distance(result.ranks, reference.ranks)
+                )
+            if not distances:
+                continue
+            rows.append(
+                (
+                    benchmark,
+                    family,
+                    sum(distances) / len(distances),
+                    min(distances),
+                    max(distances),
+                )
+            )
+    return ExperimentReport(
+        experiment_id="Figure 1",
+        title=(
+            "Normalized Euclidean distance from the reference input set "
+            "(performance-bottleneck characterization)"
+        ),
+        headers=("benchmark", "technique", "mean", "min", "max"),
+        rows=rows,
+        notes=[
+            "distance normalized to the maximum rank distance, scaled to 100",
+            f"PB design: {_DESIGN.num_runs} runs x {_DESIGN.num_parameters} parameters",
+        ],
+    )
+
+
+def family_distances(
+    context: ExperimentContext, benchmark: str
+) -> Dict[str, Tuple[float, float, float]]:
+    """(mean, min, max) normalized distance per family for one benchmark."""
+    workload = context.workload(benchmark)
+    reference = reference_pb_result(context, workload)
+    out: Dict[str, Tuple[float, float, float]] = {}
+    for family, techniques in context.family_permutations(benchmark).items():
+        distances = [
+            normalized_rank_distance(
+                pb_result(context, workload, t).ranks, reference.ranks
+            )
+            for t in techniques
+        ]
+        if distances:
+            out[family] = (
+                sum(distances) / len(distances),
+                min(distances),
+                max(distances),
+            )
+    return out

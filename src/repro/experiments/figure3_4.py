@@ -1,0 +1,75 @@
+"""Figures 3 and 4: speed-versus-accuracy trade-off graphs.
+
+One point per technique permutation: x = simulation cost as a
+percentage of the reference input set's cost, y = Manhattan distance
+between the technique's CPI vector (over the Table 3 configurations)
+and the reference's.  Figure 3 is gcc; Figure 4 is mcf.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.plotting import scatter_plot
+from repro.analysis.svat import CostModel, SvatPoint, svat_point
+from repro.cpu.config import ARCH_CONFIGS
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+
+def svat_points(
+    context: ExperimentContext,
+    benchmark: str,
+    cost_model: Optional[CostModel] = None,
+) -> List[SvatPoint]:
+    """All SvAT points for one benchmark at the context's depth."""
+    workload = context.workload(benchmark)
+    reference_results = [
+        context.reference(workload, config) for config in ARCH_CONFIGS
+    ]
+    points: List[SvatPoint] = []
+    for family, techniques in context.family_permutations(benchmark).items():
+        for technique in techniques:
+            technique_results = [
+                context.run(technique, workload, config) for config in ARCH_CONFIGS
+            ]
+            points.append(
+                svat_point(technique_results, reference_results, cost_model)
+            )
+    return points
+
+
+def run_benchmark(
+    context: ExperimentContext, benchmark: str, figure_id: str
+) -> ExperimentReport:
+    points = sorted(svat_points(context, benchmark), key=lambda p: p.speed_percent)
+    rows = [
+        (p.family, p.permutation, p.speed_percent, p.accuracy) for p in points
+    ]
+    plot = scatter_plot(
+        [(p.family, p.speed_percent, p.accuracy) for p in points],
+        x_label="speed (% of reference time)",
+        y_label="accuracy (Manhattan distance)",
+    )
+    return ExperimentReport(
+        experiment_id=figure_id,
+        title=f"Speed versus accuracy trade-off, {benchmark}",
+        headers=(
+            "family", "permutation", "speed (% of reference time)",
+            "accuracy (Manhattan distance of CPIs)",
+        ),
+        rows=rows,
+        notes=[
+            "lower is better on both axes; accuracy over the Table 3 configs",
+            "\n" + plot,
+        ],
+    )
+
+
+def run_figure3(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or ExperimentContext()
+    return run_benchmark(context, "gcc", "Figure 3")
+
+
+def run_figure4(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or ExperimentContext()
+    return run_benchmark(context, "mcf", "Figure 4")

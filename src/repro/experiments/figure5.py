@@ -1,0 +1,91 @@
+"""Figure 5: configuration dependence.
+
+For each technique family, the worst and best permutation (by share of
+configurations with CPI error within 0-3%) and the histogram of CPI
+errors across the configuration envelope.  The envelope is the
+Plackett-Burman design's rows -- the corners of the realistic
+configuration hypercube -- pooled across the context's benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.config_dependence import (
+    CPI_ERROR_BINS,
+    ConfigDependenceResult,
+    bin_label,
+    cpi_error_histogram,
+    worst_and_best,
+)
+from repro.characterization.plackett_burman import PlackettBurmanDesign
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+_DESIGN = PlackettBurmanDesign()
+
+
+def permutation_errors(
+    context: ExperimentContext,
+) -> Dict[str, List[ConfigDependenceResult]]:
+    """Per-family list of permutation error records, pooled over
+    benchmarks and envelope configurations."""
+    configs = _DESIGN.configs()
+    by_family: Dict[str, Dict[str, List[float]]] = {}
+    ref_cpis: Dict[str, List[float]] = {}
+    for benchmark in context.benchmarks:
+        workload = context.workload(benchmark)
+        ref_cpis[benchmark] = [
+            context.reference(workload, config).cpi for config in configs
+        ]
+    permutation_family: Dict[str, str] = {}
+    for benchmark in context.benchmarks:
+        workload = context.workload(benchmark)
+        for family, techniques in context.family_permutations(benchmark).items():
+            for technique in techniques:
+                label = technique.permutation
+                permutation_family[label] = family
+                errors = by_family.setdefault(family, {}).setdefault(label, [])
+                for config, ref_cpi in zip(configs, ref_cpis[benchmark]):
+                    cpi = context.run(technique, workload, config).cpi
+                    errors.append((cpi - ref_cpi) / ref_cpi)
+    results: Dict[str, List[ConfigDependenceResult]] = {}
+    for family, permutations in by_family.items():
+        results[family] = [
+            ConfigDependenceResult(family=family, permutation=label, errors=errs)
+            for label, errs in permutations.items()
+        ]
+    return results
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or ExperimentContext()
+    per_family = permutation_errors(context)
+    rows = []
+    for family, results in per_family.items():
+        worst, best = worst_and_best(results)
+        for kind, record in (("worst", worst), ("best", best)):
+            histogram = record.histogram
+            rows.append(
+                (
+                    family,
+                    kind,
+                    record.permutation,
+                    record.within_3_percent,
+                    histogram[-1],  # > 30% share
+                    "yes" if record.error_trends else "no",
+                )
+            )
+    return ExperimentReport(
+        experiment_id="Figure 5",
+        title="Configuration dependence: CPI error across the envelope",
+        headers=(
+            "family", "perm", "permutation", "share within 0-3%",
+            "share > 30%", "error trends",
+        ),
+        rows=rows,
+        notes=[
+            "bins: " + ", ".join(bin_label(b) for b in CPI_ERROR_BINS),
+            "envelope = Plackett-Burman rows pooled over "
+            + ", ".join(context.benchmarks),
+        ],
+    )

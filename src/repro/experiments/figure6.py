@@ -1,0 +1,80 @@
+"""Figure 6: impact of the technique on apparent enhancement speedups.
+
+Difference between each technique's apparent speedup and the reference
+input set's speedup, for next-line prefetching (the figure) and trivial
+computation simplification (discussed in the text), on gcc with
+processor configuration #2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.speedup import SpeedupComparison, speedup
+from repro.cpu.config import ARCH_CONFIGS, NLP, TC, Enhancements
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+#: The paper presents gcc + config #2 as the clearest case.
+DEFAULT_BENCHMARK = "gcc"
+DEFAULT_CONFIG = ARCH_CONFIGS[1]
+
+
+def speedup_comparisons(
+    context: ExperimentContext,
+    benchmark: str = DEFAULT_BENCHMARK,
+    enhancement: Enhancements = NLP,
+) -> List[SpeedupComparison]:
+    workload = context.workload(benchmark)
+    config = DEFAULT_CONFIG
+    ref_base = context.reference(workload, config).cpi
+    ref_enhanced = context.reference(workload, config, enhancement).cpi
+    reference_speedup = speedup(ref_base, ref_enhanced)
+
+    comparisons: List[SpeedupComparison] = []
+    for family, techniques in context.family_permutations(benchmark).items():
+        for technique in techniques:
+            base = context.run(technique, workload, config).cpi
+            enhanced = context.run(technique, workload, config, enhancement).cpi
+            comparisons.append(
+                SpeedupComparison(
+                    family=family,
+                    permutation=technique.permutation,
+                    enhancement=enhancement.label,
+                    technique_speedup=speedup(base, enhanced),
+                    reference_speedup=reference_speedup,
+                )
+            )
+    return comparisons
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    context = context or ExperimentContext()
+    rows = []
+    for enhancement in (NLP, TC):
+        for comparison in speedup_comparisons(context, enhancement=enhancement):
+            rows.append(
+                (
+                    comparison.enhancement,
+                    comparison.family,
+                    comparison.permutation,
+                    comparison.technique_speedup,
+                    comparison.reference_speedup,
+                    comparison.difference,
+                )
+            )
+    return ExperimentReport(
+        experiment_id="Figure 6",
+        title=(
+            "Speedup(technique) - Speedup(reference) for NLP and TC, "
+            f"{DEFAULT_BENCHMARK} with {DEFAULT_CONFIG.name}"
+        ),
+        headers=(
+            "enhancement", "family", "permutation",
+            "apparent speedup", "reference speedup", "difference",
+        ),
+        rows=rows,
+        notes=[
+            "NLP = next-line prefetching [Jouppi90]; "
+            "TC = trivial computation simplification [Yi02]",
+        ],
+    )

@@ -1,0 +1,37 @@
+"""Figure 7: the decision tree for selecting a simulation technique."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.decision import ALL_CRITERIA, DECISION_TREE, recommend
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    rows = []
+    for criterion in ALL_CRITERIA:
+        ranking = recommend([criterion])
+        rows.append((criterion, " > ".join(t for t, _ in ranking)))
+    # Two representative user profiles from the paper's discussion.
+    rows.append(
+        (
+            "accuracy-first architect",
+            " > ".join(
+                t for t, _ in recommend(["accuracy", "configuration_independence"])
+            ),
+        )
+    )
+    rows.append(
+        (
+            "deadline-driven architect",
+            " > ".join(t for t, _ in recommend(["speed_vs_accuracy", "accuracy"])),
+        )
+    )
+    return ExperimentReport(
+        experiment_id="Figure 7",
+        title="Decision tree for the selection of a simulation technique",
+        headers=("criterion", "ordering (best first)"),
+        rows=rows,
+        notes=[DECISION_TREE.render()],
+    )

@@ -1,0 +1,86 @@
+"""Section 5.2: execution-profile and architectural characterizations.
+
+The paper omits the tables for space but reports that both
+characterizations are fully coherent with the bottleneck results:
+reduced inputs and truncated execution differ strongly from the
+reference while SimPoint and SMARTS are very close (SMARTS closest).
+These drivers regenerate the underlying numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.characterization.architectural import architectural_distance
+from repro.characterization.profile import compare_profiles
+from repro.cpu.config import ARCH_CONFIGS
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+
+def run_profile(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    """BBV chi-squared comparison of each technique to the reference."""
+    context = context or ExperimentContext()
+    rows = []
+    for benchmark in context.benchmarks:
+        workload = context.workload(benchmark)
+        config = ARCH_CONFIGS[1]
+        reference = context.reference(workload, config)
+        ref_profile = reference.block_profile(context.scale)
+        for family, techniques in context.family_permutations(benchmark).items():
+            for technique in techniques:
+                result = context.run(technique, workload, config)
+                profile = result.block_profile(context.scale)
+                comparison = compare_profiles(profile, ref_profile)
+                rows.append(
+                    (
+                        benchmark,
+                        family,
+                        technique.permutation,
+                        comparison.statistic,
+                        comparison.normalized,
+                        "yes" if comparison.similar else "no",
+                    )
+                )
+    return ExperimentReport(
+        experiment_id="Section 5.2 (profile)",
+        title="Execution-profile characterization (BBV chi-squared)",
+        headers=(
+            "benchmark", "family", "permutation",
+            "chi-squared", "chi-squared / dof", "similar",
+        ),
+        rows=rows,
+        notes=[
+            "smaller chi-squared = execution profile closer to reference",
+        ],
+    )
+
+
+def run_architectural(
+    context: Optional[ExperimentContext] = None,
+) -> ExperimentReport:
+    """Architectural metric-vector distances over the Table 3 configs."""
+    context = context or ExperimentContext()
+    rows = []
+    for benchmark in context.benchmarks:
+        workload = context.workload(benchmark)
+        reference_stats = [
+            context.reference(workload, config).stats for config in ARCH_CONFIGS
+        ]
+        for family, techniques in context.family_permutations(benchmark).items():
+            for technique in techniques:
+                technique_stats = [
+                    context.run(technique, workload, config).stats
+                    for config in ARCH_CONFIGS
+                ]
+                distance = architectural_distance(technique_stats, reference_stats)
+                rows.append((benchmark, family, technique.permutation, distance))
+    return ExperimentReport(
+        experiment_id="Section 5.2 (architectural)",
+        title="Architectural-level characterization (normalized metric vectors)",
+        headers=("benchmark", "family", "permutation", "distance"),
+        rows=rows,
+        notes=[
+            "metrics: IPC, branch prediction accuracy, L1 D-cache hit "
+            "rate, L2 hit rate over the four Table 3 configurations",
+        ],
+    )

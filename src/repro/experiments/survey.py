@@ -1,0 +1,28 @@
+"""Section 2's methodology survey, as a regenerable table."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.survey import SURVEY_NOTES, prevalence_table, top_four_share
+from repro.experiments.common import ExperimentContext, ExperimentReport
+
+
+def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
+    rows = [(name, f"{share:.1%}") for name, share in prevalence_table()]
+    return ExperimentReport(
+        experiment_id="Section 2 (survey)",
+        title="Prevalence of simulation techniques (10 years of HPCA/ISCA/MICRO)",
+        headers=("technique", "share of known techniques"),
+        rows=rows,
+        notes=[
+            f"top four techniques cover {top_four_share():.1%} of known uses",
+            "papers with unknown methodology: "
+            f"{SURVEY_NOTES['unknown_methodology_10yr']:.0%} over ten years, "
+            f"{SURVEY_NOTES['unknown_methodology_recent']:.0%} recently",
+            "reduced/truncated usage rose from "
+            f"{SURVEY_NOTES['reduced_or_truncated_before_simpoint']:.1%} to "
+            f"{SURVEY_NOTES['reduced_or_truncated_after_simpoint']:.1%} after "
+            "SimPoint's introduction",
+        ],
+    )

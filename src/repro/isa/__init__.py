@@ -1,0 +1,22 @@
+"""Instruction-set abstraction: op classes, templates, dynamic traces."""
+
+from repro.isa.instructions import (
+    BRANCH_CLASSES,
+    FU_CLASS,
+    MEM_CLASSES,
+    NUM_REGS,
+    OpClass,
+    InstructionTemplate,
+)
+from repro.isa.trace import Trace, TraceBuilder
+
+__all__ = [
+    "OpClass",
+    "InstructionTemplate",
+    "Trace",
+    "TraceBuilder",
+    "NUM_REGS",
+    "FU_CLASS",
+    "MEM_CLASSES",
+    "BRANCH_CLASSES",
+]

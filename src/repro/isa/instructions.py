@@ -1,0 +1,117 @@
+"""Operation classes and static instruction templates.
+
+The simulator is trace-driven: workload models emit dynamic streams of
+instructions drawn from static *templates*.  A template fixes the
+operation class and register operands; the dynamic stream adds memory
+addresses and branch outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+#: Size of the architectural register file used by workload models.
+NUM_REGS = 64
+
+#: Operand slot value meaning "no register".
+NO_REG = -1
+
+
+class OpClass(IntEnum):
+    """Functional classes of instructions, SimpleScalar-style."""
+
+    IALU = 0
+    IMULT = 1
+    IDIV = 2
+    FPALU = 3
+    FPMULT = 4
+    FPDIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8
+    JUMP = 9
+    CALL = 10
+    RETURN = 11
+    NOP = 12
+
+
+#: Function-unit pool used by each op class (index into the timing
+#: model's resource tables): 0=int ALU, 1=int mult/div, 2=fp ALU,
+#: 3=fp mult/div, 4=memory port, 5=branch unit (unlimited).
+FU_CLASS = {
+    OpClass.IALU: 0,
+    OpClass.IMULT: 1,
+    OpClass.IDIV: 1,
+    OpClass.FPALU: 2,
+    OpClass.FPMULT: 3,
+    OpClass.FPDIV: 3,
+    OpClass.LOAD: 4,
+    OpClass.STORE: 4,
+    OpClass.BRANCH: 0,
+    OpClass.JUMP: 0,
+    OpClass.CALL: 0,
+    OpClass.RETURN: 0,
+    OpClass.NOP: 0,
+}
+
+MEM_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+BRANCH_CLASSES = frozenset(
+    {OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN}
+)
+
+
+@dataclass(frozen=True)
+class InstructionTemplate:
+    """A static instruction inside a basic block.
+
+    Parameters
+    ----------
+    opclass:
+        Functional class of the instruction.
+    dst, src1, src2:
+        Architectural register operands (``NO_REG`` when absent).
+    trivial_probability:
+        For multiply/divide classes, the probability that a dynamic
+        instance is *trivial* (operand of 0/1/self), which the trivial
+        computation enhancement can simplify.
+    """
+
+    opclass: OpClass
+    dst: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    trivial_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for operand in (self.dst, self.src1, self.src2):
+            if operand != NO_REG and not 0 <= operand < NUM_REGS:
+                raise ValueError(f"register operand out of range: {operand}")
+        if not 0.0 <= self.trivial_probability <= 1.0:
+            raise ValueError("trivial_probability must be within [0, 1]")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in MEM_CLASSES
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass in BRANCH_CLASSES
+
+
+def make_template(
+    opclass: OpClass,
+    dst: Optional[int] = None,
+    src1: Optional[int] = None,
+    src2: Optional[int] = None,
+    trivial_probability: float = 0.0,
+) -> InstructionTemplate:
+    """Convenience constructor translating ``None`` to ``NO_REG``."""
+    return InstructionTemplate(
+        opclass=opclass,
+        dst=NO_REG if dst is None else dst,
+        src1=NO_REG if src1 is None else src1,
+        src2=NO_REG if src2 is None else src2,
+        trivial_probability=trivial_probability,
+    )

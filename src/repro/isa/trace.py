@@ -1,0 +1,200 @@
+"""Column-oriented dynamic instruction traces.
+
+A :class:`Trace` holds one dynamic instruction stream as parallel NumPy
+arrays (one per field).  This layout lets workload generation and BBV
+profiling run vectorized, while the timing model converts the columns
+it iterates into plain Python lists once (list indexing is much faster
+than NumPy scalar access inside an interpreter loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+# Flag bits for the ``flags`` column.
+FLAG_COND_BRANCH = 1  #: conditional branch
+FLAG_TAKEN = 2  #: branch/jump outcome was taken
+FLAG_CALL = 4  #: call instruction (pushes return address)
+FLAG_RETURN = 8  #: return instruction (pops return address)
+FLAG_UNCOND = 16  #: unconditional jump
+FLAG_TRIVIAL = 32  #: dynamically trivial computation (TC candidate)
+
+FLAG_ANY_BRANCH = (
+    FLAG_COND_BRANCH | FLAG_CALL | FLAG_RETURN | FLAG_UNCOND
+)
+
+
+@dataclass
+class Trace:
+    """A dynamic instruction stream.
+
+    All arrays share the same length.  ``pc`` and ``addr`` are byte
+    addresses; ``addr`` is zero for non-memory instructions.  ``block``
+    is the static basic-block id of each instruction, used for
+    execution-profile characterization and SimPoint BBVs.
+    """
+
+    op: np.ndarray  # uint8 OpClass
+    dst: np.ndarray  # int16 register (-1 none)
+    src1: np.ndarray  # int16
+    src2: np.ndarray  # int16
+    pc: np.ndarray  # int64
+    block: np.ndarray  # int32
+    addr: np.ndarray  # int64
+    flags: np.ndarray  # uint8
+    target: np.ndarray  # int64 branch target pc (0 if not a branch)
+    num_blocks: int = 0
+    _list_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        length = len(self.op)
+        for name in ("dst", "src1", "src2", "pc", "block", "addr", "flags", "target"):
+            if len(getattr(self, name)) != length:
+                raise ValueError(f"column {name!r} length mismatch")
+        if self.num_blocks == 0 and length:
+            self.num_blocks = int(self.block.max()) + 1
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def column_lists(self, start: int = 0, end: int | None = None) -> Tuple[List, ...]:
+        """Columns converted to Python lists for the timing loop.
+
+        Returns ``(op, dst, src1, src2, pc, block, addr, flags, target)``
+        over ``[start, end)``.  Full-trace conversions are cached.
+        """
+        if end is None:
+            end = len(self)
+        if start == 0 and end == len(self):
+            if "full" not in self._list_cache:
+                self._list_cache["full"] = tuple(
+                    getattr(self, name).tolist()
+                    for name in (
+                        "op",
+                        "dst",
+                        "src1",
+                        "src2",
+                        "pc",
+                        "block",
+                        "addr",
+                        "flags",
+                        "target",
+                    )
+                )
+            return self._list_cache["full"]
+        return tuple(
+            getattr(self, name)[start:end].tolist()
+            for name in (
+                "op",
+                "dst",
+                "src1",
+                "src2",
+                "pc",
+                "block",
+                "addr",
+                "flags",
+                "target",
+            )
+        )
+
+    def block_execution_counts(self, start: int = 0, end: int | None = None) -> np.ndarray:
+        """Per-block *instruction* counts over ``[start, end)`` (BBV).
+
+        Each element ``i`` is the number of dynamic instructions executed
+        from basic block ``i``.
+        """
+        if end is None:
+            end = len(self)
+        return np.bincount(self.block[start:end], minlength=self.num_blocks)
+
+    def block_entry_counts(self, start: int = 0, end: int | None = None) -> np.ndarray:
+        """Per-block *entry* counts over ``[start, end)`` (BBEF).
+
+        A block entry is counted each time control flow enters the
+        block, i.e. at each position where the block id differs from
+        the previous instruction's block id.
+        """
+        if end is None:
+            end = len(self)
+        blocks = self.block[start:end]
+        if len(blocks) == 0:
+            return np.zeros(self.num_blocks, dtype=np.int64)
+        entries = np.empty(len(blocks), dtype=bool)
+        entries[0] = True
+        np.not_equal(blocks[1:], blocks[:-1], out=entries[1:])
+        return np.bincount(blocks[entries], minlength=self.num_blocks)
+
+    def interval_bbvs(self, interval: int) -> np.ndarray:
+        """BBV matrix: one row per fixed-size interval (SimPoint input).
+
+        The final partial interval, if any, is included as its own row.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        n = len(self)
+        num_intervals = (n + interval - 1) // interval
+        bbvs = np.zeros((num_intervals, self.num_blocks), dtype=np.int64)
+        for i in range(num_intervals):
+            start = i * interval
+            bbvs[i] = self.block_execution_counts(start, min(start + interval, n))
+        return bbvs
+
+
+class TraceBuilder:
+    """Accumulates trace segments and finalizes them into a :class:`Trace`."""
+
+    def __init__(self) -> None:
+        self._segments: List[Tuple[np.ndarray, ...]] = []
+
+    def append(
+        self,
+        op: np.ndarray,
+        dst: np.ndarray,
+        src1: np.ndarray,
+        src2: np.ndarray,
+        pc: np.ndarray,
+        block: np.ndarray,
+        addr: np.ndarray,
+        flags: np.ndarray,
+        target: np.ndarray,
+    ) -> None:
+        self._segments.append((op, dst, src1, src2, pc, block, addr, flags, target))
+
+    def __len__(self) -> int:
+        return sum(len(segment[0]) for segment in self._segments)
+
+    def build(self, num_blocks: int = 0) -> Trace:
+        if not self._segments:
+            empty = np.zeros(0)
+            return Trace(
+                op=empty.astype(np.uint8),
+                dst=empty.astype(np.int16),
+                src1=empty.astype(np.int16),
+                src2=empty.astype(np.int16),
+                pc=empty.astype(np.int64),
+                block=empty.astype(np.int32),
+                addr=empty.astype(np.int64),
+                flags=empty.astype(np.uint8),
+                target=empty.astype(np.int64),
+                num_blocks=num_blocks,
+            )
+        columns = [np.concatenate(parts) for parts in zip(*self._segments)]
+        return Trace(*columns, num_blocks=num_blocks)
+
+
+def iterate_flags(flags: int) -> Iterator[str]:
+    """Names of the flag bits set in ``flags`` (debugging helper)."""
+    names = {
+        FLAG_COND_BRANCH: "cond_branch",
+        FLAG_TAKEN: "taken",
+        FLAG_CALL: "call",
+        FLAG_RETURN: "return",
+        FLAG_UNCOND: "uncond",
+        FLAG_TRIVIAL: "trivial",
+    }
+    for bit, name in names.items():
+        if flags & bit:
+            yield name

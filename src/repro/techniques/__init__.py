@@ -1,0 +1,39 @@
+"""The six prevailing simulation techniques studied by the paper.
+
+Every technique consumes a workload + processor configuration and
+produces a :class:`TechniqueResult`: whole-program statistics estimated
+its own way, plus a work profile (instructions simulated in detail,
+functionally warmed, fast-forwarded) that the speed-versus-accuracy
+analysis costs.
+"""
+
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.techniques.reference import ReferenceTechnique
+from repro.techniques.truncated import FFRunZ, FFWURunZ, RunZ
+from repro.techniques.reduced import ReducedInputTechnique
+from repro.techniques.random_sampling import RandomSamplingTechnique
+from repro.techniques.simpoint import SimPointTechnique
+from repro.techniques.smarts import SmartsTechnique
+from repro.techniques.registry import (
+    FAMILIES,
+    TABLE1_COUNTS,
+    all_permutations,
+    permutations_for_family,
+)
+
+__all__ = [
+    "SimulationTechnique",
+    "TechniqueResult",
+    "ReferenceTechnique",
+    "RunZ",
+    "FFRunZ",
+    "FFWURunZ",
+    "ReducedInputTechnique",
+    "RandomSamplingTechnique",
+    "SimPointTechnique",
+    "SmartsTechnique",
+    "FAMILIES",
+    "TABLE1_COUNTS",
+    "all_permutations",
+    "permutations_for_family",
+]

@@ -1,0 +1,102 @@
+"""Common interface and result type for simulation techniques."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.stats import SimulationStats
+from repro.scale import Scale
+from repro.workloads.inputs import Workload
+
+
+@dataclass
+class TechniqueResult:
+    """The outcome of running one technique permutation.
+
+    ``regions`` and ``weights`` identify which parts of which trace the
+    technique measured (used by the execution-profile
+    characterization); ``workload`` is the workload those regions refer
+    to -- for reduced-input techniques this is the *reduced* workload,
+    not the reference one.
+    """
+
+    family: str
+    permutation: str
+    workload: Workload
+    config_name: str
+    stats: SimulationStats
+
+    #: Measured regions of the workload's trace, as (start, end) pairs.
+    regions: List[Tuple[int, int]] = field(default_factory=list)
+    #: Combination weight of each region (uniform if omitted).
+    weights: List[float] = field(default_factory=list)
+
+    # Work profile for the speed-versus-accuracy cost model.
+    detailed_instructions: int = 0
+    warm_detailed_instructions: int = 0  # detailed warm-up (unmeasured)
+    functional_warm_instructions: int = 0
+    fastforward_instructions: int = 0
+    profiled_instructions: int = 0  # BBV profiling pass (SimPoint)
+    runs: int = 1  # SMARTS may need several runs
+
+    @property
+    def cpi(self) -> float:
+        return self.stats.cpi
+
+    @property
+    def label(self) -> str:
+        return f"{self.family}: {self.permutation}"
+
+    def block_profile(self, scale: Scale, entries: bool = False) -> np.ndarray:
+        """Basic-block profile over the measured regions.
+
+        Returns the weighted per-block instruction counts (BBV) or
+        entry counts (BBEF) of the regions this technique measured.
+        """
+        trace = self.workload.trace(scale)
+        if not self.regions:
+            regions = [(0, len(trace))]
+            weights = [1.0]
+        else:
+            regions = self.regions
+            weights = self.weights or [1.0] * len(regions)
+        profile = np.zeros(trace.num_blocks, dtype=np.float64)
+        for (start, end), weight in zip(regions, weights):
+            if entries:
+                counts = trace.block_entry_counts(start, end)
+            else:
+                counts = trace.block_execution_counts(start, end)
+            profile += weight * counts
+        return profile
+
+
+class SimulationTechnique(ABC):
+    """A method of estimating whole-program behaviour from less than a
+    full detailed simulation of the reference input."""
+
+    #: Family name used in figures ("SimPoint", "SMARTS", "Reduced",
+    #: "Run Z", "FF+Run Z", "FF+WU+Run Z", "Reference").
+    family: str = "abstract"
+
+    @property
+    @abstractmethod
+    def permutation(self) -> str:
+        """Short label identifying this permutation within its family."""
+
+    @abstractmethod
+    def run(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        scale: Scale,
+        enhancements: Optional[Enhancements] = None,
+    ) -> TechniqueResult:
+        """Estimate the workload's behaviour on ``config``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<{type(self).__name__} {self.family}: {self.permutation}>"

@@ -1,0 +1,72 @@
+"""Reduced input sets: MinneSPEC small/medium/large, SPEC test/train.
+
+The reduced workload is simulated to completion in detail.  Its
+statistics are then compared against the *reference* input's -- the
+paper's point being that the reduced input effectively simulates a
+different program.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.simulator import Simulator
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.workloads.inputs import Workload
+from repro.workloads.spec import get_benchmark
+
+#: Display names matching the paper's figures.
+_DISPLAY = {
+    "small": "MinneSPEC small",
+    "medium": "MinneSPEC medium",
+    "large": "MinneSPEC large",
+    "test": "SPEC test",
+    "train": "SPEC train",
+}
+
+
+class ReducedInputTechnique(SimulationTechnique):
+    """Simulate the named reduced input set to completion."""
+
+    family = "Reduced"
+
+    def __init__(self, input_set: str) -> None:
+        if input_set not in _DISPLAY:
+            raise ValueError(
+                f"{input_set!r} is not a reduced input set; "
+                f"expected one of {sorted(_DISPLAY)}"
+            )
+        self.input_set = input_set
+
+    @property
+    def permutation(self) -> str:
+        return _DISPLAY[self.input_set]
+
+    def is_available(self, benchmark: str) -> bool:
+        """Whether this benchmark ships this input set (Table 2)."""
+        return self.input_set in get_benchmark(benchmark).input_sets
+
+    def run(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        scale: Scale,
+        enhancements: Optional[Enhancements] = None,
+    ) -> TechniqueResult:
+        benchmark = get_benchmark(workload.benchmark)
+        reduced = benchmark.workload(self.input_set, seed=workload.seed)
+        trace = reduced.trace(scale)
+        simulator = Simulator(config, enhancements)
+        result = simulator.run_reference(trace)
+        return TechniqueResult(
+            family=self.family,
+            permutation=self.permutation,
+            workload=reduced,
+            config_name=config.name,
+            stats=result.stats,
+            regions=[(0, len(trace))],
+            weights=[1.0],
+            detailed_instructions=len(trace),
+        )

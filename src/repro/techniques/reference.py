@@ -1,0 +1,43 @@
+"""The ground truth: detailed simulation of the full reference input."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.simulator import Simulator
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.workloads.inputs import Workload
+
+
+class ReferenceTechnique(SimulationTechnique):
+    """Simulate the entire trace in detail (what every other technique
+    is measured against)."""
+
+    family = "Reference"
+
+    @property
+    def permutation(self) -> str:
+        return "complete"
+
+    def run(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        scale: Scale,
+        enhancements: Optional[Enhancements] = None,
+    ) -> TechniqueResult:
+        trace = workload.trace(scale)
+        simulator = Simulator(config, enhancements)
+        result = simulator.run_reference(trace)
+        return TechniqueResult(
+            family=self.family,
+            permutation=self.permutation,
+            workload=workload,
+            config_name=config.name,
+            stats=result.stats,
+            regions=[(0, len(trace))],
+            weights=[1.0],
+            detailed_instructions=len(trace),
+        )

@@ -1,0 +1,134 @@
+"""Table 1: the candidate simulation techniques and their permutations.
+
+The paper surveyed ten years of HPCA/ISCA/MICRO to pick the most
+prevalent techniques, then fixed 69 permutations: 3 SimPoint, 9 SMARTS,
+3-5 reduced inputs (availability per benchmark, Table 2), 4 Run Z,
+12 FF X + Run Z and 36 FF X + WU Y + Run Z.  This module reconstructs
+that list programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.techniques.base import SimulationTechnique
+from repro.techniques.reduced import ReducedInputTechnique
+from repro.techniques.simpoint import SimPointTechnique
+from repro.techniques.smarts import SmartsTechnique
+from repro.techniques.truncated import FFRunZ, FFWURunZ, RunZ
+from repro.workloads.spec import get_benchmark
+
+#: Family display names, in the paper's usual figure order.
+FAMILIES = ("SimPoint", "SMARTS", "Reduced", "Run Z", "FF+Run Z", "FF+WU+Run Z")
+
+#: Permutation counts per family as stated in Table 1 (reduced inputs
+#: range 3-5 depending on the benchmark's available input sets).
+TABLE1_COUNTS = {
+    "SimPoint": 3,
+    "SMARTS": 9,
+    "Reduced": (3, 5),
+    "Run Z": 4,
+    "FF+Run Z": 12,
+    "FF+WU+Run Z": 36,
+}
+
+#: Run Z lengths (paper-M).
+RUN_Z_VALUES = (500, 1000, 1500, 2000)
+
+#: FF X + Run Z grid (paper-M).
+FF_X_VALUES = (1000, 2000, 4000)
+FF_RUN_Z_VALUES = (100, 500, 1000, 2000)
+
+#: FF X + WU Y + Run Z: X + Y lands on the same grid as FF X.
+WU_Y_VALUES = (1, 10, 100)
+
+#: SMARTS detailed-unit and warm-up lengths (instructions).
+SMARTS_U_VALUES = (100, 1000, 10000)
+SMARTS_W_VALUES = (200, 2000, 20000)
+
+
+def simpoint_permutations(include_single_10m: bool = False) -> List[SimulationTechnique]:
+    """The SimPoint permutations of Table 1.
+
+    Table 1 lists three: single 100M, multiple 10M (max_k 100) and
+    multiple 100M (max_k 10).  Figure 6 additionally uses a single-10M
+    permutation; pass ``include_single_10m=True`` for that set.
+    Warm-up policy per Table 1: 1M for 10M points, none for 100M.
+    """
+    permutations: List[SimulationTechnique] = [
+        SimPointTechnique(interval_m=100, max_k=1, warmup_m=0),
+        SimPointTechnique(interval_m=10, max_k=100, warmup_m=1),
+        SimPointTechnique(interval_m=100, max_k=10, warmup_m=0),
+    ]
+    if include_single_10m:
+        permutations.append(SimPointTechnique(interval_m=10, max_k=1, warmup_m=1))
+    return permutations
+
+
+def smarts_permutations() -> List[SimulationTechnique]:
+    """The nine SMARTS permutations: U x W grid of Table 1."""
+    return [
+        SmartsTechnique(unit_instructions=u, warmup_instructions=w)
+        for u in SMARTS_U_VALUES
+        for w in SMARTS_W_VALUES
+    ]
+
+
+def reduced_permutations(benchmark: Optional[str] = None) -> List[SimulationTechnique]:
+    """Reduced-input permutations, filtered to a benchmark's Table 2
+    availability when ``benchmark`` is given."""
+    all_sets = ("small", "medium", "large", "test", "train")
+    if benchmark is None:
+        names = all_sets
+    else:
+        available = get_benchmark(benchmark).input_sets
+        names = tuple(s for s in all_sets if s in available)
+    return [ReducedInputTechnique(s) for s in names]
+
+
+def run_z_permutations() -> List[SimulationTechnique]:
+    return [RunZ(z) for z in RUN_Z_VALUES]
+
+
+def ff_run_z_permutations() -> List[SimulationTechnique]:
+    return [FFRunZ(x, z) for x in FF_X_VALUES for z in FF_RUN_Z_VALUES]
+
+
+def ff_wu_run_z_permutations() -> List[SimulationTechnique]:
+    """36 permutations: (X + Y) in {1000, 2000, 4000}, Y in {1, 10, 100},
+    Z in {100, 500, 1000, 2000}."""
+    permutations = []
+    for total in FF_X_VALUES:
+        for y in WU_Y_VALUES:
+            for z in FF_RUN_Z_VALUES:
+                permutations.append(FFWURunZ(x_m=total - y, y_m=y, z_m=z))
+    return permutations
+
+
+def permutations_for_family(
+    family: str, benchmark: Optional[str] = None
+) -> List[SimulationTechnique]:
+    """All Table 1 permutations of one family."""
+    if family == "SimPoint":
+        return simpoint_permutations()
+    if family == "SMARTS":
+        return smarts_permutations()
+    if family == "Reduced":
+        return reduced_permutations(benchmark)
+    if family == "Run Z":
+        return run_z_permutations()
+    if family == "FF+Run Z":
+        return ff_run_z_permutations()
+    if family == "FF+WU+Run Z":
+        return ff_wu_run_z_permutations()
+    raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
+
+
+def all_permutations(benchmark: Optional[str] = None) -> Dict[str, List[SimulationTechnique]]:
+    """Every Table 1 permutation, grouped by family."""
+    return {family: permutations_for_family(family, benchmark) for family in FAMILIES}
+
+
+def count_permutations(benchmark: Optional[str] = None) -> int:
+    """Total permutation count (69 when all five reduced sets exist)."""
+    return sum(len(v) for v in all_permutations(benchmark).values())

@@ -1,0 +1,16 @@
+"""SimPoint: representative sampling via BBV clustering [Sherwood02]."""
+
+from repro.techniques.simpoint.bbv import normalize_bbvs, project_bbvs
+from repro.techniques.simpoint.kmeans import KMeansResult, bic_score, kmeans, pick_k
+from repro.techniques.simpoint.simpoint import SimPointSelection, SimPointTechnique
+
+__all__ = [
+    "normalize_bbvs",
+    "project_bbvs",
+    "kmeans",
+    "KMeansResult",
+    "bic_score",
+    "pick_k",
+    "SimPointTechnique",
+    "SimPointSelection",
+]

@@ -1,0 +1,49 @@
+"""Basic-block-vector preparation: normalization and random projection.
+
+SimPoint 1.0 profiles the program into per-interval basic block
+vectors, normalizes each interval to a frequency distribution, and
+reduces dimensionality with a random linear projection before
+clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import child_rng
+
+#: SimPoint's default projected dimensionality.
+PROJECTED_DIMS = 15
+
+
+def normalize_bbvs(bbvs: np.ndarray) -> np.ndarray:
+    """Normalize each interval's BBV to sum to 1.
+
+    Rows that are all-zero (possible for an empty tail interval) are
+    left as zeros.
+    """
+    bbvs = np.asarray(bbvs, dtype=np.float64)
+    if bbvs.ndim != 2:
+        raise ValueError("bbvs must be a 2-D matrix (intervals x blocks)")
+    sums = bbvs.sum(axis=1, keepdims=True)
+    safe = np.where(sums == 0, 1.0, sums)
+    return bbvs / safe
+
+
+def project_bbvs(
+    bbvs: np.ndarray, dims: int = PROJECTED_DIMS, seed: int = 1
+) -> np.ndarray:
+    """Randomly project normalized BBVs down to ``dims`` dimensions.
+
+    The projection matrix has entries uniform on [-1, 1], seeded by
+    ``seed`` (SimPoint's ``seedproj``).
+    """
+    bbvs = np.asarray(bbvs, dtype=np.float64)
+    if dims <= 0:
+        raise ValueError("dims must be positive")
+    num_blocks = bbvs.shape[1]
+    if num_blocks <= dims:
+        return bbvs.copy()
+    rng = child_rng(seed, "simpoint-projection")
+    projection = rng.uniform(-1.0, 1.0, size=(num_blocks, dims))
+    return bbvs @ projection

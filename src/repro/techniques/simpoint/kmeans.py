@@ -1,0 +1,164 @@
+"""K-means clustering with BIC model selection (SimPoint 1.0 style).
+
+SimPoint clusters projected BBVs with k-means for every k up to
+``max_k``, scores each clustering with the Bayesian Information
+Criterion under a spherical-Gaussian model, and picks the smallest k
+whose BIC reaches a fixed fraction (90%) of the best observed BIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.util.rng import child_rng
+
+#: SimPoint's BIC threshold: smallest k scoring >= 90% of the best BIC.
+BIC_THRESHOLD = 0.9
+
+
+@dataclass
+class KMeansResult:
+    """One k-means clustering: assignments, centroids and quality."""
+
+    k: int
+    assignments: np.ndarray  # (n,) cluster index per point
+    centroids: np.ndarray  # (k, d)
+    inertia: float  # sum of squared distances to assigned centroid
+    bic: float = 0.0
+
+    @property
+    def cluster_sizes(self) -> np.ndarray:
+        return np.bincount(self.assignments, minlength=self.k)
+
+
+def _kmeans_once(
+    points: np.ndarray, k: int, rng: np.random.Generator, max_iterations: int
+) -> KMeansResult:
+    n = len(points)
+    # k-means++ seeding.
+    centroids = np.empty((k, points.shape[1]))
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest = np.sum((points - centroids[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            centroids[j] = points[int(rng.integers(n))]
+            continue
+        probs = closest / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[j] = points[choice]
+        distances = np.sum((points - centroids[j]) ** 2, axis=1)
+        np.minimum(closest, distances, out=closest)
+
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        # Assignment step.
+        distances = (
+            np.sum(points**2, axis=1)[:, None]
+            - 2.0 * points @ centroids.T
+            + np.sum(centroids**2, axis=1)[None, :]
+        )
+        new_assignments = np.argmin(distances, axis=1)
+        if np.array_equal(new_assignments, assignments) and _ > 0:
+            break
+        assignments = new_assignments
+        # Update step (empty clusters keep their centroid).
+        for j in range(k):
+            members = points[assignments == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    inertia = float(
+        np.sum((points - centroids[assignments]) ** 2)
+    )
+    return KMeansResult(k=k, assignments=assignments, centroids=centroids, inertia=inertia)
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seeds: int = 7,
+    max_iterations: int = 100,
+    seed: int = 1,
+) -> KMeansResult:
+    """Best-of-``seeds`` k-means clustering of ``points`` into ``k``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    if not 1 <= k <= len(points):
+        raise ValueError(f"k must be within [1, {len(points)}]")
+    best: Optional[KMeansResult] = None
+    for attempt in range(seeds):
+        rng = child_rng(seed, "kmeans", k, attempt)
+        result = _kmeans_once(points, k, rng, max_iterations)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    best.bic = bic_score(points, best)
+    return best
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """BIC of a clustering under a spherical-Gaussian mixture model.
+
+    Follows Pelleg & Moore's X-means formulation, which SimPoint uses:
+    maximum-likelihood variance over all points, per-cluster
+    log-likelihood, and a parameter-count penalty of
+    ``(k (d+1)) / 2 * log n``.
+    """
+    n, d = points.shape
+    k = result.k
+    if n <= k:
+        return float("-inf")
+    variance = result.inertia / (n - k)
+    variance = max(variance, 1e-12)
+    sizes = result.cluster_sizes
+    log_likelihood = 0.0
+    for size in sizes:
+        if size <= 0:
+            continue
+        log_likelihood += (
+            size * np.log(size / n)
+            - size * d / 2.0 * np.log(2.0 * np.pi * variance)
+            - (size - 1) * d / 2.0
+        )
+    num_parameters = k * (d + 1)
+    return float(log_likelihood - num_parameters / 2.0 * np.log(n))
+
+
+def pick_k(
+    points: np.ndarray,
+    max_k: int,
+    seeds: int = 7,
+    max_iterations: int = 100,
+    seed: int = 1,
+    threshold: float = BIC_THRESHOLD,
+) -> KMeansResult:
+    """Cluster for k = 1..max_k; return the SimPoint-selected clustering.
+
+    SimPoint picks the smallest k whose BIC reaches ``threshold`` of
+    the best BIC observed (BIC values are shifted to be non-negative
+    before applying the threshold, as in the SimPoint release).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    max_k = min(max_k, len(points))
+    results: List[KMeansResult] = [
+        kmeans(points, k, seeds=seeds, max_iterations=max_iterations, seed=seed)
+        for k in range(1, max_k + 1)
+    ]
+    bics = np.array([r.bic for r in results])
+    finite = np.isfinite(bics)
+    if not finite.any():
+        return results[0]
+    lo = bics[finite].min()
+    shifted = np.where(finite, bics - lo, float("-inf"))
+    best = shifted.max()
+    if best <= 0:
+        return results[int(np.argmax(shifted))]
+    for result, score in zip(results, shifted):
+        if score >= threshold * best:
+            return result
+    return results[int(np.argmax(shifted))]

@@ -1,0 +1,15 @@
+"""SMARTS: statistically rigorous periodic sampling [Wunderlich03]."""
+
+from repro.techniques.smarts.statistics import (
+    SampleEstimate,
+    estimate_cpi,
+    required_samples,
+)
+from repro.techniques.smarts.smarts import SmartsTechnique
+
+__all__ = [
+    "SampleEstimate",
+    "estimate_cpi",
+    "required_samples",
+    "SmartsTechnique",
+]

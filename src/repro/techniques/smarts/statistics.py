@@ -1,0 +1,79 @@
+"""Statistical machinery behind SMARTS.
+
+SMARTS treats the per-sample CPIs of a systematic sample as
+approximately independent draws and computes a confidence interval on
+the mean CPI.  If the interval is wider than the user's target, it
+computes the sample size that *would* have sufficed and recommends
+re-running at that rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SampleEstimate:
+    """Point estimate and confidence interval for the mean CPI."""
+
+    mean: float
+    std: float
+    n: int
+    confidence: float
+
+    @property
+    def standard_error(self) -> float:
+        return self.std / math.sqrt(self.n) if self.n else float("inf")
+
+    @property
+    def halfwidth(self) -> float:
+        """Absolute confidence-interval halfwidth."""
+        if self.n < 2:
+            return float("inf")
+        z = scipy_stats.norm.ppf(0.5 + self.confidence / 2.0)
+        return z * self.standard_error
+
+    @property
+    def relative_halfwidth(self) -> float:
+        """CI halfwidth relative to the mean (SMARTS' +/-3% target)."""
+        if self.mean == 0:
+            return float("inf")
+        return self.halfwidth / abs(self.mean)
+
+    def satisfies(self, target_relative: float) -> bool:
+        return self.relative_halfwidth <= target_relative
+
+
+def estimate_cpi(sample_cpis: Sequence[float], confidence: float = 0.997) -> SampleEstimate:
+    """Estimate mean CPI and CI from per-sample CPIs."""
+    n = len(sample_cpis)
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = sum(sample_cpis) / n
+    if n > 1:
+        variance = sum((x - mean) ** 2 for x in sample_cpis) / (n - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return SampleEstimate(mean=mean, std=std, n=n, confidence=confidence)
+
+
+def required_samples(
+    estimate: SampleEstimate, target_relative: float = 0.03
+) -> int:
+    """Sample size needed to shrink the CI to ``target_relative``.
+
+    Uses the coefficient of variation observed so far:
+    ``n* = (z * cv / epsilon)**2`` (rounded up).
+    """
+    if target_relative <= 0:
+        raise ValueError("target_relative must be positive")
+    if estimate.mean == 0 or estimate.std == 0:
+        return max(estimate.n, 1)
+    z = scipy_stats.norm.ppf(0.5 + estimate.confidence / 2.0)
+    cv = estimate.std / abs(estimate.mean)
+    return max(1, math.ceil((z * cv / target_relative) ** 2))

@@ -1,0 +1,159 @@
+"""Truncated-execution techniques: Run Z, FF X + Run Z, FF X + WU Y + Run Z.
+
+All three simulate a fixed-length window of the reference input,
+presuming that that arbitrary sample is representative of the whole
+program.  The variants differ in where the window starts and whether
+the microarchitectural state is warmed before measurement begins:
+
+* ``Run Z`` -- the first Z M instructions, from a cold machine.
+* ``FF X + Run Z`` -- skip X M (cold state), then measure Z M.
+* ``FF X + WU Y + Run Z`` -- skip X M, simulate Y M in detail without
+  recording statistics, then measure Z M.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.simulator import Simulator
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.workloads.inputs import Workload
+
+
+def _clamp_region(trace_length: int, start: int, end: int) -> tuple:
+    """Clamp a measurement window to the trace, preserving its length
+    where possible (short traces simply end sooner)."""
+    if start >= trace_length:
+        start = max(0, trace_length - (end - start))
+    end = min(end, trace_length)
+    if end <= start:
+        raise ValueError(
+            f"truncation window [{start}, {end}) empty for trace of "
+            f"length {trace_length}"
+        )
+    return start, end
+
+
+class RunZ(SimulationTechnique):
+    """Simulate only the first Z M instructions."""
+
+    family = "Run Z"
+
+    def __init__(self, z_m: float) -> None:
+        if z_m <= 0:
+            raise ValueError("Z must be positive")
+        self.z_m = z_m
+
+    @property
+    def permutation(self) -> str:
+        return f"Run {self.z_m:g}M"
+
+    def run(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        scale: Scale,
+        enhancements: Optional[Enhancements] = None,
+    ) -> TechniqueResult:
+        trace = workload.trace(scale)
+        start, end = _clamp_region(len(trace), 0, scale.instructions(self.z_m))
+        simulator = Simulator(config, enhancements)
+        result = simulator.run_region(trace, start, end)
+        return TechniqueResult(
+            family=self.family,
+            permutation=self.permutation,
+            workload=workload,
+            config_name=config.name,
+            stats=result.stats,
+            regions=[(start, end)],
+            weights=[1.0],
+            detailed_instructions=end - start,
+        )
+
+
+class FFRunZ(SimulationTechnique):
+    """Fast-forward X M instructions, then measure the next Z M (cold)."""
+
+    family = "FF+Run Z"
+
+    def __init__(self, x_m: float, z_m: float) -> None:
+        if x_m <= 0 or z_m <= 0:
+            raise ValueError("X and Z must be positive")
+        self.x_m = x_m
+        self.z_m = z_m
+
+    @property
+    def permutation(self) -> str:
+        return f"FF {self.x_m:g}M + Run {self.z_m:g}M"
+
+    def run(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        scale: Scale,
+        enhancements: Optional[Enhancements] = None,
+    ) -> TechniqueResult:
+        trace = workload.trace(scale)
+        start = scale.instructions(self.x_m)
+        end = start + scale.instructions(self.z_m)
+        start, end = _clamp_region(len(trace), start, end)
+        simulator = Simulator(config, enhancements)
+        result = simulator.run_region(trace, start, end)
+        return TechniqueResult(
+            family=self.family,
+            permutation=self.permutation,
+            workload=workload,
+            config_name=config.name,
+            stats=result.stats,
+            regions=[(start, end)],
+            weights=[1.0],
+            detailed_instructions=end - start,
+            fastforward_instructions=start,
+        )
+
+
+class FFWURunZ(SimulationTechnique):
+    """Fast-forward X M, warm up in detail for Y M, measure Z M."""
+
+    family = "FF+WU+Run Z"
+
+    def __init__(self, x_m: float, y_m: float, z_m: float) -> None:
+        if x_m <= 0 or y_m <= 0 or z_m <= 0:
+            raise ValueError("X, Y and Z must be positive")
+        self.x_m = x_m
+        self.y_m = y_m
+        self.z_m = z_m
+
+    @property
+    def permutation(self) -> str:
+        return f"FF {self.x_m:g}M + WU {self.y_m:g}M + Run {self.z_m:g}M"
+
+    def run(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        scale: Scale,
+        enhancements: Optional[Enhancements] = None,
+    ) -> TechniqueResult:
+        trace = workload.trace(scale)
+        warmup = scale.instructions(self.y_m)
+        start = scale.instructions(self.x_m) + warmup
+        end = start + scale.instructions(self.z_m)
+        start, end = _clamp_region(len(trace), start, end)
+        warmup = min(warmup, start)
+        simulator = Simulator(config, enhancements)
+        result = simulator.run_region(trace, start, end, warmup_instructions=warmup)
+        return TechniqueResult(
+            family=self.family,
+            permutation=self.permutation,
+            workload=workload,
+            config_name=config.name,
+            stats=result.stats,
+            regions=[(start, end)],
+            weights=[1.0],
+            detailed_instructions=end - start,
+            warm_detailed_instructions=warmup,
+            fastforward_instructions=start - warmup,
+        )

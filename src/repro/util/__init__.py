@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG streams and vector math."""
+
+from repro.util.rng import child_rng, stream_seed
+from repro.util.vectors import (
+    euclidean_distance,
+    manhattan_distance,
+    normalize_vector,
+    rank_vector,
+)
+
+__all__ = [
+    "child_rng",
+    "stream_seed",
+    "euclidean_distance",
+    "manhattan_distance",
+    "normalize_vector",
+    "rank_vector",
+]

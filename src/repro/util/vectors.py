@@ -1,0 +1,59 @@
+"""Small vector-math helpers used by the characterization methods."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def euclidean_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean (L2) distance between two equal-length vectors."""
+    va = np.asarray(a, dtype=float)
+    vb = np.asarray(b, dtype=float)
+    if va.shape != vb.shape:
+        raise ValueError(f"shape mismatch: {va.shape} vs {vb.shape}")
+    return float(np.sqrt(np.sum((va - vb) ** 2)))
+
+
+def manhattan_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Manhattan (L1) distance between two equal-length vectors."""
+    va = np.asarray(a, dtype=float)
+    vb = np.asarray(b, dtype=float)
+    if va.shape != vb.shape:
+        raise ValueError(f"shape mismatch: {va.shape} vs {vb.shape}")
+    return float(np.sum(np.abs(va - vb)))
+
+
+def normalize_vector(values: Sequence[float], reference: Sequence[float]) -> np.ndarray:
+    """Normalize ``values`` element-wise by ``reference``.
+
+    Used by the architectural-level characterization to allow
+    cross-metric comparison: each metric is expressed relative to the
+    reference input set's value.  Zero reference entries normalize to
+    the raw value (they carry no scale information).
+    """
+    v = np.asarray(values, dtype=float)
+    r = np.asarray(reference, dtype=float)
+    if v.shape != r.shape:
+        raise ValueError(f"shape mismatch: {v.shape} vs {r.shape}")
+    out = np.empty_like(v)
+    nonzero = r != 0
+    out[nonzero] = v[nonzero] / r[nonzero]
+    out[~nonzero] = v[~nonzero]
+    return out
+
+
+def rank_vector(magnitudes: Sequence[float]) -> list[int]:
+    """Rank values by descending magnitude (1 = largest magnitude).
+
+    Ties are broken by original index so the result is a permutation of
+    ``1..n``, matching the paper's rank vectorization of
+    Plackett-Burman effect magnitudes.
+    """
+    mags = [abs(float(m)) for m in magnitudes]
+    order = sorted(range(len(mags)), key=lambda i: (-mags[i], i))
+    ranks = [0] * len(mags)
+    for rank, index in enumerate(order, start=1):
+        ranks[index] = rank
+    return ranks

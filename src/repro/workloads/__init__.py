@@ -1,0 +1,45 @@
+"""Synthetic SPEC CPU2000-like workload models.
+
+The original study simulated ten SPEC 2000 benchmarks with the
+``reference`` input set plus reduced inputs (MinneSPEC small/medium/
+large, SPEC test/train).  This package provides synthetic stand-ins:
+procedurally generated programs whose phase structure, branch behaviour
+and memory footprints follow the paper's qualitative description of
+each benchmark, and whose input sets scale and *skew* the execution the
+way reduced inputs do.
+"""
+
+from repro.workloads.program import (
+    BasicBlock,
+    LoopNest,
+    LoopStep,
+    Phase,
+    SyntheticProgram,
+    TerminatorKind,
+)
+from repro.workloads.generator import generate_trace
+from repro.workloads.inputs import InputSetSpec, Workload
+from repro.workloads.spec import (
+    BENCHMARK_NAMES,
+    Benchmark,
+    available_input_sets,
+    get_benchmark,
+    get_workload,
+)
+
+__all__ = [
+    "BasicBlock",
+    "LoopNest",
+    "LoopStep",
+    "Phase",
+    "SyntheticProgram",
+    "TerminatorKind",
+    "generate_trace",
+    "InputSetSpec",
+    "Workload",
+    "Benchmark",
+    "BENCHMARK_NAMES",
+    "available_input_sets",
+    "get_benchmark",
+    "get_workload",
+]

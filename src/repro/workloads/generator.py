@@ -1,0 +1,251 @@
+"""Vectorized dynamic-trace generation from synthetic programs.
+
+Generation proceeds in two stages.  First, a *block-id sequence* is
+sampled phase by phase: each phase repeatedly invokes one of its loop
+nests (weighted choice), tiling the nest body for a sampled trip count
+and applying per-step divergence.  Second, the block sequence is
+expanded into a full instruction stream with pure NumPy indexing over
+the program's flattened template arrays, and branch flags, targets,
+memory addresses and trivial-computation flags are filled in.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import OpClass
+from repro.isa.trace import (
+    FLAG_CALL,
+    FLAG_COND_BRANCH,
+    FLAG_RETURN,
+    FLAG_TAKEN,
+    FLAG_TRIVIAL,
+    FLAG_UNCOND,
+    Trace,
+)
+from repro.util.rng import child_rng
+from repro.workloads.program import (
+    INSTRUCTION_BYTES,
+    Phase,
+    SyntheticProgram,
+    TerminatorKind,
+    mixture_weights,
+)
+
+#: ``(phase_index, instruction_count)`` pairs.
+Schedule = Sequence[Tuple[int, int]]
+
+
+def generate_trace(
+    program: SyntheticProgram,
+    schedule: Schedule,
+    seed: int = 0,
+    footprint_scale: float = 1.0,
+) -> Trace:
+    """Generate the dynamic trace for ``program`` under ``schedule``.
+
+    Parameters
+    ----------
+    program:
+        The static program model.
+    schedule:
+        Phase schedule: each entry runs the given phase for (about) the
+        given number of instructions; the total is trimmed exactly.
+    seed:
+        Root seed; all randomness derives deterministically from it.
+    footprint_scale:
+        Input-set-level multiplier applied to every memory footprint
+        (reduced inputs use values < 1).
+    """
+    total_target = sum(length for _, length in schedule)
+    if total_target <= 0:
+        raise ValueError("schedule must request at least one instruction")
+
+    rng = child_rng(seed, program.name, "blocks")
+    block_seq_parts: List[np.ndarray] = []
+    phase_of_part: List[int] = []
+    for phase_index, length in schedule:
+        if length <= 0:
+            continue
+        phase = program.phases[phase_index]
+        parts = _sample_phase_blocks(program, phase, length, rng)
+        block_seq_parts.extend(parts)
+        phase_of_part.extend([phase_index] * len(parts))
+
+    block_seq = np.concatenate(block_seq_parts).astype(np.int64)
+    part_lengths = np.array([len(p) for p in block_seq_parts], dtype=np.int64)
+    seq_phase = np.repeat(np.array(phase_of_part, dtype=np.int64), part_lengths)
+
+    return _expand_blocks(
+        program, block_seq, seq_phase, total_target, seed, footprint_scale
+    )
+
+
+def _sample_phase_blocks(
+    program: SyntheticProgram,
+    phase: Phase,
+    target_instructions: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Sample loop-nest invocations until the phase length is reached."""
+    weights = mixture_weights(phase.weights)
+    nest_indices = np.arange(len(phase.nests))
+    block_lens = program.block_lens
+
+    # Pre-extract per-nest step data.
+    nest_data = []
+    for nest in phase.nests:
+        blocks = np.array([s.block for s in nest.steps], dtype=np.int64)
+        alt_cols = [
+            (j, s.alt_block, min(1.0, s.alt_probability * phase.divert_scale))
+            for j, s in enumerate(nest.steps)
+            if s.alt_block is not None and s.alt_probability > 0
+        ]
+        base_instrs = int(block_lens[blocks].sum())
+        nest_data.append((nest, blocks, alt_cols, max(base_instrs, 1)))
+
+    parts: List[np.ndarray] = []
+    emitted = 0
+    while emitted < target_instructions:
+        choice = int(rng.choice(nest_indices, p=weights))
+        nest, blocks, alt_cols, base_instrs = nest_data[choice]
+        trips = max(
+            1, int(round(rng.normal(nest.mean_trips, nest.mean_trips * nest.trip_cv)))
+        )
+        # Do not wildly overshoot the phase boundary with a single nest.
+        remaining = target_instructions - emitted
+        max_trips = max(1, remaining // base_instrs + 1)
+        trips = min(trips, max_trips)
+
+        body = np.tile(blocks, (trips, 1))
+        for col, alt_block, prob in alt_cols:
+            mask = rng.random(trips) < prob
+            body[mask, col] = alt_block
+        seq = body.reshape(-1)
+        parts.append(seq)
+        emitted += int(block_lens[seq].sum())
+    return parts
+
+
+def _expand_blocks(
+    program: SyntheticProgram,
+    block_seq: np.ndarray,
+    seq_phase: np.ndarray,
+    total_target: int,
+    seed: int,
+    footprint_scale: float,
+) -> Trace:
+    """Expand a block-id sequence into a full :class:`Trace`."""
+    lens = program.block_lens[block_seq]
+    cum = np.cumsum(lens)
+    total = int(cum[-1])
+    starts = cum - lens
+
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+    flat = np.repeat(program.block_offsets[block_seq], lens) + within
+
+    op = program.flat_op[flat]
+    dst = program.flat_dst[flat]
+    src1 = program.flat_src1[flat]
+    src2 = program.flat_src2[flat]
+    pc = program.flat_pc[flat]
+    block_col = np.repeat(block_seq, lens).astype(np.int32)
+
+    # --- Branch flags and targets at the last instruction of each block.
+    term = program.block_terminator[block_seq]
+    next_blk = np.empty_like(block_seq)
+    if len(block_seq) > 1:
+        next_blk[:-1] = block_seq[1:]
+    next_blk[-1] = block_seq[-1]
+    fall = program.block_fallthrough[block_seq]
+
+    inst_flags = np.zeros(len(block_seq), dtype=np.uint8)
+    cond = term == int(TerminatorKind.COND_BRANCH)
+    inst_flags[cond] |= FLAG_COND_BRANCH
+    taken_cond = cond & (next_blk != fall)
+    inst_flags[taken_cond] |= FLAG_TAKEN
+    jump = term == int(TerminatorKind.JUMP)
+    inst_flags[jump] |= FLAG_UNCOND | FLAG_TAKEN
+    call = term == int(TerminatorKind.CALL)
+    inst_flags[call] |= FLAG_CALL | FLAG_TAKEN
+    ret = term == int(TerminatorKind.RETURN)
+    inst_flags[ret] |= FLAG_RETURN | FLAG_TAKEN
+
+    inst_target = np.zeros(len(block_seq), dtype=np.int64)
+    any_branch = inst_flags != 0
+    inst_target[any_branch] = program.block_pc_base[next_blk[any_branch]]
+
+    flags = np.zeros(total, dtype=np.uint8)
+    target = np.zeros(total, dtype=np.int64)
+    last_pos = cum - 1
+    flags[last_pos] = inst_flags
+    target[last_pos] = inst_target
+
+    # Rewrite the op class of terminator instructions to match.
+    op = op.copy()
+    op[last_pos[cond]] = int(OpClass.BRANCH)
+    op[last_pos[jump]] = int(OpClass.JUMP)
+    op[last_pos[call]] = int(OpClass.CALL)
+    op[last_pos[ret]] = int(OpClass.RETURN)
+
+    # --- Trivial-computation flags.
+    triv_p = program.flat_trivial_p[flat]
+    candidates = triv_p > 0
+    if candidates.any():
+        rng_triv = child_rng(seed, program.name, "trivial")
+        hits = rng_triv.random(int(candidates.sum())) < triv_p[candidates]
+        triv_positions = np.nonzero(candidates)[0][hits]
+        flags[triv_positions] |= FLAG_TRIVIAL
+
+    # --- Memory addresses.
+    addr = np.zeros(total, dtype=np.int64)
+    mem_mask = (op == int(OpClass.LOAD)) | (op == int(OpClass.STORE))
+    if mem_mask.any():
+        phase_scales = np.array(
+            [p.footprint_scale for p in program.phases], dtype=np.float64
+        )
+        inst_phase = np.repeat(seq_phase, lens)
+        scale = phase_scales[inst_phase] * footprint_scale
+        footprint = np.maximum(
+            (program.flat_mem_footprint[flat] * scale).astype(np.int64), 256
+        )
+        counter = np.cumsum(mem_mask.astype(np.int64))
+        stride = program.flat_mem_stride[flat]
+        base = program.flat_mem_base[flat]
+        # The reuse window: the stream position advances only every
+        # 2**reuse_shift memory operations, creating temporal locality.
+        position = counter >> program.flat_mem_reuse[flat]
+        addr = base + (position * stride) % footprint
+        rng_mem = child_rng(seed, program.name, "memory")
+        randfrac = program.flat_mem_random[flat]
+        random_hit = mem_mask & (rng_mem.random(total) < randfrac)
+        if random_hit.any():
+            # Half the random accesses hit a small *hot region* (heap
+            # headers, hash buckets) -- these revisit recently touched
+            # blocks and create cache-capacity pressure; the other half
+            # scatter over the full footprint (cold pointer chasing).
+            count = int(random_hit.sum())
+            region = footprint[random_hit].copy()
+            hot = rng_mem.random(count) < 0.75
+            region[hot] = np.maximum(region[hot] >> 6, 4096)
+            addr[random_hit] = base[random_hit] + (
+                rng_mem.integers(0, 1 << 62, count) % region
+            )
+        addr &= ~np.int64(3)  # word-align
+        addr[~mem_mask] = 0
+
+    n = min(total, total_target)
+    return Trace(
+        op=op[:n],
+        dst=dst[:n],
+        src1=src1[:n],
+        src2=src2[:n],
+        pc=pc[:n],
+        block=block_col[:n],
+        addr=addr[:n],
+        flags=flags[:n],
+        target=target[:n],
+        num_blocks=program.num_blocks,
+    )

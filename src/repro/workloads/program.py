@@ -1,0 +1,278 @@
+"""Static program model for synthetic workloads.
+
+A :class:`SyntheticProgram` is a set of basic blocks organized into
+loop nests, grouped into *phases*.  A phase is a weighted mixture of
+loop nests plus scale factors for memory footprint and branch
+divergence -- distinct phases produce distinct basic-block vectors and
+distinct CPI, which is exactly the structure SimPoint exploits and
+truncated execution trips over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import InstructionTemplate, OpClass
+
+#: Bytes per instruction in the synthetic ISA's address space.
+INSTRUCTION_BYTES = 4
+
+
+class TerminatorKind(IntEnum):
+    """How a basic block ends (drives branch-flag generation)."""
+
+    FALLTHROUGH = 0  #: no control-flow instruction at the end
+    COND_BRANCH = 1  #: conditional branch (direction predicted)
+    JUMP = 2  #: unconditional direct jump
+    CALL = 3  #: function call (pushes return-address stack)
+    RETURN = 4  #: function return (pops return-address stack)
+
+
+@dataclass(frozen=True)
+class MemoryStream:
+    """Dynamic address behaviour of one static load/store.
+
+    Addresses sweep a region of ``footprint`` bytes with the given
+    ``stride``, advancing once every ``2**reuse_shift`` dynamic memory
+    operations (the *reuse window*, which creates temporal locality);
+    with probability ``random_fraction`` an access is instead uniformly
+    random within the region (pointer-chasing-like).  The footprint is
+    further scaled per phase and per input set.
+    """
+
+    base: int
+    footprint: int
+    stride: int
+    random_fraction: float = 0.0
+    reuse_shift: int = 6
+
+    def __post_init__(self) -> None:
+        if self.footprint <= 0 or self.stride <= 0:
+            raise ValueError("footprint and stride must be positive")
+        if not 0.0 <= self.random_fraction <= 1.0:
+            raise ValueError("random_fraction must be within [0, 1]")
+        if not 0 <= self.reuse_shift <= 20:
+            raise ValueError("reuse_shift must be within [0, 20]")
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A static basic block: instruction templates plus a terminator.
+
+    ``fallthrough`` names the block that follows when the terminating
+    conditional branch is *not taken*; control transferring to any other
+    block makes the branch taken.
+    """
+
+    block_id: int
+    templates: Tuple[InstructionTemplate, ...]
+    terminator: TerminatorKind = TerminatorKind.FALLTHROUGH
+    fallthrough: Optional[int] = None
+    memory: Tuple[Optional[MemoryStream], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.templates:
+            raise ValueError("basic block must contain at least one instruction")
+        if self.memory and len(self.memory) != len(self.templates):
+            raise ValueError("memory spec length must match templates")
+        for template, stream in zip(self.templates, self.memory or ()):
+            if template.is_memory and stream is None:
+                raise ValueError("memory instruction missing MemoryStream")
+
+    def __len__(self) -> int:
+        return len(self.templates)
+
+
+@dataclass(frozen=True)
+class LoopStep:
+    """One step of a loop body: a block, optionally diverted.
+
+    With probability ``alt_probability`` (scaled by the phase's
+    ``divert_scale``), the dynamic instance executes ``alt_block``
+    instead of ``block`` -- a data-dependent hammock that gives the
+    branch predictor real work.
+    """
+
+    block: int
+    alt_block: Optional[int] = None
+    alt_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alt_block is None and self.alt_probability:
+            raise ValueError("alt_probability requires alt_block")
+        if not 0.0 <= self.alt_probability <= 1.0:
+            raise ValueError("alt_probability must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A loop body executed for a sampled trip count per invocation."""
+
+    steps: Tuple[LoopStep, ...]
+    mean_trips: float = 16.0
+    trip_cv: float = 0.3  #: coefficient of variation of the trip count
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("loop nest must have at least one step")
+        if self.mean_trips < 1:
+            raise ValueError("mean_trips must be >= 1")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A program phase: weighted loop nests and behaviour scaling."""
+
+    name: str
+    nests: Tuple[LoopNest, ...]
+    weights: Tuple[float, ...]
+    footprint_scale: float = 1.0  #: multiplies every MemoryStream footprint
+    divert_scale: float = 1.0  #: multiplies every LoopStep alt_probability
+
+    def __post_init__(self) -> None:
+        if len(self.nests) != len(self.weights):
+            raise ValueError("weights must match nests")
+        if not self.nests:
+            raise ValueError("phase must contain at least one nest")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+
+
+@dataclass
+class SyntheticProgram:
+    """A complete static program: blocks, phases, flattened template arrays.
+
+    The flattened arrays (one element per static instruction, in block
+    order) let the trace generator expand a block-id sequence into an
+    instruction stream with pure NumPy indexing.
+    """
+
+    name: str
+    blocks: List[BasicBlock]
+    phases: List[Phase]
+    code_base: int = 0x0040_0000
+
+    # Flattened per-static-instruction arrays, built in __post_init__.
+    flat_op: np.ndarray = field(init=False, repr=False)
+    flat_dst: np.ndarray = field(init=False, repr=False)
+    flat_src1: np.ndarray = field(init=False, repr=False)
+    flat_src2: np.ndarray = field(init=False, repr=False)
+    flat_pc: np.ndarray = field(init=False, repr=False)
+    flat_trivial_p: np.ndarray = field(init=False, repr=False)
+    flat_mem_base: np.ndarray = field(init=False, repr=False)
+    flat_mem_footprint: np.ndarray = field(init=False, repr=False)
+    flat_mem_stride: np.ndarray = field(init=False, repr=False)
+    flat_mem_random: np.ndarray = field(init=False, repr=False)
+    flat_mem_reuse: np.ndarray = field(init=False, repr=False)
+    block_offsets: np.ndarray = field(init=False, repr=False)
+    block_lens: np.ndarray = field(init=False, repr=False)
+    block_pc_base: np.ndarray = field(init=False, repr=False)
+    block_terminator: np.ndarray = field(init=False, repr=False)
+    block_fallthrough: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("program must have at least one block")
+        ids = [b.block_id for b in self.blocks]
+        if ids != list(range(len(self.blocks))):
+            raise ValueError("block ids must be 0..n-1 in order")
+        self._flatten()
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_static_instructions(self) -> int:
+        return int(self.block_lens.sum())
+
+    def phase_index(self, name: str) -> int:
+        for i, phase in enumerate(self.phases):
+            if phase.name == name:
+                return i
+        raise KeyError(f"no phase named {name!r}")
+
+    def _flatten(self) -> None:
+        ops: List[int] = []
+        dsts: List[int] = []
+        src1s: List[int] = []
+        src2s: List[int] = []
+        triv: List[float] = []
+        mem_base: List[int] = []
+        mem_fp: List[int] = []
+        mem_stride: List[int] = []
+        mem_rand: List[float] = []
+        mem_reuse: List[int] = []
+        offsets: List[int] = []
+        lens: List[int] = []
+        pc_base: List[int] = []
+        terms: List[int] = []
+        falls: List[int] = []
+
+        pc = self.code_base
+        offset = 0
+        for block in self.blocks:
+            offsets.append(offset)
+            lens.append(len(block))
+            pc_base.append(pc)
+            terms.append(int(block.terminator))
+            falls.append(-1 if block.fallthrough is None else block.fallthrough)
+            memory = block.memory or (None,) * len(block)
+            for template, stream in zip(block.templates, memory):
+                ops.append(int(template.opclass))
+                dsts.append(template.dst)
+                src1s.append(template.src1)
+                src2s.append(template.src2)
+                triv.append(template.trivial_probability)
+                if stream is not None:
+                    mem_base.append(stream.base)
+                    mem_fp.append(stream.footprint)
+                    mem_stride.append(stream.stride)
+                    mem_rand.append(stream.random_fraction)
+                    mem_reuse.append(stream.reuse_shift)
+                else:
+                    mem_base.append(0)
+                    mem_fp.append(1)
+                    mem_stride.append(1)
+                    mem_rand.append(0.0)
+                    mem_reuse.append(0)
+            offset += len(block)
+            pc += len(block) * INSTRUCTION_BYTES
+
+        self.flat_op = np.array(ops, dtype=np.uint8)
+        self.flat_dst = np.array(dsts, dtype=np.int16)
+        self.flat_src1 = np.array(src1s, dtype=np.int16)
+        self.flat_src2 = np.array(src2s, dtype=np.int16)
+        self.flat_trivial_p = np.array(triv, dtype=np.float64)
+        self.flat_mem_base = np.array(mem_base, dtype=np.int64)
+        self.flat_mem_footprint = np.array(mem_fp, dtype=np.int64)
+        self.flat_mem_stride = np.array(mem_stride, dtype=np.int64)
+        self.flat_mem_random = np.array(mem_rand, dtype=np.float64)
+        self.flat_mem_reuse = np.array(mem_reuse, dtype=np.int64)
+        self.block_offsets = np.array(offsets, dtype=np.int64)
+        self.block_lens = np.array(lens, dtype=np.int64)
+        self.block_pc_base = np.array(pc_base, dtype=np.int64)
+        self.block_terminator = np.array(terms, dtype=np.int8)
+        self.block_fallthrough = np.array(falls, dtype=np.int64)
+
+        flat_pcs = np.empty(offset, dtype=np.int64)
+        for b in range(len(self.blocks)):
+            start = self.block_offsets[b]
+            n = self.block_lens[b]
+            flat_pcs[start : start + n] = (
+                self.block_pc_base[b] + np.arange(n) * INSTRUCTION_BYTES
+            )
+        self.flat_pc = flat_pcs
+
+
+def mixture_weights(weights: Sequence[float]) -> np.ndarray:
+    """Normalize a weight sequence to probabilities."""
+    w = np.asarray(weights, dtype=float)
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return w / total

@@ -1,0 +1,768 @@
+"""The ten benchmark models and their input sets (Table 2).
+
+Each benchmark is a procedurally generated :class:`SyntheticProgram`
+whose structure follows the paper's qualitative description:
+
+* **gzip** — two alternating compress/decompress phases, strided memory.
+* **vpr-place** — homogeneous single-phase annealing loop (truncated
+  execution is comparatively accurate here, per the paper).
+* **vpr-route** — pointer-heavy maze routing, moderate footprint.
+* **gcc** — many short, very different phases in a complex interleaved
+  schedule; large code footprint; memory-hungry late phases.  The
+  paper's hardest case for SimPoint and truncation.
+* **art** — tiny-footprint, regular FP loops (truncation-friendly).
+* **mcf** — enormous pointer-chasing footprint; memory latency is the
+  dominant bottleneck for reference but not for reduced inputs.
+* **equake** — FP stencil loops over a large strided footprint.
+* **perlbmk** — extremely branchy interpreter loop, many basic blocks.
+* **vortex** — large instruction footprint (I-cache pressure), OO-style
+  call-heavy phases.
+* **bzip2** — two-phase compressor with data-dependent, hard-to-predict
+  branches.
+
+Input sets re-weight / drop phases and shrink footprints: MinneSPEC
+small/medium/large and SPEC test/train are *not* miniature reference
+runs, matching the paper's finding that reduced inputs effectively
+simulate a different program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import NUM_REGS, InstructionTemplate, OpClass
+from repro.util.rng import child_rng
+from repro.workloads.inputs import INPUT_SET_NAMES, InputSetSpec, Workload
+from repro.workloads.program import (
+    BasicBlock,
+    LoopNest,
+    LoopStep,
+    MemoryStream,
+    Phase,
+    SyntheticProgram,
+    TerminatorKind,
+)
+
+#: Data segment base address for generated memory streams.
+DATA_BASE = 0x1000_0000
+
+#: Benchmarks studied by the paper, in its Table 2 order.
+BENCHMARK_NAMES = (
+    "gzip",
+    "vpr-place",
+    "vpr-route",
+    "gcc",
+    "art",
+    "mcf",
+    "equake",
+    "perlbmk",
+    "vortex",
+    "bzip2",
+)
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Recipe for one program phase (consumed by the builder)."""
+
+    name: str
+    num_nests: int = 3
+    blocks_per_nest: int = 4
+    mean_trips: float = 16.0
+    divert_probability: float = 0.15
+    divert_step_fraction: float = 0.4
+    footprint_scale: float = 1.0
+    call_fraction: float = 0.3
+    fp_fraction: float = 0.1
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    mem_footprint: int = 1 << 18  # bytes at reference scale
+    mem_stride: int = 8
+    mem_random_fraction: float = 0.10
+    mem_reuse_shift: int = 8
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Recipe for one benchmark: phases plus global knobs."""
+
+    name: str
+    description: str
+    phases: Tuple[PhaseSpec, ...]
+    avg_block_len: float = 6.0
+    trivial_fraction: float = 0.30
+    reference_length_m: float = 7000.0
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A built benchmark: the program plus its available input sets."""
+
+    name: str
+    description: str
+    program: SyntheticProgram
+    input_sets: Dict[str, InputSetSpec]
+
+    def workload(self, input_set: str = "reference", seed: int = 1234) -> Workload:
+        """Bind this benchmark to one of its input sets."""
+        try:
+            spec = self.input_sets[input_set]
+        except KeyError:
+            raise KeyError(
+                f"benchmark {self.name!r} has no input set {input_set!r}; "
+                f"available: {sorted(self.input_sets)}"
+            ) from None
+        return Workload(
+            benchmark=self.name, program=self.program, input_set=spec, seed=seed
+        )
+
+
+# ---------------------------------------------------------------------------
+# Program builder
+# ---------------------------------------------------------------------------
+
+
+class _ProgramBuilder:
+    """Builds a SyntheticProgram from a BenchmarkSpec, deterministically."""
+
+    def __init__(self, spec: BenchmarkSpec) -> None:
+        self.spec = spec
+        self.rng = child_rng(spec.seed, "program", spec.name)
+        self.blocks: List[BasicBlock] = []
+        self._pending: List[dict] = []  # block descriptors before linking
+        self._next_data_base = DATA_BASE
+
+    def build(self) -> SyntheticProgram:
+        phases = [self._build_phase(ps) for ps in self.spec.phases]
+        blocks = [self._finalize_block(d) for d in self._pending]
+        return SyntheticProgram(name=self.spec.name, blocks=blocks, phases=phases)
+
+    # -- block construction -------------------------------------------------
+
+    def _new_block(
+        self,
+        phase: PhaseSpec,
+        terminator: TerminatorKind,
+        fallthrough: Optional[int] = None,
+    ) -> int:
+        """Reserve a block id with randomly generated instructions."""
+        rng = self.rng
+        length = max(2, int(rng.poisson(max(self.spec.avg_block_len - 2, 1)) + 2))
+        templates: List[InstructionTemplate] = []
+        memory: List[Optional[MemoryStream]] = []
+        # Reserve the final slot for the terminator (if any).
+        body_len = length - 1 if terminator != TerminatorKind.FALLTHROUGH else length
+        for _ in range(max(body_len, 1)):
+            opclass = self._sample_opclass(phase)
+            # Trivial-computation candidates (multiply by 0/1, add 0,
+            # etc., per [Yi02]): common for multiplies/divides, less so
+            # for plain ALU ops.
+            trivial = 0.0
+            if opclass in (OpClass.IMULT, OpClass.FPMULT, OpClass.IDIV, OpClass.FPDIV):
+                trivial = self.spec.trivial_fraction
+            elif opclass is OpClass.IALU:
+                trivial = self.spec.trivial_fraction / 3.0
+            templates.append(
+                InstructionTemplate(
+                    opclass=opclass,
+                    dst=int(rng.integers(1, NUM_REGS)),
+                    src1=int(rng.integers(0, NUM_REGS)),
+                    src2=int(rng.integers(0, NUM_REGS)),
+                    trivial_probability=trivial,
+                )
+            )
+            memory.append(
+                self._memory_stream(phase) if opclass in (OpClass.LOAD, OpClass.STORE) else None
+            )
+        if terminator != TerminatorKind.FALLTHROUGH:
+            opclass = {
+                TerminatorKind.COND_BRANCH: OpClass.BRANCH,
+                TerminatorKind.JUMP: OpClass.JUMP,
+                TerminatorKind.CALL: OpClass.CALL,
+                TerminatorKind.RETURN: OpClass.RETURN,
+            }[terminator]
+            templates.append(
+                InstructionTemplate(
+                    opclass=opclass, src1=int(rng.integers(0, NUM_REGS))
+                )
+            )
+            memory.append(None)
+        block_id = len(self._pending)
+        self._pending.append(
+            {
+                "block_id": block_id,
+                "templates": tuple(templates),
+                "terminator": terminator,
+                "fallthrough": fallthrough,
+                "memory": tuple(memory),
+            }
+        )
+        return block_id
+
+    def _finalize_block(self, descriptor: dict) -> BasicBlock:
+        return BasicBlock(
+            block_id=descriptor["block_id"],
+            templates=descriptor["templates"],
+            terminator=descriptor["terminator"],
+            fallthrough=descriptor["fallthrough"],
+            memory=descriptor["memory"],
+        )
+
+    def _set_fallthrough(self, block_id: int, fallthrough: Optional[int]) -> None:
+        self._pending[block_id]["fallthrough"] = fallthrough
+
+    def _sample_opclass(self, phase: PhaseSpec) -> OpClass:
+        r = self.rng.random()
+        if r < phase.load_fraction:
+            return OpClass.LOAD
+        r -= phase.load_fraction
+        if r < phase.store_fraction:
+            return OpClass.STORE
+        # Remaining probability is compute.
+        if self.rng.random() < phase.fp_fraction:
+            return (
+                OpClass.FPMULT if self.rng.random() < 0.3 else OpClass.FPALU
+            )
+        roll = self.rng.random()
+        if roll < 0.08:
+            return OpClass.IMULT
+        if roll < 0.10:
+            return OpClass.IDIV
+        return OpClass.IALU
+
+    def _memory_stream(self, phase: PhaseSpec) -> MemoryStream:
+        rng = self.rng
+        footprint = max(
+            256, int(phase.mem_footprint * float(rng.lognormal(0.0, 0.5)))
+        )
+        base = self._next_data_base
+        # Leave room for per-phase and per-input footprint scaling.
+        self._next_data_base += footprint * 4
+        stride = int(phase.mem_stride * (1 + rng.integers(0, 3)))
+        return MemoryStream(
+            base=base,
+            footprint=footprint,
+            stride=stride,
+            random_fraction=phase.mem_random_fraction,
+            reuse_shift=phase.mem_reuse_shift,
+        )
+
+    # -- phase / nest construction -------------------------------------------
+
+    def _build_phase(self, ps: PhaseSpec) -> Phase:
+        nests = tuple(self._build_nest(ps) for _ in range(ps.num_nests))
+        weights = tuple(float(w) for w in self.rng.uniform(0.5, 1.5, len(nests)))
+        return Phase(
+            name=ps.name,
+            nests=nests,
+            weights=weights,
+            footprint_scale=ps.footprint_scale,
+            divert_scale=1.0,
+        )
+
+    def _build_nest(self, ps: PhaseSpec) -> LoopNest:
+        rng = self.rng
+        steps: List[LoopStep] = []
+        body_blocks: List[int] = []
+        # Main body blocks (conditional terminators; fallthrough linked below).
+        for _ in range(ps.blocks_per_nest):
+            body_blocks.append(self._new_block(ps, TerminatorKind.COND_BRANCH))
+
+        # Optionally graft a call chain into the body.  Depth follows a
+        # geometric distribution so deep chains occasionally exceed a
+        # small return-address stack (the RAS overflow failure mode).
+        call_steps: List[LoopStep] = []
+        if rng.random() < ps.call_fraction:
+            depth = min(6, 1 + int(rng.geometric(0.45)))
+            for _ in range(depth):
+                call_steps.append(
+                    LoopStep(block=self._new_block(ps, TerminatorKind.CALL))
+                )
+            callee = self._new_block(ps, TerminatorKind.FALLTHROUGH)
+            first_return = self._new_block(ps, TerminatorKind.RETURN)
+            self._set_fallthrough(callee, first_return)
+            call_steps.append(LoopStep(block=callee))
+            call_steps.append(LoopStep(block=first_return))
+            for _ in range(depth - 1):
+                call_steps.append(
+                    LoopStep(block=self._new_block(ps, TerminatorKind.RETURN))
+                )
+
+        for position, block in enumerate(body_blocks):
+            alt_block = None
+            alt_probability = 0.0
+            if rng.random() < ps.divert_step_fraction:
+                alt_block = self._new_block(ps, TerminatorKind.COND_BRANCH)
+                alt_probability = min(
+                    0.5, max(0.0, float(rng.normal(ps.divert_probability, 0.05)))
+                )
+                # Diverted block falls through to the step after this one.
+                if position + 1 < len(body_blocks):
+                    self._set_fallthrough(alt_block, body_blocks[position + 1])
+            steps.append(
+                LoopStep(
+                    block=block,
+                    alt_block=alt_block,
+                    alt_probability=alt_probability if alt_block is not None else 0.0,
+                )
+            )
+            # Sequential flow inside the body is the not-taken direction.
+            if position + 1 < len(body_blocks):
+                self._set_fallthrough(block, body_blocks[position + 1])
+
+        if call_steps:
+            insert_at = int(rng.integers(0, len(steps) + 1))
+            steps[insert_at:insert_at] = call_steps
+
+        mean_trips = max(1.0, float(rng.normal(ps.mean_trips, ps.mean_trips * 0.2)))
+        return LoopNest(steps=tuple(steps), mean_trips=mean_trips)
+
+
+# ---------------------------------------------------------------------------
+# Input-set construction helpers
+# ---------------------------------------------------------------------------
+
+
+def _schedule(*segments: Tuple[str, float]) -> Tuple[Tuple[str, float], ...]:
+    return tuple(segments)
+
+
+def _rounds(
+    phase_names: Sequence[str],
+    rounds: int,
+    jitter_seed: int = 0,
+    drift: float = 0.0,
+) -> Tuple[Tuple[str, float], ...]:
+    """An interleaved schedule cycling through phases with jitter.
+
+    Used for gcc-like complex phase behaviour: many short segments of
+    different phases, so no contiguous window is representative.
+
+    ``drift`` shifts the emphasis over time: early rounds weight early
+    phases, late rounds weight late phases (a moving Gaussian window).
+    Programs with drift > 0 *evolve*, which is what defeats truncated
+    execution -- the first Z M instructions systematically
+    under-represent late behaviour.
+    """
+    rng = child_rng(jitter_seed, "schedule", *phase_names, rounds)
+    segments: List[Tuple[str, float]] = []
+    for round_index in range(rounds):
+        for phase_index, name in enumerate(phase_names):
+            weight = float(rng.uniform(0.5, 1.5))
+            if drift > 0 and rounds > 1 and len(phase_names) > 1:
+                round_pos = round_index / (rounds - 1)
+                phase_pos = phase_index / (len(phase_names) - 1)
+                weight *= 1.0 + drift * float(
+                    np.exp(-((phase_pos - round_pos) ** 2) / 0.08)
+                )
+            segments.append((name, weight))
+    return tuple(segments)
+
+
+# ---------------------------------------------------------------------------
+# The ten benchmark definitions
+# ---------------------------------------------------------------------------
+
+
+def _gzip() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="gzip",
+        description="Compression: alternating deflate/inflate phases.",
+        reference_length_m=7000,
+        seed=11,
+        phases=(
+            PhaseSpec("init", num_nests=2, mean_trips=8, mem_footprint=1 << 14,
+                      mem_random_fraction=0.03, divert_probability=0.10,
+                      load_fraction=0.20),
+            PhaseSpec("deflate", num_nests=4, mean_trips=24, mem_footprint=1 << 19,
+                      divert_probability=0.18, mem_stride=4,
+                      mem_random_fraction=0.12),
+            PhaseSpec("inflate", num_nests=3, mean_trips=20, mem_footprint=1 << 17,
+                      divert_probability=0.12, mem_stride=8,
+                      mem_random_fraction=0.07),
+        ),
+    )
+    alternating = _rounds(("deflate", "inflate"), rounds=6, jitter_seed=11, drift=0.8)
+    inputs = {
+        "reference": InputSetSpec("reference", 7000,
+                                  _schedule(("init", 0.02)) + alternating, 1.0),
+        "train": InputSetSpec("train", 2600,
+                              _schedule(("init", 0.05)) + _rounds(("deflate", "inflate"), 3, 12), 0.05),
+        "test": InputSetSpec("test", 550,
+                             _schedule(("init", 0.12), ("deflate", 0.6), ("inflate", 0.28)), 0.02),
+        "large": InputSetSpec("large", 750,
+                              _schedule(("init", 0.10), ("deflate", 0.9)), 0.015),
+        "medium": InputSetSpec("medium", 280,
+                               _schedule(("init", 0.2), ("deflate", 0.8)), 0.008),
+        "small": InputSetSpec("small", 90,
+                              _schedule(("init", 0.35), ("deflate", 0.65)), 0.004),
+    }
+    return spec, inputs
+
+
+def _vpr_place() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="vpr-place",
+        description="Simulated annealing placement: one homogeneous loop.",
+        reference_length_m=6500,
+        seed=13,
+        phases=(
+            PhaseSpec("init", num_nests=2, mean_trips=8, mem_footprint=1 << 15),
+            PhaseSpec("anneal", num_nests=3, mean_trips=32, mem_footprint=1 << 17,
+                      divert_probability=0.20, mem_random_fraction=0.10,
+                      fp_fraction=0.25, mem_reuse_shift=9),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 6500,
+                                  _schedule(("init", 0.015), ("anneal", 0.985)), 1.0),
+        "train": InputSetSpec("train", 2400,
+                              _schedule(("init", 0.04), ("anneal", 0.96)), 0.06),
+        "test": InputSetSpec("test", 500,
+                             _schedule(("init", 0.10), ("anneal", 0.90)), 0.025),
+        "medium": InputSetSpec("medium", 250,
+                               _schedule(("init", 0.18), ("anneal", 0.82)), 0.01),
+        "small": InputSetSpec("small", 80,
+                              _schedule(("init", 0.30), ("anneal", 0.70)), 0.005),
+    }
+    return spec, inputs
+
+
+def _vpr_route() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="vpr-route",
+        description="Maze routing: pointer-heavy graph expansion waves.",
+        reference_length_m=6800,
+        seed=17,
+        phases=(
+            PhaseSpec("build", num_nests=2, mean_trips=10, mem_footprint=1 << 15,
+                      mem_random_fraction=0.03),
+            PhaseSpec("route", num_nests=4, mean_trips=22, mem_footprint=1 << 20,
+                      divert_probability=0.22, mem_random_fraction=0.25),
+            PhaseSpec("ripup", num_nests=2, mean_trips=16, mem_footprint=1 << 19,
+                      divert_probability=0.18, mem_random_fraction=0.20,
+                      footprint_scale=1.4),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 6800,
+                                  _schedule(("build", 0.03)) + _rounds(("route", "ripup"), 4, 17, drift=1.5), 1.0),
+        "train": InputSetSpec("train", 2500,
+                              _schedule(("build", 0.06)) + _rounds(("route", "ripup"), 2, 18), 0.05),
+        "large": InputSetSpec("large", 700,
+                              _schedule(("build", 0.1), ("route", 0.9)), 0.015),
+        "medium": InputSetSpec("medium", 260,
+                               _schedule(("build", 0.2), ("route", 0.8)), 0.008),
+        "small": InputSetSpec("small", 85,
+                              _schedule(("build", 0.3), ("route", 0.7)), 0.004),
+    }
+    return spec, inputs
+
+
+def _gcc() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="gcc",
+        description="Compiler: many short dissimilar phases, complex schedule, "
+        "memory-hungry late optimization passes.",
+        reference_length_m=8000,
+        seed=19,
+        avg_block_len=5.0,
+        phases=(
+            PhaseSpec("parse", num_nests=5, blocks_per_nest=5, mean_trips=10,
+                      mem_footprint=1 << 15, mem_random_fraction=0.03,
+                      divert_probability=0.22,
+                      divert_step_fraction=0.5, call_fraction=0.6),
+            PhaseSpec("expand", num_nests=4, blocks_per_nest=5, mean_trips=12,
+                      mem_footprint=1 << 16, mem_random_fraction=0.04,
+                      divert_probability=0.20, call_fraction=0.5),
+            PhaseSpec("jump-opt", num_nests=4, blocks_per_nest=4, mean_trips=14,
+                      mem_footprint=1 << 16, divert_probability=0.25,
+                      mem_random_fraction=0.05),
+            PhaseSpec("cse", num_nests=4, blocks_per_nest=4, mean_trips=16,
+                      mem_footprint=1 << 19, divert_probability=0.20,
+                      mem_random_fraction=0.16),
+            PhaseSpec("loop-opt", num_nests=3, blocks_per_nest=5, mean_trips=18,
+                      mem_footprint=1 << 19, divert_probability=0.18,
+                      footprint_scale=1.5, mem_random_fraction=0.18),
+            PhaseSpec("regalloc", num_nests=4, blocks_per_nest=4, mean_trips=20,
+                      mem_footprint=1 << 21, divert_probability=0.20,
+                      footprint_scale=2.5, mem_random_fraction=0.32),
+            PhaseSpec("sched", num_nests=3, blocks_per_nest=4, mean_trips=14,
+                      mem_footprint=1 << 20, divert_probability=0.22,
+                      footprint_scale=2.0, mem_random_fraction=0.26),
+            PhaseSpec("emit", num_nests=3, blocks_per_nest=4, mean_trips=10,
+                      mem_footprint=1 << 15, mem_random_fraction=0.03,
+                      divert_probability=0.15),
+        ),
+    )
+    main = ("parse", "expand", "jump-opt", "cse", "loop-opt", "regalloc",
+            "sched", "emit")
+    inputs = {
+        # Complex interleaving: per-function compilation repeats all passes.
+        "reference": InputSetSpec("reference", 8000, _rounds(main, 5, 19, drift=3.0), 1.0),
+        "train": InputSetSpec("train", 2800, _rounds(main[:6], 3, 20), 0.05),
+        "test": InputSetSpec("test", 600,
+                             _schedule(("parse", 0.3), ("expand", 0.25),
+                                       ("jump-opt", 0.2), ("cse", 0.15),
+                                       ("emit", 0.1)), 0.015),
+        "medium": InputSetSpec("medium", 300,
+                               _schedule(("parse", 0.4), ("expand", 0.3),
+                                         ("emit", 0.3)), 0.007),
+        "small": InputSetSpec("small", 100,
+                              _schedule(("parse", 0.5), ("expand", 0.5)), 0.0035),
+    }
+    return spec, inputs
+
+
+def _art() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="art",
+        description="Neural-network image recognition: tiny footprint, "
+        "regular FP loops.",
+        reference_length_m=7500,
+        seed=23,
+        phases=(
+            PhaseSpec("scan", num_nests=2, mean_trips=48, mem_footprint=1 << 14,
+                      fp_fraction=0.5, divert_probability=0.05,
+                      divert_step_fraction=0.2, mem_stride=4,
+                      call_fraction=0.1, mem_reuse_shift=10,
+                      mem_random_fraction=0.04),
+            PhaseSpec("match", num_nests=2, mean_trips=64, mem_footprint=1 << 15,
+                      fp_fraction=0.6, divert_probability=0.04,
+                      divert_step_fraction=0.2, mem_stride=4,
+                      call_fraction=0.1, mem_reuse_shift=10,
+                      mem_random_fraction=0.04),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 7500,
+                                  _rounds(("scan", "match"), 8, 23), 1.0),
+        "train": InputSetSpec("train", 2600,
+                              _rounds(("scan", "match"), 4, 24), 0.3),
+        "test": InputSetSpec("test", 550,
+                             _schedule(("scan", 0.55), ("match", 0.45)), 0.15),
+    }
+    return spec, inputs
+
+
+def _mcf() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="mcf",
+        description="Network simplex: giant pointer-chasing footprint; memory "
+        "latency dominates for reference but not reduced inputs.",
+        reference_length_m=9000,
+        seed=29,
+        phases=(
+            PhaseSpec("init", num_nests=2, mean_trips=12, mem_footprint=1 << 15,
+                      mem_random_fraction=0.03),
+            PhaseSpec("simplex", num_nests=4, mean_trips=28, mem_footprint=1 << 23,
+                      divert_probability=0.18, mem_random_fraction=0.50,
+                      load_fraction=0.35, store_fraction=0.08,
+                      mem_reuse_shift=7),
+            PhaseSpec("price", num_nests=3, mean_trips=24, mem_footprint=1 << 22,
+                      divert_probability=0.15, mem_random_fraction=0.42,
+                      load_fraction=0.32, footprint_scale=1.5,
+                      mem_reuse_shift=7),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 9000,
+                                  _schedule(("init", 0.02)) + _rounds(("simplex", "price"), 5, 29, drift=1.2), 1.0),
+        "train": InputSetSpec("train", 3000,
+                              _schedule(("init", 0.05)) + _rounds(("simplex", "price"), 3, 30), 0.008),
+        "test": InputSetSpec("test", 600,
+                             _schedule(("init", 0.10), ("simplex", 0.9)), 0.002),
+        "large": InputSetSpec("large", 800,
+                              _schedule(("init", 0.08), ("simplex", 0.92)), 0.0015),
+        "small": InputSetSpec("small", 95,
+                              _schedule(("init", 0.35), ("simplex", 0.65)), 0.001),
+    }
+    return spec, inputs
+
+
+def _equake() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="equake",
+        description="Seismic wave propagation: FP stencil sweeps over a "
+        "large strided footprint.",
+        reference_length_m=7200,
+        seed=31,
+        phases=(
+            PhaseSpec("mesh", num_nests=2, mean_trips=12, mem_footprint=1 << 15,
+                      mem_random_fraction=0.03, fp_fraction=0.2),
+            PhaseSpec("smvp", num_nests=3, mean_trips=40, mem_footprint=1 << 21,
+                      fp_fraction=0.55, divert_probability=0.06,
+                      divert_step_fraction=0.25, mem_stride=8,
+                      mem_random_fraction=0.10, load_fraction=0.33),
+            PhaseSpec("update", num_nests=2, mean_trips=36, mem_footprint=1 << 20,
+                      fp_fraction=0.6, divert_probability=0.05,
+                      divert_step_fraction=0.2, mem_stride=8,
+                      store_fraction=0.18),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 7200,
+                                  _schedule(("mesh", 0.04)) + _rounds(("smvp", "update"), 6, 31, drift=1.0), 1.0),
+        "train": InputSetSpec("train", 2500,
+                              _schedule(("mesh", 0.08)) + _rounds(("smvp", "update"), 3, 32), 0.05),
+        "test": InputSetSpec("test", 520,
+                             _schedule(("mesh", 0.15), ("smvp", 0.6), ("update", 0.25)), 0.02),
+        "large": InputSetSpec("large", 720,
+                              _schedule(("mesh", 0.12), ("smvp", 0.88)), 0.012),
+    }
+    return spec, inputs
+
+
+def _perlbmk() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="perlbmk",
+        description="Perl interpreter: dispatch-loop-dominated, extremely "
+        "branchy, many basic blocks.",
+        reference_length_m=6600,
+        seed=37,
+        avg_block_len=4.5,
+        phases=(
+            PhaseSpec("compile", num_nests=4, blocks_per_nest=6, mean_trips=10,
+                      mem_footprint=1 << 15, mem_random_fraction=0.04,
+                      divert_probability=0.25,
+                      divert_step_fraction=0.6, call_fraction=0.6),
+            PhaseSpec("interp", num_nests=6, blocks_per_nest=6, mean_trips=14,
+                      mem_footprint=1 << 18, divert_probability=0.28,
+                      divert_step_fraction=0.6, call_fraction=0.7,
+                      mem_random_fraction=0.14),
+            PhaseSpec("regex", num_nests=3, blocks_per_nest=5, mean_trips=20,
+                      mem_footprint=1 << 16, divert_probability=0.30,
+                      divert_step_fraction=0.5),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 6600,
+                                  _schedule(("compile", 0.05)) + _rounds(("interp", "regex"), 5, 37, drift=1.0), 1.0),
+        "train": InputSetSpec("train", 2300,
+                              _schedule(("compile", 0.1)) + _rounds(("interp", "regex"), 3, 38), 0.06),
+        "medium": InputSetSpec("medium", 270,
+                               _schedule(("compile", 0.25), ("interp", 0.75)), 0.01),
+        "small": InputSetSpec("small", 90,
+                              _schedule(("compile", 0.4), ("interp", 0.6)), 0.005),
+    }
+    return spec, inputs
+
+
+def _vortex() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="vortex",
+        description="Object-oriented database: large instruction footprint, "
+        "call-heavy transaction phases.",
+        reference_length_m=7800,
+        seed=41,
+        avg_block_len=5.5,
+        phases=(
+            PhaseSpec("setup", num_nests=6, blocks_per_nest=8, mean_trips=10,
+                      mem_footprint=1 << 15, mem_random_fraction=0.04,
+                      call_fraction=0.7),
+            PhaseSpec("insert", num_nests=10, blocks_per_nest=9, mean_trips=12,
+                      mem_footprint=1 << 20, divert_probability=0.18,
+                      call_fraction=0.8, mem_random_fraction=0.16),
+            PhaseSpec("lookup", num_nests=10, blocks_per_nest=9, mean_trips=14,
+                      mem_footprint=1 << 20, divert_probability=0.16,
+                      call_fraction=0.8, mem_random_fraction=0.20),
+            PhaseSpec("delete", num_nests=8, blocks_per_nest=8, mean_trips=12,
+                      mem_footprint=1 << 19, divert_probability=0.18,
+                      call_fraction=0.7, mem_random_fraction=0.16),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 7800,
+                                  _schedule(("setup", 0.03)) + _rounds(("insert", "lookup", "delete"), 4, 41, drift=1.5), 1.0),
+        "train": InputSetSpec("train", 2700,
+                              _schedule(("setup", 0.06)) + _rounds(("insert", "lookup"), 3, 42), 0.05),
+        "test": InputSetSpec("test", 560,
+                             _schedule(("setup", 0.12), ("insert", 0.55), ("lookup", 0.33)), 0.02),
+        "large": InputSetSpec("large", 760,
+                              _schedule(("setup", 0.10), ("insert", 0.9)), 0.015),
+        "medium": InputSetSpec("medium", 290,
+                               _schedule(("setup", 0.2), ("insert", 0.8)), 0.008),
+        "small": InputSetSpec("small", 95,
+                              _schedule(("setup", 0.35), ("insert", 0.65)), 0.004),
+    }
+    return spec, inputs
+
+
+def _bzip2() -> Tuple[BenchmarkSpec, Dict[str, InputSetSpec]]:
+    spec = BenchmarkSpec(
+        name="bzip2",
+        description="Block-sorting compressor: two phases with "
+        "data-dependent, hard-to-predict branches.",
+        reference_length_m=8500,
+        seed=43,
+        phases=(
+            PhaseSpec("sort", num_nests=4, mean_trips=26, mem_footprint=1 << 20,
+                      divert_probability=0.32, divert_step_fraction=0.6,
+                      mem_random_fraction=0.16),
+            PhaseSpec("huffman", num_nests=3, mean_trips=22, mem_footprint=1 << 15,
+                      mem_random_fraction=0.05, divert_probability=0.25,
+                      divert_step_fraction=0.5, mem_stride=4),
+        ),
+    )
+    inputs = {
+        "reference": InputSetSpec("reference", 8500,
+                                  _rounds(("sort", "huffman"), 7, 43, drift=1.0), 1.0),
+        "train": InputSetSpec("train", 2900,
+                              _rounds(("sort", "huffman"), 4, 44), 0.05),
+        "test": InputSetSpec("test", 580,
+                             _schedule(("sort", 0.65), ("huffman", 0.35)), 0.02),
+        "large": InputSetSpec("large", 800,
+                              _schedule(("sort", 0.7), ("huffman", 0.3)), 0.015),
+    }
+    return spec, inputs
+
+
+_FACTORIES = {
+    "gzip": _gzip,
+    "vpr-place": _vpr_place,
+    "vpr-route": _vpr_route,
+    "gcc": _gcc,
+    "art": _art,
+    "mcf": _mcf,
+    "equake": _equake,
+    "perlbmk": _perlbmk,
+    "vortex": _vortex,
+    "bzip2": _bzip2,
+}
+
+
+@lru_cache(maxsize=None)
+def get_benchmark(name: str) -> Benchmark:
+    """Build (and cache) the named benchmark model."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; expected one of {BENCHMARK_NAMES}"
+        ) from None
+    spec, inputs = factory()
+    program = _ProgramBuilder(spec).build()
+    return Benchmark(
+        name=spec.name,
+        description=spec.description,
+        program=program,
+        input_sets=inputs,
+    )
+
+
+def available_input_sets(name: str) -> Tuple[str, ...]:
+    """Input sets available for a benchmark, in Table 2 column order."""
+    sets = get_benchmark(name).input_sets
+    return tuple(s for s in INPUT_SET_NAMES if s in sets)
+
+
+def get_workload(
+    benchmark: str, input_set: str = "reference", seed: int = 1234
+) -> Workload:
+    """Convenience: build the benchmark and bind an input set."""
+    return get_benchmark(benchmark).workload(input_set, seed=seed)

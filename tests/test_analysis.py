@@ -1,0 +1,194 @@
+"""Tests for SvAT, configuration dependence, speedups and the tree."""
+
+import pytest
+
+from repro.analysis.config_dependence import (
+    CPI_ERROR_BINS,
+    ConfigDependenceResult,
+    bin_label,
+    cpi_error_histogram,
+    error_trends,
+    worst_and_best,
+)
+from repro.analysis.decision import (
+    ALL_CRITERIA,
+    DECISION_TREE,
+    criterion_ordering,
+    recommend,
+)
+from repro.analysis.speedup import SpeedupComparison, speedup
+from repro.analysis.survey import PREVALENCE, prevalence_table, top_four_share
+from repro.analysis.svat import CostModel, svat_point
+from repro.cpu.stats import SimulationStats
+from repro.techniques.base import TechniqueResult
+
+from tests.conftest import make_micro_workload
+
+
+def make_result(cpi=2.0, detailed=1000, warm=0, functional=0, ff=0, profiled=0):
+    stats = SimulationStats()
+    stats.instructions = 1000
+    stats.cycles = int(1000 * cpi)
+    return TechniqueResult(
+        family="fam",
+        permutation="perm",
+        workload=make_micro_workload(),
+        config_name="cfg",
+        stats=stats,
+        detailed_instructions=detailed,
+        warm_detailed_instructions=warm,
+        functional_warm_instructions=functional,
+        fastforward_instructions=ff,
+        profiled_instructions=profiled,
+    )
+
+
+class TestCostModel:
+    def test_detailed_dominates(self):
+        model = CostModel()
+        cheap = model.cost(make_result(detailed=100))
+        costly = model.cost(make_result(detailed=10000))
+        assert costly > cheap
+
+    def test_mode_weights(self):
+        model = CostModel(detailed=1.0, functional_warm=0.25, fastforward=0.02)
+        result = make_result(detailed=100, functional=400, ff=1000)
+        assert model.cost(result) == pytest.approx(100 + 100 + 20)
+
+
+class TestSvatPoint:
+    def test_reference_is_100_percent(self):
+        reference = [make_result(detailed=1000)]
+        point = svat_point(reference, reference)
+        assert point.speed_percent == pytest.approx(100.0)
+        assert point.accuracy == pytest.approx(0.0)
+
+    def test_cheap_technique_fast(self):
+        reference = [make_result(cpi=2.0, detailed=10000)]
+        technique = [make_result(cpi=2.2, detailed=100)]
+        point = svat_point(technique, reference)
+        assert point.speed_percent < 5.0
+        assert point.accuracy == pytest.approx(0.2)
+
+    def test_profiling_amortized_across_configs(self):
+        reference = [make_result(detailed=1000)] * 3
+        technique = [make_result(detailed=100, profiled=1000)] * 3
+        point = svat_point(technique, reference)
+        model = CostModel()
+        # Profiling charged once, not three times.
+        expected = (3 * 100 * model.detailed + 1000 * model.profiling) / (
+            3 * 1000 * model.detailed
+        )
+        assert point.speed_percent == pytest.approx(100 * expected)
+
+    def test_mismatched_configs(self):
+        with pytest.raises(ValueError):
+            svat_point([make_result()], [make_result(), make_result()])
+
+
+class TestConfigDependence:
+    def test_histogram_bins(self):
+        result = ConfigDependenceResult(
+            family="f", permutation="p",
+            errors=[0.01, -0.02, 0.05, 0.35, 0.29],
+        )
+        histogram = result.histogram
+        assert sum(histogram) == pytest.approx(1.0)
+        assert histogram[0] == pytest.approx(2 / 5)  # 0-3%
+        assert histogram[1] == pytest.approx(1 / 5)  # 3-6%
+        assert histogram[-1] == pytest.approx(1 / 5)  # >30%
+
+    def test_within_3_percent(self):
+        result = ConfigDependenceResult("f", "p", [0.0, 0.029, 0.031])
+        assert result.within_3_percent == pytest.approx(2 / 3)
+
+    def test_error_trends(self):
+        assert error_trends([0.1, 0.2, 0.05])
+        assert error_trends([-0.1, -0.2, -0.05])
+        assert not error_trends([0.3, -0.3, 0.3, -0.3])
+
+    def test_cpi_error_histogram_construction(self):
+        record = cpi_error_histogram("f", "p", [2.2, 1.8], [2.0, 2.0])
+        assert record.errors == pytest.approx([0.1, -0.1])
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            cpi_error_histogram("f", "p", [1.0], [0.0])
+
+    def test_worst_and_best(self):
+        good = ConfigDependenceResult("f", "good", [0.01, 0.02])
+        bad = ConfigDependenceResult("f", "bad", [0.5, 0.6])
+        worst, best = worst_and_best([good, bad])
+        assert worst.permutation == "bad"
+        assert best.permutation == "good"
+
+    def test_bin_labels(self):
+        assert bin_label(CPI_ERROR_BINS[0]) == "0% to 3%"
+        assert bin_label(CPI_ERROR_BINS[-1]) == "> 30%"
+
+
+class TestSpeedup:
+    def test_speedup_sign(self):
+        assert speedup(2.0, 1.0) == pytest.approx(1.0)  # 2x faster
+        assert speedup(1.0, 2.0) == pytest.approx(-0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_comparison_difference(self):
+        comparison = SpeedupComparison(
+            family="f", permutation="p", enhancement="NLP",
+            technique_speedup=0.15, reference_speedup=0.10,
+        )
+        assert comparison.difference == pytest.approx(0.05)
+
+
+class TestDecisionTree:
+    def test_single_criterion_matches_ordering(self):
+        for criterion in ALL_CRITERIA:
+            ranking = [t for t, _ in recommend([criterion])]
+            assert tuple(ranking) == criterion_ordering(criterion)
+
+    def test_accuracy_first(self):
+        ranking = recommend(["accuracy"])
+        assert ranking[0][0] == "SMARTS"
+        assert ranking[-1][0] == "Reduced"
+
+    def test_svat_first(self):
+        assert recommend(["speed_vs_accuracy"])[0][0] == "SimPoint"
+
+    def test_blended_priorities(self):
+        ranking = [t for t, _ in recommend(["accuracy", "complexity_to_use"])]
+        # Accuracy dominates, so sampling still leads.
+        assert ranking[0] in ("SMARTS", "SimPoint")
+
+    def test_unknown_criterion(self):
+        with pytest.raises(ValueError):
+            recommend(["vibes"])
+
+    def test_empty_priorities(self):
+        with pytest.raises(ValueError):
+            recommend([])
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            recommend(["accuracy"], weights=[1.0, 2.0])
+
+    def test_tree_renders(self):
+        text = DECISION_TREE.render()
+        assert "technical_factors" in text
+        assert "SMARTS" in text
+
+
+class TestSurvey:
+    def test_prevalence_sums_to_one(self):
+        assert sum(PREVALENCE.values()) == pytest.approx(1.0)
+
+    def test_table_sorted(self):
+        shares = [s for _, s in prevalence_table()]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_top_four_share_matches_paper(self):
+        # The paper: the four most popular cover almost 90%.
+        assert 0.85 < top_four_share() < 0.9

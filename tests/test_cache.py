@@ -1,0 +1,179 @@
+"""Tests for caches, TLBs and the memory model."""
+
+import pytest
+
+from repro.cpu.cache import Cache, MainMemory, TLB
+
+
+def make_memory():
+    return MainMemory(latency_first=100, latency_next=5, bus_width=8)
+
+
+def make_l1(memory=None, **kwargs):
+    defaults = dict(
+        name="l1", size_bytes=1024, assoc=2, block_bytes=32, hit_latency=1,
+        memory=memory or make_memory(),
+    )
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+class TestMainMemory:
+    def test_fill_latency_burst(self):
+        memory = make_memory()
+        # 32-byte block over an 8-byte bus: 4 beats.
+        assert memory.fill_latency(32) == 100 + 3 * 5
+
+    def test_single_beat(self):
+        assert make_memory().fill_latency(8) == 100
+
+    def test_access_counts(self):
+        memory = make_memory()
+        memory.access(32)
+        memory.access(32)
+        assert memory.accesses == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MainMemory(0, 5, 8)
+
+
+class TestCacheGeometry:
+    def test_set_count_power_of_two_required(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Cache("bad", 96, 1, 32, 1, memory=make_memory())
+
+    def test_block_power_of_two(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1024, 2, 24, 1, memory=make_memory())
+
+    def test_needs_backing(self):
+        with pytest.raises(ValueError):
+            Cache("orphan", 1024, 2, 32, 1)
+
+
+class TestCacheBehaviour:
+    def test_miss_then_hit(self):
+        l1 = make_l1()
+        first = l1.access(0x1000)
+        second = l1.access(0x1000)
+        assert first > second
+        assert second == l1.hit_latency
+        assert l1.misses == 1 and l1.hits == 1
+
+    def test_same_block_hits(self):
+        l1 = make_l1()
+        l1.access(0x1000)
+        assert l1.access(0x101F) == l1.hit_latency  # same 32B block
+
+    def test_next_block_misses(self):
+        l1 = make_l1()
+        l1.access(0x1000)
+        assert l1.access(0x1020) > l1.hit_latency
+
+    def test_lru_eviction(self):
+        l1 = make_l1()  # 1024B, 2-way, 32B blocks -> 16 sets
+        # Three blocks mapping to the same set (stride = 16 sets * 32B).
+        a, b, c = 0x0, 16 * 32, 2 * 16 * 32
+        l1.access(a)
+        l1.access(b)
+        l1.access(c)  # evicts a (LRU)
+        assert not l1.contains(a)
+        assert l1.contains(b) and l1.contains(c)
+
+    def test_lru_updated_on_hit(self):
+        l1 = make_l1()
+        a, b, c = 0x0, 16 * 32, 2 * 16 * 32
+        l1.access(a)
+        l1.access(b)
+        l1.access(a)  # a becomes MRU
+        l1.access(c)  # evicts b
+        assert l1.contains(a)
+        assert not l1.contains(b)
+
+    def test_miss_latency_includes_memory(self):
+        memory = make_memory()
+        l1 = make_l1(memory=memory)
+        latency = l1.access(0x4000)
+        assert latency == l1.hit_latency + memory.fill_latency(32)
+
+    def test_hierarchy_l1_l2(self):
+        memory = make_memory()
+        l2 = Cache("l2", 8192, 4, 64, 10, memory=memory)
+        l1 = Cache("l1", 1024, 2, 32, 1, parent=l2)
+        cold = l1.access(0x8000)
+        assert cold == 1 + 10 + memory.fill_latency(64)
+        # Sibling L1 block within the same L2 block: L2 hit.
+        warm = l1.access(0x8020)
+        assert warm == 1 + 10
+
+    def test_warm_updates_without_stats_effects(self):
+        l1 = make_l1()
+        l1.warm(0x2000)
+        assert l1.contains(0x2000)
+        # warm() counts no hits/misses.
+        assert l1.hits == 0 and l1.misses == 0
+        assert l1.access(0x2000) == l1.hit_latency
+
+    def test_reset_stats(self):
+        l1 = make_l1()
+        l1.access(0x0)
+        l1.reset_stats()
+        assert l1.accesses == 0
+
+    def test_rates(self):
+        l1 = make_l1()
+        assert l1.miss_rate == 0.0 and l1.hit_rate == 0.0
+        l1.access(0x0)
+        l1.access(0x0)
+        assert l1.miss_rate == pytest.approx(0.5)
+        assert l1.hit_rate == pytest.approx(0.5)
+
+
+class TestNextLinePrefetch:
+    def test_prefetch_inserts_next_block(self):
+        l1 = make_l1(next_line_prefetch=True)
+        l1.access(0x1000)  # miss -> prefetch 0x1020
+        assert l1.contains(0x1020)
+        assert l1.prefetches == 1
+        assert l1.access(0x1020) == l1.hit_latency
+
+    def test_prefetch_propagates_to_parent(self):
+        memory = make_memory()
+        l2 = Cache("l2", 8192, 4, 64, 10, memory=memory)
+        l1 = Cache("l1", 1024, 2, 32, 1, parent=l2, next_line_prefetch=True)
+        l1.access(0x1000)
+        assert l2.contains(0x1020)
+
+    def test_no_prefetch_when_disabled(self):
+        l1 = make_l1()
+        l1.access(0x1000)
+        assert not l1.contains(0x1020)
+        assert l1.prefetches == 0
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB("dtlb", entries=16, miss_latency=30)
+        assert tlb.access(0x1234) == 30
+        assert tlb.access(0x1FFF) == 0  # same 4K page
+        assert tlb.access(0x2000) == 30  # next page
+
+    def test_capacity_eviction(self):
+        tlb = TLB("dtlb", entries=4, miss_latency=30, assoc=4)
+        for page in range(5):
+            tlb.access(page * 4096)
+        # Page 0 was evicted.
+        assert tlb.access(0) == 30
+
+    def test_stats(self):
+        tlb = TLB("itlb", entries=8, miss_latency=20)
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.hits == 1 and tlb.misses == 1
+        tlb.reset_stats()
+        assert tlb.hits == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TLB("bad", entries=0, miss_latency=30)

@@ -1,0 +1,166 @@
+"""Tests for bottleneck, profile and architectural characterizations."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.architectural import (
+    ARCHITECTURAL_METRICS,
+    architectural_distance,
+    metric_vector,
+)
+from repro.characterization.bottleneck import (
+    BottleneckResult,
+    bottleneck_ranks,
+    cumulative_distance_by_significance,
+    normalized_rank_distance,
+    rank_distance,
+)
+from repro.characterization.plackett_burman import PlackettBurmanDesign
+from repro.characterization.profile import MIN_EXPECTED, compare_profiles
+from repro.cpu.stats import SimulationStats
+
+
+class TestRankDistance:
+    def test_identical_vectors(self):
+        assert rank_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_swap(self):
+        assert rank_distance([1, 2], [2, 1]) == pytest.approx(np.sqrt(2))
+
+    def test_normalized_range(self):
+        forward = list(range(1, 44))
+        backward = list(reversed(forward))
+        assert normalized_rank_distance(forward, forward) == 0.0
+        assert normalized_rank_distance(forward, backward) == pytest.approx(100.0)
+
+
+class TestBottleneck:
+    def test_synthetic_model_ranks(self):
+        """Drive the PB machinery with a synthetic CPI model whose
+        bottlenecks are known by construction."""
+        design = PlackettBurmanDesign()
+
+        def fake_cpi(config):
+            # Memory latency dominates, then ROB, then a touch of BHT.
+            return (
+                config.mem_latency_first * 0.01
+                - config.rob_entries * 0.005
+                - config.bht_entries * 0.00001
+            )
+
+        result = bottleneck_ranks(
+            technique=None, workload=None, scale=None,
+            design=design, run_callback=fake_cpi,
+        )
+        names = [p.name for p in design.parameters]
+        assert result.ranks[names.index("mem_latency_first")] == 1
+        assert result.ranks[names.index("rob_entries")] == 2
+
+    def test_distance_to(self):
+        a = BottleneckResult(ranks=[1, 2, 3], effects=np.zeros(3), cpis=[])
+        b = BottleneckResult(ranks=[3, 2, 1], effects=np.zeros(3), cpis=[])
+        assert a.distance_to(b) == pytest.approx(np.sqrt(8))
+
+    def test_cumulative_distance_monotone(self):
+        reference = BottleneckResult(
+            ranks=list(range(1, 44)), effects=np.zeros(43), cpis=[]
+        )
+        shuffled = list(range(1, 44))
+        shuffled[0], shuffled[42] = shuffled[42], shuffled[0]
+        other = BottleneckResult(ranks=shuffled, effects=np.zeros(43), cpis=[])
+        series = cumulative_distance_by_significance(other, reference)
+        assert len(series) == 43
+        assert all(b >= a - 1e-12 for a, b in zip(series, series[1:]))
+        assert series[-1] == pytest.approx(other.distance_to(reference))
+
+
+class TestProfileComparison:
+    def test_identical_profiles_similar(self):
+        profile = np.array([100.0, 200.0, 50.0, 700.0])
+        comparison = compare_profiles(profile, profile)
+        assert comparison.statistic == pytest.approx(0.0)
+        assert comparison.similar
+
+    def test_scaled_profiles_similar(self):
+        reference = np.array([100.0, 200.0, 50.0, 700.0])
+        comparison = compare_profiles(reference * 0.1, reference)
+        assert comparison.statistic == pytest.approx(0.0)
+        assert comparison.similar
+
+    def test_different_profiles_detected(self):
+        reference = np.array([1000.0, 1000.0, 1000.0, 10.0])
+        observed = np.array([10.0, 1000.0, 2000.0, 1000.0])
+        comparison = compare_profiles(observed, reference)
+        assert not comparison.similar
+        assert comparison.statistic > comparison.critical_value
+
+    def test_small_expected_pooled(self):
+        reference = np.array([1000.0] + [0.5] * 20)
+        observed = np.array([1000.0] + [0.5] * 20)
+        comparison = compare_profiles(observed, reference)
+        # 20 sub-threshold cells pool into one: dof = 2 cells - 1.
+        assert comparison.degrees_of_freedom == 1
+
+    def test_new_code_penalized(self):
+        # The technique executes a block the reference never ran.
+        reference = np.array([1000.0, 1000.0, 0.0])
+        observed = np.array([500.0, 500.0, 1000.0])
+        comparison = compare_profiles(observed, reference)
+        assert comparison.statistic > 0
+
+    def test_normalized_distance(self):
+        reference = np.array([100.0, 100.0])
+        observed = np.array([150.0, 50.0])
+        comparison = compare_profiles(observed, reference)
+        assert comparison.normalized == pytest.approx(
+            comparison.statistic / comparison.degrees_of_freedom
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_profiles([1.0], [1.0, 2.0])
+
+    def test_zero_profiles_rejected(self):
+        with pytest.raises(ValueError):
+            compare_profiles([0.0, 0.0], [1.0, 1.0])
+
+
+def _stats(ipc=1.0, bacc=0.9, dl1=0.9, l2=0.5):
+    stats = SimulationStats()
+    stats.instructions = 1000
+    stats.cycles = int(1000 / ipc)
+    stats.branches = 100
+    stats.mispredictions = int(100 * (1 - bacc))
+    stats.dl1_accesses = 300
+    stats.dl1_misses = int(300 * (1 - dl1))
+    stats.l2_accesses = 100
+    stats.l2_misses = int(100 * (1 - l2))
+    return stats
+
+
+class TestArchitectural:
+    def test_metric_vector_layout(self):
+        vector = metric_vector([_stats(), _stats()])
+        assert len(vector) == 2 * len(ARCHITECTURAL_METRICS)
+
+    def test_identical_stats_zero_distance(self):
+        stats = [_stats(), _stats(ipc=2.0)]
+        assert architectural_distance(stats, stats) == pytest.approx(0.0)
+
+    def test_distance_grows_with_difference(self):
+        reference = [_stats(ipc=1.0)]
+        near = [_stats(ipc=1.05)]
+        far = [_stats(ipc=2.0)]
+        assert architectural_distance(near, reference) < architectural_distance(
+            far, reference
+        )
+
+    def test_normalization_is_relative(self):
+        # A 25% IPC error counts the same at any absolute IPC.
+        a = architectural_distance([_stats(ipc=1.25)], [_stats(ipc=1.0)])
+        b = architectural_distance([_stats(ipc=2.5)], [_stats(ipc=2.0)])
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_config_count_mismatch(self):
+        with pytest.raises(ValueError):
+            architectural_distance([_stats()], [_stats(), _stats()])

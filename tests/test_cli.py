@@ -1,0 +1,42 @@
+"""Tests for the `python -m repro.experiments` command line."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "figure1", "figure7", "survey"):
+            assert name in out
+
+    def test_registry_complete(self):
+        # Every table/figure of the paper is runnable by id.
+        expected = {
+            "table1", "table2", "table3",
+            "figure1", "figure2", "figure3", "figure4", "figure5",
+            "figure6", "figure7",
+            "section52-profile", "section52-architectural", "survey",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_cheap_experiments(self, capsys):
+        assert main(["table3", "survey", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "survey" in out
+        assert "Figure 7" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_profile_option(self, capsys):
+        assert main(["table2", "--profile", "tiny"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_benchmark_subset(self, capsys):
+        # table drivers ignore the context, but the option must parse.
+        assert main(["table1", "--benchmarks", "gzip,mcf", "--depth", "quick"]) == 0

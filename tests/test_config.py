@@ -1,0 +1,124 @@
+"""Tests for ProcessorConfig, PB parameters and Table 3."""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.config import (
+    ARCH_CONFIGS,
+    BASELINE,
+    NLP,
+    PB_PARAMETERS,
+    TC,
+    Enhancements,
+    ProcessorConfig,
+    pb_config,
+)
+
+
+class TestProcessorConfig:
+    def test_defaults_valid(self):
+        config = ProcessorConfig()
+        assert config.issue_width == 4
+
+    def test_replace(self):
+        config = ProcessorConfig().replace(rob_entries=128)
+        assert config.rob_entries == 128
+        assert ProcessorConfig().rob_entries == 64  # original untouched
+
+    def test_positive_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(rob_entries=0)
+        with pytest.raises(ValueError):
+            ProcessorConfig(mem_latency_first=-1)
+
+    def test_block_power_of_two(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(dl1_block=48)
+
+    def test_predictor_validation(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(branch_predictor="tage")
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ProcessorConfig().rob_entries = 1
+
+
+class TestPBParameters:
+    def test_exactly_43(self):
+        assert len(PB_PARAMETERS) == 43
+
+    def test_unique_names(self):
+        names = [p.name for p in PB_PARAMETERS]
+        assert len(set(names)) == 43
+
+    def test_names_are_config_fields(self):
+        fields = {f.name for f in dataclasses.fields(ProcessorConfig)}
+        for parameter in PB_PARAMETERS:
+            assert parameter.name in fields
+
+    def test_low_below_high(self):
+        for parameter in PB_PARAMETERS:
+            assert parameter.low < parameter.high
+
+    def test_value_levels(self):
+        parameter = PB_PARAMETERS[0]
+        assert parameter.value(-1) == parameter.low
+        assert parameter.value(1) == parameter.high
+        with pytest.raises(ValueError):
+            parameter.value(0)
+
+    def test_pb_config_applies_levels(self):
+        levels = [1] * 43
+        config = pb_config(levels)
+        for parameter in PB_PARAMETERS:
+            assert getattr(config, parameter.name) == parameter.high
+
+    def test_pb_config_all_low_valid(self):
+        config = pb_config([-1] * 43)
+        for parameter in PB_PARAMETERS:
+            assert getattr(config, parameter.name) == parameter.low
+
+    def test_pb_config_length_checked(self):
+        with pytest.raises(ValueError):
+            pb_config([1] * 42)
+
+    def test_pb_config_names_unique(self):
+        a = pb_config([1] * 43)
+        b = pb_config([-1] + [1] * 42)
+        assert a.name != b.name
+
+
+class TestArchConfigs:
+    def test_four_configs(self):
+        assert len(ARCH_CONFIGS) == 4
+
+    def test_names(self):
+        assert [c.name for c in ARCH_CONFIGS] == [
+            "config1", "config2", "config3", "config4",
+        ]
+
+    def test_monotone_scaling(self):
+        # Table 3's structures grow monotonically from config1 to 4.
+        for field in ("bht_entries", "rob_entries", "lsq_entries",
+                      "dl1_size_kb", "l2_size_kb", "mem_latency_first"):
+            values = [getattr(c, field) for c in ARCH_CONFIGS]
+            assert values == sorted(values)
+            assert values[0] < values[-1]
+
+    def test_widths(self):
+        assert ARCH_CONFIGS[0].issue_width == 4
+        assert ARCH_CONFIGS[3].issue_width == 8
+
+
+class TestEnhancements:
+    def test_labels(self):
+        assert BASELINE.label == "base"
+        assert TC.label == "TC"
+        assert NLP.label == "NLP"
+        assert Enhancements(True, True).label == "TC+NLP"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            BASELINE.trivial_computation = True

@@ -1,0 +1,99 @@
+"""End-to-end tests of the heavy experiment drivers at micro scale.
+
+One shared context at Scale(2) with a single benchmark keeps the whole
+module to a few seconds while exercising every driver's plumbing.
+"""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3_4,
+    figure5,
+    section52,
+)
+from repro.experiments.common import ExperimentContext
+from repro.scale import Scale
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale=Scale(2), benchmarks=("gzip",), depth="quick")
+
+
+@pytest.fixture(scope="module")
+def svat_context():
+    # Figures 3/4 are defined for gcc and mcf.
+    return ExperimentContext(
+        scale=Scale(2), benchmarks=("gcc", "mcf"), depth="quick"
+    )
+
+
+class TestFigure1Driver:
+    def test_rows_cover_families(self, context):
+        report = figure1.run(context)
+        families = {row[1] for row in report.rows}
+        assert families == {
+            "SimPoint", "SMARTS", "Reduced", "Run Z", "FF+Run Z", "FF+WU+Run Z",
+        }
+
+    def test_distances_in_range(self, context):
+        report = figure1.run(context)
+        for _, _, mean, lo, hi in report.rows:
+            assert 0 <= lo <= mean <= hi <= 100
+
+    def test_reference_distance_is_zero(self, context):
+        workload = context.workload("gzip")
+        reference = figure1.reference_pb_result(context, workload)
+        assert reference.distance_to(reference) == 0.0
+
+
+class TestFigure2Driver:
+    def test_series_full_length(self, context):
+        series = figure2.difference_series(context, "gzip")
+        assert len(series) == 43
+
+    def test_report_rows(self, context):
+        report = figure2.run(context)
+        ns = sorted({row[1] for row in report.rows})
+        assert ns == [1, 3, 5, 10, 20, 43]
+
+
+class TestSvatDriver:
+    def test_points_have_positive_speed(self, svat_context):
+        points = figure3_4.svat_points(svat_context, "gcc")
+        assert points
+        for point in points:
+            assert point.speed_percent > 0
+            assert point.accuracy >= 0
+
+    def test_figure3_and_4_report(self, svat_context):
+        fig3 = figure3_4.run_figure3(svat_context)
+        fig4 = figure3_4.run_figure4(svat_context)
+        assert "gcc" in fig3.title
+        assert "mcf" in fig4.title
+        assert len(fig3.rows) == len(fig4.rows)
+
+
+class TestFigure5Driver:
+    def test_worst_and_best_rows(self, context):
+        report = figure5.run(context)
+        kinds = [row[1] for row in report.rows]
+        assert kinds.count("worst") == kinds.count("best")
+        for row in report.rows:
+            assert 0.0 <= row[3] <= 1.0  # share within 0-3%
+
+
+class TestSection52Drivers:
+    def test_profile_rows(self, context):
+        report = section52.run_profile(context)
+        assert report.rows
+        for row in report.rows:
+            assert row[3] >= 0  # chi-squared statistic
+
+    def test_architectural_rows(self, context):
+        report = section52.run_architectural(context)
+        assert report.rows
+        for row in report.rows:
+            assert row[3] >= 0.0

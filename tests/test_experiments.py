@@ -1,0 +1,90 @@
+"""Smoke tests for the experiment drivers (micro scale)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentContext,
+    ExperimentReport,
+    format_table,
+)
+from repro.experiments import figure6, figure7, survey, tables
+from repro.scale import Scale
+from repro.techniques.truncated import RunZ
+
+
+@pytest.fixture(scope="module")
+def context():
+    # Micro scale, one cheap benchmark, one permutation per family.
+    return ExperimentContext(scale=Scale(3), benchmarks=("gzip",), depth="quick")
+
+
+class TestContext:
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentContext(depth="exhaustive")
+
+    def test_run_cache(self, context):
+        from repro.cpu.config import ARCH_CONFIGS
+
+        workload = context.workload("gzip")
+        technique = RunZ(100)
+        a = context.run(technique, workload, ARCH_CONFIGS[0])
+        b = context.run(technique, workload, ARCH_CONFIGS[0])
+        assert a is b
+
+    def test_family_permutations_depths(self, context):
+        quick = context.family_permutations("gzip")
+        assert all(len(v) >= 1 for v in quick.values())
+        full = ExperimentContext(depth="full").family_permutations("gzip")
+        assert len(full["FF+WU+Run Z"]) == 36
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(("a", "bb"), [(1, 2.5), ("xyz", 3)])
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_report_render(self):
+        report = ExperimentReport(
+            experiment_id="X", title="t", headers=("h",), rows=[("v",)],
+            notes=["n"],
+        )
+        text = report.render()
+        assert "== X: t ==" in text
+        assert "note: n" in text
+
+
+class TestCheapDrivers:
+    def test_table1(self):
+        report = tables.table1()
+        assert len(report.rows) == 69 - 0  # all five reduced sets listed
+        assert report.headers == ("family", "permutation")
+
+    def test_table2(self):
+        report = tables.table2()
+        assert len(report.rows) == 10
+
+    def test_table3(self):
+        report = tables.table3()
+        assert len(report.rows) == 4
+
+    def test_survey(self):
+        report = survey.run()
+        assert any("FF X + Run Z" in str(row[0]) for row in report.rows)
+
+    def test_figure7(self):
+        report = figure7.run()
+        assert any("SMARTS" in str(row[1]) for row in report.rows)
+
+
+class TestFigure6Driver:
+    def test_speedup_rows(self, context):
+        report = figure6.run(context)
+        # NLP and TC sections, one row per permutation per enhancement.
+        enhancements = {row[0] for row in report.rows}
+        assert enhancements == {"NLP", "TC"}
+        for row in report.rows:
+            difference = row[5]
+            assert difference == pytest.approx(row[3] - row[4])

@@ -1,0 +1,94 @@
+"""Tests for the extension techniques: random sampling and early
+SimPoint points (features the paper mentions but does not evaluate)."""
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.techniques import RandomSamplingTechnique, SimPointTechnique
+from repro.techniques.reference import ReferenceTechnique
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+CONFIG = ARCH_CONFIGS[0]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_micro_workload(length_m=800, seed=55)
+
+
+class TestRandomSampling:
+    def test_regions_sorted_disjoint(self, workload):
+        technique = RandomSamplingTechnique(num_samples=10, sample_m=10)
+        regions = technique.choose_regions(
+            len(workload.trace(TEST_SCALE)), TEST_SCALE
+        )
+        previous_end = 0
+        for start, end in regions:
+            assert start >= previous_end
+            assert end > start
+            previous_end = end
+
+    def test_regions_deterministic_per_seed(self, workload):
+        length = len(workload.trace(TEST_SCALE))
+        a = RandomSamplingTechnique(10, 10, seed=1).choose_regions(length, TEST_SCALE)
+        b = RandomSamplingTechnique(10, 10, seed=1).choose_regions(length, TEST_SCALE)
+        c = RandomSamplingTechnique(10, 10, seed=2).choose_regions(length, TEST_SCALE)
+        assert a == b
+        assert a != c
+
+    def test_sample_count_capped_by_trace(self, workload):
+        technique = RandomSamplingTechnique(num_samples=10_000, sample_m=10)
+        regions = technique.choose_regions(
+            len(workload.trace(TEST_SCALE)), TEST_SCALE
+        )
+        assert len(regions) < 10_000
+
+    def test_estimates_cpi(self, workload):
+        reference = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        technique = RandomSamplingTechnique(
+            num_samples=20, sample_m=20, warmup_m=10
+        )
+        result = technique.run(workload, CONFIG, TEST_SCALE)
+        assert result.cpi == pytest.approx(reference.cpi, rel=0.20)
+        assert result.detailed_instructions < len(workload.trace(TEST_SCALE))
+
+    def test_more_samples_do_not_hurt(self, workload):
+        """Conte et al.'s remedy: more samples reduce (or hold) error."""
+        reference = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+
+        def error(n):
+            result = RandomSamplingTechnique(
+                num_samples=n, sample_m=10, warmup_m=10
+            ).run(workload, CONFIG, TEST_SCALE)
+            return abs(result.cpi - reference.cpi) / reference.cpi
+
+        assert error(40) <= error(3) + 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomSamplingTechnique(0, 10)
+        with pytest.raises(ValueError):
+            RandomSamplingTechnique(10, 0)
+
+
+class TestEarlySimPoints:
+    def test_early_points_not_later_than_medoids(self, workload):
+        base = SimPointTechnique(interval_m=20, max_k=10)
+        early = SimPointTechnique(interval_m=20, max_k=10, early_points=True)
+        sel_base = base.select(workload, TEST_SCALE)
+        sel_early = early.select(workload, TEST_SCALE)
+        assert sum(sel_early.intervals) <= sum(sel_base.intervals)
+        assert len(sel_early.intervals) == len(sel_base.intervals)
+
+    def test_early_points_label(self):
+        technique = SimPointTechnique(10, 100, early_points=True)
+        assert "early" in technique.permutation
+
+    def test_early_points_still_accurate(self, workload):
+        reference = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        technique = SimPointTechnique(
+            interval_m=100, max_k=8, warmup_m=20, early_points=True
+        )
+        result = technique.run(workload, CONFIG, TEST_SCALE)
+        assert result.cpi == pytest.approx(reference.cpi, rel=0.2)

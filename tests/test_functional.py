@@ -1,0 +1,101 @@
+"""Tests for functional warming and the simulator facade."""
+
+import pytest
+
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.functional import run_functional_warming
+from repro.cpu.machine import Machine
+from repro.cpu.simulator import SimulationResult, Simulator
+from repro.cpu.stats import SimulationStats
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_micro_workload(length_m=600, seed=17).trace(TEST_SCALE)
+
+
+class TestFunctionalWarming:
+    def test_returns_instruction_count(self, trace):
+        machine = Machine(ProcessorConfig())
+        assert run_functional_warming(machine, trace, 0, 1000).instructions == 1000
+
+    def test_warms_caches(self, trace):
+        machine = Machine(ProcessorConfig())
+        run_functional_warming(machine, trace, 0, len(trace))
+        # Find a load address and confirm residency.
+        warmed = any(
+            machine.dl1.contains(int(addr))
+            for addr in trace.addr[-200:]
+            if addr
+        )
+        assert warmed
+
+    def test_out_of_range_rejected(self, trace):
+        machine = Machine(ProcessorConfig())
+        with pytest.raises(ValueError):
+            run_functional_warming(machine, trace, 0, len(trace) + 1)
+
+    def test_warming_reduces_subsequent_cpi(self, trace):
+        config = ProcessorConfig()
+        simulator = Simulator(config)
+        cold = simulator.run_region(trace, 2000, 3000).stats
+
+        machine = simulator.new_machine()
+        simulator.warm(machine, trace, 0, 2000)
+        warm = simulator.detail(machine, trace, 2000, 3000)
+        assert warm.cpi < cold.cpi
+
+    def test_warming_close_to_detailed_warmup(self, trace):
+        """Functional warming approximates detailed warm-up's effect on
+        the measured region (same caches/predictors are trained)."""
+        config = ProcessorConfig()
+        simulator = Simulator(config)
+
+        machine = simulator.new_machine()
+        simulator.warm(machine, trace, 0, 2000)
+        functional = simulator.detail(machine, trace, 2000, 3000)
+
+        detailed = simulator.run_region(
+            trace, 2000, 3000, warmup_instructions=2000
+        ).stats
+        assert functional.cpi == pytest.approx(detailed.cpi, rel=0.10)
+
+
+class TestSimulatorFacade:
+    def test_run_reference_covers_whole_trace(self, trace):
+        result = Simulator().run_reference(trace)
+        assert result.detailed_instructions == len(trace)
+        assert result.stats.instructions == len(trace)
+
+    def test_result_work_profile(self, trace):
+        result = Simulator().run_region(trace, 500, 1500)
+        assert result.detailed_instructions == 1000
+        assert result.fastforwarded_instructions == 500
+        assert result.extra_detailed_instructions == 0
+
+    def test_add_work(self, trace):
+        a = Simulator().run_region(trace, 0, 100)
+        b = Simulator().run_region(trace, 100, 300)
+        a.add_work(b)
+        assert a.detailed_instructions == 300
+
+    def test_cpi_ipc_inverse(self, trace):
+        result = Simulator().run_region(trace, 0, 1000)
+        assert result.cpi * result.ipc == pytest.approx(1.0)
+
+
+class TestStatsContainer:
+    def test_empty_rates(self):
+        stats = SimulationStats()
+        assert stats.cpi == 0.0
+        assert stats.branch_accuracy == 1.0
+        assert stats.dl1_hit_rate == 1.0
+
+    def test_as_dict_roundtrip(self, trace):
+        stats = Simulator().run_reference(trace).stats
+        d = stats.as_dict()
+        assert d["instructions"] == len(trace)
+        assert d["cpi"] == pytest.approx(stats.cpi)
+        assert 0 <= d["branch_accuracy"] <= 1

@@ -1,0 +1,97 @@
+"""Tests for input sets, workloads and trace caching."""
+
+import pytest
+
+from repro.scale import Scale
+from repro.workloads.inputs import (
+    InputSetSpec,
+    Workload,
+    clear_trace_cache,
+)
+
+from tests.conftest import TEST_SCALE, make_micro_program, make_micro_workload
+
+
+class TestInputSetSpec:
+    def test_valid(self):
+        spec = InputSetSpec("test", 100, (("alpha", 1.0),))
+        assert spec.footprint_scale == 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            InputSetSpec("huge", 100, (("alpha", 1.0),))
+
+    def test_positive_length(self):
+        with pytest.raises(ValueError):
+            InputSetSpec("test", 0, (("alpha", 1.0),))
+
+    def test_fractions_required(self):
+        with pytest.raises(ValueError):
+            InputSetSpec("test", 100, ())
+
+    def test_fraction_sum_positive(self):
+        with pytest.raises(ValueError):
+            InputSetSpec("test", 100, (("alpha", 0.0),))
+
+    def test_footprint_scale_positive(self):
+        with pytest.raises(ValueError):
+            InputSetSpec("test", 100, (("alpha", 1.0),), footprint_scale=0)
+
+
+class TestWorkloadSchedule:
+    def test_schedule_total_matches_scale(self):
+        workload = make_micro_workload(length_m=400)
+        schedule = workload.schedule(TEST_SCALE)
+        assert sum(n for _, n in schedule) == TEST_SCALE.instructions(400)
+
+    def test_schedule_respects_fractions(self):
+        workload = make_micro_workload(length_m=1000)
+        schedule = workload.schedule(TEST_SCALE)
+        assert len(schedule) == 2
+        first, second = schedule
+        assert first[0] == 0 and second[0] == 1
+        assert abs(first[1] - second[1]) <= 1
+
+    def test_schedule_resolves_phase_names(self):
+        program = make_micro_program()
+        spec = InputSetSpec("test", 100, (("beta", 1.0),))
+        workload = Workload("micro", program, spec, seed=1)
+        schedule = workload.schedule(TEST_SCALE)
+        assert schedule[0][0] == program.phase_index("beta")
+
+    def test_name(self):
+        workload = make_micro_workload(input_name="train")
+        assert workload.name == "micro.train"
+
+
+class TestTraceCaching:
+    def test_same_workload_returns_cached_object(self):
+        clear_trace_cache()
+        workload = make_micro_workload()
+        a = workload.trace(TEST_SCALE)
+        b = workload.trace(TEST_SCALE)
+        assert a is b
+
+    def test_different_scale_regenerates(self):
+        workload = make_micro_workload()
+        a = workload.trace(TEST_SCALE)
+        b = workload.trace(Scale(7))
+        assert a is not b
+        assert len(b) != len(a)
+
+    def test_different_seed_distinct_key(self):
+        a = make_micro_workload(seed=1).trace(TEST_SCALE)
+        b = make_micro_workload(seed=2).trace(TEST_SCALE)
+        assert a is not b
+
+    def test_cache_capacity_bounded(self):
+        clear_trace_cache()
+        workloads = [make_micro_workload(seed=i) for i in range(6)]
+        traces = [w.trace(TEST_SCALE) for w in workloads]
+        # The first workload's trace was evicted (capacity 4).
+        again = workloads[0].trace(TEST_SCALE)
+        assert again is not traces[0]
+
+    def test_trace_length_matches_input_length(self):
+        workload = make_micro_workload(length_m=200)
+        assert len(workload.trace(TEST_SCALE)) == TEST_SCALE.instructions(200)

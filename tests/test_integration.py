@@ -1,0 +1,137 @@
+"""Integration tests: the paper's headline findings at micro scale.
+
+These exercise the full stack (workloads -> simulator -> techniques ->
+characterizations) and assert the *shape* results the reproduction must
+preserve.  They use a reduced scale so the whole module stays fast.
+"""
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS, NLP
+from repro.scale import Scale
+from repro.techniques import (
+    FFRunZ,
+    ReducedInputTechnique,
+    ReferenceTechnique,
+    RunZ,
+    SimPointTechnique,
+    SmartsTechnique,
+)
+from repro.workloads.spec import get_workload
+
+SCALE = Scale(25)
+CONFIG = ARCH_CONFIGS[1]
+
+
+@pytest.fixture(scope="module")
+def gcc_reference():
+    return ReferenceTechnique().run(get_workload("gcc"), CONFIG, SCALE)
+
+
+@pytest.fixture(scope="module")
+def mcf_reference():
+    return ReferenceTechnique().run(get_workload("mcf"), CONFIG, SCALE)
+
+
+def relative_error(result, reference):
+    return abs(result.cpi - reference.cpi) / reference.cpi
+
+
+class TestSamplingIsAccurate:
+    def test_smarts_within_five_percent_gcc(self, gcc_reference):
+        result = SmartsTechnique(10000, 20000).run(
+            get_workload("gcc"), CONFIG, SCALE
+        )
+        assert relative_error(result, gcc_reference) < 0.05
+
+    def test_smarts_within_five_percent_mcf(self, mcf_reference):
+        result = SmartsTechnique(10000, 20000).run(
+            get_workload("mcf"), CONFIG, SCALE
+        )
+        assert relative_error(result, mcf_reference) < 0.05
+
+    def test_simpoint_within_ten_percent_gcc(self, gcc_reference):
+        result = SimPointTechnique(10, 100, warmup_m=1).run(
+            get_workload("gcc"), CONFIG, SCALE
+        )
+        assert relative_error(result, gcc_reference) < 0.10
+
+
+class TestTruncationIsWorse:
+    def test_run_z_worse_than_smarts_on_gcc(self, gcc_reference):
+        workload = get_workload("gcc")
+        truncated = RunZ(500).run(workload, CONFIG, SCALE)
+        smarts = SmartsTechnique(10000, 20000).run(workload, CONFIG, SCALE)
+        assert relative_error(truncated, gcc_reference) > relative_error(
+            smarts, gcc_reference
+        )
+
+    def test_gcc_truncation_error_substantial(self, gcc_reference):
+        truncated = RunZ(500).run(get_workload("gcc"), CONFIG, SCALE)
+        assert relative_error(truncated, gcc_reference) > 0.03
+
+
+class TestReducedInputsDiffer:
+    def test_mcf_reduced_underestimates_memory_pressure(self):
+        """The paper's mcf finding: cycles from main-memory misses are a
+        far smaller share for reduced inputs than for reference.
+
+        Uses the quick scale: at tiny scale the short reduced trace is
+        dominated by compulsory (cold) misses, masking the capacity
+        effect the finding is about.
+        """
+        scale = Scale(100)
+        workload = get_workload("mcf")
+        reference = ReferenceTechnique().run(workload, CONFIG, scale)
+        reduced = ReducedInputTechnique("test").run(workload, CONFIG, scale)
+        ref_mem_rate = reference.stats.l2_misses / reference.stats.instructions
+        red_mem_rate = reduced.stats.l2_misses / reduced.stats.instructions
+        assert red_mem_rate < ref_mem_rate * 0.75
+
+    def test_mcf_reduced_cpi_error_large(self, mcf_reference):
+        reduced = ReducedInputTechnique("test").run(
+            get_workload("mcf"), CONFIG, SCALE
+        )
+        assert relative_error(reduced, mcf_reference) > 0.10
+
+
+class TestExecutionProfiles:
+    def test_truncation_skews_profile_more_than_sampling(self, gcc_reference):
+        from repro.characterization.profile import compare_profiles
+
+        workload = get_workload("gcc")
+        ref_profile = gcc_reference.block_profile(SCALE)
+
+        truncated = RunZ(500).run(workload, CONFIG, SCALE)
+        smarts = SmartsTechnique(1000, 2000).run(workload, CONFIG, SCALE)
+
+        chi_truncated = compare_profiles(
+            truncated.block_profile(SCALE), ref_profile
+        )
+        chi_smarts = compare_profiles(smarts.block_profile(SCALE), ref_profile)
+        assert chi_smarts.normalized < chi_truncated.normalized
+
+
+class TestEnhancementStudy:
+    def test_nlp_speedup_positive_for_reference(self):
+        workload = get_workload("gzip")
+        base = ReferenceTechnique().run(workload, CONFIG, SCALE)
+        enhanced = ReferenceTechnique().run(
+            workload, CONFIG, SCALE, enhancements=NLP
+        )
+        assert enhanced.cpi < base.cpi
+
+    def test_ff_technique_distorts_speedup(self):
+        """A truncated technique reports a different NLP speedup than
+        the reference -- the Figure 6 effect."""
+        workload = get_workload("gcc")
+        technique = FFRunZ(2000, 500)
+
+        ref_base = ReferenceTechnique().run(workload, CONFIG, SCALE)
+        ref_enh = ReferenceTechnique().run(workload, CONFIG, SCALE, enhancements=NLP)
+        t_base = technique.run(workload, CONFIG, SCALE)
+        t_enh = technique.run(workload, CONFIG, SCALE, enhancements=NLP)
+
+        ref_speedup = ref_base.cpi / ref_enh.cpi - 1
+        technique_speedup = t_base.cpi / t_enh.cpi - 1
+        assert technique_speedup != pytest.approx(ref_speedup, abs=1e-4)

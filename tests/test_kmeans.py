@@ -1,0 +1,119 @@
+"""Tests for k-means clustering and BIC model selection."""
+
+import numpy as np
+import pytest
+
+from repro.techniques.simpoint.bbv import normalize_bbvs, project_bbvs
+from repro.techniques.simpoint.kmeans import bic_score, kmeans, pick_k
+from repro.util.rng import child_rng
+
+
+def three_blobs(n_per=30, separation=10.0, seed=0):
+    rng = child_rng(seed, "blobs")
+    centers = np.array([[0.0, 0.0], [separation, 0.0], [0.0, separation]])
+    points = np.vstack(
+        [center + rng.normal(0, 0.5, (n_per, 2)) for center in centers]
+    )
+    return points
+
+
+class TestKMeans:
+    def test_finds_separated_clusters(self):
+        points = three_blobs()
+        result = kmeans(points, 3)
+        sizes = sorted(result.cluster_sizes.tolist())
+        assert sizes == [30, 30, 30]
+
+    def test_k1_centroid_is_mean(self):
+        points = three_blobs()
+        result = kmeans(points, 1)
+        assert np.allclose(result.centroids[0], points.mean(axis=0))
+
+    def test_inertia_decreases_with_k(self):
+        points = three_blobs()
+        inertias = [kmeans(points, k).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic(self):
+        points = three_blobs()
+        a = kmeans(points, 3, seed=5)
+        b = kmeans(points, 3, seed=5)
+        assert np.array_equal(a.assignments, b.assignments)
+
+    def test_k_bounds(self):
+        points = three_blobs(n_per=2)
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 7)
+
+    def test_every_point_assigned(self):
+        points = three_blobs()
+        result = kmeans(points, 3)
+        assert len(result.assignments) == len(points)
+        assert result.assignments.min() >= 0
+        assert result.assignments.max() < 3
+
+
+class TestBIC:
+    def test_bic_prefers_true_k(self):
+        points = three_blobs(separation=20.0)
+        scores = {k: kmeans(points, k).bic for k in (1, 2, 3, 4, 5)}
+        assert scores[3] > scores[1]
+        assert scores[3] > scores[2]
+
+    def test_pick_k_selects_reasonable_k(self):
+        points = three_blobs(separation=20.0)
+        result = pick_k(points, max_k=6)
+        assert result.k in (3, 4)
+
+    def test_pick_k_single_cluster_data(self):
+        rng = child_rng(1, "single")
+        points = rng.normal(0, 1.0, (60, 2))
+        result = pick_k(points, max_k=5)
+        assert result.k <= 3  # no strong structure
+
+    def test_pick_k_caps_at_points(self):
+        points = three_blobs(n_per=2)
+        result = pick_k(points, max_k=50)
+        assert result.k <= 6
+
+
+class TestBBVPreparation:
+    def test_normalize_rows_sum_to_one(self):
+        bbvs = np.array([[2.0, 2.0], [0.0, 4.0]])
+        out = normalize_bbvs(bbvs)
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    def test_normalize_zero_row_kept(self):
+        bbvs = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = normalize_bbvs(bbvs)
+        assert np.allclose(out[0], 0.0)
+
+    def test_normalize_requires_2d(self):
+        with pytest.raises(ValueError):
+            normalize_bbvs(np.zeros(4))
+
+    def test_projection_shape(self):
+        bbvs = np.random.default_rng(0).random((10, 100))
+        out = project_bbvs(bbvs, dims=15, seed=1)
+        assert out.shape == (10, 15)
+
+    def test_projection_deterministic(self):
+        bbvs = np.random.default_rng(0).random((10, 100))
+        a = project_bbvs(bbvs, seed=1)
+        b = project_bbvs(bbvs, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_projection_skipped_for_small_dims(self):
+        bbvs = np.random.default_rng(0).random((10, 8))
+        out = project_bbvs(bbvs, dims=15)
+        assert out.shape == (10, 8)
+
+    def test_projection_preserves_distinctness(self):
+        # Two very different BBVs stay apart after projection.
+        a = np.zeros((2, 200))
+        a[0, :100] = 1.0
+        a[1, 100:] = 1.0
+        out = project_bbvs(normalize_bbvs(a), seed=1)
+        assert np.linalg.norm(out[0] - out[1]) > 0.01

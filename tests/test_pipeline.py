@@ -1,0 +1,144 @@
+"""Tests for the detailed timing model."""
+
+import pytest
+
+from repro.cpu.config import NLP, TC, ProcessorConfig
+from repro.cpu.machine import Machine
+from repro.cpu.pipeline import run_detailed
+from repro.cpu.simulator import Simulator
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_micro_workload(length_m=600).trace(TEST_SCALE)
+
+
+def cpi(trace, config=None, enhancements=None, start=0, end=None):
+    simulator = Simulator(config or ProcessorConfig(), enhancements)
+    end = end if end is not None else len(trace)
+    return simulator.run_region(trace, start, end).stats.cpi
+
+
+class TestBasicProperties:
+    def test_cycles_positive(self, trace):
+        stats = Simulator().run_reference(trace).stats
+        assert stats.cycles > 0
+        assert stats.instructions == len(trace)
+
+    def test_cpi_at_least_width_bound(self, trace):
+        config = ProcessorConfig(
+            fetch_width=4, decode_width=4, issue_width=4, commit_width=4
+        )
+        assert cpi(trace, config) >= 1 / 4
+
+    def test_deterministic(self, trace):
+        assert cpi(trace) == cpi(trace)
+
+    def test_region_bounds_checked(self, trace):
+        machine = Machine(ProcessorConfig())
+        with pytest.raises(ValueError):
+            run_detailed(machine, trace, 0, len(trace) + 1)
+        with pytest.raises(ValueError):
+            run_detailed(machine, trace, 10, 20, measure_from=5)
+
+    def test_stats_cover_measured_region_only(self, trace):
+        machine = Machine(ProcessorConfig())
+        stats = run_detailed(machine, trace, 0, 500, measure_from=300)
+        assert stats.instructions == 200
+
+    def test_counts_consistent(self, trace):
+        stats = Simulator().run_reference(trace).stats
+        assert stats.mispredictions <= stats.branches
+        assert stats.dl1_misses <= stats.dl1_accesses
+        assert stats.l2_misses <= stats.l2_accesses
+        assert stats.loads + stats.stores == stats.dl1_accesses
+
+
+class TestParameterSensitivity:
+    """Monotone responses to first-order parameters."""
+
+    def test_memory_latency_increases_cpi(self, trace):
+        slow = cpi(trace, ProcessorConfig(mem_latency_first=400))
+        fast = cpi(trace, ProcessorConfig(mem_latency_first=50))
+        assert slow > fast
+
+    def test_bigger_rob_helps(self, trace):
+        small = cpi(trace, ProcessorConfig(rob_entries=16, lsq_entries=8))
+        big = cpi(trace, ProcessorConfig(rob_entries=256, lsq_entries=128))
+        assert big < small
+
+    def test_narrow_width_hurts(self, trace):
+        narrow = cpi(trace, ProcessorConfig(
+            fetch_width=1, decode_width=1, issue_width=1, commit_width=1))
+        wide = cpi(trace, ProcessorConfig(
+            fetch_width=8, decode_width=8, issue_width=8, commit_width=8))
+        assert narrow > wide
+        assert narrow >= 1.0  # cannot beat 1 IPC at width 1
+
+    def test_mispredict_penalty(self, trace):
+        cheap = cpi(trace, ProcessorConfig(mispredict_penalty=2))
+        dear = cpi(trace, ProcessorConfig(mispredict_penalty=20))
+        assert dear > cheap
+
+    def test_fewer_alus_hurt(self, trace):
+        one = cpi(trace, ProcessorConfig(int_alus=1))
+        four = cpi(trace, ProcessorConfig(int_alus=4))
+        assert one > four
+
+    def test_mem_ports(self, trace):
+        one = cpi(trace, ProcessorConfig(mem_ports=1))
+        four = cpi(trace, ProcessorConfig(mem_ports=4))
+        assert one > four
+
+    def test_perfect_predictor_fastest(self, trace):
+        perfect = cpi(trace, ProcessorConfig(branch_predictor="perfect"))
+        combined = cpi(trace, ProcessorConfig(branch_predictor="combined"))
+        taken = cpi(trace, ProcessorConfig(branch_predictor="taken"))
+        assert perfect <= combined <= taken
+
+    def test_int_div_latency(self, trace):
+        fast = cpi(trace, ProcessorConfig(int_div_lat=5))
+        slow = cpi(trace, ProcessorConfig(int_div_lat=60))
+        assert slow > fast
+
+
+class TestEnhancementsInModel:
+    def test_tc_never_hurts(self, trace):
+        base = cpi(trace)
+        enhanced = cpi(trace, enhancements=TC)
+        assert enhanced <= base
+
+    def test_tc_counts_simplifications(self, trace):
+        stats = Simulator(ProcessorConfig(), TC).run_reference(trace).stats
+        assert stats.trivial_simplified > 0
+
+    def test_baseline_counts_nothing(self, trace):
+        stats = Simulator().run_reference(trace).stats
+        assert stats.trivial_simplified == 0
+
+    def test_nlp_prefetches(self, trace):
+        stats = Simulator(ProcessorConfig(), NLP).run_reference(trace).stats
+        assert stats.prefetches > 0
+
+    def test_nlp_helps_this_workload(self, trace):
+        base = cpi(trace)
+        enhanced = cpi(trace, enhancements=NLP)
+        assert enhanced < base
+
+
+class TestWarmupSemantics:
+    def test_warmup_changes_measured_stats(self, trace):
+        simulator = Simulator()
+        cold = simulator.run_region(trace, 1000, 2000).stats
+        warm = simulator.run_region(trace, 1000, 2000, warmup_instructions=1000).stats
+        # Warm-up fills caches/predictors: measured CPI drops.
+        assert warm.cpi < cold.cpi
+
+    def test_work_profile_reported(self, trace):
+        simulator = Simulator()
+        result = simulator.run_region(trace, 1000, 2000, warmup_instructions=500)
+        assert result.detailed_instructions == 1000
+        assert result.extra_detailed_instructions == 500
+        assert result.fastforwarded_instructions == 500

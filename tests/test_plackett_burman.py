@@ -1,0 +1,110 @@
+"""Tests for the Plackett-Burman design construction and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.plackett_burman import (
+    PlackettBurmanDesign,
+    max_rank_distance,
+    paley_hadamard,
+)
+from repro.cpu.config import PB_PARAMETERS
+
+
+class TestPaleyHadamard:
+    @pytest.mark.parametrize("q", [3, 7, 11, 19, 23, 43])
+    def test_orthogonality(self, q):
+        h = paley_hadamard(q)
+        n = q + 1
+        assert h.shape == (n, n)
+        assert np.array_equal(h @ h.T, n * np.eye(n, dtype=np.int64))
+
+    def test_entries_pm1(self):
+        h = paley_hadamard(43)
+        assert set(np.unique(h)) == {-1, 1}
+
+    def test_first_row_and_column_ones(self):
+        h = paley_hadamard(43)
+        assert (h[0] == 1).all()
+        assert (h[:, 0] == 1).all()
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            paley_hadamard(5)  # 5 % 4 == 1
+        with pytest.raises(ValueError):
+            paley_hadamard(15)  # composite (and 15 % 4 == 3)
+
+
+class TestMaxRankDistance:
+    def test_n2(self):
+        # <1,2> vs <2,1>: sqrt(2).
+        assert max_rank_distance(2) == pytest.approx(np.sqrt(2))
+
+    def test_43_parameters(self):
+        # sqrt(sum (44 - 2i)^2) for i in 1..43.
+        expected = np.sqrt(sum((44 - 2 * i) ** 2 for i in range(1, 44)))
+        assert max_rank_distance(43) == pytest.approx(expected)
+
+
+class TestDesign:
+    def test_dimensions(self):
+        design = PlackettBurmanDesign()
+        assert design.num_runs == 44
+        assert design.num_parameters == 43
+
+    def test_foldover_doubles_runs(self):
+        design = PlackettBurmanDesign(foldover=True)
+        assert design.num_runs == 88
+        # The second half is the mirrored first half.
+        assert np.array_equal(design.matrix[44:], -design.matrix[:44])
+
+    def test_columns_balanced(self):
+        design = PlackettBurmanDesign()
+        sums = design.matrix.sum(axis=0)
+        # Each factor appears at high/low equally often up to the
+        # Hadamard border row.
+        assert (np.abs(sums) <= 2).all()
+
+    def test_configs_reflect_levels(self):
+        design = PlackettBurmanDesign()
+        configs = design.configs()
+        assert len(configs) == 44
+        for row, config in zip(design.matrix, configs):
+            for parameter, level in zip(PB_PARAMETERS, row):
+                expected = parameter.high if level == 1 else parameter.low
+                assert getattr(config, parameter.name) == expected
+
+    def test_effect_recovery_single_factor(self):
+        """A response driven by one factor yields that factor's effect."""
+        design = PlackettBurmanDesign()
+        target = 7
+        y = 10.0 + 3.0 * design.matrix[:, target]
+        effects = design.effects(y)
+        assert effects[target] == pytest.approx(6.0)  # high-low difference
+        others = np.delete(effects, target)
+        assert np.abs(others).max() < 1e-9  # orthogonality
+
+    def test_effect_recovery_multiple_factors(self):
+        design = PlackettBurmanDesign()
+        y = (
+            2.0 * design.matrix[:, 0]
+            - 5.0 * design.matrix[:, 10]
+            + 1.0 * design.matrix[:, 42]
+        )
+        ranks = design.ranks(y)
+        assert ranks[10] == 1
+        assert ranks[0] == 2
+        assert ranks[42] == 3
+
+    def test_foldover_effects_match_plain_for_linear_response(self):
+        plain = PlackettBurmanDesign()
+        folded = PlackettBurmanDesign(foldover=True)
+        beta = np.linspace(-2, 2, 43)
+        y_plain = plain.matrix @ beta
+        y_folded = folded.matrix @ beta
+        assert np.allclose(plain.effects(y_plain), folded.effects(y_folded))
+
+    def test_response_length_checked(self):
+        design = PlackettBurmanDesign()
+        with pytest.raises(ValueError):
+            design.effects([1.0] * 43)

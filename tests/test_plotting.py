@@ -1,0 +1,96 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.plotting import (
+    FAMILY_MARKERS,
+    bar_chart,
+    grouped_bar_chart,
+    scatter_plot,
+)
+
+
+class TestScatterPlot:
+    POINTS = [
+        ("SimPoint", 10.0, 0.1),
+        ("SMARTS", 30.0, 0.05),
+        ("Run Z", 12.0, 2.5),
+        ("Reduced", 35.0, 1.8),
+    ]
+
+    def test_contains_all_markers(self):
+        text = scatter_plot(self.POINTS)
+        for family, _, _ in self.POINTS:
+            assert FAMILY_MARKERS[family] in text
+
+    def test_legend_lists_families(self):
+        text = scatter_plot(self.POINTS)
+        assert "legend:" in text
+        assert "P=SimPoint" in text
+
+    def test_dimensions(self):
+        text = scatter_plot(self.POINTS, width=40, height=10)
+        lines = text.split("\n")
+        plot_lines = [l for l in lines if l.startswith("|")]
+        assert len(plot_lines) == 10
+        assert all(len(l) == 41 for l in plot_lines)
+
+    def test_log_x(self):
+        text = scatter_plot(self.POINTS, log_x=True)
+        assert "log scale" in text
+
+    def test_single_point(self):
+        text = scatter_plot([("SMARTS", 1.0, 1.0)])
+        assert "S" in text
+
+    def test_unknown_family_uses_initial(self):
+        text = scatter_plot([("Mystery", 1.0, 1.0), ("Mystery", 2.0, 2.0)])
+        assert "M=Mystery" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scatter_plot([])
+        with pytest.raises(ValueError):
+            scatter_plot(self.POINTS, width=4)
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.split("\n")
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_printed(self):
+        text = bar_chart([("x", 3.25)])
+        assert "3.25" in text
+
+    def test_zero_values(self):
+        text = bar_chart([("x", 0.0)])
+        assert "#" not in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+
+class TestGroupedBarChart:
+    def test_shared_scale(self):
+        groups = {
+            "g1": [("a", 1.0)],
+            "g2": [("b", 4.0)],
+        }
+        text = grouped_bar_chart(groups, width=8)
+        lines = text.split("\n")
+        a_line = next(l for l in lines if l.startswith("a"))
+        b_line = next(l for l in lines if l.startswith("b"))
+        assert a_line.count("#") == 2  # 1.0 / 4.0 of width 8
+        assert b_line.count("#") == 8
+
+    def test_group_headers(self):
+        text = grouped_bar_chart({"alpha": [("x", 1.0)]})
+        assert "-- alpha" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart({})

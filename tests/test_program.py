@@ -1,0 +1,149 @@
+"""Tests for the static program model."""
+
+import numpy as np
+import pytest
+
+from repro.isa.instructions import InstructionTemplate, OpClass
+from repro.workloads.program import (
+    INSTRUCTION_BYTES,
+    BasicBlock,
+    LoopNest,
+    LoopStep,
+    MemoryStream,
+    Phase,
+    SyntheticProgram,
+    TerminatorKind,
+    mixture_weights,
+)
+
+from tests.conftest import make_micro_program
+
+
+class TestMemoryStream:
+    def test_valid(self):
+        s = MemoryStream(base=0, footprint=1024, stride=8)
+        assert s.random_fraction == 0.0
+
+    def test_invalid_footprint(self):
+        with pytest.raises(ValueError):
+            MemoryStream(base=0, footprint=0, stride=8)
+
+    def test_invalid_random_fraction(self):
+        with pytest.raises(ValueError):
+            MemoryStream(base=0, footprint=64, stride=8, random_fraction=2.0)
+
+    def test_invalid_reuse(self):
+        with pytest.raises(ValueError):
+            MemoryStream(base=0, footprint=64, stride=8, reuse_shift=30)
+
+
+class TestBasicBlock:
+    def test_requires_instructions(self):
+        with pytest.raises(ValueError):
+            BasicBlock(block_id=0, templates=())
+
+    def test_memory_spec_length_checked(self):
+        with pytest.raises(ValueError):
+            BasicBlock(
+                block_id=0,
+                templates=(InstructionTemplate(OpClass.IALU),),
+                memory=(None, None),
+            )
+
+    def test_memory_instruction_needs_stream(self):
+        with pytest.raises(ValueError):
+            BasicBlock(
+                block_id=0,
+                templates=(InstructionTemplate(OpClass.LOAD),),
+                memory=(None,),
+            )
+
+    def test_len(self):
+        block = BasicBlock(
+            block_id=0,
+            templates=(
+                InstructionTemplate(OpClass.IALU),
+                InstructionTemplate(OpClass.NOP),
+            ),
+        )
+        assert len(block) == 2
+
+
+class TestLoopStructures:
+    def test_loop_step_alt_consistency(self):
+        with pytest.raises(ValueError):
+            LoopStep(block=0, alt_probability=0.5)
+
+    def test_loop_nest_needs_steps(self):
+        with pytest.raises(ValueError):
+            LoopNest(steps=())
+
+    def test_loop_nest_trips_minimum(self):
+        with pytest.raises(ValueError):
+            LoopNest(steps=(LoopStep(block=0),), mean_trips=0.5)
+
+    def test_phase_weight_validation(self):
+        nest = LoopNest(steps=(LoopStep(block=0),))
+        with pytest.raises(ValueError):
+            Phase(name="p", nests=(nest,), weights=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            Phase(name="p", nests=(nest,), weights=(-1.0,))
+
+
+class TestSyntheticProgram:
+    def test_block_ids_must_be_sequential(self):
+        block = BasicBlock(
+            block_id=1, templates=(InstructionTemplate(OpClass.IALU),)
+        )
+        nest = LoopNest(steps=(LoopStep(block=1),))
+        with pytest.raises(ValueError):
+            SyntheticProgram(
+                name="bad",
+                blocks=[block],
+                phases=[Phase(name="p", nests=(nest,), weights=(1.0,))],
+            )
+
+    def test_flattened_arrays(self, micro_program):
+        total = micro_program.num_static_instructions
+        assert len(micro_program.flat_op) == total
+        assert len(micro_program.flat_pc) == total
+        assert micro_program.block_lens.sum() == total
+
+    def test_pcs_contiguous_within_blocks(self, micro_program):
+        for b in range(micro_program.num_blocks):
+            start = micro_program.block_offsets[b]
+            n = micro_program.block_lens[b]
+            pcs = micro_program.flat_pc[start : start + n]
+            assert np.array_equal(
+                np.diff(pcs), np.full(n - 1, INSTRUCTION_BYTES)
+            )
+
+    def test_pcs_globally_unique(self, micro_program):
+        pcs = micro_program.flat_pc
+        assert len(np.unique(pcs)) == len(pcs)
+
+    def test_block_pc_base_matches_flat(self, micro_program):
+        for b in range(micro_program.num_blocks):
+            offset = micro_program.block_offsets[b]
+            assert micro_program.flat_pc[offset] == micro_program.block_pc_base[b]
+
+    def test_phase_index(self, micro_program):
+        assert micro_program.phase_index("alpha") == 0
+        assert micro_program.phase_index("beta") == 1
+        with pytest.raises(KeyError):
+            micro_program.phase_index("gamma")
+
+    def test_memory_arrays_for_non_memory_are_benign(self, micro_program):
+        non_mem = micro_program.flat_op != int(OpClass.LOAD)
+        non_mem &= micro_program.flat_op != int(OpClass.STORE)
+        assert (micro_program.flat_mem_footprint[non_mem] == 1).all()
+
+
+class TestMixtureWeights:
+    def test_normalizes(self):
+        w = mixture_weights([1.0, 3.0])
+        assert w.tolist() == [0.25, 0.75]
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            mixture_weights([0.0, 0.0])

@@ -1,0 +1,53 @@
+"""Tests for the reduced-input technique."""
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.scale import Scale
+from repro.techniques.reduced import ReducedInputTechnique
+from repro.techniques.reference import ReferenceTechnique
+from repro.workloads.spec import get_workload
+
+SCALE = Scale(2)
+CONFIG = ARCH_CONFIGS[0]
+
+
+class TestReducedInput:
+    def test_rejects_reference(self):
+        with pytest.raises(ValueError):
+            ReducedInputTechnique("reference")
+
+    def test_display_names(self):
+        assert ReducedInputTechnique("small").permutation == "MinneSPEC small"
+        assert ReducedInputTechnique("test").permutation == "SPEC test"
+
+    def test_availability(self):
+        assert ReducedInputTechnique("small").is_available("gzip")
+        assert not ReducedInputTechnique("small").is_available("art")
+
+    def test_runs_reduced_workload(self):
+        workload = get_workload("gzip")  # reference
+        result = ReducedInputTechnique("test").run(workload, CONFIG, SCALE)
+        # The result's workload is the *reduced* one.
+        assert result.workload.input_set.name == "test"
+        assert result.detailed_instructions == len(result.workload.trace(SCALE))
+
+    def test_simulates_everything_in_detail(self):
+        workload = get_workload("gzip")
+        result = ReducedInputTechnique("small").run(workload, CONFIG, SCALE)
+        assert result.fastforward_instructions == 0
+        assert result.functional_warm_instructions == 0
+        assert result.regions[0] == (0, result.detailed_instructions)
+
+    def test_differs_from_reference(self):
+        scale = Scale(10)  # large enough to escape cold-start noise
+        workload = get_workload("mcf")
+        reference = ReferenceTechnique().run(workload, CONFIG, scale)
+        reduced = ReducedInputTechnique("test").run(workload, CONFIG, scale)
+        # mcf's reduced inputs are cache-resident: far lower CPI.
+        assert reduced.cpi < reference.cpi
+
+    def test_missing_input_raises(self):
+        workload = get_workload("art")
+        with pytest.raises(KeyError):
+            ReducedInputTechnique("small").run(workload, CONFIG, SCALE)

@@ -1,0 +1,74 @@
+"""Tests for the Table 1 permutation registry."""
+
+import pytest
+
+from repro.techniques.registry import (
+    FAMILIES,
+    all_permutations,
+    count_permutations,
+    ff_run_z_permutations,
+    ff_wu_run_z_permutations,
+    permutations_for_family,
+    reduced_permutations,
+    run_z_permutations,
+    simpoint_permutations,
+    smarts_permutations,
+)
+
+
+class TestCounts:
+    def test_table1_counts(self):
+        assert len(simpoint_permutations()) == 3
+        assert len(smarts_permutations()) == 9
+        assert len(run_z_permutations()) == 4
+        assert len(ff_run_z_permutations()) == 12
+        assert len(ff_wu_run_z_permutations()) == 36
+
+    def test_total_with_all_inputs(self):
+        # gzip and vortex ship all five reduced inputs: 69 permutations.
+        assert count_permutations("gzip") == 69
+        assert count_permutations("vortex") == 69
+
+    def test_total_shrinks_with_availability(self):
+        assert count_permutations("art") == 66  # only test/train
+        assert count_permutations("mcf") == 68
+
+    def test_figure6_simpoint_variant(self):
+        assert len(simpoint_permutations(include_single_10m=True)) == 4
+
+
+class TestPermutationStructure:
+    def test_ff_wu_sums_to_grid(self):
+        for technique in ff_wu_run_z_permutations():
+            assert technique.x_m + technique.y_m in (1000, 2000, 4000)
+
+    def test_unique_labels_per_family(self):
+        for family in FAMILIES:
+            permutations = permutations_for_family(family, "gzip")
+            labels = [p.permutation for p in permutations]
+            assert len(set(labels)) == len(labels)
+
+    def test_family_attribute_consistent(self):
+        for family in FAMILIES:
+            for technique in permutations_for_family(family, "gzip"):
+                assert technique.family == family
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            permutations_for_family("montecarlo")
+
+    def test_reduced_filtering(self):
+        names = {t.input_set for t in reduced_permutations("art")}
+        assert names == {"test", "train"}
+
+    def test_all_permutations_structure(self):
+        permutations = all_permutations("gzip")
+        assert set(permutations) == set(FAMILIES)
+
+    def test_smarts_grid(self):
+        pairs = {
+            (t.unit_instructions, t.warmup_instructions)
+            for t in smarts_permutations()
+        }
+        assert len(pairs) == 9
+        assert (1000, 2000) in pairs

@@ -1,0 +1,95 @@
+"""Tests for the SimPoint technique end-to-end."""
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.techniques.reference import ReferenceTechnique
+from repro.techniques.simpoint import SimPointTechnique
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+CONFIG = ARCH_CONFIGS[0]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_micro_workload(length_m=800, seed=21)
+
+
+class TestSelection:
+    def test_weights_sum_to_one(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        selection = technique.select(workload, TEST_SCALE)
+        assert sum(selection.weights) == pytest.approx(1.0)
+
+    def test_single_forces_k1(self, workload):
+        technique = SimPointTechnique(interval_m=100, max_k=1)
+        selection = technique.select(workload, TEST_SCALE)
+        assert selection.k == 1
+        assert len(selection.intervals) == 1
+
+    def test_multiple_detects_phases(self, workload):
+        # The micro workload has two phases: clustering should find
+        # more than one cluster with small intervals.
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        selection = technique.select(workload, TEST_SCALE)
+        assert selection.k >= 2
+
+    def test_regions_within_trace(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        selection = technique.select(workload, TEST_SCALE)
+        trace_length = len(workload.trace(TEST_SCALE))
+        for start, end in selection.regions(trace_length):
+            assert 0 <= start < end <= trace_length
+
+    def test_selection_deterministic(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        a = technique.select(workload, TEST_SCALE)
+        b = technique.select(workload, TEST_SCALE)
+        assert a.intervals == b.intervals
+        assert a.weights == b.weights
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimPointTechnique(interval_m=0, max_k=10)
+        with pytest.raises(ValueError):
+            SimPointTechnique(interval_m=10, max_k=0)
+
+
+class TestRun:
+    def test_estimates_reference_cpi(self, workload):
+        reference = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        technique = SimPointTechnique(interval_m=100, max_k=8, warmup_m=20)
+        result = technique.run(workload, CONFIG, TEST_SCALE)
+        assert result.cpi == pytest.approx(reference.cpi, rel=0.15)
+
+    def test_simulates_less_than_reference(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        result = technique.run(workload, CONFIG, TEST_SCALE)
+        assert result.detailed_instructions < len(workload.trace(TEST_SCALE))
+
+    def test_work_profile_accounts_whole_trace(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        result = technique.run(workload, CONFIG, TEST_SCALE)
+        assert result.profiled_instructions == len(workload.trace(TEST_SCALE))
+        assert result.functional_warm_instructions > 0
+
+    def test_regions_sorted_and_weighted(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        result = technique.run(workload, CONFIG, TEST_SCALE)
+        starts = [start for start, _ in result.regions]
+        assert starts == sorted(starts)
+        assert sum(result.weights) == pytest.approx(1.0)
+
+    def test_reusing_selection_is_consistent(self, workload):
+        technique = SimPointTechnique(interval_m=20, max_k=10)
+        selection = technique.select(workload, TEST_SCALE)
+        a = technique.run(workload, CONFIG, TEST_SCALE, selection=selection)
+        b = technique.run(workload, CONFIG, TEST_SCALE)
+        assert a.cpi == pytest.approx(b.cpi)
+
+    def test_permutation_labels(self):
+        assert SimPointTechnique(100, 1).permutation == "single 100M"
+        assert (
+            SimPointTechnique(10, 100).permutation == "multiple (max_k 100) 10M"
+        )

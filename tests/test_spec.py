@@ -1,0 +1,117 @@
+"""Tests for the ten benchmark models (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.scale import Scale
+from repro.workloads.inputs import INPUT_SET_NAMES
+from repro.workloads.spec import (
+    BENCHMARK_NAMES,
+    available_input_sets,
+    get_benchmark,
+    get_workload,
+)
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 10
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("linpack")
+
+    def test_benchmarks_cached(self):
+        assert get_benchmark("gzip") is get_benchmark("gzip")
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_builds(self, name):
+        benchmark = get_benchmark(name)
+        assert benchmark.program.num_blocks > 5
+        assert "reference" in benchmark.input_sets
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_input_sets_are_canonical(self, name):
+        for input_set in get_benchmark(name).input_sets:
+            assert input_set in INPUT_SET_NAMES
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_reference_long_enough_for_truncation(self, name):
+        # FF 4000M + Run 2000M must land inside every reference stream.
+        reference = get_benchmark(name).input_sets["reference"]
+        assert reference.length_m > 6000
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_reduced_inputs_shorter_and_smaller(self, name):
+        benchmark = get_benchmark(name)
+        reference = benchmark.input_sets["reference"]
+        for set_name, spec in benchmark.input_sets.items():
+            if set_name == "reference":
+                continue
+            assert spec.length_m < reference.length_m
+            assert spec.footprint_scale < reference.footprint_scale
+
+    def test_table2_availability(self):
+        # Spot-check the N/A pattern encoded from Table 2.
+        assert "medium" not in get_benchmark("mcf").input_sets
+        assert "small" not in get_benchmark("art").input_sets
+        assert "small" not in get_benchmark("equake").input_sets
+        assert "test" not in get_benchmark("perlbmk").input_sets
+        assert len(available_input_sets("gzip")) == 6
+        assert len(available_input_sets("vortex")) == 6
+
+
+class TestWorkloadConstruction:
+    def test_get_workload(self):
+        workload = get_workload("gzip", "test")
+        assert workload.benchmark == "gzip"
+        assert workload.input_set.name == "test"
+
+    def test_missing_input_set(self):
+        with pytest.raises(KeyError, match="no input set"):
+            get_workload("art", "small")
+
+    def test_trace_generation_small_scale(self):
+        scale = Scale(2)
+        trace = get_workload("gzip", "test").trace(scale)
+        assert len(trace) == scale.instructions(
+            get_benchmark("gzip").input_sets["test"].length_m
+        )
+
+
+class TestBenchmarkPersonalities:
+    """Structural checks of the per-benchmark descriptions."""
+
+    def test_gcc_has_many_phases(self):
+        assert len(get_benchmark("gcc").program.phases) >= 6
+
+    def test_art_is_homogeneous(self):
+        assert len(get_benchmark("art").program.phases) <= 2
+
+    def test_gcc_reference_schedule_interleaved(self):
+        fractions = get_benchmark("gcc").input_sets["reference"].phase_fractions
+        assert len(fractions) >= 20  # many short segments
+
+    def test_mcf_footprint_largest(self):
+        def max_footprint(name):
+            return int(get_benchmark(name).program.flat_mem_footprint.max())
+
+        assert max_footprint("mcf") > max_footprint("gzip")
+        assert max_footprint("mcf") > max_footprint("art")
+
+    def test_reduced_inputs_skew_schedules(self):
+        # gcc's small input only runs early compilation phases.
+        benchmark = get_benchmark("gcc")
+        small_phases = {name for name, _ in benchmark.input_sets["small"].phase_fractions}
+        reference_phases = {
+            name for name, _ in benchmark.input_sets["reference"].phase_fractions
+        }
+        assert small_phases < reference_phases
+
+    def test_programs_deterministic(self):
+        a = get_benchmark("gzip").program
+        get_benchmark.cache_clear()
+        b = get_benchmark("gzip").program
+        assert a.num_blocks == b.num_blocks
+        assert np.array_equal(a.flat_op, b.flat_op)
+        assert np.array_equal(a.flat_pc, b.flat_pc)

@@ -1,0 +1,57 @@
+"""Tests for weighted statistics combination (SimPoint/SMARTS math)."""
+
+import pytest
+
+from repro.cpu.stats import SimulationStats, combine_weighted
+
+
+def make_stats(instructions, cycles, branches=0, mispredictions=0):
+    stats = SimulationStats()
+    stats.instructions = instructions
+    stats.cycles = cycles
+    stats.branches = branches
+    stats.mispredictions = mispredictions
+    return stats
+
+
+class TestCombineWeighted:
+    def test_uniform_weights_average_cpi(self):
+        parts = [make_stats(100, 100), make_stats(100, 300)]
+        combined = combine_weighted(parts, [1.0, 1.0])
+        assert combined.cpi == pytest.approx(2.0)
+
+    def test_weights_bias_result(self):
+        parts = [make_stats(100, 100), make_stats(100, 300)]
+        combined = combine_weighted(parts, [0.9, 0.1])
+        assert combined.cpi == pytest.approx(0.9 * 1.0 + 0.1 * 3.0)
+
+    def test_single_part_identity(self):
+        part = make_stats(500, 1250, branches=50, mispredictions=5)
+        combined = combine_weighted([part], [1.0])
+        assert combined.cpi == pytest.approx(part.cpi)
+        assert combined.branch_accuracy == pytest.approx(part.branch_accuracy)
+
+    def test_rates_are_weighted_averages(self):
+        a = make_stats(100, 100, branches=10, mispredictions=0)
+        b = make_stats(100, 100, branches=10, mispredictions=10)
+        combined = combine_weighted([a, b], [0.5, 0.5])
+        assert combined.branch_accuracy == pytest.approx(0.5)
+
+    def test_different_part_lengths(self):
+        # CPI combines as a weighted average of per-part CPIs even when
+        # the parts have different lengths (SimPoint semantics).
+        a = make_stats(100, 200)  # CPI 2
+        b = make_stats(400, 400)  # CPI 1
+        combined = combine_weighted([a, b], [0.5, 0.5])
+        assert combined.cpi == pytest.approx(1.5, rel=0.01)
+
+    def test_empty(self):
+        assert combine_weighted([], []).instructions == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            combine_weighted([make_stats(1, 1)], [1.0, 2.0])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            combine_weighted([make_stats(1, 1)], [0.0])

@@ -1,0 +1,74 @@
+"""Tests for TechniqueResult (block profiles, labels, work profile)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.techniques import ReferenceTechnique, RunZ
+from repro.techniques.base import TechniqueResult
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+CONFIG = ARCH_CONFIGS[0]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_micro_workload(length_m=400, seed=77)
+
+
+class TestBlockProfile:
+    def test_reference_profile_covers_whole_trace(self, workload):
+        result = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        profile = result.block_profile(TEST_SCALE)
+        trace = workload.trace(TEST_SCALE)
+        assert profile.sum() == pytest.approx(len(trace))
+        assert len(profile) == trace.num_blocks
+
+    def test_truncated_profile_covers_region_only(self, workload):
+        result = RunZ(100).run(workload, CONFIG, TEST_SCALE)
+        profile = result.block_profile(TEST_SCALE)
+        assert profile.sum() == pytest.approx(TEST_SCALE.instructions(100))
+
+    def test_entries_profile_counts_block_entries(self, workload):
+        result = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        bbef = result.block_profile(TEST_SCALE, entries=True)
+        bbv = result.block_profile(TEST_SCALE)
+        # Each block entry executes at least one instruction.
+        assert (bbef <= bbv + 1e-9).all()
+        assert bbef.sum() > 0
+
+    def test_weighted_regions(self, workload):
+        reference = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        weighted = TechniqueResult(
+            family="x", permutation="y", workload=workload,
+            config_name="c", stats=reference.stats,
+            regions=[(0, 100), (100, 200)], weights=[1.0, 3.0],
+        )
+        profile = weighted.block_profile(TEST_SCALE)
+        trace = workload.trace(TEST_SCALE)
+        expected = (
+            1.0 * trace.block_execution_counts(0, 100)
+            + 3.0 * trace.block_execution_counts(100, 200)
+        )
+        assert np.allclose(profile, expected)
+
+    def test_no_regions_defaults_to_whole_trace(self, workload):
+        reference = ReferenceTechnique().run(workload, CONFIG, TEST_SCALE)
+        bare = TechniqueResult(
+            family="x", permutation="y", workload=workload,
+            config_name="c", stats=reference.stats,
+        )
+        assert bare.block_profile(TEST_SCALE).sum() == pytest.approx(
+            len(workload.trace(TEST_SCALE))
+        )
+
+
+class TestLabels:
+    def test_label_concatenates(self, workload):
+        result = RunZ(100).run(workload, CONFIG, TEST_SCALE)
+        assert result.label == "Run Z: Run 100M"
+
+    def test_repr_of_technique(self):
+        text = repr(RunZ(100))
+        assert "Run Z" in text

@@ -1,0 +1,93 @@
+"""Tests for Run Z, FF X + Run Z and FF X + WU Y + Run Z."""
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.techniques.truncated import FFRunZ, FFWURunZ, RunZ, _clamp_region
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+CONFIG = ARCH_CONFIGS[0]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_micro_workload(length_m=800, seed=3)
+
+
+class TestClamping:
+    def test_within_trace(self):
+        assert _clamp_region(1000, 100, 200) == (100, 200)
+
+    def test_end_clamped(self):
+        assert _clamp_region(150, 100, 200) == (100, 150)
+
+    def test_start_past_end_shifts_window(self):
+        start, end = _clamp_region(100, 500, 600)
+        assert 0 <= start < end <= 100
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            _clamp_region(0, 0, 0)
+
+
+class TestRunZ:
+    def test_measures_prefix(self, workload):
+        result = RunZ(100).run(workload, CONFIG, TEST_SCALE)
+        expected = TEST_SCALE.instructions(100)
+        assert result.regions == [(0, expected)]
+        assert result.stats.instructions == expected
+        assert result.fastforward_instructions == 0
+
+    def test_permutation_label(self):
+        assert RunZ(500).permutation == "Run 500M"
+
+    def test_invalid_z(self):
+        with pytest.raises(ValueError):
+            RunZ(0)
+
+    def test_longer_z_changes_estimate(self, workload):
+        short = RunZ(50).run(workload, CONFIG, TEST_SCALE)
+        long = RunZ(700).run(workload, CONFIG, TEST_SCALE)
+        assert short.cpi != long.cpi
+
+
+class TestFFRunZ:
+    def test_region_offset(self, workload):
+        result = FFRunZ(200, 100).run(workload, CONFIG, TEST_SCALE)
+        start = TEST_SCALE.instructions(200)
+        assert result.regions == [(start, start + TEST_SCALE.instructions(100))]
+        assert result.fastforward_instructions == start
+        assert result.warm_detailed_instructions == 0
+
+    def test_cold_state_after_ff(self, workload):
+        """FF leaves microarchitectural state cold: the same window
+        measured with warm-up must be faster."""
+        cold = FFRunZ(400, 100).run(workload, CONFIG, TEST_SCALE)
+        warm = FFWURunZ(300, 100, 100).run(workload, CONFIG, TEST_SCALE)
+        # Same measured region ([400M, 500M)) modulo warm-up.
+        assert warm.regions == cold.regions
+        assert warm.cpi < cold.cpi
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FFRunZ(0, 100)
+
+
+class TestFFWURunZ:
+    def test_work_profile(self, workload):
+        result = FFWURunZ(100, 50, 100).run(workload, CONFIG, TEST_SCALE)
+        assert result.warm_detailed_instructions == TEST_SCALE.instructions(50)
+        assert result.fastforward_instructions == TEST_SCALE.instructions(100)
+        assert result.detailed_instructions == TEST_SCALE.instructions(100)
+
+    def test_label(self):
+        technique = FFWURunZ(999, 1, 1000)
+        assert technique.permutation == "FF 999M + WU 1M + Run 1000M"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            FFWURunZ(100, 0, 100)
+
+    def test_families_distinct(self):
+        assert RunZ(1).family != FFRunZ(1, 1).family != FFWURunZ(1, 1, 1).family

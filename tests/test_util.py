@@ -1,0 +1,106 @@
+"""Tests for RNG streams and vector utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import child_rng, stream_seed
+from repro.util.vectors import (
+    euclidean_distance,
+    manhattan_distance,
+    normalize_vector,
+    rank_vector,
+)
+
+
+class TestStreamSeed:
+    def test_deterministic(self):
+        assert stream_seed(1, "a", "b") == stream_seed(1, "a", "b")
+
+    def test_distinct_names(self):
+        assert stream_seed(1, "a") != stream_seed(1, "b")
+
+    def test_distinct_roots(self):
+        assert stream_seed(1, "a") != stream_seed(2, "a")
+
+    def test_name_boundary_not_ambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stream_seed(1, "ab", "c") != stream_seed(1, "a", "bc")
+
+    def test_non_string_parts(self):
+        assert stream_seed(1, 5, 7) == stream_seed(1, "5", "7")
+
+    def test_range(self):
+        seed = stream_seed(12345, "x")
+        assert 0 <= seed < 2**63
+
+
+class TestChildRng:
+    def test_reproducible_draws(self):
+        a = child_rng(7, "stream").random(5)
+        b = child_rng(7, "stream").random(5)
+        assert np.array_equal(a, b)
+
+    def test_independent_streams(self):
+        a = child_rng(7, "one").random(5)
+        b = child_rng(7, "two").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestDistances:
+    def test_euclidean_basics(self):
+        assert euclidean_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_manhattan_basics(self):
+        assert manhattan_distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_zero_distance(self):
+        assert euclidean_distance([1, 2, 3], [1, 2, 3]) == 0.0
+        assert manhattan_distance([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance([1], [1, 2])
+        with pytest.raises(ValueError):
+            manhattan_distance([1], [1, 2])
+
+    def test_symmetry(self):
+        a, b = [1.5, -2.0, 7.0], [0.0, 4.0, -1.0]
+        assert euclidean_distance(a, b) == pytest.approx(euclidean_distance(b, a))
+        assert manhattan_distance(a, b) == pytest.approx(manhattan_distance(b, a))
+
+    def test_manhattan_at_least_euclidean(self):
+        a, b = [1.0, 2.0, 3.0], [4.0, 0.0, -2.0]
+        assert manhattan_distance(a, b) >= euclidean_distance(a, b)
+
+
+class TestNormalizeVector:
+    def test_basic(self):
+        out = normalize_vector([2.0, 6.0], [2.0, 3.0])
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_zero_reference_passthrough(self):
+        out = normalize_vector([5.0, 4.0], [0.0, 2.0])
+        assert out.tolist() == [5.0, 2.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalize_vector([1.0], [1.0, 2.0])
+
+
+class TestRankVector:
+    def test_simple(self):
+        # Largest magnitude gets rank 1.
+        assert rank_vector([0.5, -3.0, 1.0]) == [3, 1, 2]
+
+    def test_sign_ignored(self):
+        assert rank_vector([-10.0, 5.0]) == [1, 2]
+
+    def test_ties_broken_by_index(self):
+        assert rank_vector([2.0, 2.0, 2.0]) == [1, 2, 3]
+
+    def test_permutation_property(self):
+        ranks = rank_vector([0.1, 7.0, -2.0, 0.0, 3.3])
+        assert sorted(ranks) == [1, 2, 3, 4, 5]
+
+    def test_empty(self):
+        assert rank_vector([]) == []
