@@ -6,7 +6,7 @@ ablation measures CPI error for the full U x W grid on one benchmark.
 """
 
 from repro.cpu.config import ARCH_CONFIGS
-from repro.techniques.registry import smarts_permutations
+from repro.techniques.registry import permutations
 
 
 def test_smarts_uw_grid(benchmark, ctx, results_dir):
@@ -16,7 +16,7 @@ def test_smarts_uw_grid(benchmark, ctx, results_dir):
     def run():
         reference = ctx.reference(workload, config)
         rows = []
-        for technique in smarts_permutations():
+        for technique in permutations("SMARTS"):
             result = ctx.run(technique, workload, config)
             error = abs(result.cpi - reference.cpi) / reference.cpi
             rows.append((technique.permutation, error, result.runs))

@@ -6,9 +6,11 @@ cached across benches, mirroring how the study reused its simulations.
 
 Environment knobs:
 
-* ``REPRO_PROFILE`` = tiny | quick | full -- simulation scale,
-* ``REPRO_DEPTH``   = quick | standard | full -- permutations per family,
-* ``REPRO_FULL``    = 1 -- run all ten benchmarks instead of four.
+* ``REPRO_PROFILE``   = tiny | quick | full -- simulation scale,
+* ``REPRO_DEPTH``     = quick | standard | full -- permutations per family,
+* ``REPRO_FULL``      = 1 -- run all ten benchmarks instead of four,
+* ``REPRO_JOBS``      = N -- engine worker processes (default serial),
+* ``REPRO_CACHE_DIR`` = DIR -- persist results across harness runs.
 
 Each bench writes the regenerated table to ``results/<id>.txt``.
 """

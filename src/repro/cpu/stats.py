@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -67,6 +68,32 @@ class SimulationStats:
         if not self.il1_accesses:
             return 1.0
         return 1.0 - self.il1_misses / self.il1_accesses
+
+    def counters(self) -> Dict[str, int]:
+        """The raw counter fields only (no derived rates).
+
+        This is the serialization form: :meth:`from_dict` restores an
+        identical object from it, which :meth:`as_dict` (which mixes in
+        derived rates) cannot guarantee.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "SimulationStats":
+        """Rebuild stats from :meth:`counters` or :meth:`as_dict` output.
+
+        Derived-rate keys (``cpi``, ``ipc``, hit rates...) are ignored;
+        unknown keys are rejected so schema drift fails loudly.
+        """
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        derived = {
+            "cpi", "ipc", "branch_accuracy",
+            "dl1_hit_rate", "l2_hit_rate", "il1_hit_rate",
+        }
+        unknown = set(payload) - field_names - derived
+        if unknown:
+            raise ValueError(f"unknown SimulationStats keys: {sorted(unknown)}")
+        return cls(**{k: int(v) for k, v in payload.items() if k in field_names})
 
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary (counters plus derived rates) for reports."""

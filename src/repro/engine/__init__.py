@@ -1,0 +1,234 @@
+"""Parallel execution engine with a persistent result cache.
+
+The engine is the single entry point for running simulation
+techniques.  Experiments enumerate :class:`RunRequest` batches; the
+engine deduplicates them (:mod:`repro.engine.planner`), answers what it
+can from its in-process memo and the content-addressed on-disk store
+(:mod:`repro.engine.store`), executes the rest across a process pool
+with per-run retry (:mod:`repro.engine.executor`), and accounts for
+everything in :mod:`repro.engine.metrics` / ``engine-stats.json``.
+
+Typical use::
+
+    engine = Engine(scale=Scale(25), jobs=8, cache_dir="~/.cache/repro")
+    results = engine.run_many([RunRequest(technique, workload, config)])
+    engine.write_stats()          # <cache_dir>/engine-stats.json
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
+from repro.scale import Scale, default_scale
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.techniques.simpoint import SimPointTechnique
+from repro.workloads.inputs import Workload
+
+from repro.engine.executor import Executor, RunTask, execute_request
+from repro.engine.metrics import EngineMetrics, ProgressReporter
+from repro.engine.planner import RESULTS_EPOCH, Plan, RunRequest
+from repro.engine.store import SCHEMA_VERSION, ResultStore
+
+__all__ = [
+    "Engine",
+    "EngineMetrics",
+    "EngineRunError",
+    "Executor",
+    "Plan",
+    "ProgressReporter",
+    "RESULTS_EPOCH",
+    "ResultStore",
+    "RunRequest",
+    "SCHEMA_VERSION",
+    "default_jobs",
+    "execute_request",
+]
+
+#: Name of the machine-readable stats file written next to the cache.
+STATS_FILENAME = "engine-stats.json"
+
+
+def default_jobs() -> int:
+    """Worker count when none is requested: every available core."""
+    return os.cpu_count() or 1
+
+
+class EngineRunError(RuntimeError):
+    """One or more runs of a sweep failed (after retry).
+
+    The sweep itself completed: every other run's result was computed
+    and cached.  ``errors`` maps each failed run's description to the
+    exception that killed it.
+    """
+
+    def __init__(self, errors: Dict[str, BaseException]) -> None:
+        self.errors = errors
+        lines = [f"{len(errors)} run(s) failed:"]
+        lines.extend(f"  {name}: {exc!r}" for name, exc in errors.items())
+        super().__init__("\n".join(lines))
+
+
+class Engine:
+    """Job planner + parallel executor + persistent result store."""
+
+    def __init__(
+        self,
+        scale: Optional[Scale] = None,
+        jobs: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        progress: bool = False,
+        retries: int = 1,
+    ) -> None:
+        self.scale = scale if scale is not None else default_scale()
+        self.executor = Executor(jobs=jobs, retries=retries)
+        self.store = ResultStore(cache_dir) if cache_dir is not None else None
+        self.metrics = EngineMetrics()
+        self.reporter = ProgressReporter(enabled=progress)
+        self._memory: Dict[str, TechniqueResult] = {}
+        self._selections: Dict[tuple, object] = {}
+
+    @property
+    def jobs(self) -> int:
+        return self.executor.jobs
+
+    # -- public API --------------------------------------------------------------
+
+    def run(
+        self,
+        technique: SimulationTechnique,
+        workload: Workload,
+        config: ProcessorConfig,
+        enhancements: Enhancements = BASELINE,
+    ) -> TechniqueResult:
+        """Execute (or fetch) a single run."""
+        return self.run_many(
+            [RunRequest(technique, workload, config, enhancements)]
+        )[0]
+
+    def run_many(
+        self,
+        requests: Sequence[RunRequest],
+        allow_errors: bool = False,
+    ) -> List[TechniqueResult]:
+        """Execute a batch, deduplicated, cached and parallelized.
+
+        Results come back in submission order (duplicates share one
+        object).  If any run fails after its retry the whole sweep
+        still completes; the failures are then raised together as
+        :class:`EngineRunError` -- or, with ``allow_errors=True``,
+        returned as None in the failed slots.
+        """
+        batch_started = time.perf_counter()
+        plan = Plan.build(requests, self.scale)
+        self.metrics.runs_requested += plan.num_requested
+        self.metrics.runs_deduplicated += plan.num_requested - plan.num_unique
+
+        results: List[Optional[TechniqueResult]] = [None] * plan.num_unique
+        errors: Dict[int, BaseException] = {}
+        tasks: List[RunTask] = []
+        for slot, (request, key) in enumerate(zip(plan.unique, plan.keys)):
+            cached = self._memory.get(key)
+            if cached is not None:
+                self.metrics.memory_hits += 1
+                results[slot] = cached
+                continue
+            if self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self.metrics.cache_hits += 1
+                    self._memory[key] = stored
+                    results[slot] = stored
+                    continue
+            tasks.append(
+                RunTask(slot=slot, request=request, selection=self._selection_for(request))
+            )
+
+        completed = plan.num_unique - len(tasks)
+
+        def on_success(slot: int, result: TechniqueResult, wall: float) -> None:
+            nonlocal completed
+            completed += 1
+            key = plan.keys[slot]
+            results[slot] = result
+            self._memory[key] = result
+            if self.store is not None:
+                self.store.put(key, result)
+            self.metrics.record_execution(
+                result.family, wall, _instructions_simulated(result)
+            )
+            self.reporter.update(completed, plan.num_unique, self.metrics)
+
+        def on_failure(slot: int, request: RunRequest, exc: BaseException) -> None:
+            nonlocal completed
+            completed += 1
+            errors[slot] = exc
+            self.metrics.failures += 1
+            self.reporter.update(completed, plan.num_unique, self.metrics)
+
+        def on_retry() -> None:
+            self.metrics.retries += 1
+
+        if tasks:
+            self.executor.run(tasks, self.scale, on_success, on_failure, on_retry)
+        self.metrics.batch_time_s += time.perf_counter() - batch_started
+        self.reporter.batch_summary(self.metrics)
+
+        if errors and not allow_errors:
+            raise EngineRunError(
+                {plan.unique[slot].describe(): exc for slot, exc in errors.items()}
+            )
+        return plan.gather(results)
+
+    def write_stats(self, path: Optional[os.PathLike] = None) -> Optional[Path]:
+        """Write ``engine-stats.json``; defaults into the cache dir."""
+        if path is None:
+            if self.store is None:
+                return None
+            path = self.store.root / STATS_FILENAME
+        path = Path(path)
+        self.metrics.write_json(
+            path,
+            extra={
+                "scale": self.scale.instructions_per_m,
+                "jobs": self.jobs,
+                "cache_dir": str(self.store.root) if self.store else None,
+                "results_epoch": RESULTS_EPOCH,
+                "schema_version": SCHEMA_VERSION,
+            },
+        )
+        return path
+
+    # -- internals ---------------------------------------------------------------
+
+    def _selection_for(self, request: RunRequest) -> Optional[object]:
+        """SimPoint's config-independent selection, computed once per
+        (workload, permutation) in the parent so the PB design's 44+
+        configurations -- and every pool worker -- share it."""
+        technique = request.technique
+        if not isinstance(technique, SimPointTechnique):
+            return None
+        key = (
+            request.workload.benchmark,
+            request.workload.input_set.name,
+            request.workload.seed,
+            self.scale.instructions_per_m,
+            technique.permutation,
+        )
+        selection = self._selections.get(key)
+        if selection is None:
+            selection = technique.select(request.workload, self.scale)
+            self._selections[key] = selection
+        return selection
+
+
+def _instructions_simulated(result: TechniqueResult) -> int:
+    """Work actually performed by the machine model for one run."""
+    return (
+        result.detailed_instructions
+        + result.warm_detailed_instructions
+        + result.functional_warm_instructions
+    )

@@ -1,0 +1,172 @@
+"""Run execution: serial fallback and process-pool parallelism.
+
+Workers receive fully pickled ``(technique, workload, config,
+enhancements, scale)`` tuples and return the finished
+:class:`TechniqueResult`, so a run's outcome cannot depend on which
+process executed it -- parallel sweeps are bit-for-bit identical to
+serial ones.  A failed run (an exception in the worker, or a worker
+process dying and breaking the pool) is retried exactly once, in the
+parent process so the retry is isolated from whatever broke the pool;
+a second failure is reported per-run without aborting the sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.scale import Scale
+from repro.techniques.base import TechniqueResult
+from repro.techniques.simpoint import SimPointTechnique
+
+from repro.engine.planner import RunRequest
+
+#: Upper bound on queued-but-unsubmitted work per worker; keeps the
+#: submission loop from pickling thousands of workloads up front.
+_BACKLOG_PER_WORKER = 4
+
+
+@dataclass
+class RunTask:
+    """One unique run, tagged with its slot in the plan."""
+
+    slot: int
+    request: RunRequest
+    selection: Optional[object] = None  # precomputed SimPoint selection
+
+
+def execute_request(
+    request: RunRequest, scale: Scale, selection: Optional[object] = None
+) -> TechniqueResult:
+    """Execute one run (the single code path shared by every mode)."""
+    technique = request.technique
+    if isinstance(technique, SimPointTechnique):
+        if selection is None:
+            selection = technique.select(request.workload, scale)
+        return technique.run(
+            request.workload,
+            request.config,
+            scale,
+            enhancements=request.enhancements,
+            selection=selection,
+        )
+    return technique.run(
+        request.workload, request.config, scale, enhancements=request.enhancements
+    )
+
+
+def _worker(task: RunTask, scale: Scale):
+    started = time.perf_counter()
+    result = execute_request(task.request, scale, task.selection)
+    return task.slot, result, time.perf_counter() - started
+
+
+#: Callback signatures: success(slot, result, wall_seconds) and
+#: failure(slot, request, exception).
+SuccessCallback = Callable[[int, TechniqueResult, float], None]
+FailureCallback = Callable[[int, RunRequest, BaseException], None]
+
+
+class Executor:
+    """Executes tasks with ``jobs`` worker processes (1 = in-process)."""
+
+    def __init__(self, jobs: int = 1, retries: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.jobs = jobs
+        self.retries = retries
+
+    # -- shared retry path -------------------------------------------------------
+
+    def _attempt_inline(
+        self,
+        task: RunTask,
+        scale: Scale,
+        attempts_left: int,
+        on_success: SuccessCallback,
+        on_failure: FailureCallback,
+        on_retry: Callable[[], None],
+    ) -> None:
+        while True:
+            try:
+                slot, result, wall = _worker(task, scale)
+            except Exception as exc:
+                if attempts_left > 0:
+                    attempts_left -= 1
+                    on_retry()
+                    continue
+                on_failure(task.slot, task.request, exc)
+                return
+            on_success(slot, result, wall)
+            return
+
+    # -- execution modes ---------------------------------------------------------
+
+    def run(
+        self,
+        tasks: Sequence[RunTask],
+        scale: Scale,
+        on_success: SuccessCallback,
+        on_failure: FailureCallback,
+        on_retry: Callable[[], None],
+    ) -> None:
+        """Execute every task, dispatching each callback exactly once."""
+        if self.jobs == 1 or len(tasks) <= 1:
+            for task in tasks:
+                self._attempt_inline(
+                    task, scale, self.retries, on_success, on_failure, on_retry
+                )
+            return
+        self._run_parallel(tasks, scale, on_success, on_failure, on_retry)
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[RunTask],
+        scale: Scale,
+        on_success: SuccessCallback,
+        on_failure: FailureCallback,
+        on_retry: Callable[[], None],
+    ) -> None:
+        workers = min(self.jobs, len(tasks))
+        backlog = workers * _BACKLOG_PER_WORKER
+        queue: List[RunTask] = list(tasks)
+        retry_queue: List[RunTask] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            while queue or futures:
+                while queue and len(futures) < backlog:
+                    task = queue.pop(0)
+                    try:
+                        futures[pool.submit(_worker, task, scale)] = task
+                    except RuntimeError:
+                        # Pool broken mid-submission: fall back to the
+                        # retry path for everything not yet submitted.
+                        retry_queue.append(task)
+                        retry_queue.extend(queue)
+                        queue = []
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = futures.pop(future)
+                    try:
+                        slot, result, wall = future.result()
+                    except Exception:
+                        # Worker exception or a died worker (which also
+                        # poisons sibling futures): retry in-parent.
+                        retry_queue.append(task)
+                    else:
+                        on_success(slot, result, wall)
+        for task in retry_queue:
+            if self.retries > 0:
+                on_retry()
+                self._attempt_inline(
+                    task, scale, self.retries - 1, on_success, on_failure,
+                    on_retry,
+                )
+            else:
+                self._attempt_inline(
+                    task, scale, 0, on_success, on_failure, on_retry
+                )

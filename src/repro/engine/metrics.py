@@ -1,0 +1,148 @@
+"""Engine observability: run counters, throughput, progress streaming.
+
+:class:`EngineMetrics` accumulates over an engine's lifetime and
+serializes to the machine-readable ``engine-stats.json``;
+:class:`ProgressReporter` streams human-readable progress lines to
+stderr while a sweep runs.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, TextIO
+
+
+@dataclass
+class FamilyMetrics:
+    """Per-technique-family execution totals."""
+
+    runs: int = 0
+    wall_time_s: float = 0.0
+    instructions: int = 0
+
+
+@dataclass
+class EngineMetrics:
+    """Counters for one engine's lifetime (possibly many batches)."""
+
+    runs_requested: int = 0     # requests submitted, before dedup
+    runs_deduplicated: int = 0  # requests collapsed onto an identical run
+    memory_hits: int = 0        # unique runs answered by the in-process cache
+    cache_hits: int = 0         # unique runs answered by the persistent store
+    runs_launched: int = 0      # unique runs actually executed
+    retries: int = 0            # runs re-executed after a worker failure
+    failures: int = 0           # runs that failed even after retry
+    wall_time_s: float = 0.0    # sum of per-run execution wall time
+    batch_time_s: float = 0.0   # end-to-end run_many() wall time
+    instructions: int = 0       # instructions simulated (detailed + warm)
+    per_family: Dict[str, FamilyMetrics] = field(default_factory=dict)
+
+    def record_execution(self, family: str, wall: float, instructions: int) -> None:
+        self.runs_launched += 1
+        self.wall_time_s += wall
+        self.instructions += instructions
+        bucket = self.per_family.setdefault(family, FamilyMetrics())
+        bucket.runs += 1
+        bucket.wall_time_s += wall
+        bucket.instructions += instructions
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.instructions / self.wall_time_s
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of unique runs served from any cache layer."""
+        served = self.memory_hits + self.cache_hits + self.runs_launched
+        if not served:
+            return 0.0
+        return (self.memory_hits + self.cache_hits) / served
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "runs_requested": self.runs_requested,
+            "runs_deduplicated": self.runs_deduplicated,
+            "memory_hits": self.memory_hits,
+            "cache_hits": self.cache_hits,
+            "runs_launched": self.runs_launched,
+            "retries": self.retries,
+            "failures": self.failures,
+            "hit_rate": self.hit_rate,
+            "wall_time_s": self.wall_time_s,
+            "batch_time_s": self.batch_time_s,
+            "instructions": self.instructions,
+            "instructions_per_second": self.instructions_per_second,
+            "per_family": {
+                family: {
+                    "runs": bucket.runs,
+                    "wall_time_s": bucket.wall_time_s,
+                    "instructions": bucket.instructions,
+                }
+                for family, bucket in sorted(self.per_family.items())
+            },
+        }
+
+    def write_json(self, path: Path, extra: Optional[Dict[str, object]] = None) -> None:
+        """Write ``engine-stats.json`` (snapshot plus engine context)."""
+        document = self.snapshot()
+        if extra:
+            document.update(extra)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+class ProgressReporter:
+    """Throttled progress lines on stderr.
+
+    Silent when disabled; otherwise prints at most one line per
+    ``min_interval`` seconds plus a final per-batch summary, so a
+    thousand-run sweep does not flood the terminal.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+    ) -> None:
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_emit = 0.0
+
+    def _emit(self, text: str) -> None:
+        print(f"[engine] {text}", file=self.stream, flush=True)
+
+    def update(self, done: int, total: int, metrics: EngineMetrics) -> None:
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if done < total and now - self._last_emit < self.min_interval:
+            return
+        self._last_emit = now
+        self._emit(
+            f"{done}/{total} runs "
+            f"(cache {metrics.cache_hits + metrics.memory_hits}, "
+            f"executed {metrics.runs_launched}, failures {metrics.failures})"
+        )
+
+    def batch_summary(self, metrics: EngineMetrics) -> None:
+        if not self.enabled:
+            return
+        self._emit(
+            f"batch done: {metrics.runs_requested} requested, "
+            f"{metrics.runs_deduplicated} deduplicated, "
+            f"{metrics.memory_hits} memory hits, "
+            f"{metrics.cache_hits} cache hits, "
+            f"{metrics.runs_launched} executed "
+            f"({metrics.retries} retries, {metrics.failures} failures), "
+            f"{metrics.instructions} instructions at "
+            f"{metrics.instructions_per_second:,.0f} instr/s"
+        )

@@ -1,0 +1,105 @@
+"""Job planning: enumerate, deduplicate and key simulation runs.
+
+A :class:`RunRequest` names one technique execution -- the same tuple
+``ExperimentContext`` historically hashed for its in-memory cache.
+:class:`Plan` deduplicates a request sequence while remembering where
+each original request came from, so the engine executes every distinct
+run exactly once and still returns results in submission order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique
+from repro.workloads.inputs import Workload
+
+#: Bump when a change to the simulator, techniques or workloads alters
+#: results without altering any request parameter: it invalidates every
+#: persisted cache entry at once.
+RESULTS_EPOCH = 1
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One (technique, workload, config, enhancements) execution."""
+
+    technique: SimulationTechnique
+    workload: Workload
+    config: ProcessorConfig
+    enhancements: Enhancements = BASELINE
+
+    def describe(self) -> str:
+        return (
+            f"{self.technique.family}: {self.technique.permutation} on "
+            f"{self.workload.name} @ {self.config.name}"
+            f" [{self.enhancements.label}]"
+        )
+
+    def content_key(self, scale: Scale) -> str:
+        """Stable content hash identifying this run at ``scale``.
+
+        Hashes the *values* of every input -- full config fields, the
+        technique's constructor parameters, workload identity, scale
+        and a results-epoch version -- so renaming a config or tuning a
+        technique knob can never alias a stale cache entry.
+        """
+        document = {
+            "epoch": RESULTS_EPOCH,
+            "scale": scale.instructions_per_m,
+            "workload": {
+                "benchmark": self.workload.benchmark,
+                "input_set": self.workload.input_set.name,
+                "seed": self.workload.seed,
+            },
+            "technique": self.technique.signature(),
+            "config": dataclasses.asdict(self.config),
+            "enhancements": dataclasses.asdict(self.enhancements),
+        }
+        canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class Plan:
+    """Deduplicated execution plan for a request sequence."""
+
+    #: One entry per *distinct* run, in first-appearance order.
+    unique: List[RunRequest] = field(default_factory=list)
+    #: Content key of each entry of :attr:`unique`.
+    keys: List[str] = field(default_factory=list)
+    #: For each original request, the index into :attr:`unique`.
+    slots: List[int] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, requests: Sequence[RunRequest], scale: Scale) -> "Plan":
+        plan = cls()
+        seen: Dict[str, int] = {}
+        for request in requests:
+            key = request.content_key(scale)
+            slot = seen.get(key)
+            if slot is None:
+                slot = len(plan.unique)
+                seen[key] = slot
+                plan.unique.append(request)
+                plan.keys.append(key)
+            plan.slots.append(slot)
+        return plan
+
+    @property
+    def num_requested(self) -> int:
+        return len(self.slots)
+
+    @property
+    def num_unique(self) -> int:
+        return len(self.unique)
+
+    def gather(self, unique_results: Sequence[object]) -> List[object]:
+        """Expand per-unique-run results back to submission order."""
+        return [unique_results[slot] for slot in self.slots]

@@ -1,0 +1,84 @@
+"""Persistent, content-addressed result store.
+
+Layout (one JSON file per run, sharded on the key prefix to keep
+directories small)::
+
+    <root>/v<schema>/<key[:2]>/<key>.json
+
+The key is :meth:`RunRequest.content_key` -- a hash over every input
+that can change the result, plus :data:`~repro.engine.planner.RESULTS_EPOCH`.
+Simulator changes are invalidated by bumping the epoch; schema changes
+(the payload format itself) by bumping :data:`SCHEMA_VERSION`, which
+moves the store to a fresh subdirectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.techniques.base import TechniqueResult
+
+#: Version of the on-disk payload format.
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """Directory of serialized :class:`TechniqueResult` payloads."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+
+    @property
+    def directory(self) -> Path:
+        """The schema-versioned subdirectory entries live in."""
+        return self.root / f"v{SCHEMA_VERSION}"
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[TechniqueResult]:
+        """The stored result for ``key``, or None.
+
+        Unreadable or truncated entries (e.g. a crash mid-write from an
+        older layout) count as misses, never as errors.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return TechniqueResult.from_payload(payload)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, result: TechniqueResult) -> None:
+        """Persist ``result`` under ``key`` (atomic per entry)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(result.to_payload(), sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.json"))

@@ -5,17 +5,44 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments table2 figure7
     python -m repro.experiments figure1 --benchmarks gcc,mcf --depth quick
-    python -m repro.experiments all
+    python -m repro.experiments figure1 --jobs 8 --cache-dir ~/.cache/repro
+    python -m repro.experiments all --full
+
+Engine options resolve as flag > environment variable > default:
+
+==============  ==================  =========================
+flag            environment         default
+==============  ==================  =========================
+``--full``      ``REPRO_FULL``      four default benchmarks
+``--depth``     ``REPRO_DEPTH``     ``standard``
+``--jobs``      ``REPRO_JOBS``      all CPU cores
+``--cache-dir`` ``REPRO_CACHE_DIR`` no persistent cache
+``--profile``   ``REPRO_PROFILE``   ``tiny``
+==============  ==================  =========================
+
+``--no-cache`` disables the persistent cache even when a directory is
+configured.  When a cache directory is active, engine metrics are
+written to ``<cache-dir>/engine-stats.json`` after the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
+from repro.engine import default_jobs
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
 from repro.experiments import figure7, section52, survey, tables
-from repro.experiments.common import ExperimentContext, default_benchmarks
+from repro.experiments.common import (
+    FULL_ENV_VAR,
+    JOBS_ENV_VAR,
+    ExperimentContext,
+    default_benchmarks,
+    default_cache_dir,
+    default_depth,
+)
 from repro.scale import default_scale, scale_from_profile
 
 EXPERIMENTS = {
@@ -33,6 +60,16 @@ EXPERIMENTS = {
     "section52-architectural": section52.run_architectural,
     "survey": survey.run,
 }
+
+
+def _resolved_jobs(flag_value: int | None) -> int:
+    """--jobs > $REPRO_JOBS > every available core."""
+    if flag_value is not None:
+        return flag_value
+    env = os.environ.get(JOBS_ENV_VAR)
+    if env:
+        return int(env)
+    return default_jobs()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -53,14 +90,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--depth",
-        default="standard",
+        default=None,
         choices=("quick", "standard", "full"),
-        help="permutations per technique family",
+        help="permutations per technique family "
+        "(default: $REPRO_DEPTH or standard)",
     )
     parser.add_argument(
         "--benchmarks",
         default=None,
         help="comma-separated benchmark subset",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        default=None,
+        help=f"run all ten benchmarks (default: ${FULL_ENV_VAR} or the "
+        "four default benchmarks); --benchmarks wins over --full",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"worker processes (default: ${JOBS_ENV_VAR} or all cores); "
+        "1 = serial",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache directory "
+        "(default: $REPRO_CACHE_DIR or no persistent cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent result cache even if configured",
     )
     args = parser.parse_args(argv)
 
@@ -74,20 +139,50 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; try 'list'")
 
+    try:
+        jobs = _resolved_jobs(args.jobs)
+    except ValueError:
+        parser.error(
+            f"${JOBS_ENV_VAR} must be an integer "
+            f"(got {os.environ.get(JOBS_ENV_VAR)!r})"
+        )
+    if jobs < 1:
+        parser.error("--jobs must be >= 1")
+    cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    if args.no_cache:
+        cache_dir = None
+
     scale = (
         scale_from_profile(args.profile) if args.profile else default_scale()
     )
     benchmarks = (
         tuple(args.benchmarks.split(",")) if args.benchmarks
-        else default_benchmarks()
+        else default_benchmarks(args.full)
     )
     context = ExperimentContext(
-        scale=scale, benchmarks=benchmarks, depth=args.depth
+        scale=scale,
+        benchmarks=benchmarks,
+        depth=args.depth or default_depth(),
+        jobs=jobs,
+        cache_dir=cache_dir,
+        progress=sys.stderr.isatty(),
     )
     for name in names:
         report = EXPERIMENTS[name](context)
         print(report.render())
         print()
+    stats_path = context.engine.write_stats()
+    metrics = context.engine.metrics
+    if metrics.runs_requested:
+        summary = (
+            f"[engine] {metrics.runs_requested} runs requested, "
+            f"{metrics.runs_launched} executed, "
+            f"{metrics.cache_hits} cache hits "
+            f"({metrics.hit_rate:.0%} served from cache)"
+        )
+        if stats_path is not None:
+            summary += f"; stats: {stats_path}"
+        print(summary, file=sys.stderr)
     return 0
 
 

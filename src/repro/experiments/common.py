@@ -1,39 +1,76 @@
-"""Shared experiment infrastructure: context, caching, report format."""
+"""Shared experiment infrastructure: context, engine binding, report format.
+
+The :class:`ExperimentContext` no longer simulates anything itself: it
+plans :class:`~repro.engine.RunRequest` batches and hands them to a
+:class:`~repro.engine.Engine`, which deduplicates, answers from its
+in-memory/persistent caches, and executes the remainder -- across a
+process pool when ``jobs > 1``.  ``run_many`` is the canonical batch
+entry point; ``run`` is a thin single-request wrapper kept for
+convenience and backwards compatibility.
+"""
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
+from repro.engine import Engine, RunRequest
 from repro.scale import Scale, default_scale
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.reference import ReferenceTechnique
-from repro.techniques.registry import (
-    ff_run_z_permutations,
-    ff_wu_run_z_permutations,
-    reduced_permutations,
-    run_z_permutations,
-    simpoint_permutations,
-    smarts_permutations,
-)
-from repro.techniques.simpoint import SimPointTechnique
+from repro.techniques.registry import FAMILIES, permutations
 from repro.workloads.inputs import Workload
 from repro.workloads.spec import BENCHMARK_NAMES, get_workload
 
-#: Environment variable requesting the full 10-benchmark, all-permutation
-#: experiment sweep (expensive).
+#: Environment variable requesting the full 10-benchmark sweep
+#: (fallback for the ``--full`` CLI flag; the flag wins).
 FULL_ENV_VAR = "REPRO_FULL"
+
+#: Environment fallbacks for the engine CLI flags (flag > env > default).
+JOBS_ENV_VAR = "REPRO_JOBS"
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+DEPTH_ENV_VAR = "REPRO_DEPTH"
 
 #: Benchmarks used by default (the paper's most-discussed cases).
 DEFAULT_BENCHMARKS = ("gzip", "gcc", "art", "mcf")
 
 
-def default_benchmarks() -> Tuple[str, ...]:
-    if os.environ.get(FULL_ENV_VAR):
-        return BENCHMARK_NAMES
-    return DEFAULT_BENCHMARKS
+def default_benchmarks(full: Optional[bool] = None) -> Tuple[str, ...]:
+    """The benchmark tuple: all ten when ``full`` (or $REPRO_FULL)."""
+    if full is None:
+        full = bool(os.environ.get(FULL_ENV_VAR))
+    return BENCHMARK_NAMES if full else DEFAULT_BENCHMARKS
+
+
+def default_depth() -> str:
+    """Permutation depth from ``$REPRO_DEPTH`` (default ``standard``)."""
+    return os.environ.get(DEPTH_ENV_VAR, "standard")
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Persistent cache directory from ``$REPRO_CACHE_DIR``, if set."""
+    value = os.environ.get(CACHE_DIR_ENV_VAR)
+    return Path(value) if value else None
+
+
+def default_context_jobs() -> int:
+    """Worker processes from ``$REPRO_JOBS`` (default 1 = serial).
+
+    Library contexts stay serial unless asked; the CLI defaults to all
+    cores instead (see :mod:`repro.experiments.__main__`).
+    """
+    value = os.environ.get(JOBS_ENV_VAR)
+    if not value:
+        return 1
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"${JOBS_ENV_VAR} must be an integer, got {value!r}"
+        ) from None
 
 
 @dataclass
@@ -43,26 +80,53 @@ class ExperimentContext:
     ``depth`` selects how many permutations per technique family are
     simulated: ``quick`` uses one representative permutation per
     family, ``standard`` a small spread, ``full`` all of Table 1.
+    ``jobs`` sets the engine's worker-process count and ``cache_dir``
+    its persistent result store (None = in-memory caching only).
     """
 
     scale: Scale = field(default_factory=default_scale)
     benchmarks: Tuple[str, ...] = field(default_factory=default_benchmarks)
-    depth: str = "standard"
+    depth: str = field(default_factory=default_depth)
     seed: int = 1234
+    jobs: int = field(default_factory=default_context_jobs)
+    cache_dir: Optional[Path] = field(default_factory=default_cache_dir)
+    progress: bool = False
 
-    _run_cache: Dict[tuple, TechniqueResult] = field(default_factory=dict, repr=False)
-    _selection_cache: Dict[tuple, object] = field(default_factory=dict, repr=False)
+    #: The engine executing this context's runs; built from the fields
+    #: above unless injected.
+    engine: Optional[Engine] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.depth not in ("quick", "standard", "full"):
             raise ValueError("depth must be quick, standard or full")
+        if self.engine is None:
+            self.engine = Engine(
+                scale=self.scale,
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
+                progress=self.progress,
+            )
 
     # -- workloads ---------------------------------------------------------------
 
     def workload(self, benchmark: str, input_set: str = "reference") -> Workload:
         return get_workload(benchmark, input_set, seed=self.seed)
 
-    # -- cached technique execution ------------------------------------------------
+    # -- engine-backed technique execution -----------------------------------------
+
+    def run_many(
+        self,
+        requests: Sequence[RunRequest],
+        allow_errors: bool = False,
+    ) -> List[TechniqueResult]:
+        """Execute a batch of runs through the engine.
+
+        This is the canonical entry point: the engine deduplicates the
+        batch, serves cached runs, executes the rest (in parallel when
+        the context has ``jobs > 1``) and returns results in submission
+        order.  See :meth:`repro.engine.Engine.run_many`.
+        """
+        return self.engine.run_many(requests, allow_errors=allow_errors)
 
     def run(
         self,
@@ -72,52 +136,9 @@ class ExperimentContext:
         enhancements: Enhancements = BASELINE,
     ) -> TechniqueResult:
         """Run (or fetch from cache) one technique at one configuration."""
-        key = (
-            workload.benchmark,
-            workload.input_set.name,
-            workload.seed,
-            self.scale.instructions_per_m,
-            technique.family,
-            technique.permutation,
-            config.name,
-            enhancements.label,
-        )
-        cached = self._run_cache.get(key)
-        if cached is not None:
-            return cached
-        result = self._run_technique(technique, workload, config, enhancements)
-        self._run_cache[key] = result
-        return result
-
-    def _run_technique(
-        self,
-        technique: SimulationTechnique,
-        workload: Workload,
-        config: ProcessorConfig,
-        enhancements: Enhancements,
-    ) -> TechniqueResult:
-        if isinstance(technique, SimPointTechnique):
-            # SimPoint's selection is configuration-independent: compute
-            # it once per (workload, permutation) and reuse across the
-            # PB design's 44+ configurations.
-            sel_key = (
-                workload.benchmark,
-                workload.input_set.name,
-                workload.seed,
-                self.scale.instructions_per_m,
-                technique.permutation,
-            )
-            selection = self._selection_cache.get(sel_key)
-            if selection is None:
-                selection = technique.select(workload, self.scale)
-                self._selection_cache[sel_key] = selection
-            return technique.run(
-                workload, config, self.scale,
-                enhancements=enhancements, selection=selection,
-            )
-        return technique.run(
-            workload, config, self.scale, enhancements=enhancements
-        )
+        return self.run_many(
+            [RunRequest(technique, workload, config, enhancements)]
+        )[0]
 
     def reference(
         self,
@@ -131,32 +152,26 @@ class ExperimentContext:
 
     def family_permutations(self, benchmark: str) -> Dict[str, List[SimulationTechnique]]:
         """Technique permutations per family at the context's depth."""
+        full = {family: permutations(family, benchmark) for family in FAMILIES}
         if self.depth == "full":
-            return {
-                "SimPoint": simpoint_permutations(),
-                "SMARTS": smarts_permutations(),
-                "Reduced": reduced_permutations(benchmark),
-                "Run Z": run_z_permutations(),
-                "FF+Run Z": ff_run_z_permutations(),
-                "FF+WU+Run Z": ff_wu_run_z_permutations(),
-            }
+            return full
         if self.depth == "standard":
             return {
-                "SimPoint": simpoint_permutations(),
-                "SMARTS": [smarts_permutations()[i] for i in (1, 4, 8)],
-                "Reduced": reduced_permutations(benchmark)[:3],
-                "Run Z": [run_z_permutations()[i] for i in (0, 3)],
-                "FF+Run Z": [ff_run_z_permutations()[i] for i in (1, 7)],
-                "FF+WU+Run Z": [ff_wu_run_z_permutations()[i] for i in (6, 30)],
+                "SimPoint": full["SimPoint"],
+                "SMARTS": [full["SMARTS"][i] for i in (1, 4, 8)],
+                "Reduced": full["Reduced"][:3],
+                "Run Z": [full["Run Z"][i] for i in (0, 3)],
+                "FF+Run Z": [full["FF+Run Z"][i] for i in (1, 7)],
+                "FF+WU+Run Z": [full["FF+WU+Run Z"][i] for i in (6, 30)],
             }
         # quick
         return {
-            "SimPoint": [simpoint_permutations()[1]],
-            "SMARTS": [smarts_permutations()[4]],
-            "Reduced": reduced_permutations(benchmark)[-1:],
-            "Run Z": [run_z_permutations()[1]],
-            "FF+Run Z": [ff_run_z_permutations()[5]],
-            "FF+WU+Run Z": [ff_wu_run_z_permutations()[18]],
+            "SimPoint": [full["SimPoint"][1]],
+            "SMARTS": [full["SMARTS"][4]],
+            "Reduced": full["Reduced"][-1:],
+            "Run Z": [full["Run Z"][1]],
+            "FF+Run Z": [full["FF+Run Z"][5]],
+            "FF+WU+Run Z": [full["FF+WU+Run Z"][18]],
         }
 
 
@@ -179,21 +194,38 @@ class ExperimentReport:
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Plain-text table with aligned columns."""
+    """Plain-text table with aligned columns.
+
+    Columns whose every value is numeric are right-aligned, so digit
+    columns (CPI, errors, distances) line up on the decimal side.
+    """
     def fmt(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.4g}"
         return str(value)
 
+    def is_number(value: object) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
     table = [[fmt(v) for v in row] for row in rows]
+    numeric = [
+        bool(rows) and all(is_number(row[i]) for row in rows)
+        for i in range(len(headers))
+    ]
     widths = [len(h) for h in headers]
     for row in table:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
+
+    def align(cell: str, i: int) -> str:
+        if numeric[i]:
+            return cell.rjust(widths[i])
+        return cell.ljust(widths[i])
+
     lines = [
-        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join(align(h, i) for i, h in enumerate(headers)),
         "  ".join("-" * w for w in widths),
     ]
     for row in table:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        lines.append("  ".join(align(cell, i) for i, cell in enumerate(row)))
     return "\n".join(lines)

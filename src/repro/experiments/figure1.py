@@ -11,18 +11,42 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from typing import List
+
 from repro.characterization.bottleneck import (
     BottleneckResult,
     bottleneck_ranks,
     normalized_rank_distance,
 )
 from repro.characterization.plackett_burman import PlackettBurmanDesign
+from repro.engine import RunRequest
 from repro.experiments.common import ExperimentContext, ExperimentReport
 from repro.techniques.base import SimulationTechnique
 from repro.techniques.reference import ReferenceTechnique
 from repro.workloads.inputs import Workload
 
 _DESIGN = PlackettBurmanDesign()
+
+
+def prefetch_pb(
+    context: ExperimentContext,
+    workload: Workload,
+    techniques: List[SimulationTechnique],
+) -> None:
+    """Batch-execute every (technique, PB row) run through the engine.
+
+    The PB characterization pulls runs one config at a time through a
+    callback; planning the full cross product up front lets the engine
+    deduplicate and parallelize it, after which the callbacks are pure
+    cache hits.
+    """
+    context.run_many(
+        [
+            RunRequest(technique, workload, config)
+            for technique in techniques
+            for config in _DESIGN.configs()
+        ]
+    )
 
 
 def pb_result(
@@ -50,8 +74,15 @@ def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
     rows = []
     for benchmark in context.benchmarks:
         workload = context.workload(benchmark)
+        families = context.family_permutations(benchmark)
+        prefetch_pb(
+            context,
+            workload,
+            [ReferenceTechnique()]
+            + [t for techniques in families.values() for t in techniques],
+        )
         reference = reference_pb_result(context, workload)
-        for family, techniques in context.family_permutations(benchmark).items():
+        for family, techniques in families.items():
             distances = []
             for technique in techniques:
                 result = pb_result(context, workload, technique)
@@ -89,9 +120,16 @@ def family_distances(
 ) -> Dict[str, Tuple[float, float, float]]:
     """(mean, min, max) normalized distance per family for one benchmark."""
     workload = context.workload(benchmark)
+    families = context.family_permutations(benchmark)
+    prefetch_pb(
+        context,
+        workload,
+        [ReferenceTechnique()]
+        + [t for techniques in families.values() for t in techniques],
+    )
     reference = reference_pb_result(context, workload)
     out: Dict[str, Tuple[float, float, float]] = {}
-    for family, techniques in context.family_permutations(benchmark).items():
+    for family, techniques in families.items():
         distances = [
             normalized_rank_distance(
                 pb_result(context, workload, t).ranks, reference.ranks

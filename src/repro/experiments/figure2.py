@@ -16,8 +16,16 @@ from repro.characterization.bottleneck import (
     rank_distance,
 )
 from repro.experiments.common import ExperimentContext, ExperimentReport
-from repro.experiments.figure1 import pb_result, reference_pb_result
-from repro.techniques.registry import simpoint_permutations, smarts_permutations
+from repro.experiments.figure1 import pb_result, prefetch_pb, reference_pb_result
+from repro.techniques.reference import ReferenceTechnique
+from repro.techniques.registry import permutations
+
+
+def _smarts_candidates(context: ExperimentContext):
+    smarts = permutations("SMARTS")
+    if context.depth == "quick":
+        return [smarts[4]]
+    return [smarts[i] for i in (1, 4, 8)]
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
@@ -25,6 +33,13 @@ def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
     rows = []
     for benchmark in context.benchmarks:
         workload = context.workload(benchmark)
+        simpoint_candidates = permutations("SimPoint")
+        smarts_candidates = _smarts_candidates(context)
+        prefetch_pb(
+            context,
+            workload,
+            [ReferenceTechnique()] + simpoint_candidates + smarts_candidates,
+        )
         reference = reference_pb_result(context, workload)
 
         def best(techniques):
@@ -33,11 +48,7 @@ def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
                 results, key=lambda r: rank_distance(r.ranks, reference.ranks)
             )
 
-        simpoint = best(simpoint_permutations())
-        if context.depth == "quick":
-            smarts_candidates = [smarts_permutations()[4]]
-        else:
-            smarts_candidates = [smarts_permutations()[i] for i in (1, 4, 8)]
+        simpoint = best(simpoint_candidates)
         smarts = best(smarts_candidates)
 
         sp_cumulative = cumulative_distance_by_significance(simpoint, reference)
@@ -67,15 +78,20 @@ def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:
 def difference_series(context: ExperimentContext, benchmark: str) -> List[float]:
     """The full 43-point Figure 2 series for one benchmark."""
     workload = context.workload(benchmark)
+    simpoint_candidates = permutations("SimPoint")
+    smarts_candidates = [permutations("SMARTS")[i] for i in (1, 4, 8)]
+    prefetch_pb(
+        context,
+        workload,
+        [ReferenceTechnique()] + simpoint_candidates + smarts_candidates,
+    )
     reference = reference_pb_result(context, workload)
     simpoint = min(
-        (pb_result(context, workload, t) for t in simpoint_permutations()),
+        (pb_result(context, workload, t) for t in simpoint_candidates),
         key=lambda r: rank_distance(r.ranks, reference.ranks),
     )
     smarts = min(
-        (pb_result(context, workload, t) for t in (
-            [smarts_permutations()[i] for i in (1, 4, 8)]
-        )),
+        (pb_result(context, workload, t) for t in smarts_candidates),
         key=lambda r: rank_distance(r.ranks, reference.ranks),
     )
     sp = cumulative_distance_by_significance(simpoint, reference)

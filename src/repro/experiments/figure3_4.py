@@ -13,7 +13,9 @@ from typing import List, Optional
 from repro.analysis.plotting import scatter_plot
 from repro.analysis.svat import CostModel, SvatPoint, svat_point
 from repro.cpu.config import ARCH_CONFIGS
+from repro.engine import RunRequest
 from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.techniques.reference import ReferenceTechnique
 
 
 def svat_points(
@@ -23,19 +25,27 @@ def svat_points(
 ) -> List[SvatPoint]:
     """All SvAT points for one benchmark at the context's depth."""
     workload = context.workload(benchmark)
-    reference_results = [
-        context.reference(workload, config) for config in ARCH_CONFIGS
+    techniques = [ReferenceTechnique()] + [
+        technique
+        for family in context.family_permutations(benchmark).values()
+        for technique in family
     ]
-    points: List[SvatPoint] = []
-    for family, techniques in context.family_permutations(benchmark).items():
-        for technique in techniques:
-            technique_results = [
-                context.run(technique, workload, config) for config in ARCH_CONFIGS
-            ]
-            points.append(
-                svat_point(technique_results, reference_results, cost_model)
-            )
-    return points
+    results = context.run_many(
+        [
+            RunRequest(technique, workload, config)
+            for technique in techniques
+            for config in ARCH_CONFIGS
+        ]
+    )
+    per_technique = [
+        results[i : i + len(ARCH_CONFIGS)]
+        for i in range(0, len(results), len(ARCH_CONFIGS))
+    ]
+    reference_results = per_technique[0]
+    return [
+        svat_point(technique_results, reference_results, cost_model)
+        for technique_results in per_technique[1:]
+    ]
 
 
 def run_benchmark(

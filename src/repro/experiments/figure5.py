@@ -19,7 +19,9 @@ from repro.analysis.config_dependence import (
     worst_and_best,
 )
 from repro.characterization.plackett_burman import PlackettBurmanDesign
+from repro.engine import RunRequest
 from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.techniques.reference import ReferenceTechnique
 
 _DESIGN = PlackettBurmanDesign()
 
@@ -30,6 +32,23 @@ def permutation_errors(
     """Per-family list of permutation error records, pooled over
     benchmarks and envelope configurations."""
     configs = _DESIGN.configs()
+    # Plan the whole sweep -- every benchmark, the reference and every
+    # permutation, across all envelope corners -- as one engine batch.
+    context.run_many(
+        [
+            RunRequest(technique, context.workload(benchmark), config)
+            for benchmark in context.benchmarks
+            for technique in (
+                [ReferenceTechnique()]
+                + [
+                    t
+                    for family in context.family_permutations(benchmark).values()
+                    for t in family
+                ]
+            )
+            for config in configs
+        ]
+    )
     by_family: Dict[str, Dict[str, List[float]]] = {}
     ref_cpis: Dict[str, List[float]] = {}
     for benchmark in context.benchmarks:

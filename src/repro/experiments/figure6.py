@@ -11,8 +11,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.analysis.speedup import SpeedupComparison, speedup
-from repro.cpu.config import ARCH_CONFIGS, NLP, TC, Enhancements
+from repro.cpu.config import ARCH_CONFIGS, BASELINE, NLP, TC, Enhancements
+from repro.engine import RunRequest
 from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.techniques.reference import ReferenceTechnique
 
 #: The paper presents gcc + config #2 as the clearest case.
 DEFAULT_BENCHMARK = "gcc"
@@ -26,25 +28,33 @@ def speedup_comparisons(
 ) -> List[SpeedupComparison]:
     workload = context.workload(benchmark)
     config = DEFAULT_CONFIG
-    ref_base = context.reference(workload, config).cpi
-    ref_enhanced = context.reference(workload, config, enhancement).cpi
-    reference_speedup = speedup(ref_base, ref_enhanced)
-
-    comparisons: List[SpeedupComparison] = []
-    for family, techniques in context.family_permutations(benchmark).items():
-        for technique in techniques:
-            base = context.run(technique, workload, config).cpi
-            enhanced = context.run(technique, workload, config, enhancement).cpi
-            comparisons.append(
-                SpeedupComparison(
-                    family=family,
-                    permutation=technique.permutation,
-                    enhancement=enhancement.label,
-                    technique_speedup=speedup(base, enhanced),
-                    reference_speedup=reference_speedup,
-                )
-            )
-    return comparisons
+    flat = [
+        (family, technique)
+        for family, techniques in context.family_permutations(benchmark).items()
+        for technique in techniques
+    ]
+    techniques = [ReferenceTechnique()] + [t for _, t in flat]
+    results = context.run_many(
+        [
+            RunRequest(technique, workload, config, variant)
+            for technique in techniques
+            for variant in (BASELINE, enhancement)
+        ]
+    )
+    pairs = [
+        (results[i].cpi, results[i + 1].cpi) for i in range(0, len(results), 2)
+    ]
+    reference_speedup = speedup(*pairs[0])
+    return [
+        SpeedupComparison(
+            family=family,
+            permutation=technique.permutation,
+            enhancement=enhancement.label,
+            technique_speedup=speedup(base, enhanced),
+            reference_speedup=reference_speedup,
+        )
+        for (family, technique), (base, enhanced) in zip(flat, pairs[1:])
+    ]
 
 
 def run(context: Optional[ExperimentContext] = None) -> ExperimentReport:

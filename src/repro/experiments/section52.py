@@ -14,7 +14,9 @@ from typing import Optional
 from repro.characterization.architectural import architectural_distance
 from repro.characterization.profile import compare_profiles
 from repro.cpu.config import ARCH_CONFIGS
+from repro.engine import RunRequest
 from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.techniques.reference import ReferenceTechnique
 
 
 def run_profile(context: Optional[ExperimentContext] = None) -> ExperimentReport:
@@ -24,9 +26,19 @@ def run_profile(context: Optional[ExperimentContext] = None) -> ExperimentReport
     for benchmark in context.benchmarks:
         workload = context.workload(benchmark)
         config = ARCH_CONFIGS[1]
+        families = context.family_permutations(benchmark)
+        context.run_many(
+            [
+                RunRequest(technique, workload, config)
+                for technique in (
+                    [ReferenceTechnique()]
+                    + [t for techniques in families.values() for t in techniques]
+                )
+            ]
+        )
         reference = context.reference(workload, config)
         ref_profile = reference.block_profile(context.scale)
-        for family, techniques in context.family_permutations(benchmark).items():
+        for family, techniques in families.items():
             for technique in techniques:
                 result = context.run(technique, workload, config)
                 profile = result.block_profile(context.scale)
@@ -63,10 +75,21 @@ def run_architectural(
     rows = []
     for benchmark in context.benchmarks:
         workload = context.workload(benchmark)
+        families = context.family_permutations(benchmark)
+        context.run_many(
+            [
+                RunRequest(technique, workload, config)
+                for technique in (
+                    [ReferenceTechnique()]
+                    + [t for techniques in families.values() for t in techniques]
+                )
+                for config in ARCH_CONFIGS
+            ]
+        )
         reference_stats = [
             context.reference(workload, config).stats for config in ARCH_CONFIGS
         ]
-        for family, techniques in context.family_permutations(benchmark).items():
+        for family, techniques in families.items():
             for technique in techniques:
                 technique_stats = [
                     context.run(technique, workload, config).stats

@@ -18,6 +18,7 @@ from repro.techniques.registry import (
     FAMILIES,
     TABLE1_COUNTS,
     all_permutations,
+    permutations,
     permutations_for_family,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "FAMILIES",
     "TABLE1_COUNTS",
     "all_permutations",
+    "permutations",
     "permutations_for_family",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,59 @@ class TechniqueResult:
     def label(self) -> str:
         return f"{self.family}: {self.permutation}"
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serializable form of this result.
+
+        The workload is stored by identity -- ``(benchmark, input set,
+        seed)`` -- not by value: :meth:`from_payload` rebinds it through
+        the benchmark registry, so payloads stay small and survive
+        refactors of the workload internals.
+        """
+        return {
+            "family": self.family,
+            "permutation": self.permutation,
+            "workload": {
+                "benchmark": self.workload.benchmark,
+                "input_set": self.workload.input_set.name,
+                "seed": self.workload.seed,
+            },
+            "config_name": self.config_name,
+            "stats": self.stats.counters(),
+            "regions": [[int(s), int(e)] for s, e in self.regions],
+            "weights": [float(w) for w in self.weights],
+            "detailed_instructions": self.detailed_instructions,
+            "warm_detailed_instructions": self.warm_detailed_instructions,
+            "functional_warm_instructions": self.functional_warm_instructions,
+            "fastforward_instructions": self.fastforward_instructions,
+            "profiled_instructions": self.profiled_instructions,
+            "runs": self.runs,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "TechniqueResult":
+        """Inverse of :meth:`to_payload`."""
+        from repro.workloads.spec import get_workload
+
+        spec = payload["workload"]
+        workload = get_workload(
+            spec["benchmark"], spec["input_set"], seed=spec["seed"]
+        )
+        return cls(
+            family=payload["family"],
+            permutation=payload["permutation"],
+            workload=workload,
+            config_name=payload["config_name"],
+            stats=SimulationStats.from_dict(payload["stats"]),
+            regions=[(int(s), int(e)) for s, e in payload["regions"]],
+            weights=[float(w) for w in payload["weights"]],
+            detailed_instructions=payload["detailed_instructions"],
+            warm_detailed_instructions=payload["warm_detailed_instructions"],
+            functional_warm_instructions=payload["functional_warm_instructions"],
+            fastforward_instructions=payload["fastforward_instructions"],
+            profiled_instructions=payload["profiled_instructions"],
+            runs=payload["runs"],
+        )
+
     def block_profile(self, scale: Scale, entries: bool = False) -> np.ndarray:
         """Basic-block profile over the measured regions.
 
@@ -97,6 +150,25 @@ class SimulationTechnique(ABC):
         enhancements: Optional[Enhancements] = None,
     ) -> TechniqueResult:
         """Estimate the workload's behaviour on ``config``."""
+
+    def signature(self) -> Dict[str, object]:
+        """Stable identity of this permutation for result-cache keys.
+
+        Includes every simple constructor parameter, not just the
+        display label, so permutations that render identically but
+        differ in a tuning knob (e.g. a clustering seed) hash apart.
+        """
+        params = {
+            name: value
+            for name, value in sorted(vars(self).items())
+            if isinstance(value, (bool, int, float, str, type(None)))
+        }
+        return {
+            "class": type(self).__name__,
+            "family": self.family,
+            "permutation": self.permutation,
+            "params": params,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<{type(self).__name__} {self.family}: {self.permutation}>"

@@ -5,14 +5,26 @@ prevalent techniques, then fixed 69 permutations: 3 SimPoint, 9 SMARTS,
 3-5 reduced inputs (availability per benchmark, Table 2), 4 Run Z,
 12 FF X + Run Z and 36 FF X + WU Y + Run Z.  This module reconstructs
 that list programmatically.
+
+The canonical interface is :func:`permutations`::
+
+    permutations("SMARTS")                # the nine U x W permutations
+    permutations("Reduced", "mcf")        # filtered to Table 2 availability
+    permutations("SimPoint", extras=True) # + the Figure 6 single-10M variant
+
+Each returned technique is named by its ``permutation`` property.  The
+six family-specific ``*_permutations()`` functions predate this
+interface and remain as thin deprecated aliases.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional
 
 from repro.techniques.base import SimulationTechnique
 from repro.techniques.reduced import ReducedInputTechnique
+from repro.techniques.reference import ReferenceTechnique
 from repro.techniques.simpoint import SimPointTechnique
 from repro.techniques.smarts import SmartsTechnique
 from repro.techniques.truncated import FFRunZ, FFWURunZ, RunZ
@@ -47,26 +59,26 @@ SMARTS_U_VALUES = (100, 1000, 10000)
 SMARTS_W_VALUES = (200, 2000, 20000)
 
 
-def simpoint_permutations(include_single_10m: bool = False) -> List[SimulationTechnique]:
-    """The SimPoint permutations of Table 1.
+# -- family builders ---------------------------------------------------------------
 
-    Table 1 lists three: single 100M, multiple 10M (max_k 100) and
-    multiple 100M (max_k 10).  Figure 6 additionally uses a single-10M
-    permutation; pass ``include_single_10m=True`` for that set.
-    Warm-up policy per Table 1: 1M for 10M points, none for 100M.
-    """
+
+def _build_simpoint(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
+    # Table 1 lists three: single 100M, multiple 10M (max_k 100) and
+    # multiple 100M (max_k 10).  Figure 6 additionally uses a
+    # single-10M permutation (the ``extras`` variant).  Warm-up policy
+    # per Table 1: 1M for 10M points, none for 100M.
     permutations: List[SimulationTechnique] = [
         SimPointTechnique(interval_m=100, max_k=1, warmup_m=0),
         SimPointTechnique(interval_m=10, max_k=100, warmup_m=1),
         SimPointTechnique(interval_m=100, max_k=10, warmup_m=0),
     ]
-    if include_single_10m:
+    if extras:
         permutations.append(SimPointTechnique(interval_m=10, max_k=1, warmup_m=1))
     return permutations
 
 
-def smarts_permutations() -> List[SimulationTechnique]:
-    """The nine SMARTS permutations: U x W grid of Table 1."""
+def _build_smarts(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
+    # The nine SMARTS permutations: U x W grid of Table 1.
     return [
         SmartsTechnique(unit_instructions=u, warmup_instructions=w)
         for u in SMARTS_U_VALUES
@@ -74,9 +86,9 @@ def smarts_permutations() -> List[SimulationTechnique]:
     ]
 
 
-def reduced_permutations(benchmark: Optional[str] = None) -> List[SimulationTechnique]:
-    """Reduced-input permutations, filtered to a benchmark's Table 2
-    availability when ``benchmark`` is given."""
+def _build_reduced(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
+    # Reduced-input permutations, filtered to a benchmark's Table 2
+    # availability when a benchmark is given.
     all_sets = ("small", "medium", "large", "test", "train")
     if benchmark is None:
         names = all_sets
@@ -86,17 +98,17 @@ def reduced_permutations(benchmark: Optional[str] = None) -> List[SimulationTech
     return [ReducedInputTechnique(s) for s in names]
 
 
-def run_z_permutations() -> List[SimulationTechnique]:
+def _build_run_z(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
     return [RunZ(z) for z in RUN_Z_VALUES]
 
 
-def ff_run_z_permutations() -> List[SimulationTechnique]:
+def _build_ff_run_z(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
     return [FFRunZ(x, z) for x in FF_X_VALUES for z in FF_RUN_Z_VALUES]
 
 
-def ff_wu_run_z_permutations() -> List[SimulationTechnique]:
-    """36 permutations: (X + Y) in {1000, 2000, 4000}, Y in {1, 10, 100},
-    Z in {100, 500, 1000, 2000}."""
+def _build_ff_wu_run_z(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
+    # 36 permutations: (X + Y) in {1000, 2000, 4000}, Y in {1, 10, 100},
+    # Z in {100, 500, 1000, 2000}.
     permutations = []
     for total in FF_X_VALUES:
         for y in WU_Y_VALUES:
@@ -105,30 +117,109 @@ def ff_wu_run_z_permutations() -> List[SimulationTechnique]:
     return permutations
 
 
+def _build_reference(benchmark: Optional[str], extras: bool) -> List[SimulationTechnique]:
+    return [ReferenceTechnique()]
+
+
+_BUILDERS = {
+    "SimPoint": _build_simpoint,
+    "SMARTS": _build_smarts,
+    "Reduced": _build_reduced,
+    "Run Z": _build_run_z,
+    "FF+Run Z": _build_ff_run_z,
+    "FF+WU+Run Z": _build_ff_wu_run_z,
+    # Not a Table 1 family, but uniform access to the ground truth lets
+    # engine planners enumerate complete sweeps by family name.
+    "Reference": _build_reference,
+}
+
+
+# -- canonical interface -----------------------------------------------------------
+
+
+def permutations(
+    family: str, benchmark: Optional[str] = None, *, extras: bool = False
+) -> List[SimulationTechnique]:
+    """The named permutations of one technique family.
+
+    Every family answers through this single interface; each returned
+    technique is named by its ``permutation`` property and carries its
+    parameters as attributes.  ``benchmark`` filters families with
+    per-benchmark availability (only "Reduced" today); ``extras`` adds
+    off-Table-1 variants used by individual figures (only SimPoint's
+    single-10M today).  ``"Reference"`` is accepted alongside the six
+    Table 1 families.
+    """
+    try:
+        builder = _BUILDERS[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown family {family!r}; expected one of "
+            f"{FAMILIES + ('Reference',)}"
+        ) from None
+    return builder(benchmark, extras)
+
+
 def permutations_for_family(
     family: str, benchmark: Optional[str] = None
 ) -> List[SimulationTechnique]:
-    """All Table 1 permutations of one family."""
-    if family == "SimPoint":
-        return simpoint_permutations()
-    if family == "SMARTS":
-        return smarts_permutations()
-    if family == "Reduced":
-        return reduced_permutations(benchmark)
-    if family == "Run Z":
-        return run_z_permutations()
-    if family == "FF+Run Z":
-        return ff_run_z_permutations()
-    if family == "FF+WU+Run Z":
-        return ff_wu_run_z_permutations()
-    raise ValueError(f"unknown family {family!r}; expected one of {FAMILIES}")
+    """All Table 1 permutations of one family (alias of :func:`permutations`)."""
+    return permutations(family, benchmark)
 
 
 def all_permutations(benchmark: Optional[str] = None) -> Dict[str, List[SimulationTechnique]]:
     """Every Table 1 permutation, grouped by family."""
-    return {family: permutations_for_family(family, benchmark) for family in FAMILIES}
+    return {family: permutations(family, benchmark) for family in FAMILIES}
 
 
 def count_permutations(benchmark: Optional[str] = None) -> int:
     """Total permutation count (69 when all five reduced sets exist)."""
     return sum(len(v) for v in all_permutations(benchmark).values())
+
+
+# -- deprecated aliases ------------------------------------------------------------
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; use "
+        "repro.techniques.registry.permutations(family, benchmark)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def simpoint_permutations(include_single_10m: bool = False) -> List[SimulationTechnique]:
+    """Deprecated alias of ``permutations("SimPoint", extras=...)``."""
+    _deprecated("simpoint_permutations")
+    return permutations("SimPoint", extras=include_single_10m)
+
+
+def smarts_permutations() -> List[SimulationTechnique]:
+    """Deprecated alias of ``permutations("SMARTS")``."""
+    _deprecated("smarts_permutations")
+    return permutations("SMARTS")
+
+
+def reduced_permutations(benchmark: Optional[str] = None) -> List[SimulationTechnique]:
+    """Deprecated alias of ``permutations("Reduced", benchmark)``."""
+    _deprecated("reduced_permutations")
+    return permutations("Reduced", benchmark)
+
+
+def run_z_permutations() -> List[SimulationTechnique]:
+    """Deprecated alias of ``permutations("Run Z")``."""
+    _deprecated("run_z_permutations")
+    return permutations("Run Z")
+
+
+def ff_run_z_permutations() -> List[SimulationTechnique]:
+    """Deprecated alias of ``permutations("FF+Run Z")``."""
+    _deprecated("ff_run_z_permutations")
+    return permutations("FF+Run Z")
+
+
+def ff_wu_run_z_permutations() -> List[SimulationTechnique]:
+    """Deprecated alias of ``permutations("FF+WU+Run Z")``."""
+    _deprecated("ff_wu_run_z_permutations")
+    return permutations("FF+WU+Run Z")

@@ -1,5 +1,7 @@
 """Tests for the `python -m repro.experiments` command line."""
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import EXPERIMENTS, main
@@ -40,3 +42,65 @@ class TestCli:
     def test_benchmark_subset(self, capsys):
         # table drivers ignore the context, but the option must parse.
         assert main(["table1", "--benchmarks", "gzip,mcf", "--depth", "quick"]) == 0
+
+
+class TestEngineOptions:
+    def test_jobs_flag(self, capsys):
+        assert main(["table3", "--jobs", "2"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--jobs", "0"])
+
+    def test_full_flag(self, capsys):
+        # --full parses and switches the default benchmark tuple.
+        assert main(["table2", "--full"]) == 0
+
+    def test_env_jobs_fallback(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert main(["table3"]) == 0
+
+    def test_env_jobs_garbage_rejected_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        with pytest.raises(SystemExit):
+            main(["table3"])
+        assert "REPRO_JOBS must be an integer" in capsys.readouterr().err
+
+    def test_cache_dir_flag_writes_stats(self, tmp_path, capsys):
+        assert main(
+            [
+                "figure6",
+                "--cache-dir", str(tmp_path),
+                "--jobs", "1",
+                "--depth", "quick",
+                "--benchmarks", "gzip",
+                "--profile", "tiny",
+            ]
+        ) == 0
+        stats_path = tmp_path / "engine-stats.json"
+        assert stats_path.exists()
+        document = json.loads(stats_path.read_text())
+        assert document["runs_launched"] > 0
+        assert document["cache_hits"] == 0
+
+        # Second invocation with the same cache dir: everything served
+        # from the persistent store.
+        assert main(
+            [
+                "figure6",
+                "--cache-dir", str(tmp_path),
+                "--jobs", "1",
+                "--depth", "quick",
+                "--benchmarks", "gzip",
+                "--profile", "tiny",
+            ]
+        ) == 0
+        document = json.loads(stats_path.read_text())
+        assert document["runs_launched"] == 0
+        assert document["hit_rate"] >= 0.95
+
+    def test_no_cache_disables_store(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["table3", "--no-cache"]) == 0
+        assert not (tmp_path / "engine-stats.json").exists()

@@ -1,0 +1,343 @@
+"""Tests for the parallel execution engine and its persistent store."""
+
+import json
+import os
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS, NLP, ProcessorConfig
+from repro.cpu.stats import SimulationStats
+from repro.engine import Engine, EngineRunError, RunRequest
+from repro.engine.planner import Plan
+from repro.engine.store import ResultStore
+from repro.scale import Scale
+from repro.techniques.base import SimulationTechnique, TechniqueResult
+from repro.techniques.reference import ReferenceTechnique
+from repro.techniques.registry import permutations
+from repro.techniques.truncated import RunZ
+from repro.workloads.spec import get_workload
+
+SCALE = Scale(2)
+
+
+def _stub_result(workload, config, tag="stub"):
+    return TechniqueResult(
+        family="Stub",
+        permutation=tag,
+        workload=workload,
+        config_name=config.name,
+        stats=SimulationStats(instructions=100, cycles=150, branches=10),
+        regions=[(0, 100)],
+        weights=[1.0],
+        detailed_instructions=100,
+    )
+
+
+class StubTechnique(SimulationTechnique):
+    """Cheap deterministic technique for engine plumbing tests."""
+
+    family = "Stub"
+
+    def __init__(self, tag="stub"):
+        self.tag = tag
+
+    @property
+    def permutation(self):
+        return self.tag
+
+    def run(self, workload, config, scale, enhancements=None):
+        return _stub_result(workload, config, self.tag)
+
+
+class FlakyTechnique(SimulationTechnique):
+    """Raises on the first attempt, succeeds on the retry.
+
+    The first-attempt marker is a file, so the failure is observed even
+    when the first attempt happens in a pool worker process.
+    """
+
+    family = "Stub"
+
+    def __init__(self, marker_path):
+        self.marker_path = str(marker_path)
+
+    @property
+    def permutation(self):
+        return "flaky"
+
+    def run(self, workload, config, scale, enhancements=None):
+        if not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w") as handle:
+                handle.write("attempted")
+            raise RuntimeError("simulated worker failure")
+        return _stub_result(workload, config, "flaky")
+
+
+class BrokenTechnique(SimulationTechnique):
+    """Fails every attempt."""
+
+    family = "Stub"
+
+    def __init__(self):
+        pass
+
+    @property
+    def permutation(self):
+        return "broken"
+
+    def run(self, workload, config, scale, enhancements=None):
+        raise RuntimeError("always broken")
+
+
+@pytest.fixture()
+def workload():
+    return get_workload("gzip")
+
+
+def _result_fingerprint(result):
+    return (
+        result.family,
+        result.permutation,
+        result.workload.name,
+        result.config_name,
+        tuple(sorted(result.stats.counters().items())),
+        tuple(result.regions),
+        tuple(result.weights),
+        result.detailed_instructions,
+        result.warm_detailed_instructions,
+        result.functional_warm_instructions,
+        result.fastforward_instructions,
+        result.profiled_instructions,
+        result.runs,
+    )
+
+
+class TestSerialization:
+    def test_stats_round_trip(self):
+        stats = SimulationStats(
+            instructions=123, cycles=456, branches=7, mispredictions=2,
+            dl1_accesses=50, dl1_misses=5, l2_accesses=5, l2_misses=1,
+        )
+        rebuilt = SimulationStats.from_dict(stats.counters())
+        assert rebuilt == stats
+
+    def test_stats_from_as_dict_ignores_derived(self):
+        stats = SimulationStats(instructions=10, cycles=20)
+        rebuilt = SimulationStats.from_dict(stats.as_dict())
+        assert rebuilt.cpi == stats.cpi
+
+    def test_stats_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            SimulationStats.from_dict({"warp_drives": 1})
+
+    def test_result_round_trip_through_payload(self, workload):
+        result = RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE)
+        rebuilt = TechniqueResult.from_payload(
+            json.loads(json.dumps(result.to_payload()))
+        )
+        assert _result_fingerprint(rebuilt) == _result_fingerprint(result)
+
+    def test_reduced_result_keeps_reduced_workload(self):
+        # The reduced technique's result points at the *reduced*
+        # workload; the payload must preserve that binding.
+        from repro.techniques.reduced import ReducedInputTechnique
+
+        workload = get_workload("gzip")
+        result = ReducedInputTechnique("test").run(workload, ARCH_CONFIGS[0], SCALE)
+        rebuilt = TechniqueResult.from_payload(result.to_payload())
+        assert rebuilt.workload.input_set.name == "test"
+
+    def test_store_round_trip(self, tmp_path, workload):
+        result = RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE)
+        store = ResultStore(tmp_path)
+        store.put("ab" * 32, result)
+        loaded = store.get("ab" * 32)
+        assert _result_fingerprint(loaded) == _result_fingerprint(result)
+        assert "ab" * 32 in store
+        assert len(store) == 1
+
+    def test_store_corrupt_entry_is_miss(self, tmp_path, workload):
+        store = ResultStore(tmp_path)
+        key = "cd" * 32
+        store.put(key, RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE))
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+
+
+class TestPlanner:
+    def test_deduplicates_preserving_order(self, workload):
+        a = RunRequest(StubTechnique("a"), workload, ARCH_CONFIGS[0])
+        b = RunRequest(StubTechnique("b"), workload, ARCH_CONFIGS[0])
+        plan = Plan.build([a, b, a, b, a], SCALE)
+        assert plan.num_unique == 2
+        assert plan.num_requested == 5
+        assert plan.slots == [0, 1, 0, 1, 0]
+        assert plan.gather(["ra", "rb"]) == ["ra", "rb", "ra", "rb", "ra"]
+
+    def test_content_key_sensitivity(self, workload):
+        base = RunRequest(RunZ(500), workload, ARCH_CONFIGS[0])
+        assert base.content_key(SCALE) == RunRequest(
+            RunZ(500), workload, ARCH_CONFIGS[0]
+        ).content_key(SCALE)
+        # Every input dimension must move the key.
+        assert base.content_key(SCALE) != base.content_key(Scale(3))
+        assert base.content_key(SCALE) != RunRequest(
+            RunZ(1000), workload, ARCH_CONFIGS[0]
+        ).content_key(SCALE)
+        assert base.content_key(SCALE) != RunRequest(
+            RunZ(500), workload, ARCH_CONFIGS[1]
+        ).content_key(SCALE)
+        assert base.content_key(SCALE) != RunRequest(
+            RunZ(500), workload, ARCH_CONFIGS[0], NLP
+        ).content_key(SCALE)
+        assert base.content_key(SCALE) != RunRequest(
+            RunZ(500), get_workload("gzip", seed=7), ARCH_CONFIGS[0]
+        ).content_key(SCALE)
+
+    def test_config_value_change_invalidates_despite_same_name(self, workload):
+        # A renamed-in-place config (same .name, different field) must
+        # not alias the old cache entry.
+        tweaked = ARCH_CONFIGS[0].replace(rob_entries=48)
+        assert tweaked.name == ARCH_CONFIGS[0].name
+        assert (
+            RunRequest(RunZ(500), workload, tweaked).content_key(SCALE)
+            != RunRequest(RunZ(500), workload, ARCH_CONFIGS[0]).content_key(SCALE)
+        )
+
+
+def _real_requests(workload):
+    techniques = [
+        ReferenceTechnique(),
+        permutations("SimPoint")[1],
+        permutations("SMARTS")[4],
+        RunZ(500),
+    ]
+    return [
+        RunRequest(technique, workload, config)
+        for technique in techniques
+        for config in ARCH_CONFIGS[:2]
+    ]
+
+
+class TestEngine:
+    def test_duplicate_requests_run_once(self, workload):
+        engine = Engine(scale=SCALE, jobs=1)
+        request = RunRequest(StubTechnique(), workload, ARCH_CONFIGS[0])
+        results = engine.run_many([request, request, request])
+        assert engine.metrics.runs_launched == 1
+        assert engine.metrics.runs_deduplicated == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_repeat_call_hits_memory(self, workload):
+        engine = Engine(scale=SCALE, jobs=1)
+        request = RunRequest(StubTechnique(), workload, ARCH_CONFIGS[0])
+        first = engine.run_many([request])[0]
+        second = engine.run_many([request])[0]
+        assert first is second
+        assert engine.metrics.memory_hits == 1
+        assert engine.metrics.runs_launched == 1
+
+    def test_parallel_equals_serial(self, workload):
+        serial = Engine(scale=SCALE, jobs=1).run_many(_real_requests(workload))
+        parallel = Engine(scale=SCALE, jobs=2).run_many(_real_requests(workload))
+        for a, b in zip(serial, parallel):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_persistent_cache_hits_across_engines(self, tmp_path, workload):
+        requests = _real_requests(workload)
+        first = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        results = first.run_many(requests)
+        assert first.metrics.runs_launched == len(requests)
+
+        second = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        cached = second.run_many(requests)
+        assert second.metrics.runs_launched == 0
+        assert second.metrics.cache_hits == len(requests)
+        assert second.metrics.hit_rate == 1.0
+        for a, b in zip(results, cached):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_cache_invalidated_by_config_change(self, tmp_path, workload):
+        request = RunRequest(RunZ(500), workload, ARCH_CONFIGS[0])
+        Engine(scale=SCALE, jobs=1, cache_dir=tmp_path).run_many([request])
+
+        tweaked = RunRequest(
+            RunZ(500), workload, ARCH_CONFIGS[0].replace(l2_size_kb=1024)
+        )
+        engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        engine.run_many([tweaked])
+        assert engine.metrics.cache_hits == 0
+        assert engine.metrics.runs_launched == 1
+
+    def test_retry_recovers_serial(self, tmp_path, workload):
+        engine = Engine(scale=SCALE, jobs=1)
+        flaky = FlakyTechnique(tmp_path / "attempted.flag")
+        result = engine.run_many(
+            [RunRequest(flaky, workload, ARCH_CONFIGS[0])]
+        )[0]
+        assert result.permutation == "flaky"
+        assert engine.metrics.retries == 1
+        assert engine.metrics.failures == 0
+
+    def test_retry_recovers_parallel(self, tmp_path, workload):
+        engine = Engine(scale=SCALE, jobs=2)
+        flaky = FlakyTechnique(tmp_path / "attempted-parallel.flag")
+        requests = [
+            RunRequest(flaky, workload, ARCH_CONFIGS[0]),
+            RunRequest(StubTechnique("ok1"), workload, ARCH_CONFIGS[0]),
+            RunRequest(StubTechnique("ok2"), workload, ARCH_CONFIGS[0]),
+        ]
+        results = engine.run_many(requests)
+        assert [r.permutation for r in results] == ["flaky", "ok1", "ok2"]
+        assert engine.metrics.retries == 1
+        assert engine.metrics.failures == 0
+
+    def test_failures_surface_without_killing_sweep(self, workload):
+        engine = Engine(scale=SCALE, jobs=1)
+        requests = [
+            RunRequest(StubTechnique("good"), workload, ARCH_CONFIGS[0]),
+            RunRequest(BrokenTechnique(), workload, ARCH_CONFIGS[0]),
+            RunRequest(StubTechnique("also good"), workload, ARCH_CONFIGS[0]),
+        ]
+        with pytest.raises(EngineRunError) as excinfo:
+            engine.run_many(requests)
+        assert "broken" in str(excinfo.value)
+        # The sweep completed: both healthy runs were executed and cached.
+        assert engine.metrics.runs_launched == 2
+        assert engine.metrics.failures == 1
+        assert engine.metrics.retries == 1  # the one retry was spent
+
+        results = engine.run_many(requests, allow_errors=True)
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+
+    def test_write_stats(self, tmp_path, workload):
+        engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        engine.run_many([RunRequest(StubTechnique(), workload, ARCH_CONFIGS[0])])
+        path = engine.write_stats()
+        assert path == tmp_path / "engine-stats.json"
+        document = json.loads(path.read_text())
+        assert document["runs_launched"] == 1
+        assert document["jobs"] == 1
+        assert document["scale"] == SCALE.instructions_per_m
+        assert "Stub" in document["per_family"]
+
+    def test_write_stats_without_store_needs_path(self, tmp_path, workload):
+        engine = Engine(scale=SCALE, jobs=1)
+        engine.run_many([RunRequest(StubTechnique(), workload, ARCH_CONFIGS[0])])
+        assert engine.write_stats() is None
+        explicit = engine.write_stats(tmp_path / "stats.json")
+        assert explicit is not None and explicit.exists()
+
+
+class TestContextIntegration:
+    def test_context_run_many_matches_run(self, workload):
+        from repro.experiments.common import ExperimentContext
+
+        context = ExperimentContext(
+            scale=SCALE, benchmarks=("gzip",), depth="quick"
+        )
+        request = RunRequest(RunZ(500), workload, ARCH_CONFIGS[0])
+        batch = context.run_many([request])[0]
+        single = context.run(RunZ(500), workload, ARCH_CONFIGS[0])
+        assert batch is single  # one execution, shared through the engine

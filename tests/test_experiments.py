@@ -38,6 +38,21 @@ class TestContext:
         full = ExperimentContext(depth="full").family_permutations("gzip")
         assert len(full["FF+WU+Run Z"]) == 36
 
+    def test_run_many_batches_through_engine(self, context):
+        from repro.cpu.config import ARCH_CONFIGS
+        from repro.engine import RunRequest
+
+        workload = context.workload("gzip")
+        requests = [
+            RunRequest(RunZ(100), workload, config)
+            for config in ARCH_CONFIGS[:2]
+        ]
+        results = context.run_many(requests)
+        assert len(results) == 2
+        assert {r.config_name for r in results} == {"config1", "config2"}
+        # run() afterwards is a pure cache hit on the same objects.
+        assert context.run(RunZ(100), workload, ARCH_CONFIGS[0]) is results[0]
+
 
 class TestReportFormatting:
     def test_format_table_aligns(self):
@@ -45,6 +60,24 @@ class TestReportFormatting:
         lines = text.split("\n")
         assert len(lines) == 4
         assert lines[0].startswith("a")
+
+    def test_format_table_right_aligns_numeric_columns(self):
+        text = format_table(
+            ("name", "cpi"), [("gzip", 1.5), ("gcc", 12.25)]
+        )
+        lines = text.split("\n")
+        # The numeric column lines up on its right edge.
+        assert lines[0].endswith("cpi")
+        assert lines[2].endswith("1.5")
+        assert lines[3].endswith("12.25")
+        assert len(lines[2]) == len(lines[3])
+        # The text column stays left-aligned.
+        assert lines[2].startswith("gzip")
+
+    def test_format_table_mixed_column_stays_left(self):
+        text = format_table(("x",), [(1,), ("n/a",)])
+        lines = text.split("\n")
+        assert lines[2].startswith("1")
 
     def test_report_render(self):
         report = ExperimentReport(

@@ -2,12 +2,14 @@
 
 import pytest
 
+from repro.techniques.reference import ReferenceTechnique
 from repro.techniques.registry import (
     FAMILIES,
     all_permutations,
     count_permutations,
     ff_run_z_permutations,
     ff_wu_run_z_permutations,
+    permutations,
     permutations_for_family,
     reduced_permutations,
     run_z_permutations,
@@ -18,11 +20,11 @@ from repro.techniques.registry import (
 
 class TestCounts:
     def test_table1_counts(self):
-        assert len(simpoint_permutations()) == 3
-        assert len(smarts_permutations()) == 9
-        assert len(run_z_permutations()) == 4
-        assert len(ff_run_z_permutations()) == 12
-        assert len(ff_wu_run_z_permutations()) == 36
+        assert len(permutations("SimPoint")) == 3
+        assert len(permutations("SMARTS")) == 9
+        assert len(permutations("Run Z")) == 4
+        assert len(permutations("FF+Run Z")) == 12
+        assert len(permutations("FF+WU+Run Z")) == 36
 
     def test_total_with_all_inputs(self):
         # gzip and vortex ship all five reduced inputs: 69 permutations.
@@ -34,41 +36,73 @@ class TestCounts:
         assert count_permutations("mcf") == 68
 
     def test_figure6_simpoint_variant(self):
-        assert len(simpoint_permutations(include_single_10m=True)) == 4
+        assert len(permutations("SimPoint", extras=True)) == 4
 
 
 class TestPermutationStructure:
     def test_ff_wu_sums_to_grid(self):
-        for technique in ff_wu_run_z_permutations():
+        for technique in permutations("FF+WU+Run Z"):
             assert technique.x_m + technique.y_m in (1000, 2000, 4000)
 
     def test_unique_labels_per_family(self):
         for family in FAMILIES:
-            permutations = permutations_for_family(family, "gzip")
-            labels = [p.permutation for p in permutations]
+            techniques = permutations(family, "gzip")
+            labels = [p.permutation for p in techniques]
             assert len(set(labels)) == len(labels)
 
     def test_family_attribute_consistent(self):
         for family in FAMILIES:
-            for technique in permutations_for_family(family, "gzip"):
+            for technique in permutations(family, "gzip"):
                 assert technique.family == family
 
     def test_unknown_family(self):
         with pytest.raises(ValueError):
-            permutations_for_family("montecarlo")
+            permutations("montecarlo")
+
+    def test_reference_family(self):
+        techniques = permutations("Reference")
+        assert len(techniques) == 1
+        assert isinstance(techniques[0], ReferenceTechnique)
 
     def test_reduced_filtering(self):
-        names = {t.input_set for t in reduced_permutations("art")}
+        names = {t.input_set for t in permutations("Reduced", "art")}
         assert names == {"test", "train"}
 
     def test_all_permutations_structure(self):
-        permutations = all_permutations("gzip")
-        assert set(permutations) == set(FAMILIES)
+        grouped = all_permutations("gzip")
+        assert set(grouped) == set(FAMILIES)
 
     def test_smarts_grid(self):
         pairs = {
             (t.unit_instructions, t.warmup_instructions)
-            for t in smarts_permutations()
+            for t in permutations("SMARTS")
         }
         assert len(pairs) == 9
         assert (1000, 2000) in pairs
+
+
+class TestDeprecatedAliases:
+    """The six pre-redesign functions still answer, with a warning."""
+
+    def test_aliases_match_canonical(self):
+        aliases = {
+            "SimPoint": simpoint_permutations,
+            "SMARTS": smarts_permutations,
+            "Reduced": reduced_permutations,
+            "Run Z": run_z_permutations,
+            "FF+Run Z": ff_run_z_permutations,
+            "FF+WU+Run Z": ff_wu_run_z_permutations,
+        }
+        for family, alias in aliases.items():
+            with pytest.warns(DeprecationWarning):
+                old = alias()
+            new = permutations(family)
+            assert [t.permutation for t in old] == [t.permutation for t in new]
+
+    def test_simpoint_alias_extras(self):
+        with pytest.warns(DeprecationWarning):
+            assert len(simpoint_permutations(include_single_10m=True)) == 4
+
+    def test_permutations_for_family_is_quiet(self):
+        # Still part of the public API, not deprecated.
+        assert len(permutations_for_family("SMARTS")) == 9
