@@ -10,6 +10,7 @@ import pytest
 
 from repro.cpu.config import ProcessorConfig
 from repro.cpu.functional import run_functional_warming
+from repro.cpu.kernels.registry import available_backends
 from repro.cpu.simulator import Simulator
 from repro.scale import Scale
 from repro.techniques.simpoint import SimPointTechnique
@@ -19,14 +20,19 @@ from repro.workloads.spec import get_benchmark, get_workload
 SCALE = Scale(25)
 REGION = 50_000
 
+#: The detailed/warming benchmarks run once per kernel backend so the
+#: speedup ratios in BENCH_kernels.json can be reproduced directly.
+BACKENDS = available_backends()
+
 
 @pytest.fixture(scope="module")
 def trace():
     return get_workload("gzip").trace(SCALE)
 
 
-def test_detailed_simulation_throughput(benchmark, trace):
-    simulator = Simulator(ProcessorConfig())
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_detailed_simulation_throughput(benchmark, trace, backend):
+    simulator = Simulator(ProcessorConfig(), backend=backend)
 
     def run():
         return simulator.run_region(trace, 0, REGION)
@@ -35,8 +41,9 @@ def test_detailed_simulation_throughput(benchmark, trace):
     assert result.stats.instructions == REGION
 
 
-def test_functional_warming_throughput(benchmark, trace):
-    simulator = Simulator(ProcessorConfig())
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_functional_warming_throughput(benchmark, trace, backend):
+    simulator = Simulator(ProcessorConfig(), backend=backend)
 
     def run():
         machine = simulator.new_machine()

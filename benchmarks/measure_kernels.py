@@ -1,0 +1,122 @@
+"""Measure per-backend simulation throughput into BENCH_kernels.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/measure_kernels.py [--rounds N] [--out FILE]
+
+Each backend is timed in its own freshly spawned interpreter so the
+numbers are not polluted by allocator or cache state left behind by
+another backend (same-process A/B comparison drifts by 10%+ on small
+machines).  Within a process the region runs ``rounds`` times and the
+best round is kept, which is the usual microbenchmark convention for
+throughput (the minimum is the least-noise estimate of the true cost).
+
+The output records instructions per second for detailed simulation and
+functional warming per backend, plus the speedup ratios over the
+``python`` reference that the kernels PR promises (numpy >= 3x detailed,
+>= 5x warming).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: One backend's timing payload, executed in a clean child interpreter.
+_CHILD = """
+import json, sys, time
+from repro.cpu.config import ProcessorConfig
+from repro.cpu.functional import run_functional_warming
+from repro.cpu.simulator import Simulator
+from repro.scale import Scale
+from repro.workloads.spec import get_workload
+
+backend, region, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+trace = get_workload("gzip").trace(Scale(25))
+simulator = Simulator(ProcessorConfig(), backend=backend)
+
+best_detailed = float("inf")
+for _ in range(rounds):
+    t0 = time.perf_counter()
+    result = simulator.run_region(trace, 0, region)
+    best_detailed = min(best_detailed, time.perf_counter() - t0)
+assert result.stats.instructions == region
+
+best_warming = float("inf")
+for _ in range(rounds):
+    machine = simulator.new_machine()
+    t0 = time.perf_counter()
+    warmed = run_functional_warming(machine, trace, 0, region)
+    best_warming = min(best_warming, time.perf_counter() - t0)
+assert warmed.instructions == region
+
+print(json.dumps({
+    "detailed_seconds": best_detailed,
+    "warming_seconds": best_warming,
+    "detailed_instr_per_sec": region / best_detailed,
+    "warming_instr_per_sec": region / best_warming,
+}))
+"""
+
+
+def measure_backend(backend: str, region: int, rounds: int) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, backend, str(region), str(rounds)],
+        check=True, capture_output=True, text=True, env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--region", type=int, default=50_000)
+    parser.add_argument("--out", default=str(REPO / "BENCH_kernels.json"))
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.cpu.kernels.registry import available_backends
+
+    backends = {}
+    for name in available_backends():
+        print(f"measuring {name} backend ...", file=sys.stderr)
+        backends[name] = measure_backend(name, args.region, args.rounds)
+
+    ref = backends["python"]
+    report = {
+        "benchmark": "bench_simulator_throughput (gzip, Scale(25), "
+        f"region={args.region}, best of {args.rounds})",
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "backends": backends,
+        "speedup_vs_python": {
+            name: {
+                "detailed": round(
+                    timing["detailed_instr_per_sec"]
+                    / ref["detailed_instr_per_sec"], 2
+                ),
+                "warming": round(
+                    timing["warming_instr_per_sec"]
+                    / ref["warming_instr_per_sec"], 2
+                ),
+            }
+            for name, timing in backends.items()
+            if name != "python"
+        },
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["speedup_vs_python"], indent=2))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -230,7 +230,23 @@ class TLB:
         return self.miss_latency
 
     def warm(self, addr: int) -> None:
-        self.access(addr)
+        """State-only translation (functional warming).
+
+        Unlike :meth:`access`, this counts no hits or misses -- mirroring
+        :meth:`Cache.warm`, warming trains the structure without
+        polluting its statistics.
+        """
+        page = addr >> self.page_shift
+        ways = self.sets[page & self.set_mask]
+        if ways and ways[0] == page:
+            return
+        if page in ways:
+            ways.remove(page)
+            ways.insert(0, page)
+            return
+        ways.insert(0, page)
+        if len(ways) > self.assoc:
+            ways.pop()
 
     def reset_stats(self) -> None:
         self.hits = 0

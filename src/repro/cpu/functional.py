@@ -55,10 +55,19 @@ def run_functional_warming(
 ) -> WarmingStats:
     """Warm caches/TLBs/predictor over ``trace[start:end)``.
 
-    Returns the event counts observed while warming.
+    Dispatches to the machine's simulation backend (all backends
+    produce identical warmed state and counts); returns the event
+    counts observed while warming.
     """
     if end > len(trace):
         raise ValueError(f"region [{start}, {end}) exceeds trace length {len(trace)}")
+    return machine.backend.run_warming(machine, trace, start, end)
+
+
+def _python_warming(
+    machine: Machine, trace: Trace, start: int, end: int
+) -> WarmingStats:
+    """The reference per-instruction warming loop."""
     il1_warm = machine.il1.warm
     dl1_warm = machine.dl1.warm
     itlb_warm = machine.itlb.warm

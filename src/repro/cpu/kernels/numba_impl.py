@@ -1,0 +1,952 @@
+"""Monolithic JIT kernels over flat ndarray state (the ``numba`` backend).
+
+Where the ``numpy`` backend splits a region into vectorized structure
+passes plus a lean Python timing loop, this backend compiles the
+*reference* per-instruction algorithm -- the same control flow as
+:func:`repro.cpu.pipeline._run_region` and
+:func:`repro.cpu.functional._python_warming` -- into two ``@njit``
+kernels operating on the int64 arrays of the ``array`` storage layout.
+Every structure access (LRU caches, TLBs, predictor tables, BTB, RAS)
+is inlined as flat-array arithmetic, so the kernels have no object-mode
+escapes and compile in full ``nopython`` mode.
+
+When numba is not installed the ``@njit`` decorator degrades to the
+identity function and the kernels run interpreted: slow, but
+bit-identical, which is what the cross-backend parity suite exercises
+on interpreters without numba.  Backend selection never picks this
+backend without numba (see :mod:`repro.cpu.kernels.registry`); the
+interpreted path exists for testing, not for speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the identity fallback
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """Identity stand-in for ``numba.njit`` (keeps kernels importable)."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+from repro.cpu.functional import WarmingStats
+from repro.cpu.kernels.state import (
+    PRED_BIMODAL,
+    PRED_COMBINED,
+    PRED_GSHARE,
+    PRED_PERFECT,
+    PRED_TAKEN,
+    STAT_HITS,
+    STAT_MISSES,
+    STAT_PREFETCHES,
+)
+
+# Indices into the packed config vector consumed by the kernels.  One
+# flat int64 vector keeps the kernel signatures stable across configs
+# so numba compiles each kernel exactly once per process.
+(
+    CFG_FETCH_WIDTH,
+    CFG_DISP_WIDTH,
+    CFG_COMMIT_WIDTH,
+    CFG_FRONT_DEPTH,
+    CFG_MISPRED_PENALTY,
+    CFG_IL1_SHIFT,
+    CFG_IL1_LAT,
+    CFG_IL1_MASK,
+    CFG_IL1_ASSOC,
+    CFG_DL1_SHIFT,
+    CFG_DL1_LAT,
+    CFG_DL1_MASK,
+    CFG_DL1_ASSOC,
+    CFG_DL1_PREFETCH,
+    CFG_L2_SHIFT,
+    CFG_L2_LAT,
+    CFG_L2_MASK,
+    CFG_L2_ASSOC,
+    CFG_L2_FILL,
+    CFG_ITLB_MASK,
+    CFG_ITLB_ASSOC,
+    CFG_DTLB_MASK,
+    CFG_DTLB_ASSOC,
+    CFG_TLB_MISS_LAT,
+    CFG_PRED_KIND,
+    CFG_PRED_MASK,
+    CFG_BTB_MASK,
+    CFG_BTB_ASSOC,
+    CFG_RAS_ENTRIES,
+    CFG_ROB,
+    CFG_LSQ,
+    CFG_WB,
+    CFG_IFQ,
+    CFG_TC_ENABLED,
+    CFG_LEN,
+) = range(35)
+
+# Indices into the packed core-state vector (mirrors _TimingState).
+(
+    ST_FC,
+    ST_FETCH_COUNT,
+    ST_LAST_BLOCK,
+    ST_LAST_PAGE,
+    ST_DC,
+    ST_DCOUNT,
+    ST_CC,
+    ST_CCOUNT,
+    ST_INSTR_INDEX,
+    ST_MEM_INDEX,
+    ST_STORE_INDEX,
+    ST_BRANCHES,
+    ST_MISPREDICTIONS,
+    ST_LOADS,
+    ST_STORES,
+    ST_TRIVIAL,
+    ST_LEN,
+) = range(17)
+
+FLAG_TRIVIAL = 32
+
+BK_NONE = 0
+BK_COND = 1
+BK_CALL = 2
+BK_RETURN = 3
+BK_UNCOND = 4
+
+PAGE_SHIFT = 12
+
+
+# ---------------------------------------------------------------------------
+# Inlined structure primitives
+# ---------------------------------------------------------------------------
+
+@njit(cache=True)
+def _lru_hit(tags, base, assoc, blk):
+    """LRU lookup/promote; True on hit.  Mirrors ``KernelCache.access``."""
+    if tags[base] == blk:
+        return True
+    for way in range(1, assoc):
+        if tags[base + way] == blk:
+            for shift in range(way, 0, -1):
+                tags[base + shift] = tags[base + shift - 1]
+            tags[base] = blk
+            return True
+    return False
+
+
+@njit(cache=True)
+def _lru_insert(tags, base, assoc, blk):
+    """Insert ``blk`` MRU, evicting the LRU way (miss path)."""
+    for shift in range(assoc - 1, 0, -1):
+        tags[base + shift] = tags[base + shift - 1]
+    tags[base] = blk
+
+
+@njit(cache=True)
+def _lru_warm_insert(tags, base, assoc, blk):
+    """``KernelCache._warm_insert``: promote if present, else insert."""
+    found = assoc - 1
+    for way in range(assoc):
+        if tags[base + way] == blk:
+            found = way
+            break
+    for shift in range(found, 0, -1):
+        tags[base + shift] = tags[base + shift - 1]
+    tags[base] = blk
+
+
+@njit(cache=True)
+def _l2_access(cfg, l2_tags, l2_stats, mem_stats, addr):
+    """L2 lookup with memory fill on miss; returns the L2 latency."""
+    blk = addr >> cfg[CFG_L2_SHIFT]
+    base = (blk & cfg[CFG_L2_MASK]) * cfg[CFG_L2_ASSOC]
+    if _lru_hit(l2_tags, base, cfg[CFG_L2_ASSOC], blk):
+        l2_stats[STAT_HITS] += 1
+        return cfg[CFG_L2_LAT]
+    l2_stats[STAT_MISSES] += 1
+    mem_stats[0] += 1
+    _lru_insert(l2_tags, base, cfg[CFG_L2_ASSOC], blk)
+    return cfg[CFG_L2_LAT] + cfg[CFG_L2_FILL]
+
+
+@njit(cache=True)
+def _l2_warm(cfg, l2_tags, addr):
+    blk = addr >> cfg[CFG_L2_SHIFT]
+    base = (blk & cfg[CFG_L2_MASK]) * cfg[CFG_L2_ASSOC]
+    if not _lru_hit(l2_tags, base, cfg[CFG_L2_ASSOC], blk):
+        _lru_insert(l2_tags, base, cfg[CFG_L2_ASSOC], blk)
+
+
+@njit(cache=True)
+def _tlb_access(tags, stats, base, assoc, page, miss_latency):
+    if _lru_hit(tags, base, assoc, page):
+        stats[STAT_HITS] += 1
+        return 0
+    stats[STAT_MISSES] += 1
+    _lru_insert(tags, base, assoc, page)
+    return miss_latency
+
+
+@njit(cache=True)
+def _predict_update(cfg, bimodal, gshare, chooser, pred_state, pc, taken):
+    """``KernelPredictor.predict_update`` over flat tables; True if correct."""
+    kind = cfg[CFG_PRED_KIND]
+    if kind == PRED_TAKEN:
+        return taken
+    if kind == PRED_PERFECT:
+        return True
+    mask = cfg[CFG_PRED_MASK]
+    base_index = (pc >> 2) & mask
+    if kind == PRED_BIMODAL:
+        counter = bimodal[base_index]
+        if taken:
+            if counter < 3:
+                bimodal[base_index] = counter + 1
+            return counter >= 2
+        if counter > 0:
+            bimodal[base_index] = counter - 1
+        return counter < 2
+    if kind == PRED_GSHARE:
+        index = (base_index ^ pred_state[0]) & mask
+        counter = gshare[index]
+        if taken:
+            if counter < 3:
+                gshare[index] = counter + 1
+        elif counter > 0:
+            gshare[index] = counter - 1
+        pred_state[0] = ((pred_state[0] << 1) | (1 if taken else 0)) & mask
+        return (counter >= 2) == taken
+    # combined
+    gs_index = (base_index ^ pred_state[0]) & mask
+    b = bimodal[base_index]
+    g = gshare[gs_index]
+    b_pred = b >= 2
+    g_pred = g >= 2
+    prediction = g_pred if chooser[base_index] >= 2 else b_pred
+    if taken:
+        if b < 3:
+            bimodal[base_index] = b + 1
+        if g < 3:
+            gshare[gs_index] = g + 1
+    else:
+        if b > 0:
+            bimodal[base_index] = b - 1
+        if g > 0:
+            gshare[gs_index] = g - 1
+    if b_pred != g_pred:
+        ch = chooser[base_index]
+        if g_pred == taken:
+            if ch < 3:
+                chooser[base_index] = ch + 1
+        elif ch > 0:
+            chooser[base_index] = ch - 1
+    pred_state[0] = ((pred_state[0] << 1) | (1 if taken else 0)) & mask
+    return prediction == taken
+
+
+@njit(cache=True)
+def _btb_lookup(cfg, btb_keys, btb_targets, btb_stats, pc, target):
+    """``KernelBTB.lookup_update``: a wrong-target hit counts as a miss."""
+    key = pc >> 2
+    assoc = cfg[CFG_BTB_ASSOC]
+    base = (key & cfg[CFG_BTB_MASK]) * assoc
+    for way in range(assoc):
+        if btb_keys[base + way] == key:
+            correct = btb_targets[base + way] == target
+            for shift in range(way, 0, -1):
+                btb_keys[base + shift] = btb_keys[base + shift - 1]
+                btb_targets[base + shift] = btb_targets[base + shift - 1]
+            btb_keys[base] = key
+            btb_targets[base] = target
+            if correct:
+                btb_stats[STAT_HITS] += 1
+            else:
+                btb_stats[STAT_MISSES] += 1
+            return correct
+    btb_stats[STAT_MISSES] += 1
+    for shift in range(assoc - 1, 0, -1):
+        btb_keys[base + shift] = btb_keys[base + shift - 1]
+        btb_targets[base + shift] = btb_targets[base + shift - 1]
+    btb_keys[base] = key
+    btb_targets[base] = target
+    return False
+
+
+@njit(cache=True)
+def _resolve_branch(
+    cfg,
+    bimodal,
+    gshare,
+    chooser,
+    pred_state,
+    btb_keys,
+    btb_targets,
+    btb_stats,
+    ras_state,
+    bkind,
+    taken,
+    pc,
+    target,
+):
+    """One branch through predictor/BTB/RAS; True if fetch stays on path."""
+    if bkind == BK_COND:
+        correct = _predict_update(
+            cfg, bimodal, gshare, chooser, pred_state, pc, taken
+        )
+        if correct and taken:
+            correct = _btb_lookup(cfg, btb_keys, btb_targets, btb_stats, pc, target)
+        return correct
+    if bkind == BK_CALL:
+        if ras_state[0] >= cfg[CFG_RAS_ENTRIES]:
+            ras_state[1] += 1
+        else:
+            ras_state[0] += 1
+        return _btb_lookup(cfg, btb_keys, btb_targets, btb_stats, pc, target)
+    if bkind == BK_RETURN:
+        if ras_state[0] <= 0:
+            return False
+        ras_state[0] -= 1
+        return True
+    return _btb_lookup(cfg, btb_keys, btb_targets, btb_stats, pc, target)
+
+
+# ---------------------------------------------------------------------------
+# The monolithic region kernels
+# ---------------------------------------------------------------------------
+
+@njit(cache=True)
+def _detailed_kernel(
+    start,
+    end,
+    cfg,
+    latency,
+    pool_of,
+    op,
+    dst,
+    src1,
+    src2,
+    pc_a,
+    addr_a,
+    target_a,
+    bkind_a,
+    taken_a,
+    trivial_a,
+    il1_tags,
+    il1_stats,
+    dl1_tags,
+    dl1_stats,
+    l2_tags,
+    l2_stats,
+    itlb_tags,
+    itlb_stats,
+    dtlb_tags,
+    dtlb_stats,
+    mem_stats,
+    bimodal,
+    gshare,
+    chooser,
+    pred_state,
+    btb_keys,
+    btb_targets,
+    btb_stats,
+    ras_state,
+    reg_ready,
+    rob_ring,
+    lsq_ring,
+    wb_ring,
+    ifq_ring,
+    pools,
+    pool_sizes,
+    core,
+):
+    """One detailed region: the reference algorithm on flat arrays."""
+    fetch_width = cfg[CFG_FETCH_WIDTH]
+    disp_width = cfg[CFG_DISP_WIDTH]
+    commit_width = cfg[CFG_COMMIT_WIDTH]
+    front_depth = cfg[CFG_FRONT_DEPTH]
+    mispredict_penalty = cfg[CFG_MISPRED_PENALTY]
+    il1_shift = cfg[CFG_IL1_SHIFT]
+    il1_lat = cfg[CFG_IL1_LAT]
+    il1_mask = cfg[CFG_IL1_MASK]
+    il1_assoc = cfg[CFG_IL1_ASSOC]
+    dl1_shift = cfg[CFG_DL1_SHIFT]
+    dl1_lat = cfg[CFG_DL1_LAT]
+    dl1_mask = cfg[CFG_DL1_MASK]
+    dl1_assoc = cfg[CFG_DL1_ASSOC]
+    dl1_prefetch = cfg[CFG_DL1_PREFETCH]
+    itlb_mask = cfg[CFG_ITLB_MASK]
+    itlb_assoc = cfg[CFG_ITLB_ASSOC]
+    dtlb_mask = cfg[CFG_DTLB_MASK]
+    dtlb_assoc = cfg[CFG_DTLB_ASSOC]
+    tlb_miss_lat = cfg[CFG_TLB_MISS_LAT]
+    rob_size = cfg[CFG_ROB]
+    lsq_size = cfg[CFG_LSQ]
+    wb_size = cfg[CFG_WB]
+    ifq_size = cfg[CFG_IFQ]
+    tc_enabled = cfg[CFG_TC_ENABLED]
+
+    fc = core[ST_FC]
+    fetch_count = core[ST_FETCH_COUNT]
+    last_fetch_block = core[ST_LAST_BLOCK]
+    last_fetch_page = core[ST_LAST_PAGE]
+    dc = core[ST_DC]
+    dcount = core[ST_DCOUNT]
+    cc = core[ST_CC]
+    ccount = core[ST_CCOUNT]
+    instr_index = core[ST_INSTR_INDEX]
+    mem_index = core[ST_MEM_INDEX]
+    store_index = core[ST_STORE_INDEX]
+    branches = core[ST_BRANCHES]
+    mispredictions = core[ST_MISPREDICTIONS]
+    loads = core[ST_LOADS]
+    stores = core[ST_STORES]
+    trivial_simplified = core[ST_TRIVIAL]
+
+    for k in range(start, end):
+        pc = pc_a[k]
+        opc = op[k]
+
+        # ---- Fetch
+        fetch_block = pc >> il1_shift
+        if fetch_block != last_fetch_block:
+            last_fetch_block = fetch_block
+            base = (fetch_block & il1_mask) * il1_assoc
+            if _lru_hit(il1_tags, base, il1_assoc, fetch_block):
+                il1_stats[STAT_HITS] += 1
+                stall = 0
+            else:
+                il1_stats[STAT_MISSES] += 1
+                stall = _l2_access(cfg, l2_tags, l2_stats, mem_stats, pc)
+                _lru_insert(il1_tags, base, il1_assoc, fetch_block)
+            page = pc >> PAGE_SHIFT
+            if page != last_fetch_page:
+                last_fetch_page = page
+                tbase = (page & itlb_mask) * itlb_assoc
+                stall += _tlb_access(
+                    itlb_tags, itlb_stats, tbase, itlb_assoc, page, tlb_miss_lat
+                )
+            if stall > 0:
+                fc += stall
+                fetch_count = 0
+        if fetch_count >= fetch_width:
+            fc += 1
+            fetch_count = 0
+        fetch_count += 1
+        ifq_slot = instr_index % ifq_size
+        limit = ifq_ring[ifq_slot]
+        if fc < limit:  # IFQ full: fetch waits for dispatch of i-ifq
+            fc = limit
+            fetch_count = 1
+
+        # ---- Dispatch (decode/issue width gate + ROB occupancy)
+        d = fc + front_depth
+        rob_slot = instr_index % rob_size
+        limit = rob_ring[rob_slot]
+        if d < limit:
+            d = limit
+        if d <= dc:
+            if dcount >= disp_width:
+                dc += 1
+                dcount = 0
+            d = dc
+        else:
+            dc = d
+            dcount = 0
+        dcount += 1
+        ifq_ring[ifq_slot] = d
+
+        # ---- Issue and execute
+        ready = d + 1
+        r = src1[k]
+        if r >= 0 and reg_ready[r] > ready:
+            ready = reg_ready[r]
+        r = src2[k]
+        if r >= 0 and reg_ready[r] > ready:
+            ready = reg_ready[r]
+
+        is_mem = opc == 6 or opc == 7
+        store_drain = 0
+        lsq_slot = 0
+        if is_mem:
+            lsq_slot = mem_index % lsq_size
+            mem_index += 1
+            limit = lsq_ring[lsq_slot]
+            if ready < limit:
+                ready = limit
+            free = pools[4, 0]
+            free_index = 0
+            for j in range(1, pool_sizes[4]):
+                v = pools[4, j]
+                if v < free:
+                    free = v
+                    free_index = j
+            issue = free if free > ready else ready
+            pools[4, free_index] = issue + 1
+            addr = addr_a[k]
+            page = addr >> PAGE_SHIFT
+            tbase = (page & dtlb_mask) * dtlb_assoc
+            tlb_extra = _tlb_access(
+                dtlb_tags, dtlb_stats, tbase, dtlb_assoc, page, tlb_miss_lat
+            )
+            blk = addr >> dl1_shift
+            base = (blk & dl1_mask) * dl1_assoc
+            if _lru_hit(dl1_tags, base, dl1_assoc, blk):
+                dl1_stats[STAT_HITS] += 1
+                cache_latency = dl1_lat
+            else:
+                dl1_stats[STAT_MISSES] += 1
+                cache_latency = dl1_lat + _l2_access(
+                    cfg, l2_tags, l2_stats, mem_stats, addr
+                )
+                _lru_insert(dl1_tags, base, dl1_assoc, blk)
+                if dl1_prefetch:
+                    dl1_stats[STAT_PREFETCHES] += 1
+                    nxt = blk + 1
+                    _l2_warm(cfg, l2_tags, nxt << dl1_shift)
+                    _lru_warm_insert(
+                        dl1_tags, (nxt & dl1_mask) * dl1_assoc, dl1_assoc, nxt
+                    )
+            if opc == 6:
+                loads += 1
+                complete = issue + cache_latency + tlb_extra
+            else:
+                stores += 1
+                # Stores retire quickly; the write drains through the
+                # write buffer after commit.
+                complete = issue + 1 + tlb_extra
+                store_drain = cache_latency
+        else:
+            if tc_enabled and trivial_a[k]:
+                trivial_simplified += 1
+                complete = ready
+            else:
+                pid = pool_of[opc]
+                free = pools[pid, 0]
+                free_index = 0
+                for j in range(1, pool_sizes[pid]):
+                    v = pools[pid, j]
+                    if v < free:
+                        free = v
+                        free_index = j
+                issue = free if free > ready else ready
+                exec_latency = latency[opc]
+                # Divides occupy their unit (unpipelined).
+                if opc == 2 or opc == 5:
+                    pools[pid, free_index] = issue + exec_latency
+                else:
+                    pools[pid, free_index] = issue + 1
+                complete = issue + exec_latency
+
+        dreg = dst[k]
+        if dreg >= 0:
+            reg_ready[dreg] = complete
+
+        # ---- Branch resolution
+        bkind = bkind_a[k]
+        if bkind != BK_NONE:
+            branches += 1
+            correct = _resolve_branch(
+                cfg,
+                bimodal,
+                gshare,
+                chooser,
+                pred_state,
+                btb_keys,
+                btb_targets,
+                btb_stats,
+                ras_state,
+                bkind,
+                taken_a[k] != 0,
+                pc,
+                target_a[k],
+            )
+            if not correct:
+                mispredictions += 1
+                redirect = complete + mispredict_penalty
+                if redirect > fc:
+                    fc = redirect
+                    fetch_count = 0
+
+        # ---- Commit (in order, width-gated)
+        c = complete
+        if c <= cc:
+            if ccount >= commit_width:
+                cc += 1
+                ccount = 0
+            c = cc
+        else:
+            cc = c
+            ccount = 0
+        ccount += 1
+
+        if store_drain:
+            wb_slot = store_index % wb_size
+            store_index += 1
+            limit = wb_ring[wb_slot]
+            if limit > c:  # write buffer full: commit stalls
+                c = limit
+                cc = c
+                ccount = 1
+            wb_ring[wb_slot] = c + store_drain
+
+        rob_ring[rob_slot] = c
+        if is_mem:
+            lsq_ring[lsq_slot] = c
+
+        instr_index += 1
+
+    core[ST_FC] = fc
+    core[ST_FETCH_COUNT] = fetch_count
+    core[ST_LAST_BLOCK] = last_fetch_block
+    core[ST_LAST_PAGE] = last_fetch_page
+    core[ST_DC] = dc
+    core[ST_DCOUNT] = dcount
+    core[ST_CC] = cc
+    core[ST_CCOUNT] = ccount
+    core[ST_INSTR_INDEX] = instr_index
+    core[ST_MEM_INDEX] = mem_index
+    core[ST_STORE_INDEX] = store_index
+    core[ST_BRANCHES] = branches
+    core[ST_MISPREDICTIONS] = mispredictions
+    core[ST_LOADS] = loads
+    core[ST_STORES] = stores
+    core[ST_TRIVIAL] = trivial_simplified
+
+
+@njit(cache=True)
+def _warming_kernel(
+    start,
+    end,
+    cfg,
+    op,
+    pc_a,
+    addr_a,
+    target_a,
+    bkind_a,
+    taken_a,
+    il1_tags,
+    dl1_tags,
+    l2_tags,
+    itlb_tags,
+    dtlb_tags,
+    bimodal,
+    gshare,
+    chooser,
+    pred_state,
+    btb_keys,
+    btb_targets,
+    btb_stats,
+    ras_state,
+    counts,
+):
+    """Functional warming: state-only updates, per-region counts."""
+    il1_shift = cfg[CFG_IL1_SHIFT]
+    il1_mask = cfg[CFG_IL1_MASK]
+    il1_assoc = cfg[CFG_IL1_ASSOC]
+    dl1_shift = cfg[CFG_DL1_SHIFT]
+    dl1_mask = cfg[CFG_DL1_MASK]
+    dl1_assoc = cfg[CFG_DL1_ASSOC]
+    dl1_prefetch = cfg[CFG_DL1_PREFETCH]
+    itlb_mask = cfg[CFG_ITLB_MASK]
+    itlb_assoc = cfg[CFG_ITLB_ASSOC]
+    dtlb_mask = cfg[CFG_DTLB_MASK]
+    dtlb_assoc = cfg[CFG_DTLB_ASSOC]
+
+    last_block = np.int64(-1)
+    last_page = np.int64(-1)
+    branches = 0
+    mispredictions = 0
+    loads = 0
+    stores = 0
+
+    for k in range(start, end):
+        pc = pc_a[k]
+        block = pc >> il1_shift
+        if block != last_block:
+            last_block = block
+            base = (block & il1_mask) * il1_assoc
+            if not _lru_hit(il1_tags, base, il1_assoc, block):
+                _l2_warm(cfg, l2_tags, pc)
+                _lru_insert(il1_tags, base, il1_assoc, block)
+            page = pc >> PAGE_SHIFT
+            if page != last_page:
+                last_page = page
+                tbase = (page & itlb_mask) * itlb_assoc
+                if not _lru_hit(itlb_tags, tbase, itlb_assoc, page):
+                    _lru_insert(itlb_tags, tbase, itlb_assoc, page)
+        opc = op[k]
+        if opc == 6 or opc == 7:
+            if opc == 6:
+                loads += 1
+            else:
+                stores += 1
+            addr = addr_a[k]
+            page = addr >> PAGE_SHIFT
+            tbase = (page & dtlb_mask) * dtlb_assoc
+            if not _lru_hit(dtlb_tags, tbase, dtlb_assoc, page):
+                _lru_insert(dtlb_tags, tbase, dtlb_assoc, page)
+            blk = addr >> dl1_shift
+            base = (blk & dl1_mask) * dl1_assoc
+            if not _lru_hit(dl1_tags, base, dl1_assoc, blk):
+                _l2_warm(cfg, l2_tags, addr)
+                _lru_insert(dl1_tags, base, dl1_assoc, blk)
+                if dl1_prefetch:
+                    nxt = blk + 1
+                    _lru_warm_insert(
+                        dl1_tags, (nxt & dl1_mask) * dl1_assoc, dl1_assoc, nxt
+                    )
+            continue
+        bkind = bkind_a[k]
+        if bkind != BK_NONE:
+            branches += 1
+            correct = _resolve_branch(
+                cfg,
+                bimodal,
+                gshare,
+                chooser,
+                pred_state,
+                btb_keys,
+                btb_targets,
+                btb_stats,
+                ras_state,
+                bkind,
+                taken_a[k] != 0,
+                pc,
+                target_a[k],
+            )
+            if not correct:
+                mispredictions += 1
+
+    counts[0] = branches
+    counts[1] = mispredictions
+    counts[2] = loads
+    counts[3] = stores
+
+
+# ---------------------------------------------------------------------------
+# Python wrappers: pack config/state, invoke, unpack
+# ---------------------------------------------------------------------------
+
+def _config_vector(machine) -> tuple:
+    """``(cfg, latency, pool_of)`` int64 vectors for one machine."""
+    cached = getattr(machine, "_numba_cfg", None)
+    if cached is not None:
+        return cached
+    cfgo = machine.config
+    il1, dl1, l2 = machine.il1, machine.dl1, machine.l2
+    itlb, dtlb = machine.itlb, machine.dtlb
+    cfg = np.zeros(CFG_LEN, dtype=np.int64)
+    cfg[CFG_FETCH_WIDTH] = cfgo.fetch_width
+    cfg[CFG_DISP_WIDTH] = min(cfgo.decode_width, cfgo.issue_width)
+    cfg[CFG_COMMIT_WIDTH] = cfgo.commit_width
+    cfg[CFG_FRONT_DEPTH] = cfgo.front_depth
+    cfg[CFG_MISPRED_PENALTY] = cfgo.mispredict_penalty
+    cfg[CFG_IL1_SHIFT] = il1.block_shift
+    cfg[CFG_IL1_LAT] = il1.hit_latency
+    cfg[CFG_IL1_MASK] = il1.set_mask
+    cfg[CFG_IL1_ASSOC] = il1.assoc
+    cfg[CFG_DL1_SHIFT] = dl1.block_shift
+    cfg[CFG_DL1_LAT] = dl1.hit_latency
+    cfg[CFG_DL1_MASK] = dl1.set_mask
+    cfg[CFG_DL1_ASSOC] = dl1.assoc
+    cfg[CFG_DL1_PREFETCH] = int(dl1.next_line_prefetch)
+    cfg[CFG_L2_SHIFT] = l2.block_shift
+    cfg[CFG_L2_LAT] = l2.hit_latency
+    cfg[CFG_L2_MASK] = l2.set_mask
+    cfg[CFG_L2_ASSOC] = l2.assoc
+    cfg[CFG_L2_FILL] = machine.memory.fill_latency(l2.block_bytes)
+    cfg[CFG_ITLB_MASK] = itlb.set_mask
+    cfg[CFG_ITLB_ASSOC] = itlb.assoc
+    cfg[CFG_DTLB_MASK] = dtlb.set_mask
+    cfg[CFG_DTLB_ASSOC] = dtlb.assoc
+    cfg[CFG_TLB_MISS_LAT] = itlb.miss_latency
+    cfg[CFG_PRED_KIND] = machine.predictor.kind
+    cfg[CFG_PRED_MASK] = machine.predictor.mask
+    cfg[CFG_BTB_MASK] = machine.btb.set_mask
+    cfg[CFG_BTB_ASSOC] = machine.btb.assoc
+    cfg[CFG_RAS_ENTRIES] = machine.ras.entries
+    cfg[CFG_ROB] = cfgo.rob_entries
+    cfg[CFG_LSQ] = cfgo.lsq_entries
+    cfg[CFG_WB] = cfgo.write_buffer_entries
+    cfg[CFG_IFQ] = cfgo.ifq_size
+    cfg[CFG_TC_ENABLED] = int(machine.enhancements.trivial_computation)
+
+    latency = np.ones(16, dtype=np.int64)
+    latency[0] = cfgo.int_alu_lat
+    latency[1] = cfgo.int_mult_lat
+    latency[2] = cfgo.int_div_lat
+    latency[3] = cfgo.fp_alu_lat
+    latency[4] = cfgo.fp_mult_lat
+    latency[5] = cfgo.fp_div_lat
+    pool_of = np.zeros(16, dtype=np.int64)
+    pool_of[1] = 1
+    pool_of[2] = 1
+    pool_of[3] = 2
+    pool_of[4] = 3
+    pool_of[5] = 3
+    machine._numba_cfg = (cfg, latency, pool_of)
+    return machine._numba_cfg
+
+
+def _pack_core(state) -> np.ndarray:
+    core = np.zeros(ST_LEN, dtype=np.int64)
+    core[ST_FC] = state.fc
+    core[ST_FETCH_COUNT] = state.fetch_count
+    core[ST_LAST_BLOCK] = state.last_fetch_block
+    core[ST_LAST_PAGE] = state.last_fetch_page
+    core[ST_DC] = state.dc
+    core[ST_DCOUNT] = state.dcount
+    core[ST_CC] = state.cc
+    core[ST_CCOUNT] = state.ccount
+    core[ST_INSTR_INDEX] = state.instr_index
+    core[ST_MEM_INDEX] = state.mem_index
+    core[ST_STORE_INDEX] = state.store_index
+    core[ST_BRANCHES] = state.branches
+    core[ST_MISPREDICTIONS] = state.mispredictions
+    core[ST_LOADS] = state.loads
+    core[ST_STORES] = state.stores
+    core[ST_TRIVIAL] = state.trivial_simplified
+    return core
+
+
+def _unpack_core(core: np.ndarray, state) -> None:
+    state.fc = int(core[ST_FC])
+    state.fetch_count = int(core[ST_FETCH_COUNT])
+    state.last_fetch_block = int(core[ST_LAST_BLOCK])
+    state.last_fetch_page = int(core[ST_LAST_PAGE])
+    state.dc = int(core[ST_DC])
+    state.dcount = int(core[ST_DCOUNT])
+    state.cc = int(core[ST_CC])
+    state.ccount = int(core[ST_CCOUNT])
+    state.instr_index = int(core[ST_INSTR_INDEX])
+    state.mem_index = int(core[ST_MEM_INDEX])
+    state.store_index = int(core[ST_STORE_INDEX])
+    state.branches = int(core[ST_BRANCHES])
+    state.mispredictions = int(core[ST_MISPREDICTIONS])
+    state.loads = int(core[ST_LOADS])
+    state.stores = int(core[ST_STORES])
+    state.trivial_simplified = int(core[ST_TRIVIAL])
+
+
+def _as_int64(seq) -> np.ndarray:
+    """View ``seq`` as an int64 ndarray (zero-copy for array storage)."""
+    if isinstance(seq, np.ndarray):
+        return seq
+    return np.asarray(seq, dtype=np.int64)
+
+
+def advance_detailed(machine, trace, start, end, state) -> None:
+    """Advance the detailed model over ``trace[start:end)`` via the kernel."""
+    cfg, latency, pool_of = _config_vector(machine)
+    cols = trace.kernel_columns(machine.il1.block_shift)
+    (op, dst, src1, src2, pc_a, addr_a, target_a, _fb, _pg, bkind, taken, triv) = cols
+
+    pools = state.pools
+    width = max(len(p) for p in pools)
+    packed = np.zeros((len(pools), width), dtype=np.int64)
+    sizes = np.zeros(len(pools), dtype=np.int64)
+    for i, p in enumerate(pools):
+        sizes[i] = len(p)
+        packed[i, : len(p)] = _as_int64(p)
+
+    core = _pack_core(state)
+    _detailed_kernel(
+        start,
+        end,
+        cfg,
+        latency,
+        pool_of,
+        op,
+        dst,
+        src1,
+        src2,
+        pc_a,
+        addr_a,
+        target_a,
+        bkind,
+        taken,
+        triv,
+        _as_int64(machine.il1.tags),
+        _as_int64(machine.il1.stats),
+        _as_int64(machine.dl1.tags),
+        _as_int64(machine.dl1.stats),
+        _as_int64(machine.l2.tags),
+        _as_int64(machine.l2.stats),
+        _as_int64(machine.itlb.tags),
+        _as_int64(machine.itlb.stats),
+        _as_int64(machine.dtlb.tags),
+        _as_int64(machine.dtlb.stats),
+        _as_int64(machine.memory.stats),
+        _as_int64(machine.predictor.bimodal),
+        _as_int64(machine.predictor.gshare),
+        _as_int64(machine.predictor.chooser),
+        _as_int64(machine.predictor.state),
+        _as_int64(machine.btb.keys),
+        _as_int64(machine.btb.targets),
+        _as_int64(machine.btb.stats),
+        _as_int64(machine.ras.state),
+        _as_int64(state.reg_ready),
+        _as_int64(state.rob_ring),
+        _as_int64(state.lsq_ring),
+        _as_int64(state.wb_ring),
+        _as_int64(state.ifq_ring),
+        packed,
+        sizes,
+        core,
+    )
+    for i, p in enumerate(pools):
+        row = packed[i, : len(p)]
+        if isinstance(p, np.ndarray):
+            p[:] = row
+        else:  # pragma: no cover - list-storage machines
+            p[:] = row.tolist()
+    _unpack_core(core, state)
+
+
+def run_warming(machine, trace, start, end) -> WarmingStats:
+    """Functionally warm ``trace[start:end)`` via the warming kernel."""
+    cfg, _latency, _pool_of = _config_vector(machine)
+    cols = trace.kernel_columns(machine.il1.block_shift)
+    (op, _dst, _s1, _s2, pc_a, addr_a, target_a, _fb, _pg, bkind, taken, _tr) = cols
+    counts = np.zeros(4, dtype=np.int64)
+    _warming_kernel(
+        start,
+        end,
+        cfg,
+        op,
+        pc_a,
+        addr_a,
+        target_a,
+        bkind,
+        taken,
+        _as_int64(machine.il1.tags),
+        _as_int64(machine.dl1.tags),
+        _as_int64(machine.l2.tags),
+        _as_int64(machine.itlb.tags),
+        _as_int64(machine.dtlb.tags),
+        _as_int64(machine.predictor.bimodal),
+        _as_int64(machine.predictor.gshare),
+        _as_int64(machine.predictor.chooser),
+        _as_int64(machine.predictor.state),
+        _as_int64(machine.btb.keys),
+        _as_int64(machine.btb.targets),
+        _as_int64(machine.btb.stats),
+        _as_int64(machine.ras.state),
+        counts,
+    )
+    return WarmingStats(
+        instructions=max(0, end - start),
+        branches=int(counts[0]),
+        mispredictions=int(counts[1]),
+        loads=int(counts[2]),
+        stores=int(counts[3]),
+    )

@@ -1,0 +1,661 @@
+"""The ``numpy`` backend: vectorized resolve passes + a lean timing loop.
+
+The key observation making this backend possible is that every
+microarchitectural *outcome* in the model -- cache hit/miss, TLB
+hit/miss, branch direction correctness, BTB/RAS correctness -- is
+fully determined by the trace order alone; the timing loop feeds
+nothing back into the structures.  Detailed simulation therefore
+splits into two phases that together are bit-identical to the
+reference interleaved loop:
+
+1. **Resolve**: build the event streams with NumPy (block-change
+   masks, memory indices, branch kinds), then replay each structure's
+   events through an unrolled flat-list LRU loop.  Only the L2 is
+   shared between il1 and dl1, so only its stream needs a global-order
+   merge (il1 before dl1 within one instruction, matching the
+   fetch-before-execute order of the reference loop).
+2. **Timing**: run the config-specialized loop from
+   :mod:`repro.cpu.kernels.codegen` over the precomputed latencies,
+   sparse stall events and sparse mispredict redirects.
+
+Functional warming is the resolve phase alone with warm semantics
+(state updates without cache/TLB statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.kernels.codegen import (
+    btb_events,
+    cond_combined_events,
+    cond_counter_events,
+    lru_events,
+    lru_grouped,
+    ras_events,
+    timing_loop_for,
+)
+from repro.cpu.kernels.state import (
+    PRED_BIMODAL,
+    PRED_GSHARE,
+    PRED_PERFECT,
+    PRED_TAKEN,
+    STAT_HITS,
+    STAT_MISSES,
+)
+from repro.isa.trace import BK_CALL, BK_COND, BK_RETURN, BK_UNCOND
+
+_INF = 1 << 62
+
+
+def _int64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+def _change_mask(values: np.ndarray, previous: int) -> np.ndarray:
+    """True where ``values[i]`` differs from its predecessor."""
+    mask = np.empty(len(values), dtype=bool)
+    if len(values):
+        mask[0] = values[0] != previous
+        np.not_equal(values[1:], values[:-1], out=mask[1:])
+    return mask
+
+
+def _dedup_filter(blocks: np.ndarray, set_mask: int, assoc: int):
+    """Pure trivial-hit filter over an access stream, in set order.
+
+    Any access leaves its block MRU in its set, so an event whose
+    *previous same-set* event touched the same block is a guaranteed
+    way-0 hit with no state change.  Those events (the vast majority:
+    loop bodies re-fetching the same I-blocks, stack traffic hitting
+    the same D-blocks) are filtered out vectorized and only the
+    remainder needs LRU replay.  Returns ``(bases, blocks, pos)``
+    lists *sorted by set* for :func:`lru_grouped`, where ``pos`` is
+    each survivor's position in the original stream.  Depends only on
+    the stream and the geometry, so results are memoizable per region.
+    """
+    n = len(blocks)
+    if n == 0:
+        return [], [], []
+    sets = blocks & set_mask
+    # Small unsigned keys let the stable argsort take its radix path,
+    # which is ~7x faster than the int64 merge sort.
+    if set_mask < 1 << 8:
+        sort_keys = sets.astype(np.uint8)
+    elif set_mask < 1 << 16:
+        sort_keys = sets.astype(np.uint16)
+    else:
+        sort_keys = sets
+    order = np.argsort(sort_keys, kind="stable")
+    sb = sets[order]
+    bb = blocks[order]
+    live = np.empty(n, dtype=bool)
+    live[0] = True
+    np.not_equal(sb[1:], sb[:-1], out=live[1:])
+    np.logical_or(live[1:], bb[1:] != bb[:-1], out=live[1:])
+    return (
+        (sb[live] * assoc).tolist(),
+        bb[live].tolist(),
+        order[live].tolist(),
+    )
+
+
+def _replay(structure, feed) -> list:
+    """Replay a filtered feed through a structure; miss positions.
+
+    The positions index the *original* (unfiltered) stream and come
+    back in set-grouped order; callers use them as an index set.  Hit
+    counts are ``len(stream) - len(misses)`` by construction.
+    """
+    bases, blks, pos = feed
+    return lru_grouped(structure.assoc)(bases, blks, pos, structure.tags)
+
+
+def _structure_events(structure, blocks: np.ndarray) -> np.ndarray:
+    """Filter + replay for streams that are not worth memoizing."""
+    miss = _replay(
+        structure, _dedup_filter(blocks, structure.set_mask, structure.assoc)
+    )
+    return _int64(miss)
+
+
+def _mem_feed(trace, start, end):
+    """Memoized memory-op index artifacts for one region."""
+    def build():
+        op_r = trace.op[start:end]
+        mem_mask = (op_r == 6) | (op_r == 7)
+        mem_idx = np.flatnonzero(mem_mask)
+        is_load = op_r[mem_idx] == 6
+        return mem_mask, mem_idx, is_load, int(np.count_nonzero(is_load))
+
+    return trace.region_memo(("mem", start, end), build)
+
+
+def _cache_feed(trace, tag, start, end, blocks_fn, set_mask, assoc):
+    """Memoized dedup feed for one structure stream over one region."""
+    return trace.region_memo(
+        (tag, start, end, set_mask, assoc),
+        lambda: _dedup_filter(blocks_fn(), set_mask, assoc),
+    )
+
+
+def _branch_feed(trace, tag, start, end, mem_mask):
+    """Memoized branch index sets for one region.
+
+    ``mem_mask`` selects the warming variant, whose control flow (as
+    in the reference loop) never treats a memory op as a branch.
+    """
+    def build():
+        bk = trace.branch_kinds()[start:end]
+        if mem_mask is not None:
+            bk = np.where(mem_mask, 0, bk)
+        cond_idx = np.flatnonzero(bk == BK_COND)
+        t_cond = trace.taken_bits()[start:end][cond_idx]
+        cr_idx = np.flatnonzero((bk == BK_CALL) | (bk == BK_RETURN))
+        cr_is_call = bk[cr_idx] == BK_CALL
+        unc_idx = np.flatnonzero(bk == BK_UNCOND)
+        return (
+            int(np.count_nonzero(bk)),
+            cond_idx,
+            t_cond,
+            trace.pc[start:end][cond_idx],
+            cr_idx,
+            cr_is_call,
+            cr_is_call.tolist(),
+            unc_idx,
+        )
+
+    return trace.region_memo((tag, start, end), build)
+
+
+def _correct_mask(wrong_l, count) -> np.ndarray:
+    """Bool correctness array from a sparse mispredict-position list."""
+    correct = np.ones(count, dtype=bool)
+    if wrong_l:
+        correct[_int64(wrong_l)] = False
+    return correct
+
+
+def _btb_resolve(machine, n, pc_r, tg_r, cond_btb_idx, call_idx, unc_idx):
+    """Replay BTB lookups in instruction order; correctness flags.
+
+    The three sorted index sets are merged by scattering into a
+    full-length flag array and reading the nonzero positions back --
+    O(n) but branch-free, cheaper than sorting the concatenation.
+    Returns a full-length 0/1 array indexable by any of the inputs.
+    """
+    btb = machine.btb
+    sel = np.zeros(n, dtype=bool)
+    sel[cond_btb_idx] = True
+    sel[call_idx] = True
+    sel[unc_idx] = True
+    merged = np.flatnonzero(sel)
+    bkeys = pc_r[merged] >> 2
+    bbases = ((bkeys & btb.set_mask) * btb.assoc).tolist()
+    bmiss_l = btb_events(btb.assoc)(
+        bbases, bkeys.tolist(), tg_r[merged].tolist(), btb.keys, btb.targets
+    )
+    btb.stats[STAT_HITS] += len(merged) - len(bmiss_l)
+    btb.stats[STAT_MISSES] += len(bmiss_l)
+    bcorrect_full = np.zeros(n, dtype=bool)
+    bcorrect_full[merged] = True
+    if bmiss_l:
+        bcorrect_full[merged[_int64(bmiss_l)]] = False
+    return bcorrect_full
+
+
+def _resolve_predictor(trace, tag, start, end, predictor, pc_cond, t_cond):
+    """Direction-predictor correctness per conditional branch.
+
+    The global history register is trace-determined, so the gshare
+    index of every event is precomputed vectorized: history before
+    event ``j`` is the previous ``W`` taken bits (plus the incoming
+    register shifted in for the first ``W`` events).  The whole index
+    feed is pure given the entry history, so it is memoized per
+    region; only the counter-table replay runs per call.
+    """
+    kind = predictor.kind
+    count = len(pc_cond)
+    if kind == PRED_TAKEN:
+        return t_cond != 0
+    if kind == PRED_PERFECT:
+        return np.ones(count, dtype=bool)
+    mask = predictor.mask
+    h0 = int(predictor.state[0])
+
+    def build():
+        taken_l = t_cond.tolist()
+        base_index = (pc_cond >> 2) & mask
+        if kind == PRED_BIMODAL:
+            return taken_l, base_index.tolist(), None, 0
+        width = mask.bit_length()
+        history = np.zeros(count + 1, dtype=np.int64)
+        if h0:
+            span = min(width, count + 1)
+            history[:span] |= h0 << np.arange(span, dtype=np.int64)
+        for age in range(1, width + 1):
+            if age > count:
+                break
+            np.bitwise_or(
+                history[age:],
+                t_cond[: count + 1 - age] << (age - 1),
+                out=history[age:],
+            )
+        history &= mask
+        gs_index = (base_index ^ history[:count]) & mask
+        return taken_l, base_index.tolist(), gs_index.tolist(), int(history[count])
+
+    taken_l, base_l, gs_l, h_final = trace.region_memo(
+        (tag, "pred", start, end, kind, mask, h0), build
+    )
+    if kind == PRED_BIMODAL:
+        wrong_l = cond_counter_events(base_l, taken_l, predictor.bimodal)
+        return _correct_mask(wrong_l, count)
+    if kind == PRED_GSHARE:
+        wrong_l = cond_counter_events(gs_l, taken_l, predictor.gshare)
+    else:  # combined
+        wrong_l = cond_combined_events(
+            base_l, gs_l, taken_l,
+            predictor.bimodal, predictor.gshare, predictor.chooser,
+        )
+    predictor.state[0] = h_final
+    return _correct_mask(wrong_l, count)
+
+
+def advance_detailed(machine, trace, start, end, state) -> None:
+    """Advance the detailed model over ``trace[start:end)`` (split-phase)."""
+    cfg = machine.config
+    il1 = machine.il1
+    dl1 = machine.dl1
+    l2 = machine.l2
+    itlb = machine.itlb
+    dtlb = machine.dtlb
+    n = end - start
+    if n <= 0:
+        return
+
+    op_r = trace.op[start:end]
+    pc_r = trace.pc[start:end]
+    addr_r = trace.addr[start:end]
+    mem_mask, mem_idx, is_load, n_loads = _mem_feed(trace, start, end)
+    n_mem = len(mem_idx)
+
+    # ---- fetch events (I-cache block changes; page changes within them)
+    fb = trace.fetch_blocks(il1.block_shift)[start:end]
+    pg = trace.pages()[start:end]
+    fetch_idx = trace.region_memo(
+        ("fetch", start, end, il1.block_shift),
+        lambda: np.flatnonzero(_change_mask(fb, -1)),
+    )
+    # The memoized index set assumes the first instruction starts a new
+    # fetch block (always true from reset); on a warm machine whose
+    # last block matches, drop that leading event.
+    first_in = int(fb[0]) != state.last_fetch_block
+    if not first_in:
+        fetch_idx = fetch_idx[1:]
+    pgs = pg[fetch_idx]
+    pgc = _change_mask(pgs, state.last_fetch_page)
+    itlb_pos = np.flatnonzero(pgc)
+
+    # ---- caches
+    if machine.enhancements.next_line_prefetch:
+        stall_cache, dl1_lat_ev = _resolve_caches_serial(
+            machine, pc_r, addr_r, fetch_idx, mem_idx
+        )
+    else:
+        n_fetch = len(fetch_idx)
+        il1_feed = trace.region_memo(
+            ("il1", start, end, il1.block_shift, il1.set_mask, il1.assoc, first_in),
+            lambda: _dedup_filter(fb[fetch_idx], il1.set_mask, il1.assoc),
+        )
+        il1_miss = _int64(_replay(il1, il1_feed))
+        dl1_feed = _cache_feed(
+            trace, "dl1", start, end,
+            lambda: trace.data_blocks(dl1.block_shift)[start:end][mem_idx],
+            dl1.set_mask, dl1.assoc,
+        )
+        dl1_miss = _int64(_replay(dl1, dl1_feed))
+
+        # L2 sees L1 misses merged in global instruction order, il1
+        # (fetch) before dl1 (execute) within one instruction.
+        il1_g = fetch_idx[il1_miss]
+        dl1_g = mem_idx[dl1_miss]
+        merge_keys = np.concatenate([il1_g * 2, dl1_g * 2 + 1])
+        order = np.argsort(merge_keys)
+        l2_blocks = (
+            np.concatenate([pc_r[il1_g], addr_r[dl1_g]]) >> l2.block_shift
+        )[order]
+        l2_miss = _structure_events(l2, l2_blocks)
+
+        n_merge = len(l2_blocks)
+        l2_lat = np.full(n_merge, l2.hit_latency, dtype=np.int64)
+        l2_lat[l2_miss] += l2.memory.fill_latency(l2.block_bytes)
+        inverse = np.empty(n_merge, dtype=np.int64)
+        inverse[order] = np.arange(n_merge, dtype=np.int64)
+        n_il1_miss = len(il1_g)
+        il1_l2lat = l2_lat[inverse[:n_il1_miss]]
+        dl1_l2lat = l2_lat[inverse[n_il1_miss:]]
+
+        il1.stats[STAT_HITS] += n_fetch - n_il1_miss
+        il1.stats[STAT_MISSES] += n_il1_miss
+        dl1.stats[STAT_HITS] += n_mem - len(dl1_g)
+        dl1.stats[STAT_MISSES] += len(dl1_g)
+        l2.stats[STAT_HITS] += n_merge - len(l2_miss)
+        l2.stats[STAT_MISSES] += len(l2_miss)
+        l2.memory.stats[0] += len(l2_miss)
+
+        stall_cache = np.zeros(len(fetch_idx), dtype=np.int64)
+        stall_cache[il1_miss] = il1_l2lat
+        dl1_lat_ev = np.full(n_mem, dl1.hit_latency, dtype=np.int64)
+        dl1_lat_ev[dl1_miss] += dl1_l2lat
+
+    # ---- TLBs (independent structures; no timing feedback)
+    itlb_miss = _structure_events(itlb, pgs[itlb_pos])
+    itlb.stats[STAT_HITS] += len(itlb_pos) - len(itlb_miss)
+    itlb.stats[STAT_MISSES] += len(itlb_miss)
+    dtlb_feed = _cache_feed(
+        trace, "dtlb", start, end,
+        lambda: trace.data_pages()[start:end][mem_idx],
+        dtlb.set_mask, dtlb.assoc,
+    )
+    dtlb_miss = _int64(_replay(dtlb, dtlb_feed))
+    dtlb.stats[STAT_HITS] += n_mem - len(dtlb_miss)
+    dtlb.stats[STAT_MISSES] += len(dtlb_miss)
+
+    # ---- fetch stalls (il1 miss fill + ITLB walk), sparse
+    if len(itlb_miss):
+        stall_cache[itlb_pos[itlb_miss]] += itlb.miss_latency
+    nz = np.flatnonzero(stall_cache)
+    stall_pos = fetch_idx[nz]
+    stall_vals = stall_cache[nz]
+
+    # ---- memory completion latencies per mem event
+    dtlb_extra = np.zeros(n_mem, dtype=np.int64)
+    dtlb_extra[dtlb_miss] = dtlb.miss_latency
+    ml = np.where(is_load, dl1_lat_ev + dtlb_extra, 1 + dtlb_extra)
+    # Write-buffer drain times are consumed by stores only, so the
+    # timing loop walks a store-only iterator instead of indexing a
+    # list parallel to every memory event.
+    drain = dl1_lat_ev[~is_load]
+
+    # ---- branches: direction predictor, RAS, BTB
+    tg_r = trace.target[start:end]
+    (
+        n_branches, cond_idx, t_cond, pc_cond,
+        cr_idx, cr_is_call, cr_push_l, unc_idx,
+    ) = _branch_feed(trace, "branch", start, end, None)
+
+    pred_correct = _resolve_predictor(
+        trace, "branch", start, end, machine.predictor, pc_cond, t_cond
+    )
+
+    ras = machine.ras
+    depth, overflow_delta, ret_correct_l = ras_events(
+        cr_push_l, int(ras.state[0]), ras.entries
+    )
+    ras.state[0] = depth
+    ras.state[1] += overflow_delta
+    call_idx = cr_idx[cr_is_call]
+    ret_idx = cr_idx[~cr_is_call]
+    ret_correct = _int64(ret_correct_l) != 0
+
+    btb = machine.btb
+    taken_sel = pred_correct & (t_cond != 0)
+    cond_btb_idx = cond_idx[taken_sel]
+    bcorrect_full = _btb_resolve(
+        machine, n, pc_r, tg_r, cond_btb_idx, call_idx, unc_idx
+    )
+    cond_correct = pred_correct.copy()
+    cond_correct[taken_sel] = bcorrect_full[cond_btb_idx]
+    call_correct = bcorrect_full[call_idx]
+    unc_correct = bcorrect_full[unc_idx]
+
+    # ---- merged sparse events for the segmented timing loop: one
+    # entry per instruction that stalls fetch and/or redirects it.
+    # Redirects are scattered straight into a full-length flag array
+    # (no sort needed); the union with the sorted stall positions
+    # falls out of a flatnonzero over the two scatter arrays.
+    redir_full = np.zeros(n, dtype=np.int64)
+    redir_full[cond_idx[~cond_correct]] = 1
+    redir_full[call_idx[~call_correct]] = 1
+    redir_full[ret_idx[~ret_correct]] = 1
+    redir_full[unc_idx[~unc_correct]] = 1
+    n_redir = int(np.count_nonzero(redir_full))
+    if len(stall_pos) or n_redir:
+        stall_full = np.zeros(n, dtype=np.int64)
+        stall_full[stall_pos] = stall_vals
+        ev_pos = np.flatnonzero(stall_full | redir_full)
+        ev_pos_l = ev_pos.tolist()
+        ev_stall = stall_full[ev_pos].tolist()
+        ev_redir = redir_full[ev_pos].tolist()
+    else:
+        ev_pos_l = []
+        ev_stall = []
+        ev_redir = []
+
+    # ---- counters
+    state.branches += n_branches
+    state.mispredictions += n_redir
+    state.loads += n_loads
+    state.stores += n_mem - n_loads
+    tc_enabled = machine.enhancements.trivial_computation
+    if tc_enabled:
+        tv = trace.trivial_bits()[start:end]
+        state.trivial_simplified += int(np.count_nonzero((tv != 0) & ~mem_mask))
+
+    # ---- phase 2: the lean timing loop over precomputed latencies
+    instr_l = trace.timing_lists(
+        tc_enabled, start, end, merge_ctrl=cfg.int_alu_lat == 1
+    )
+    run_timing = timing_loop_for(cfg)
+    (
+        state.fc,
+        state.fetch_count,
+        state.dc,
+        state.dcount,
+        state.cc,
+        state.ccount,
+    ) = run_timing(
+        instr_l,
+        ml.tolist(),
+        drain.tolist(),
+        ev_pos_l,
+        ev_stall,
+        ev_redir,
+        state.reg_ready,
+        state.rob_ring,
+        state.lsq_ring,
+        state.wb_ring,
+        state.ifq_ring,
+        state.pools,
+        state.fc,
+        state.fetch_count,
+        state.dc,
+        state.dcount,
+        state.cc,
+        state.ccount,
+        state.instr_index,
+        state.mem_index,
+        state.store_index,
+    )
+    state.instr_index += n
+    state.mem_index += n_mem
+    state.store_index += n_mem - n_loads
+    if len(fetch_idx):
+        state.last_fetch_block = int(fb[-1])
+        state.last_fetch_page = int(pgs[-1])
+
+
+def _resolve_caches_serial(machine, pc_r, addr_r, fetch_idx, mem_idx):
+    """Reference-order cache resolution (next-line prefetch enabled).
+
+    Prefetching couples the dl1 with the L2 outside the per-structure
+    event streams (a dl1 miss also warms ``block + 1`` through the
+    shared L2), so the per-structure replay is no longer valid; fall
+    back to walking the merged fetch/memory event stream through the
+    structures' reference access methods.  Still much faster than the
+    reference loop: only events are visited, not every instruction.
+    """
+    il1 = machine.il1
+    dl1 = machine.dl1
+    il1_hit_latency = il1.hit_latency
+    il1_access = il1.access
+    dl1_access = dl1.access
+    f_l = fetch_idx.tolist()
+    m_l = mem_idx.tolist()
+    pc_ev = pc_r[fetch_idx].tolist()
+    addr_ev = addr_r[mem_idx].tolist()
+    nf = len(f_l)
+    nm = len(m_l)
+    stall_cache = [0] * nf
+    dl1_lat = [0] * nm
+    fpos = 0
+    mpos = 0
+    next_f = f_l[0] if nf else _INF
+    next_m = m_l[0] if nm else _INF
+    while fpos < nf or mpos < nm:
+        if next_f <= next_m:  # fetch precedes execute at the same index
+            stall_cache[fpos] = il1_access(pc_ev[fpos]) - il1_hit_latency
+            fpos += 1
+            next_f = f_l[fpos] if fpos < nf else _INF
+        else:
+            dl1_lat[mpos] = dl1_access(addr_ev[mpos])
+            mpos += 1
+            next_m = m_l[mpos] if mpos < nm else _INF
+    return _int64(stall_cache), _int64(dl1_lat)
+
+
+def _warm_caches_serial(machine, pc_r, addr_r, fetch_idx, mem_idx) -> None:
+    """Reference-order cache warming (next-line prefetch enabled)."""
+    il1_warm = machine.il1.warm
+    dl1_warm = machine.dl1.warm
+    f_l = fetch_idx.tolist()
+    m_l = mem_idx.tolist()
+    pc_ev = pc_r[fetch_idx].tolist()
+    addr_ev = addr_r[mem_idx].tolist()
+    nf = len(f_l)
+    nm = len(m_l)
+    fpos = 0
+    mpos = 0
+    next_f = f_l[0] if nf else _INF
+    next_m = m_l[0] if nm else _INF
+    while fpos < nf or mpos < nm:
+        if next_f <= next_m:
+            il1_warm(pc_ev[fpos])
+            fpos += 1
+            next_f = f_l[fpos] if fpos < nf else _INF
+        else:
+            dl1_warm(addr_ev[mpos])
+            mpos += 1
+            next_m = m_l[mpos] if mpos < nm else _INF
+
+
+def run_warming(machine, trace, start, end):
+    """Vectorized functional warming over ``trace[start:end)``.
+
+    The resolve phase with warm semantics: structures are trained on
+    the same event streams, cache/TLB statistics stay untouched, BTB
+    statistics and the WarmingStats counters are recorded exactly as
+    the reference loop does.
+    """
+    from repro.cpu.functional import WarmingStats
+
+    il1 = machine.il1
+    dl1 = machine.dl1
+    l2 = machine.l2
+    n = end - start
+    if n <= 0:
+        return WarmingStats(instructions=max(0, n))
+
+    pc_r = trace.pc[start:end]
+    addr_r = trace.addr[start:end]
+    mem_mask, mem_idx, is_load, n_loads = _mem_feed(trace, start, end)
+
+    # Warming always starts from a local "no previous block" state,
+    # mirroring the reference loop's per-call locals.
+    fb = trace.fetch_blocks(il1.block_shift)[start:end]
+    pg = trace.pages()[start:end]
+    fetch_idx = trace.region_memo(
+        ("fetch", start, end, il1.block_shift),
+        lambda: np.flatnonzero(_change_mask(fb, -1)),
+    )
+    pgs = pg[fetch_idx]
+    pgc = _change_mask(pgs, -1)
+    itlb_pos = np.flatnonzero(pgc)
+
+    if machine.enhancements.next_line_prefetch:
+        _warm_caches_serial(machine, pc_r, addr_r, fetch_idx, mem_idx)
+    else:
+        il1_feed = trace.region_memo(
+            ("il1", start, end, il1.block_shift, il1.set_mask, il1.assoc, True),
+            lambda: _dedup_filter(fb[fetch_idx], il1.set_mask, il1.assoc),
+        )
+        il1_miss = _int64(_replay(il1, il1_feed))
+        dl1_feed = _cache_feed(
+            trace, "dl1", start, end,
+            lambda: trace.data_blocks(dl1.block_shift)[start:end][mem_idx],
+            dl1.set_mask, dl1.assoc,
+        )
+        dl1_miss = _int64(_replay(dl1, dl1_feed))
+
+        il1_g = fetch_idx[il1_miss]
+        dl1_g = mem_idx[dl1_miss]
+        merge_keys = np.concatenate([il1_g * 2, dl1_g * 2 + 1])
+        order = np.argsort(merge_keys)
+        l2_blocks = (
+            np.concatenate([pc_r[il1_g], addr_r[dl1_g]]) >> l2.block_shift
+        )[order]
+        _structure_events(l2, l2_blocks)
+
+    # TLB warming trains state without statistics.
+    _structure_events(machine.itlb, pgs[itlb_pos])
+    dtlb_feed = _cache_feed(
+        trace, "dtlb", start, end,
+        lambda: trace.data_pages()[start:end][mem_idx],
+        machine.dtlb.set_mask, machine.dtlb.assoc,
+    )
+    _replay(machine.dtlb, dtlb_feed)
+
+    # Branches: warming skips memory ops entirely (they cannot carry
+    # branch work in the reference loop's control flow).
+    tg_r = trace.target[start:end]
+    (
+        n_branches, cond_idx, t_cond, pc_cond,
+        cr_idx, cr_is_call, cr_push_l, unc_idx,
+    ) = _branch_feed(trace, "branchw", start, end, mem_mask)
+
+    pred_correct = _resolve_predictor(
+        trace, "branchw", start, end, machine.predictor, pc_cond, t_cond
+    )
+
+    ras = machine.ras
+    depth, overflow_delta, ret_correct_l = ras_events(
+        cr_push_l, int(ras.state[0]), ras.entries
+    )
+    ras.state[0] = depth
+    ras.state[1] += overflow_delta
+    call_idx = cr_idx[cr_is_call]
+    ret_correct = _int64(ret_correct_l) != 0
+
+    taken_sel = pred_correct & (t_cond != 0)
+    cond_btb_idx = cond_idx[taken_sel]
+    bcorrect_full = _btb_resolve(
+        machine, n, pc_r, tg_r, cond_btb_idx, call_idx, unc_idx
+    )
+    cond_correct = pred_correct.copy()
+    cond_correct[taken_sel] = bcorrect_full[cond_btb_idx]
+
+    mispredictions = (
+        int(np.count_nonzero(~cond_correct))
+        + int(np.count_nonzero(~bcorrect_full[call_idx]))
+        + int(np.count_nonzero(~ret_correct))
+        + int(np.count_nonzero(~bcorrect_full[unc_idx]))
+    )
+    n_mem = len(mem_idx)
+    return WarmingStats(
+        instructions=n,
+        branches=n_branches,
+        mispredictions=mispredictions,
+        loads=n_loads,
+        stores=n_mem - n_loads,
+    )

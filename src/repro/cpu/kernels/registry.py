@@ -1,0 +1,193 @@
+"""Backend registry: pluggable simulation kernels.
+
+Three backends share one contract -- bit-identical statistics:
+
+* ``python``  -- the reference per-instruction interpreter loops over
+  per-set Python-list structures (:mod:`repro.cpu.pipeline`,
+  :mod:`repro.cpu.functional`);
+* ``numpy``   -- flat-array state, vectorized functional warming and a
+  split-phase detailed model (resolve caches/predictors over
+  pre-filtered indices, then run a lean timing loop);
+* ``numba``   -- the same flat-array state driven by ``@njit``-compiled
+  monolithic kernels; auto-detected, optional.
+
+Selection follows the engine convention: explicit argument > the
+``REPRO_BACKEND`` environment variable > default (the fastest available
+backend).  Requesting ``numba`` without numba installed degrades
+gracefully to ``numpy`` with a warning rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, Optional, Union
+
+#: Environment variable consulted when no explicit backend is given
+#: (flag > env > default, as for the PR-1 engine options).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Recognized backend names (``auto`` resolves to the default).
+BACKEND_NAMES = ("python", "numpy", "numba")
+
+#: Regions shorter than this are simulated with the reference loops
+#: even on array backends: the vectorized set-up cost only pays off on
+#: long regions, and both paths produce identical statistics.
+SMALL_REGION = 1024
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT compiler can be imported."""
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def default_backend_name() -> str:
+    """The fastest backend available on this interpreter."""
+    return "numba" if numba_available() else "numpy"
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Resolve a backend name: argument > ``$REPRO_BACKEND`` > default."""
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or "auto"
+    name = name.strip().lower()
+    if name == "auto":
+        return default_backend_name()
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown simulation backend {name!r}; "
+            f"expected one of {BACKEND_NAMES + ('auto',)}"
+        )
+    if name == "numba" and not numba_available():
+        warnings.warn(
+            "numba requested but not installed; falling back to the "
+            "numpy backend (statistics are identical)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return "numpy"
+    return name
+
+
+class Backend:
+    """One simulation backend: structure storage plus kernel entry points."""
+
+    #: Subclasses set these.
+    name = "abstract"
+    storage = "python"
+
+    def build_structures(self, config, enhancements) -> Optional[Dict[str, object]]:
+        """Flat structures for a Machine, or None for the reference set."""
+        return None
+
+    def advance_detailed(self, machine, trace, start, end, state) -> None:
+        """Advance the detailed timing model over ``trace[start:end)``."""
+        raise NotImplementedError
+
+    def run_warming(self, machine, trace, start, end):
+        """Functionally warm ``trace[start:end)``; returns WarmingStats."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Backend {self.name}>"
+
+
+class PythonBackend(Backend):
+    """The reference interpreter loops over Python-list structures."""
+
+    name = "python"
+    storage = "python"
+
+    def advance_detailed(self, machine, trace, start, end, state) -> None:
+        from repro.cpu.pipeline import _run_region
+
+        _run_region(machine, trace, start, end, state)
+
+    def run_warming(self, machine, trace, start, end):
+        from repro.cpu.functional import _python_warming
+
+        return _python_warming(machine, trace, start, end)
+
+
+class NumpyBackend(Backend):
+    """Flat-list state + vectorized warming + split-phase timing."""
+
+    name = "numpy"
+    storage = "list"
+
+    def build_structures(self, config, enhancements):
+        from repro.cpu.kernels.state import build_structures
+
+        return build_structures(config, enhancements, self.storage)
+
+    def advance_detailed(self, machine, trace, start, end, state) -> None:
+        if end - start < SMALL_REGION:
+            from repro.cpu.pipeline import _run_region
+
+            _run_region(machine, trace, start, end, state)
+            return
+        from repro.cpu.kernels.numpy_impl import advance_detailed
+
+        advance_detailed(machine, trace, start, end, state)
+
+    def run_warming(self, machine, trace, start, end):
+        if end - start < SMALL_REGION:
+            from repro.cpu.functional import _python_warming
+
+            return _python_warming(machine, trace, start, end)
+        from repro.cpu.kernels.numpy_impl import run_warming
+
+        return run_warming(machine, trace, start, end)
+
+
+class NumbaBackend(Backend):
+    """Flat-ndarray state driven by ``@njit``-compiled kernels."""
+
+    name = "numba"
+    storage = "array"
+
+    def build_structures(self, config, enhancements):
+        from repro.cpu.kernels.state import build_structures
+
+        return build_structures(config, enhancements, self.storage)
+
+    def advance_detailed(self, machine, trace, start, end, state) -> None:
+        from repro.cpu.kernels.numba_impl import advance_detailed
+
+        advance_detailed(machine, trace, start, end, state)
+
+    def run_warming(self, machine, trace, start, end):
+        from repro.cpu.kernels.numba_impl import run_warming
+
+        return run_warming(machine, trace, start, end)
+
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def get_backend(name: Union[str, Backend, None] = None) -> Backend:
+    """The backend instance for ``name`` (resolving flag > env > default)."""
+    if isinstance(name, Backend):
+        return name
+    resolved = resolve_backend_name(name)
+    backend = _BACKENDS.get(resolved)
+    if backend is None:
+        backend = {
+            "python": PythonBackend,
+            "numpy": NumpyBackend,
+            "numba": NumbaBackend,
+        }[resolved]()
+        _BACKENDS[resolved] = backend
+    return backend
+
+
+def available_backends() -> tuple:
+    """Names of the backends usable on this interpreter."""
+    names = ["python", "numpy"]
+    if numba_available():
+        names.append("numba")
+    return tuple(names)

@@ -11,16 +11,40 @@ from __future__ import annotations
 from repro.cpu.branch import BranchTargetBuffer, ReturnAddressStack, make_predictor
 from repro.cpu.cache import Cache, MainMemory, TLB
 from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.kernels.registry import Backend, get_backend
 
 
 class Machine:
-    """All stateful microarchitectural structures for one config."""
+    """All stateful microarchitectural structures for one config.
+
+    ``backend`` selects the simulation kernels (and with them the
+    storage layout of the structures): the default follows the
+    registry's flag > ``$REPRO_BACKEND`` > fastest-available rule.
+    Every backend holds bit-identical state and statistics.
+    """
 
     def __init__(
-        self, config: ProcessorConfig, enhancements: Enhancements | None = None
+        self,
+        config: ProcessorConfig,
+        enhancements: Enhancements | None = None,
+        backend: str | Backend | None = None,
     ) -> None:
         self.config = config
         self.enhancements = enhancements or Enhancements()
+        self.backend = get_backend(backend)
+
+        structures = self.backend.build_structures(config, self.enhancements)
+        if structures is not None:
+            self.memory = structures["memory"]
+            self.l2 = structures["l2"]
+            self.il1 = structures["il1"]
+            self.dl1 = structures["dl1"]
+            self.itlb = structures["itlb"]
+            self.dtlb = structures["dtlb"]
+            self.predictor = structures["predictor"]
+            self.btb = structures["btb"]
+            self.ras = structures["ras"]
+            return
 
         self.memory = MainMemory(
             config.mem_latency_first, config.mem_latency_next, config.mem_bus_width

@@ -80,17 +80,34 @@ class _TimingState:
 
     def __init__(self, machine: Machine) -> None:
         cfg = machine.config
-        self.reg_ready = [0] * NUM_REGS
-        self.rob_ring = [0] * cfg.rob_entries
-        self.lsq_ring = [0] * cfg.lsq_entries
-        self.wb_ring = [0] * cfg.write_buffer_entries
-        self.ifq_ring = [0] * cfg.ifq_size
+        backend = getattr(machine, "backend", None)
+        if backend is not None and backend.storage == "array":
+            import numpy as np
+
+            def alloc(length: int):
+                return np.zeros(length, dtype=np.int64)
+
+        else:
+
+            def alloc(length: int):
+                return [0] * length
+
+        # Two extra register slots implement the kernel backends'
+        # sentinel mapping: NUM_REGS is a write-only scratch slot for
+        # instructions without a destination, NUM_REGS + 1 is a source
+        # slot that is permanently ready at cycle 0.  The reference
+        # loop guards on register validity and never touches either.
+        self.reg_ready = alloc(NUM_REGS + 2)
+        self.rob_ring = alloc(cfg.rob_entries)
+        self.lsq_ring = alloc(cfg.lsq_entries)
+        self.wb_ring = alloc(cfg.write_buffer_entries)
+        self.ifq_ring = alloc(cfg.ifq_size)
         self.pools = [
-            [0] * cfg.int_alus,
-            [0] * cfg.int_mult_divs,
-            [0] * cfg.fp_alus,
-            [0] * cfg.fp_mult_divs,
-            [0] * cfg.mem_ports,
+            alloc(cfg.int_alus),
+            alloc(cfg.int_mult_divs),
+            alloc(cfg.fp_alus),
+            alloc(cfg.fp_mult_divs),
+            alloc(cfg.mem_ports),
         ]
         self.fc = 0
         self.fetch_count = 0
@@ -134,9 +151,10 @@ def run_detailed(
 
     if state is None:
         state = _TimingState(machine)
+    advance = machine.backend.advance_detailed
 
     if measure_from > start:
-        _run_region(machine, trace, start, measure_from, state)
+        advance(machine, trace, start, measure_from, state)
 
     cycles_before = state.cc
     snapshot = machine.cache_snapshot()
@@ -149,7 +167,7 @@ def run_detailed(
     )
 
     if end > measure_from:
-        _run_region(machine, trace, measure_from, end, state)
+        advance(machine, trace, measure_from, end, state)
 
     after = machine.cache_snapshot()
     stats = SimulationStats()
@@ -314,9 +332,15 @@ def _run_region(
                 if ready < limit:
                     ready = limit
                 pool = pools[4]
-                free = min(pool)
+                free = pool[0]
+                free_index = 0
+                for j in range(1, len(pool)):
+                    v = pool[j]
+                    if v < free:
+                        free = v
+                        free_index = j
                 issue = free if free > ready else ready
-                pool[pool.index(free)] = issue + 1
+                pool[free_index] = issue + 1
                 addr = addr_l[k]
                 tlb_extra = dtlb_access(addr)
                 cache_latency = dl1_access(addr)
@@ -337,14 +361,20 @@ def _run_region(
                     complete = ready
                 else:
                     pool = pools[pool_of[opc]]
-                    free = min(pool)
+                    free = pool[0]
+                    free_index = 0
+                    for j in range(1, len(pool)):
+                        v = pool[j]
+                        if v < free:
+                            free = v
+                            free_index = j
                     issue = free if free > ready else ready
                     exec_latency = latency[opc]
                     # Divides occupy their unit (unpipelined).
                     if opc == _IDIV or opc == _FPDIV:
-                        pool[pool.index(free)] = issue + exec_latency
+                        pool[free_index] = issue + exec_latency
                     else:
-                        pool[pool.index(free)] = issue + 1
+                        pool[free_index] = issue + 1
                     complete = issue + exec_latency
 
             dst = dst_l[k]

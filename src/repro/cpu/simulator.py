@@ -54,13 +54,15 @@ class Simulator:
         self,
         config: Optional[ProcessorConfig] = None,
         enhancements: Optional[Enhancements] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.config = config or ProcessorConfig()
         self.enhancements = enhancements or Enhancements()
+        self.backend = backend
 
     def new_machine(self) -> Machine:
         """A fresh (cold) machine for this configuration."""
-        return Machine(self.config, self.enhancements)
+        return Machine(self.config, self.enhancements, backend=self.backend)
 
     # -- one-shot helpers ------------------------------------------------------
 

@@ -18,6 +18,7 @@ flag            environment         default
 ``--jobs``      ``REPRO_JOBS``      all CPU cores
 ``--cache-dir`` ``REPRO_CACHE_DIR`` no persistent cache
 ``--profile``   ``REPRO_PROFILE``   ``tiny``
+``--backend``   ``REPRO_BACKEND``   fastest available backend
 ==============  ==================  =========================
 
 ``--no-cache`` disables the persistent cache even when a directory is
@@ -32,6 +33,11 @@ import os
 import sys
 from pathlib import Path
 
+from repro.cpu.kernels.registry import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    resolve_backend_name,
+)
 from repro.engine import default_jobs
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
 from repro.experiments import figure7, section52, survey, tables
@@ -127,7 +133,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the persistent result cache even if configured",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKEND_NAMES + ("auto",),
+        help=f"simulation kernel backend (default: ${BACKEND_ENV_VAR} or "
+        "the fastest available); all backends produce identical statistics",
+    )
     args = parser.parse_args(argv)
+
+    # Resolve once (flag > env > default) and export the result so the
+    # engine's worker processes inherit the same backend choice.
+    try:
+        backend = resolve_backend_name(args.backend)
+    except ValueError as exc:
+        parser.error(str(exc))
+    os.environ[BACKEND_ENV_VAR] = backend
 
     if args.experiments == ["list"]:
         for name in EXPERIMENTS:

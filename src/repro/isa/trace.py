@@ -26,6 +26,22 @@ FLAG_ANY_BRANCH = (
     FLAG_COND_BRANCH | FLAG_CALL | FLAG_RETURN | FLAG_UNCOND
 )
 
+# Branch-kind codes for the precomputed ``branch_kinds`` column: one
+# small integer per instruction instead of repeated flag tests in the
+# per-instruction loops.
+BK_NONE = 0
+BK_COND = 1
+BK_CALL = 2
+BK_RETURN = 3
+BK_UNCOND = 4
+
+#: Page size used for TLB indexing (4 KB pages, fixed ISA-wide).
+PAGE_SHIFT = 12
+
+_COLUMN_NAMES = (
+    "op", "dst", "src1", "src2", "pc", "block", "addr", "flags", "target",
+)
+
 
 @dataclass
 class Trace:
@@ -48,6 +64,7 @@ class Trace:
     target: np.ndarray  # int64 branch target pc (0 if not a branch)
     num_blocks: int = 0
     _list_cache: dict = field(default_factory=dict, repr=False)
+    _region_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         length = len(self.op)
@@ -68,36 +85,203 @@ class Trace:
         """
         if end is None:
             end = len(self)
+        full = self._list_cache.get("full")
         if start == 0 and end == len(self):
-            if "full" not in self._list_cache:
-                self._list_cache["full"] = tuple(
-                    getattr(self, name).tolist()
-                    for name in (
-                        "op",
-                        "dst",
-                        "src1",
-                        "src2",
-                        "pc",
-                        "block",
-                        "addr",
-                        "flags",
-                        "target",
-                    )
+            if full is None:
+                full = tuple(
+                    getattr(self, name).tolist() for name in _COLUMN_NAMES
                 )
-            return self._list_cache["full"]
+                self._list_cache["full"] = full
+            return full
+        if full is not None:
+            # Slicing the cached Python lists (a pointer copy) is much
+            # cheaper than re-running ``ndarray.tolist`` per chunk.
+            return tuple(column[start:end] for column in full)
         return tuple(
-            getattr(self, name)[start:end].tolist()
-            for name in (
-                "op",
-                "dst",
-                "src1",
-                "src2",
-                "pc",
-                "block",
-                "addr",
-                "flags",
-                "target",
+            getattr(self, name)[start:end].tolist() for name in _COLUMN_NAMES
+        )
+
+    def region_memo(self, key: Tuple, build):
+        """Memoized backend artifact for one trace region.
+
+        Simulation kernels derive many pure functions of a region --
+        event index sets, deduplicated access streams, predictor
+        feeds.  Techniques and benchmarks revisit the same regions
+        (across configurations, warm-up/measure splits and repeated
+        runs), so these are cached here rather than recomputed.
+        ``key`` must fully determine the artifact: region bounds plus
+        any structure geometry it depends on.  The cache is bounded;
+        the oldest entry is evicted past 256 keys.
+        """
+        cache = self._region_cache
+        value = cache.get(key)
+        if value is None:
+            value = build()
+            if len(cache) >= 256:
+                del cache[next(iter(cache))]
+            cache[key] = value
+        return value
+
+    # -- derived columns for the kernel backends -------------------------------
+
+    def pages(self) -> np.ndarray:
+        """Cached 4 KB page id of each instruction's PC."""
+        cached = self._list_cache.get("pages")
+        if cached is None:
+            cached = self.pc >> PAGE_SHIFT
+            self._list_cache["pages"] = cached
+        return cached
+
+    def data_pages(self) -> np.ndarray:
+        """Cached 4 KB page id of each instruction's data address."""
+        cached = self._list_cache.get("data_pages")
+        if cached is None:
+            cached = self.addr >> PAGE_SHIFT
+            self._list_cache["data_pages"] = cached
+        return cached
+
+    def fetch_blocks(self, block_shift: int) -> np.ndarray:
+        """Cached fetch-block id (``pc >> block_shift``) per instruction.
+
+        The shift depends on the configured I-cache block size, so the
+        cache is keyed by shift; sweeps share entries per distinct
+        geometry instead of re-doing the bit-twiddling per run.
+        """
+        key = ("fetch_blocks", block_shift)
+        cached = self._list_cache.get(key)
+        if cached is None:
+            cached = self.pc >> block_shift
+            self._list_cache[key] = cached
+        return cached
+
+    def data_blocks(self, block_shift: int) -> np.ndarray:
+        """Cached data-block id (``addr >> block_shift``) per instruction."""
+        key = ("data_blocks", block_shift)
+        cached = self._list_cache.get(key)
+        if cached is None:
+            cached = self.addr >> block_shift
+            self._list_cache[key] = cached
+        return cached
+
+    def branch_kinds(self) -> np.ndarray:
+        """Cached branch-kind code (``BK_*``) per instruction.
+
+        Assignments run in *reverse* precedence order so that an
+        instruction carrying several branch flags ends up with the same
+        kind the simulation loops' if/elif chains would pick
+        (cond > call > return > uncond).
+        """
+        cached = self._list_cache.get("branch_kinds")
+        if cached is None:
+            flags = self.flags
+            cached = np.zeros(len(flags), dtype=np.int64)
+            cached[(flags & FLAG_UNCOND) != 0] = BK_UNCOND
+            cached[(flags & FLAG_RETURN) != 0] = BK_RETURN
+            cached[(flags & FLAG_CALL) != 0] = BK_CALL
+            cached[(flags & FLAG_COND_BRANCH) != 0] = BK_COND
+            self._list_cache["branch_kinds"] = cached
+        return cached
+
+    def taken_bits(self) -> np.ndarray:
+        """Cached taken flag (0/1 int64) per instruction."""
+        cached = self._list_cache.get("taken_bits")
+        if cached is None:
+            cached = ((self.flags & FLAG_TAKEN) != 0).astype(np.int64)
+            self._list_cache["taken_bits"] = cached
+        return cached
+
+    def trivial_bits(self) -> np.ndarray:
+        """Cached trivial-computation flag (0/1 int64) per instruction."""
+        cached = self._list_cache.get("trivial_bits")
+        if cached is None:
+            cached = ((self.flags & FLAG_TRIVIAL) != 0).astype(np.int64)
+            self._list_cache["trivial_bits"] = cached
+        return cached
+
+    def kernel_columns(self, block_shift: int):
+        """Cached int64 column tuple consumed by the JIT-able kernels.
+
+        Returns ``(op, dst, src1, src2, pc, addr, target, fetch_block,
+        page, branch_kind, taken, trivial)`` -- every array int64 so a
+        compiled kernel specializes on one homogeneous signature.
+        """
+        key = ("kernel_columns", block_shift)
+        cached = self._list_cache.get(key)
+        if cached is None:
+            cached = (
+                self.op.astype(np.int64),
+                self.dst.astype(np.int64),
+                self.src1.astype(np.int64),
+                self.src2.astype(np.int64),
+                self.pc.astype(np.int64),
+                self.addr.astype(np.int64),
+                self.target.astype(np.int64),
+                self.fetch_blocks(block_shift).astype(np.int64),
+                self.pages().astype(np.int64),
+                self.branch_kinds(),
+                self.taken_bits(),
+                self.trivial_bits(),
             )
+            self._list_cache[key] = cached
+        return cached
+
+    def timing_lists(
+        self,
+        trivial_enabled: bool,
+        start: int = 0,
+        end: int | None = None,
+        merge_ctrl: bool = False,
+    ) -> List[Tuple[int, int, int, int]]:
+        """Cached ``(code, dst, src1, src2)`` tuples for the
+        split-phase timing loop over ``[start, end)``.
+
+        ``code`` is the op class with every control op (>= BRANCH)
+        folded to 8 (pool 0, unit latency) and -- when the trivial
+        computation enhancement is on -- trivially simplifiable non-
+        memory ops folded to 15.  With ``merge_ctrl`` control ops fold
+        to 0 instead: when the integer-ALU latency is one cycle the
+        two dispatch arms are indistinguishable, so the loop can drop
+        one branch of its dispatch chain.  Register ids use the
+        sentinel mapping: a missing destination (-1) becomes
+        ``NUM_REGS`` (a write-only scratch slot) and a missing source
+        becomes ``NUM_REGS + 1`` (a slot that is always ready at cycle
+        0), so the hot loop needs no validity branches.  The rows are
+        prezipped into one tuple list (cheaper to iterate than a zip
+        of four columns); the full-trace conversion is cached and
+        region slices are memoized so repeated simulation of the same
+        region pays the copy once.
+        """
+        if end is None:
+            end = len(self)
+        key = ("timing", bool(trivial_enabled), bool(merge_ctrl))
+        full = self._list_cache.get(key)
+        if full is None:
+            from repro.isa.instructions import NUM_REGS
+
+            op = self.op.astype(np.int64)
+            codes = np.where(op >= 8, 0 if merge_ctrl else 8, op)
+            if trivial_enabled:
+                trivial = (
+                    (self.trivial_bits() != 0) & (op != 6) & (op != 7)
+                )
+                codes = np.where(trivial, 15, codes)
+            dst = self.dst.astype(np.int64)
+            src1 = self.src1.astype(np.int64)
+            src2 = self.src2.astype(np.int64)
+            full = list(
+                zip(
+                    codes.tolist(),
+                    np.where(dst < 0, NUM_REGS, dst).tolist(),
+                    np.where(src1 < 0, NUM_REGS + 1, src1).tolist(),
+                    np.where(src2 < 0, NUM_REGS + 1, src2).tolist(),
+                )
+            )
+            self._list_cache[key] = full
+        if start == 0 and end == len(self):
+            return full
+        return self.region_memo(
+            ("timing", bool(trivial_enabled), bool(merge_ctrl), start, end),
+            lambda: full[start:end],
         )
 
     def block_execution_counts(self, start: int = 0, end: int | None = None) -> np.ndarray:

@@ -177,3 +177,26 @@ class TestTLB:
     def test_invalid(self):
         with pytest.raises(ValueError):
             TLB("bad", entries=0, miss_latency=30)
+
+    def test_warm_counts_no_stats(self):
+        tlb = TLB("dtlb", entries=16, miss_latency=30)
+        tlb.warm(0x1234)
+        assert tlb.hits == 0 and tlb.misses == 0
+        # ... but the translation is installed: the next access hits.
+        assert tlb.access(0x1000) == 0
+        assert tlb.hits == 1 and tlb.misses == 0
+
+    def test_warm_matches_access_replacement(self):
+        # Functional warming must train exactly the state that detailed
+        # accesses would, so a probe sequence sees identical hit/miss
+        # behaviour afterwards.
+        pages = [0, 1, 2, 3, 1, 4, 0, 2, 5, 1]
+        warmed = TLB("dtlb", entries=4, miss_latency=30, assoc=4)
+        accessed = TLB("dtlb", entries=4, miss_latency=30, assoc=4)
+        for page in pages:
+            warmed.warm(page * 4096)
+            accessed.access(page * 4096)
+        accessed.reset_stats()
+        for page in range(6):
+            assert warmed.access(page * 4096) == accessed.access(page * 4096)
+        assert (warmed.hits, warmed.misses) == (accessed.hits, accessed.misses)

@@ -105,6 +105,18 @@ class TestTrace:
         assert len(cols[0]) == 3
         assert cols[4][0] == trace.pc[2]
 
+    def test_column_lists_slice_served_from_full_cache(self):
+        # Arbitrary region slices come from one cached full conversion
+        # rather than re-running ndarray.tolist per chunk.
+        trace = _tiny_trace(10)
+        full = trace.column_lists()
+        sliced = trace.column_lists(3, 8)
+        for col_full, col_slice in zip(full, sliced):
+            assert col_slice == col_full[3:8]
+        # Slicing before any full conversion is also correct.
+        cold = _tiny_trace(10)
+        assert cold.column_lists(3, 8) == sliced
+
     def test_block_execution_counts(self):
         trace = _tiny_trace(9, blocks=3)
         counts = trace.block_execution_counts()

@@ -1,0 +1,204 @@
+"""Backend registry and cross-backend parity tests.
+
+Every simulation backend (``python`` reference, ``numpy`` vectorized,
+``numba`` JIT) must produce bit-identical statistics; these tests pin
+that contract with fixed scenarios and a hypothesis sweep over random
+configurations and warm-up/measure splits.  Without numba installed the
+numba kernels run interpreted through the identity ``njit`` fallback,
+so their semantics are still exercised here.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.config import Enhancements, ProcessorConfig
+from repro.cpu.functional import run_functional_warming
+from repro.cpu.kernels.registry import (
+    BACKEND_ENV_VAR,
+    NumbaBackend,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    get_backend,
+    numba_available,
+    resolve_backend_name,
+)
+from repro.cpu.machine import Machine
+from repro.cpu.pipeline import run_detailed
+from repro.cpu.simulator import Simulator
+
+from tests.conftest import TEST_SCALE, make_micro_workload
+
+#: Backends compared against the python reference.  Fresh instances so
+#: an explicit object (rather than a registry name) also takes the
+#: ``get_backend`` instance path.
+ARRAY_BACKENDS = [NumpyBackend(), NumbaBackend()]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    # ~6000 instructions: long enough that the numpy backend's
+    # vectorized path engages (regions >= SMALL_REGION) on both the
+    # warming and the detailed segment of every scenario below.
+    return make_micro_workload(length_m=1200).trace(TEST_SCALE)
+
+
+def run_scenario(backend, trace, config, enhancements, warm_end, measure_from):
+    """Warm ``[0, warm_end)`` then detail the rest; return all counters."""
+    machine = Machine(config, enhancements, backend=backend)
+    warming = run_functional_warming(machine, trace, 0, warm_end)
+    stats = run_detailed(
+        machine, trace, warm_end, len(trace), measure_from=measure_from
+    )
+    return warming, stats, machine.cache_snapshot()
+
+
+class TestRegistry:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        expected = "numba" if numba_available() else "numpy"
+        assert resolve_backend_name() == expected
+        assert resolve_backend_name("auto") == expected
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        assert resolve_backend_name() == "python"
+        assert Machine(ProcessorConfig()).backend.name == "python"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend_name("python") == "python"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend_name("fortran")
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_numba_request_degrades_gracefully(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_backend_name("numba") == "numpy"
+        assert "numba" not in available_backends()
+
+    def test_available_backends(self):
+        names = available_backends()
+        assert "python" in names and "numpy" in names
+
+    def test_get_backend_accepts_instance(self):
+        backend = NumbaBackend()
+        assert get_backend(backend) is backend
+
+    def test_get_backend_caches_by_name(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_cli_flag_exports_backend(self, monkeypatch, capsys):
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert main(["list", "--backend", "python"]) == 0
+        # The flag wins over the environment and is exported so worker
+        # processes inherit the resolved choice.
+        import os
+
+        assert os.environ[BACKEND_ENV_VAR] == "python"
+
+
+class TestFixedScenarioParity:
+    """Hand-picked configurations covering every structure variant."""
+
+    SCENARIOS = {
+        "default": (ProcessorConfig(), Enhancements()),
+        "bimodal": (ProcessorConfig(branch_predictor="bimodal"), Enhancements()),
+        "gshare": (
+            ProcessorConfig(branch_predictor="gshare", bht_entries=1024),
+            Enhancements(),
+        ),
+        "taken": (ProcessorConfig(branch_predictor="taken"), Enhancements()),
+        "perfect": (ProcessorConfig(branch_predictor="perfect"), Enhancements()),
+        "enhanced": (
+            ProcessorConfig(),
+            Enhancements(trivial_computation=True, next_line_prefetch=True),
+        ),
+        "direct-mapped": (
+            ProcessorConfig(il1_assoc=1, dl1_assoc=1, btb_assoc=1),
+            Enhancements(),
+        ),
+        "small-window": (
+            ProcessorConfig(rob_entries=16, lsq_entries=8, ifq_size=4),
+            Enhancements(),
+        ),
+    }
+
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS, ids=lambda b: b.name)
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_matches_reference(self, trace, backend, scenario):
+        config, enhancements = self.SCENARIOS[scenario]
+        warm_end = len(trace) // 3
+        measure_from = warm_end + (len(trace) - warm_end) // 4
+        expected = run_scenario(
+            PythonBackend(), trace, config, enhancements, warm_end, measure_from
+        )
+        actual = run_scenario(
+            backend, trace, config, enhancements, warm_end, measure_from
+        )
+        assert actual == expected
+
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS, ids=lambda b: b.name)
+    def test_cold_full_trace(self, trace, backend):
+        reference = Simulator(backend=PythonBackend()).run_reference(trace)
+        result = Simulator(backend=backend).run_reference(trace)
+        assert result.stats == reference.stats
+
+    def test_simulator_accepts_backend_names(self, trace):
+        reference = Simulator(backend="python").run_region(trace, 0, 2000)
+        result = Simulator(backend="numpy").run_region(trace, 0, 2000)
+        assert result.stats == reference.stats
+
+
+@st.composite
+def scenarios(draw):
+    config = ProcessorConfig(
+        branch_predictor=draw(
+            st.sampled_from(["combined", "bimodal", "gshare", "taken", "perfect"])
+        ),
+        bht_entries=draw(st.sampled_from([512, 2048, 8192])),
+        btb_entries=draw(st.sampled_from([256, 2048])),
+        btb_assoc=draw(st.sampled_from([1, 2, 4])),
+        ras_entries=draw(st.sampled_from([4, 16])),
+        il1_assoc=draw(st.sampled_from([1, 2])),
+        dl1_assoc=draw(st.sampled_from([1, 4])),
+        l2_assoc=draw(st.sampled_from([2, 8])),
+        rob_entries=draw(st.sampled_from([16, 64])),
+        lsq_entries=draw(st.sampled_from([8, 32])),
+    )
+    enhancements = Enhancements(
+        trivial_computation=draw(st.booleans()),
+        next_line_prefetch=draw(st.booleans()),
+    )
+    warm_frac = draw(st.floats(0.0, 0.5))
+    measure_frac = draw(st.floats(0.0, 0.4))
+    return config, enhancements, warm_frac, measure_frac
+
+
+class TestHypothesisParity:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=scenarios())
+    def test_backends_bit_identical(self, trace, scenario):
+        config, enhancements, warm_frac, measure_frac = scenario
+        warm_end = int(len(trace) * warm_frac)
+        measure_from = warm_end + int((len(trace) - warm_end) * measure_frac)
+        results = [
+            run_scenario(
+                backend, trace, config, enhancements, warm_end, measure_from
+            )
+            for backend in (PythonBackend(), NumpyBackend(), NumbaBackend())
+        ]
+        assert results[1] == results[0]
+        assert results[2] == results[0]

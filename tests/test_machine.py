@@ -20,9 +20,14 @@ class TestMachine:
         assert machine.l2.memory is machine.memory
 
     def test_predictor_kind(self):
-        machine = Machine(ProcessorConfig(branch_predictor="bimodal"))
+        config = ProcessorConfig(branch_predictor="bimodal")
+        # The reference backend builds the reference predictor classes.
+        machine = Machine(config, backend="python")
         from repro.cpu.branch import BimodalPredictor
         assert isinstance(machine.predictor, BimodalPredictor)
+        # Kernel backends carry the same kind in flat form.
+        machine = Machine(config, backend="numpy")
+        assert machine.predictor.kind_name == "bimodal"
 
     def test_nlp_enables_dl1_prefetch_only(self):
         machine = Machine(ProcessorConfig(), NLP)
