@@ -35,6 +35,46 @@ BACKEND_NAMES = ("python", "numpy", "numba")
 #: long regions, and both paths produce identical statistics.
 SMALL_REGION = 1024
 
+#: Degradation order for kernel failures: a run whose kernel raises is
+#: retried one tier down.  All tiers produce bit-identical statistics,
+#: so the substitution is invisible in the results (only slower); the
+#: ``python`` reference has no tier below it.
+KERNEL_FALLBACK: Dict[str, str] = {"numba": "numpy", "numpy": "python"}
+
+
+class KernelError(RuntimeError):
+    """A failure raised from inside a simulation kernel.
+
+    Tagged with the backend it came from so the engine's supervisor can
+    retry the run one tier down (:data:`KERNEL_FALLBACK`) instead of
+    burning its retry budget on a broken accelerator path.
+    """
+
+    def __init__(self, backend: str, message: str) -> None:
+        super().__init__(message)
+        self.backend = backend
+
+    @property
+    def fallback(self) -> Optional[str]:
+        return KERNEL_FALLBACK.get(self.backend)
+
+    def __reduce__(self):  # survives pickling back from pool workers
+        return (KernelError, (self.backend, str(self)))
+
+
+_faults = None
+
+
+def _kernel_guard_check(backend_name: str) -> None:
+    """Fault-injection hook: raise if a kernel fault is planned for the
+    active run on this backend (no-op when no plan is armed)."""
+    global _faults
+    if _faults is None:
+        from repro.engine import faults  # deferred: avoids a cpu<->engine cycle
+
+        _faults = faults
+    _faults.kernel_check(backend_name)
+
 
 def numba_available() -> bool:
     """Whether the numba JIT compiler can be imported."""
@@ -114,7 +154,11 @@ class PythonBackend(Backend):
 
 
 class NumpyBackend(Backend):
-    """Flat-list state + vectorized warming + split-phase timing."""
+    """Flat-list state + vectorized warming + split-phase timing.
+
+    Kernel dispatch is guarded: a failure inside the kernels surfaces
+    as :class:`KernelError` so the engine can degrade to ``python``.
+    """
 
     name = "numpy"
     storage = "list"
@@ -125,27 +169,39 @@ class NumpyBackend(Backend):
         return build_structures(config, enhancements, self.storage)
 
     def advance_detailed(self, machine, trace, start, end, state) -> None:
-        if end - start < SMALL_REGION:
-            from repro.cpu.pipeline import _run_region
+        try:
+            _kernel_guard_check(self.name)
+            if end - start < SMALL_REGION:
+                from repro.cpu.pipeline import _run_region
 
-            _run_region(machine, trace, start, end, state)
-            return
-        from repro.cpu.kernels.numpy_impl import advance_detailed
+                _run_region(machine, trace, start, end, state)
+                return
+            from repro.cpu.kernels.numpy_impl import advance_detailed
 
-        advance_detailed(machine, trace, start, end, state)
+            advance_detailed(machine, trace, start, end, state)
+        except Exception as exc:
+            raise KernelError(self.name, f"detailed kernel failed: {exc!r}") from exc
 
     def run_warming(self, machine, trace, start, end):
-        if end - start < SMALL_REGION:
-            from repro.cpu.functional import _python_warming
+        try:
+            _kernel_guard_check(self.name)
+            if end - start < SMALL_REGION:
+                from repro.cpu.functional import _python_warming
 
-            return _python_warming(machine, trace, start, end)
-        from repro.cpu.kernels.numpy_impl import run_warming
+                return _python_warming(machine, trace, start, end)
+            from repro.cpu.kernels.numpy_impl import run_warming
 
-        return run_warming(machine, trace, start, end)
+            return run_warming(machine, trace, start, end)
+        except Exception as exc:
+            raise KernelError(self.name, f"warming kernel failed: {exc!r}") from exc
 
 
 class NumbaBackend(Backend):
-    """Flat-ndarray state driven by ``@njit``-compiled kernels."""
+    """Flat-ndarray state driven by ``@njit``-compiled kernels.
+
+    Kernel dispatch is guarded: a failure inside the kernels surfaces
+    as :class:`KernelError` so the engine can degrade to ``numpy``.
+    """
 
     name = "numba"
     storage = "array"
@@ -156,14 +212,22 @@ class NumbaBackend(Backend):
         return build_structures(config, enhancements, self.storage)
 
     def advance_detailed(self, machine, trace, start, end, state) -> None:
-        from repro.cpu.kernels.numba_impl import advance_detailed
+        try:
+            _kernel_guard_check(self.name)
+            from repro.cpu.kernels.numba_impl import advance_detailed
 
-        advance_detailed(machine, trace, start, end, state)
+            advance_detailed(machine, trace, start, end, state)
+        except Exception as exc:
+            raise KernelError(self.name, f"detailed kernel failed: {exc!r}") from exc
 
     def run_warming(self, machine, trace, start, end):
-        from repro.cpu.kernels.numba_impl import run_warming
+        try:
+            _kernel_guard_check(self.name)
+            from repro.cpu.kernels.numba_impl import run_warming
 
-        return run_warming(machine, trace, start, end)
+            return run_warming(machine, trace, start, end)
+        except Exception as exc:
+            raise KernelError(self.name, f"warming kernel failed: {exc!r}") from exc
 
 
 _BACKENDS: Dict[str, Backend] = {}

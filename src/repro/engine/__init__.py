@@ -4,15 +4,23 @@ The engine is the single entry point for running simulation
 techniques.  Experiments enumerate :class:`RunRequest` batches; the
 engine deduplicates them (:mod:`repro.engine.planner`), answers what it
 can from its in-process memo and the content-addressed on-disk store
-(:mod:`repro.engine.store`), executes the rest across a process pool
-with per-run retry (:mod:`repro.engine.executor`), and accounts for
-everything in :mod:`repro.engine.metrics` / ``engine-stats.json``.
+(:mod:`repro.engine.store`), executes the rest across a supervised
+process pool (:mod:`repro.engine.executor`: per-run timeouts, backoff
+retries, poison-run quarantine, backend degradation), records every
+run's fate in a crash-safe journal (:mod:`repro.engine.journal`) and
+accounts for everything in :mod:`repro.engine.metrics` /
+``engine-stats.json``.  Failure paths are testable deterministically
+through the fault-injection harness (:mod:`repro.engine.faults`).
 
 Typical use::
 
     engine = Engine(scale=Scale(25), jobs=8, cache_dir="~/.cache/repro")
     results = engine.run_many([RunRequest(technique, workload, config)])
     engine.write_stats()          # <cache_dir>/engine-stats.json
+
+A sweep killed part-way through is restarted with ``resume=True`` (CLI:
+``--resume``): journal-completed runs are served from the store instead
+of re-executing and the final output is bit-identical.
 """
 
 from __future__ import annotations
@@ -28,7 +36,16 @@ from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
 from repro.workloads.inputs import Workload
 
-from repro.engine.executor import Executor, RunTask, execute_request
+from repro.engine.executor import (
+    Executor,
+    RunError,
+    RunInfo,
+    RunTask,
+    classify_failure,
+    execute_request,
+)
+from repro.engine.faults import FAULT_PLAN_ENV_VAR, FaultSpec, InjectedFault
+from repro.engine.journal import JOURNAL_FILENAME, JournalState, SweepJournal
 from repro.engine.metrics import EngineMetrics, ProgressReporter
 from repro.engine.planner import RESULTS_EPOCH, Plan, RunRequest
 from repro.engine.store import SCHEMA_VERSION, ResultStore
@@ -38,12 +55,20 @@ __all__ = [
     "EngineMetrics",
     "EngineRunError",
     "Executor",
+    "FAULT_PLAN_ENV_VAR",
+    "FaultSpec",
+    "InjectedFault",
+    "JOURNAL_FILENAME",
+    "JournalState",
     "Plan",
     "ProgressReporter",
     "RESULTS_EPOCH",
     "ResultStore",
+    "RunError",
+    "RunInfo",
     "RunRequest",
     "SCHEMA_VERSION",
+    "SweepJournal",
     "default_jobs",
     "execute_request",
 ]
@@ -51,18 +76,48 @@ __all__ = [
 #: Name of the machine-readable stats file written next to the cache.
 STATS_FILENAME = "engine-stats.json"
 
+#: Environment fallbacks for the supervisor knobs (flag > env > default).
+RUN_TIMEOUT_ENV_VAR = "REPRO_RUN_TIMEOUT"
+MAX_RETRIES_ENV_VAR = "REPRO_MAX_RETRIES"
+
 
 def default_jobs() -> int:
     """Worker count when none is requested: every available core."""
     return os.cpu_count() or 1
 
 
+def default_run_timeout() -> Optional[float]:
+    """Per-run timeout from ``$REPRO_RUN_TIMEOUT`` (default: none)."""
+    value = os.environ.get(RUN_TIMEOUT_ENV_VAR)
+    if not value:
+        return None
+    try:
+        return float(value)
+    except ValueError:
+        raise ValueError(
+            f"${RUN_TIMEOUT_ENV_VAR} must be a number of seconds, got {value!r}"
+        ) from None
+
+
+def default_max_retries() -> int:
+    """Retry budget from ``$REPRO_MAX_RETRIES`` (default: 1)."""
+    value = os.environ.get(MAX_RETRIES_ENV_VAR)
+    if not value:
+        return 1
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"${MAX_RETRIES_ENV_VAR} must be an integer, got {value!r}"
+        ) from None
+
+
 class EngineRunError(RuntimeError):
-    """One or more runs of a sweep failed (after retry).
+    """One or more runs of a sweep failed (after retry/quarantine).
 
     The sweep itself completed: every other run's result was computed
     and cached.  ``errors`` maps each failed run's description to the
-    exception that killed it.
+    :class:`RunError` (or exception) that killed it.
     """
 
     def __init__(self, errors: Dict[str, BaseException]) -> None:
@@ -73,7 +128,15 @@ class EngineRunError(RuntimeError):
 
 
 class Engine:
-    """Job planner + parallel executor + persistent result store."""
+    """Job planner + supervised parallel executor + persistent store.
+
+    ``run_timeout`` bounds each run's wall clock (enforced when
+    ``jobs > 1``); ``retries`` bounds re-executions per run.  With a
+    ``cache_dir``, every run's fate is journaled to
+    ``<cache_dir>/journal.jsonl``; ``resume=True`` replays that journal
+    so a killed sweep skips its completed runs (and its quarantined
+    poison runs) instead of starting over.
+    """
 
     def __init__(
         self,
@@ -81,19 +144,56 @@ class Engine:
         jobs: int = 1,
         cache_dir: Optional[os.PathLike] = None,
         progress: bool = False,
-        retries: int = 1,
+        retries: Optional[int] = None,
+        run_timeout: Optional[float] = None,
+        resume: bool = False,
+        backoff_base: float = 0.1,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
-        self.executor = Executor(jobs=jobs, retries=retries)
+        if retries is None:
+            retries = default_max_retries()
+        if run_timeout is None:
+            run_timeout = default_run_timeout()
+        self.executor = Executor(
+            jobs=jobs,
+            retries=retries,
+            timeout=run_timeout,
+            backoff_base=backoff_base,
+        )
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
         self.metrics = EngineMetrics()
         self.reporter = ProgressReporter(enabled=progress)
         self._memory: Dict[str, TechniqueResult] = {}
         self._selections: Dict[tuple, object] = {}
 
+        self.journal: Optional[SweepJournal] = None
+        self._journal_state = JournalState()
+        if self.store is not None:
+            journal_path = self.store.root / JOURNAL_FILENAME
+            if resume:
+                state = SweepJournal.load(journal_path)
+                state.check_compatible(
+                    self.scale.instructions_per_m, RESULTS_EPOCH
+                )
+                self._journal_state = state
+            elif journal_path.exists():
+                # A fresh (non-resumed) sweep must not inherit stale
+                # completion or quarantine records.
+                journal_path.unlink()
+            self.journal = SweepJournal(journal_path)
+            self.journal.start(
+                self.scale.instructions_per_m, RESULTS_EPOCH, SCHEMA_VERSION
+            )
+        elif resume:
+            raise ValueError("resume requires a cache_dir (journal + store)")
+
     @property
     def jobs(self) -> int:
         return self.executor.jobs
+
+    @property
+    def run_timeout(self) -> Optional[float]:
+        return self.executor.timeout
 
     # -- public API --------------------------------------------------------------
 
@@ -117,8 +217,8 @@ class Engine:
         """Execute a batch, deduplicated, cached and parallelized.
 
         Results come back in submission order (duplicates share one
-        object).  If any run fails after its retry the whole sweep
-        still completes; the failures are then raised together as
+        object).  If any run fails terminally the whole sweep still
+        completes; the failures are then raised together as
         :class:`EngineRunError` -- or, with ``allow_errors=True``,
         returned as None in the failed slots.
         """
@@ -130,7 +230,7 @@ class Engine:
         results: List[Optional[TechniqueResult]] = [None] * plan.num_unique
         errors: Dict[int, BaseException] = {}
         tasks: List[RunTask] = []
-        for slot, (request, key) in enumerate(zip(plan.unique, plan.keys)):
+        for slot, request, key in plan.items():
             cached = self._memory.get(key)
             if cached is not None:
                 self.metrics.memory_hits += 1
@@ -139,17 +239,54 @@ class Engine:
             if self.store is not None:
                 stored = self.store.get(key)
                 if stored is not None:
-                    self.metrics.cache_hits += 1
+                    if key in self._journal_state.completed:
+                        self.metrics.resumed += 1
+                    else:
+                        self.metrics.cache_hits += 1
                     self._memory[key] = stored
                     results[slot] = stored
                     continue
+            quarantine = self._journal_state.quarantined.get(key)
+            if quarantine is not None:
+                # A resumed poison run: skip it instead of re-poisoning
+                # the fleet; it stays visible in errors and metrics.
+                error = RunError(
+                    quarantine.get("kind", "deterministic"),
+                    quarantine.get("error", "quarantined in a previous sweep"),
+                    quarantined=True,
+                )
+                errors[slot] = error
+                # Listed for visibility, but not counted against this
+                # sweep's launch/failure counters: the run was never
+                # launched here (the quarantine is replayed history).
+                self.metrics.failed_runs.append(
+                    {
+                        "run": request.describe(),
+                        "kind": error.kind,
+                        "error": str(error),
+                        "attempts": 0,
+                        "quarantined": True,
+                    }
+                )
+                continue
             tasks.append(
-                RunTask(slot=slot, request=request, selection=self._selection_for(request))
+                RunTask(
+                    slot=slot,
+                    request=request,
+                    selection=self._selection_for(request),
+                    key=key,
+                )
             )
+        if self.journal is not None:
+            for task in tasks:
+                self.journal.planned(task.key, task.request.describe())
 
+        self.metrics.runs_launched += len(tasks)
         completed = plan.num_unique - len(tasks)
 
-        def on_success(slot: int, result: TechniqueResult, wall: float) -> None:
+        def on_success(
+            slot: int, result: TechniqueResult, wall: float, info: RunInfo
+        ) -> None:
             nonlocal completed
             completed += 1
             key = plan.keys[slot]
@@ -157,23 +294,54 @@ class Engine:
             self._memory[key] = result
             if self.store is not None:
                 self.store.put(key, result)
+            if self.journal is not None:
+                # Journaled strictly after the store write: a crash
+                # between the two re-runs the run, never loses it.
+                self.journal.completed(key, wall, backend=info.backend)
             self.metrics.record_execution(
                 result.family, wall, _instructions_simulated(result)
             )
             self.reporter.update(completed, plan.num_unique, self.metrics)
 
-        def on_failure(slot: int, request: RunRequest, exc: BaseException) -> None:
+        def on_failure(slot: int, request: RunRequest, error: RunError) -> None:
             nonlocal completed
             completed += 1
-            errors[slot] = exc
-            self.metrics.failures += 1
+            errors[slot] = error
+            self.metrics.record_failure(
+                request.describe(),
+                error.kind,
+                str(error),
+                attempts=error.attempts,
+                quarantined=error.quarantined,
+            )
+            if self.journal is not None:
+                self.journal.failed(
+                    plan.keys[slot], error.kind, str(error),
+                    quarantined=error.quarantined,
+                )
             self.reporter.update(completed, plan.num_unique, self.metrics)
 
-        def on_retry() -> None:
+        def on_retry(slot: int, exc: BaseException) -> None:
             self.metrics.retries += 1
+            # Reaped and crashed *attempts* are visible even when the
+            # retry goes on to succeed.
+            kind = classify_failure(exc)
+            if kind == "timeout":
+                self.metrics.timeouts += 1
+            elif kind == "crash":
+                self.metrics.crashes += 1
+
+        def on_degrade(slot: int, from_backend: str, to_backend: str) -> None:
+            self.metrics.record_degradation(
+                plan.unique[slot].describe(), from_backend, to_backend
+            )
+            if self.journal is not None:
+                self.journal.degraded(plan.keys[slot], from_backend, to_backend)
 
         if tasks:
-            self.executor.run(tasks, self.scale, on_success, on_failure, on_retry)
+            self.executor.run(
+                tasks, self.scale, on_success, on_failure, on_retry, on_degrade
+            )
         self.metrics.batch_time_s += time.perf_counter() - batch_started
         self.reporter.batch_summary(self.metrics)
 
@@ -184,7 +352,7 @@ class Engine:
         return plan.gather(results)
 
     def write_stats(self, path: Optional[os.PathLike] = None) -> Optional[Path]:
-        """Write ``engine-stats.json``; defaults into the cache dir."""
+        """Write ``engine-stats.json`` (atomic); defaults into the cache dir."""
         if path is None:
             if self.store is None:
                 return None
@@ -195,12 +363,19 @@ class Engine:
             extra={
                 "scale": self.scale.instructions_per_m,
                 "jobs": self.jobs,
+                "run_timeout_s": self.run_timeout,
+                "max_retries": self.executor.retries,
                 "cache_dir": str(self.store.root) if self.store else None,
                 "results_epoch": RESULTS_EPOCH,
                 "schema_version": SCHEMA_VERSION,
             },
         )
         return path
+
+    def close(self) -> None:
+        """Release the journal handle (safe to call repeatedly)."""
+        if self.journal is not None:
+            self.journal.close()
 
     # -- internals ---------------------------------------------------------------
 

@@ -1,31 +1,110 @@
-"""Run execution: serial fallback and process-pool parallelism.
+"""Run execution: serial fallback and a supervised process pool.
 
 Workers receive fully pickled ``(technique, workload, config,
 enhancements, scale)`` tuples and return the finished
 :class:`TechniqueResult`, so a run's outcome cannot depend on which
 process executed it -- parallel sweeps are bit-for-bit identical to
-serial ones.  A failed run (an exception in the worker, or a worker
-process dying and breaking the pool) is retried exactly once, in the
-parent process so the retry is isolated from whatever broke the pool;
-a second failure is reported per-run without aborting the sweep.
+serial ones.
+
+Failures are handled by a per-run supervisor rather than a single bare
+retry:
+
+* every failure is classified into a :class:`RunError` kind --
+  ``transient`` (a worker exception), ``deterministic`` (the same
+  exception twice), ``timeout`` (reaped by the watchdog) or ``crash``
+  (the worker process died and broke the pool);
+* retries use bounded exponential backoff with deterministic jitter
+  seeded from the run's content key, so two sweeps over the same plan
+  retry on the same schedule;
+* a run that fails with an *identical* signature twice is a poison run:
+  it is quarantined (no further retries, regardless of remaining
+  budget) and reported instead of burning the fleet's time;
+* a per-run wall-clock timeout (``jobs > 1`` only: a hang in-process
+  cannot be interrupted) is enforced by a watchdog that kills the
+  worker processes and rebuilds the pool; sibling in-flight runs are
+  requeued without being charged an attempt;
+* a failure raised from inside a simulation kernel
+  (:class:`~repro.cpu.kernels.registry.KernelError`) degrades the run
+  one backend tier (numba -> numpy -> python) instead of consuming
+  retry budget -- the backends' bit-identical-statistics contract
+  makes the degraded result indistinguishable.
+
+Tasks that were queued but never submitted when a pool broke are
+requeued as "never ran": they are not charged a retry attempt and do
+not inflate the retry metric.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.cpu.kernels.registry import BACKEND_ENV_VAR, KernelError
 from repro.scale import Scale
 from repro.techniques.base import TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
 
+from repro.engine import faults
 from repro.engine.planner import RunRequest
 
 #: Upper bound on queued-but-unsubmitted work per worker; keeps the
 #: submission loop from pickling thousands of workloads up front.
 _BACKLOG_PER_WORKER = 4
+
+#: Grace period for draining futures off a broken pool.
+_BROKEN_DRAIN_S = 5.0
+
+#: RunError kinds (the engine's error taxonomy).
+ERROR_KINDS = ("transient", "deterministic", "timeout", "crash")
+
+
+class RunError(RuntimeError):
+    """One run's terminal failure, classified.
+
+    ``kind`` is one of :data:`ERROR_KINDS`; ``quarantined`` marks a
+    poison run (identical failure twice -- retrying was abandoned even
+    though budget may have remained); ``cause`` is the underlying
+    exception when one exists (``None`` for watchdog timeouts).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        message: str,
+        attempts: int = 1,
+        quarantined: bool = False,
+        cause: Optional[BaseException] = None,
+    ) -> None:
+        note = " [quarantined]" if quarantined else ""
+        super().__init__(
+            f"{kind} failure after {attempts} attempt(s){note}: {message}"
+        )
+        self.kind = kind
+        self.attempts = attempts
+        self.quarantined = quarantined
+        self.cause = cause
+
+
+@dataclass
+class RunInfo:
+    """Supervision context delivered alongside a successful result."""
+
+    attempts: int = 1
+    backend: Optional[str] = None  # degraded backend used, None = default
+
+    @property
+    def degraded(self) -> bool:
+        return self.backend is not None
 
 
 @dataclass
@@ -35,6 +114,9 @@ class RunTask:
     slot: int
     request: RunRequest
     selection: Optional[object] = None  # precomputed SimPoint selection
+    key: str = ""                       # content key (journal + backoff seed)
+    attempt: int = 1                    # 1-based attempt about to execute
+    backend: Optional[str] = None       # degradation override
 
 
 def execute_request(
@@ -58,51 +140,181 @@ def execute_request(
 
 
 def _worker(task: RunTask, scale: Scale):
+    faults.activate(task.slot, task.attempt)
+    previous = os.environ.get(BACKEND_ENV_VAR)
+    if task.backend is not None:
+        os.environ[BACKEND_ENV_VAR] = task.backend
     started = time.perf_counter()
-    result = execute_request(task.request, scale, task.selection)
+    try:
+        result = execute_request(task.request, scale, task.selection)
+    finally:
+        faults.deactivate()
+        if task.backend is not None:
+            if previous is None:
+                os.environ.pop(BACKEND_ENV_VAR, None)
+            else:
+                os.environ[BACKEND_ENV_VAR] = previous
     return task.slot, result, time.perf_counter() - started
 
 
-#: Callback signatures: success(slot, result, wall_seconds) and
-#: failure(slot, request, exception).
-SuccessCallback = Callable[[int, TechniqueResult, float], None]
-FailureCallback = Callable[[int, RunRequest, BaseException], None]
+class _WatchdogTimeout(Exception):
+    """Internal marker for a run reaped by the wall-clock watchdog."""
+
+
+#: Callback signatures: success(slot, result, wall_seconds, info),
+#: failure(slot, request, run_error), retry(slot, causing_exception)
+#: and degrade(slot, from_backend, to_backend).
+SuccessCallback = Callable[[int, TechniqueResult, float, RunInfo], None]
+FailureCallback = Callable[[int, RunRequest, RunError], None]
+RetryCallback = Callable[[int, BaseException], None]
+DegradeCallback = Callable[[int, str, str], None]
+
+
+def _signature(exc: BaseException) -> Tuple[str, str]:
+    """Stable identity of a failure, for poison-run detection."""
+    if isinstance(exc, BrokenExecutor):
+        # Pool-breakage messages vary by phase; every crash of the same
+        # run should look identical to the quarantine logic.
+        return ("WorkerCrash", "worker process died")
+    return (type(exc).__name__, str(exc))
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Base taxonomy kind of one failed attempt (repetition may later
+    upgrade ``transient`` to ``deterministic``)."""
+    if isinstance(exc, _WatchdogTimeout):
+        return "timeout"
+    if isinstance(exc, BrokenExecutor):
+        return "crash"
+    return "transient"
+
+
+@dataclass
+class _Supervision:
+    """Per-slot retry accounting."""
+
+    failures: int = 0                   # attempts that ended in failure
+    signatures: List[Tuple[str, str]] = field(default_factory=list)
+    degradations: int = 0
+
+
+#: Actions returned by the supervisor's failure handler.
+_DONE = "done"      # terminal: on_failure already dispatched
+_REQUEUE = "requeue"  # (action, task, delay_seconds)
 
 
 class Executor:
-    """Executes tasks with ``jobs`` worker processes (1 = in-process)."""
+    """Executes tasks with ``jobs`` worker processes (1 = in-process).
 
-    def __init__(self, jobs: int = 1, retries: int = 1) -> None:
+    ``retries`` bounds re-executions per run (on top of the first
+    attempt); ``timeout`` is the per-run wall-clock budget in seconds
+    (None = unbounded; enforced only when ``jobs > 1``).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         self.jobs = jobs
         self.retries = retries
+        self.timeout = timeout
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
 
-    # -- shared retry path -------------------------------------------------------
+    # -- supervision --------------------------------------------------------------
 
-    def _attempt_inline(
+    def _backoff_delay(self, key: str, attempt: int) -> float:
+        """Bounded exponential backoff with deterministic jitter.
+
+        The jitter is seeded from ``(key, attempt)`` so a given run
+        retries on the same schedule in every sweep, keeping resumed
+        and repeated sweeps reproducible end to end.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        raw = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (0.5 + 0.5 * jitter)
+
+    def _after_failure(
         self,
         task: RunTask,
-        scale: Scale,
-        attempts_left: int,
-        on_success: SuccessCallback,
+        exc: BaseException,
+        supervision: Dict[int, _Supervision],
         on_failure: FailureCallback,
-        on_retry: Callable[[], None],
-    ) -> None:
-        while True:
-            try:
-                slot, result, wall = _worker(task, scale)
-            except Exception as exc:
-                if attempts_left > 0:
-                    attempts_left -= 1
-                    on_retry()
-                    continue
-                on_failure(task.slot, task.request, exc)
-                return
-            on_success(slot, result, wall)
-            return
+        on_retry: RetryCallback,
+        on_degrade: Optional[DegradeCallback],
+    ):
+        """Decide a failed attempt's fate.
+
+        Returns ``(_DONE,)`` when the failure was terminal (the failure
+        callback has fired) or ``(_REQUEUE, task, delay)`` when the run
+        should be re-executed after ``delay`` seconds.
+        """
+        sup = supervision.setdefault(task.slot, _Supervision())
+
+        # Kernel failures degrade one backend tier instead of consuming
+        # retry budget: the backends' bit-identical contract makes the
+        # lower tier a perfect substitute, just slower.
+        if (
+            isinstance(exc, KernelError)
+            and exc.fallback is not None
+            and sup.degradations < 2
+        ):
+            sup.degradations += 1
+            if on_degrade is not None:
+                on_degrade(task.slot, exc.backend, exc.fallback)
+            task.backend = exc.fallback
+            return (_REQUEUE, task, 0.0)
+
+        kind = classify_failure(exc)
+        sig = _signature(exc)
+        identical = bool(sup.signatures) and sup.signatures[-1] == sig
+        sup.signatures.append(sig)
+        sup.failures += 1
+        attempts = sup.failures
+
+        if identical:
+            # Poison run: failing the exact same way twice means more
+            # retries would only reproduce the failure.
+            error = RunError(
+                kind if kind != "transient" else "deterministic",
+                f"{sig[0]}: {sig[1]}",
+                attempts=attempts,
+                quarantined=True,
+                cause=exc if not isinstance(exc, _WatchdogTimeout) else None,
+            )
+            on_failure(task.slot, task.request, error)
+            return (_DONE,)
+        if sup.failures > self.retries:
+            error = RunError(
+                kind,
+                f"{sig[0]}: {sig[1]}",
+                attempts=attempts,
+                cause=exc if not isinstance(exc, _WatchdogTimeout) else None,
+            )
+            on_failure(task.slot, task.request, error)
+            return (_DONE,)
+        on_retry(task.slot, exc)
+        task.attempt = sup.failures + 1
+        return (_REQUEUE, task, self._backoff_delay(task.key, sup.failures))
+
+    def _info(self, task: RunTask, supervision: Dict[int, _Supervision]) -> RunInfo:
+        sup = supervision.get(task.slot)
+        return RunInfo(
+            attempts=(sup.failures if sup else 0) + 1, backend=task.backend
+        )
 
     # -- execution modes ---------------------------------------------------------
 
@@ -112,16 +324,48 @@ class Executor:
         scale: Scale,
         on_success: SuccessCallback,
         on_failure: FailureCallback,
-        on_retry: Callable[[], None],
+        on_retry: RetryCallback,
+        on_degrade: Optional[DegradeCallback] = None,
     ) -> None:
-        """Execute every task, dispatching each callback exactly once."""
-        if self.jobs == 1 or len(tasks) <= 1:
+        """Execute every task, dispatching exactly one terminal callback
+        (success or failure) per task."""
+        if self.jobs == 1 or (len(tasks) <= 1 and self.timeout is None):
+            supervision: Dict[int, _Supervision] = {}
             for task in tasks:
-                self._attempt_inline(
-                    task, scale, self.retries, on_success, on_failure, on_retry
+                self._run_inline(
+                    task, scale, supervision,
+                    on_success, on_failure, on_retry, on_degrade,
                 )
             return
-        self._run_parallel(tasks, scale, on_success, on_failure, on_retry)
+        self._run_parallel(
+            tasks, scale, on_success, on_failure, on_retry, on_degrade
+        )
+
+    def _run_inline(
+        self,
+        task: RunTask,
+        scale: Scale,
+        supervision: Dict[int, _Supervision],
+        on_success: SuccessCallback,
+        on_failure: FailureCallback,
+        on_retry: RetryCallback,
+        on_degrade: Optional[DegradeCallback],
+    ) -> None:
+        while True:
+            try:
+                slot, result, wall = _worker(task, scale)
+            except Exception as exc:
+                action = self._after_failure(
+                    task, exc, supervision, on_failure, on_retry, on_degrade
+                )
+                if action[0] == _DONE:
+                    return
+                _, task, delay = action
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            on_success(slot, result, wall, self._info(task, supervision))
+            return
 
     def _run_parallel(
         self,
@@ -129,44 +373,195 @@ class Executor:
         scale: Scale,
         on_success: SuccessCallback,
         on_failure: FailureCallback,
-        on_retry: Callable[[], None],
+        on_retry: RetryCallback,
+        on_degrade: Optional[DegradeCallback],
     ) -> None:
-        workers = min(self.jobs, len(tasks))
+        workers = min(self.jobs, max(1, len(tasks)))
         backlog = workers * _BACKLOG_PER_WORKER
-        queue: List[RunTask] = list(tasks)
-        retry_queue: List[RunTask] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
-            while queue or futures:
-                while queue and len(futures) < backlog:
-                    task = queue.pop(0)
-                    try:
-                        futures[pool.submit(_worker, task, scale)] = task
-                    except RuntimeError:
-                        # Pool broken mid-submission: fall back to the
-                        # retry path for everything not yet submitted.
-                        retry_queue.append(task)
-                        retry_queue.extend(queue)
-                        queue = []
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = futures.pop(future)
-                    try:
-                        slot, result, wall = future.result()
-                    except Exception:
-                        # Worker exception or a died worker (which also
-                        # poisons sibling futures): retry in-parent.
-                        retry_queue.append(task)
-                    else:
-                        on_success(slot, result, wall)
-        for task in retry_queue:
-            if self.retries > 0:
-                on_retry()
-                self._attempt_inline(
-                    task, scale, self.retries - 1, on_success, on_failure,
-                    on_retry,
-                )
+        pending: Deque[RunTask] = deque(tasks)
+        waiting: List[Tuple[float, RunTask]] = []  # backoff: (ready_at, task)
+        supervision: Dict[int, _Supervision] = {}
+        futures: Dict[object, Tuple[RunTask, Optional[float]]] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+        def handle_failure(task: RunTask, exc: BaseException) -> None:
+            action = self._after_failure(
+                task, exc, supervision, on_failure, on_retry, on_degrade
+            )
+            if action[0] == _REQUEUE:
+                _, retask, delay = action
+                if delay > 0:
+                    waiting.append((time.monotonic() + delay, retask))
+                else:
+                    pending.append(retask)
+
+        def handle_done_future(future, task: RunTask) -> bool:
+            """Dispatch one completed future; True if the pool broke."""
+            try:
+                slot, result, wall = future.result()
+            except BrokenExecutor as exc:
+                handle_failure(task, exc)
+                return True
+            except Exception as exc:
+                handle_failure(task, exc)
             else:
-                self._attempt_inline(
-                    task, scale, 0, on_success, on_failure, on_retry
+                on_success(slot, result, wall, self._info(task, supervision))
+            return False
+
+        try:
+            while pending or waiting or futures:
+                now = time.monotonic()
+                if waiting:  # promote retries whose backoff has elapsed
+                    still = [(ready, t) for ready, t in waiting if ready > now]
+                    for ready, t in waiting:
+                        if ready <= now:
+                            pending.append(t)
+                    waiting = still
+
+                pool_dead = False
+                while pending and len(futures) < backlog:
+                    task = pending.popleft()
+                    try:
+                        future = pool.submit(_worker, task, scale)
+                    except RuntimeError:
+                        # Pool broken or shut down mid-submission: this
+                        # task never ran, so it is requeued without
+                        # being charged an attempt.
+                        pending.appendleft(task)
+                        if futures:
+                            break  # drain in-flight first; rebuild below
+                        pool = self._replace_pool(pool, workers)
+                        pool_dead = True
+                        break
+                    deadline = (
+                        now + self.timeout if self.timeout is not None else None
+                    )
+                    futures[future] = (task, deadline)
+                if pool_dead:
+                    continue
+
+                if not futures:
+                    if waiting:
+                        next_ready = min(ready for ready, _ in waiting)
+                        time.sleep(max(0.0, next_ready - time.monotonic()))
+                    continue
+
+                timeouts = [
+                    deadline - now
+                    for _, deadline in futures.values()
+                    if deadline is not None
+                ]
+                if waiting:
+                    timeouts.append(min(ready for ready, _ in waiting) - now)
+                wait_for = max(0.0, min(timeouts)) if timeouts else None
+                done, _ = wait(
+                    futures, timeout=wait_for, return_when=FIRST_COMPLETED
                 )
+
+                broken = False
+                for future in done:
+                    task, _ = futures.pop(future)
+                    broken |= handle_done_future(future, task)
+                if broken:
+                    self._drain_broken(futures, pending, handle_done_future)
+                    pool = self._replace_pool(pool, workers)
+                    continue
+
+                if self.timeout is not None:
+                    pool = self._reap_expired(
+                        pool, workers, futures, pending,
+                        handle_failure, handle_done_future,
+                    )
+        finally:
+            if futures:
+                # Bailing out with work in flight (error/interrupt): a
+                # hung worker would block a graceful shutdown forever.
+                self._kill_pool(pool)
+            else:
+                # Normal completion: wait for the pool's management
+                # thread to wind down, or its atexit hook can race the
+                # close of the wakeup pipe and spew EBADF on exit.
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- parallel-mode internals --------------------------------------------------
+
+    def _replace_pool(self, pool, workers: int):
+        """Tear down a (possibly broken) pool and build a fresh one."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        return ProcessPoolExecutor(max_workers=workers)
+
+    @staticmethod
+    def _drain_broken(futures, pending, handle_done_future) -> None:
+        """Resolve every future stranded on a broken pool.
+
+        Futures that resolve (normally ~immediately, with the pool's
+        breakage exception) are dispatched; any that do not are
+        abandoned and their tasks requeued uncharged.
+        """
+        remaining = list(futures.items())
+        futures.clear()
+        done, _ = wait([f for f, _ in remaining], timeout=_BROKEN_DRAIN_S)
+        for future, (task, _) in remaining:
+            if future in done:
+                handle_done_future(future, task)
+            else:
+                future.cancel()
+                pending.append(task)
+
+    def _reap_expired(
+        self, pool, workers, futures, pending, handle_failure, handle_done_future
+    ):
+        """Kill the pool if any in-flight run blew its deadline.
+
+        The hung run is charged a ``timeout`` failure; sibling in-flight
+        runs are interrupted through no fault of their own, so they are
+        requeued without being charged an attempt.
+        """
+        now = time.monotonic()
+        if not any(
+            deadline is not None and now >= deadline
+            for _, deadline in futures.values()
+        ):
+            return pool
+        raced: List[Tuple[object, RunTask]] = []
+        expired: List[RunTask] = []
+        interrupted: List[RunTask] = []
+        for future, (task, deadline) in futures.items():
+            if future.done():  # completed while we were deciding
+                raced.append((future, task))
+            elif deadline is not None and now >= deadline:
+                expired.append(task)
+            else:
+                interrupted.append(task)
+        futures.clear()
+        self._kill_pool(pool)
+        for future, task in raced:
+            handle_done_future(future, task)
+        for task in expired:
+            handle_failure(
+                task,
+                _WatchdogTimeout(
+                    f"run exceeded {self.timeout:g}s wall-clock timeout"
+                ),
+            )
+        pending.extend(interrupted)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    @staticmethod
+    def _kill_pool(pool) -> None:
+        """Forcibly terminate a pool's worker processes (watchdog path:
+        a hung worker never returns, so a graceful shutdown would wait
+        forever)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass

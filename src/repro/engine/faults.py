@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the engine's failure paths.
+
+Every fault-tolerance mechanism in the engine -- retries, timeouts,
+crash recovery, quarantine, backend degradation -- is exercised in
+tests through this harness rather than trusted on faith.  A *fault
+plan* names which runs misbehave and how; the executor activates the
+plan inside each worker, keyed by the task's plan slot and attempt
+number, so the same plan always injects the same faults regardless of
+worker scheduling.
+
+Plans come from the ``REPRO_FAULT_PLAN`` environment variable (so they
+reach pool worker processes by inheritance) in either of two forms:
+
+* compact  -- ``"exc@2,hang@5:30,kill@7,kernel@3:numpy,exc@4x9"``
+  (``kind@slot[:arg][xN]``; ``xN`` fires on attempts 1..N, ``x*``
+  on every attempt; the default is the first attempt only, so an
+  injected fault models a *transient* error unless repeated);
+* JSON     -- ``'[{"fault": "exc", "slot": 2, "max_attempt": 1}]'``.
+
+Fault kinds:
+
+``exc``
+    the worker raises :class:`InjectedFault`;
+``hang``
+    the worker sleeps ``arg`` seconds (default 3600) -- reaped by the
+    run-timeout watchdog;
+``kill``
+    the worker SIGKILLs itself, breaking the process pool;
+``kernel``
+    the simulation kernel of backend ``arg`` (default: any guarded
+    backend) raises, triggering backend degradation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Environment variable holding the active fault plan (empty = none).
+FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Recognized fault kinds.
+FAULT_KINDS = ("exc", "hang", "kill", "kernel")
+
+#: ``max_attempt`` value meaning "fire on every attempt".
+EVERY_ATTEMPT = -1
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected worker failure (stable repr for
+    failure-signature matching: injecting the same fault twice must
+    look like a deterministic error to the quarantine logic)."""
+
+
+class FaultPlanError(ValueError):
+    """The fault plan string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: ``kind`` at plan ``slot``.
+
+    ``arg`` is the hang duration (seconds) for ``hang`` and the backend
+    name for ``kernel``.  The fault fires on attempts ``1..max_attempt``
+    (:data:`EVERY_ATTEMPT` = all attempts).
+    """
+
+    kind: str
+    slot: int
+    arg: Optional[str] = None
+    max_attempt: int = 1
+
+    def matches(self, slot: int, attempt: int) -> bool:
+        if slot != self.slot:
+            return False
+        return self.max_attempt == EVERY_ATTEMPT or attempt <= self.max_attempt
+
+
+def parse_plan(text: str) -> List[FaultSpec]:
+    """Parse a fault plan (compact or JSON form); '' means no faults."""
+    text = text.strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        return _parse_json(text)
+    return [_parse_compact_entry(entry) for entry in text.split(",") if entry.strip()]
+
+
+def _parse_json(text: str) -> List[FaultSpec]:
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+    specs = []
+    for entry in document:
+        kind = entry.get("fault")
+        if kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+            )
+        specs.append(
+            FaultSpec(
+                kind=kind,
+                slot=int(entry["slot"]),
+                arg=entry.get("arg"),
+                max_attempt=int(entry.get("max_attempt", 1)),
+            )
+        )
+    return specs
+
+
+def _parse_compact_entry(entry: str) -> FaultSpec:
+    """``kind@slot[:arg][xN|x*]`` -> FaultSpec."""
+    entry = entry.strip()
+    try:
+        kind, rest = entry.split("@", 1)
+    except ValueError:
+        raise FaultPlanError(
+            f"bad fault entry {entry!r}; expected kind@slot[:arg][xN]"
+        ) from None
+    kind = kind.strip()
+    if kind not in FAULT_KINDS:
+        raise FaultPlanError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        )
+    max_attempt = 1
+    if "x" in rest:
+        rest, repeat = rest.rsplit("x", 1)
+        max_attempt = EVERY_ATTEMPT if repeat == "*" else int(repeat)
+    arg: Optional[str] = None
+    if ":" in rest:
+        rest, arg = rest.split(":", 1)
+    try:
+        slot = int(rest)
+    except ValueError:
+        raise FaultPlanError(f"bad fault slot in {entry!r}") from None
+    return FaultSpec(kind=kind, slot=slot, arg=arg, max_attempt=max_attempt)
+
+
+# -- per-process activation --------------------------------------------------------
+#
+# The executor activates the plan around each run; the plan text is
+# parsed once per distinct environment value per process.
+
+_parsed: Tuple[Optional[str], List[FaultSpec]] = (None, [])
+_active: Optional[Tuple[int, int]] = None  # (slot, attempt) of the current run
+
+
+def _current_plan() -> List[FaultSpec]:
+    global _parsed
+    text = os.environ.get(FAULT_PLAN_ENV_VAR, "")
+    if _parsed[0] != text:
+        _parsed = (text, parse_plan(text))
+    return _parsed[1]
+
+
+def activate(slot: int, attempt: int) -> None:
+    """Arm the plan for one run and fire its pre-run faults.
+
+    Called by the executor's worker immediately before the run starts.
+    ``exc``/``hang``/``kill`` faults fire here; ``kernel`` faults are
+    checked later, from inside the backend dispatch
+    (:func:`kernel_check`).
+    """
+    global _active
+    _active = None
+    plan = _current_plan()
+    if not plan:
+        return
+    _active = (slot, attempt)
+    for spec in plan:
+        if not spec.matches(slot, attempt):
+            continue
+        if spec.kind == "exc":
+            raise InjectedFault(f"injected exception at slot {slot}")
+        if spec.kind == "hang":
+            time.sleep(float(spec.arg) if spec.arg else 3600.0)
+        elif spec.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def deactivate() -> None:
+    """Disarm the plan after a run (pairs with :func:`activate`)."""
+    global _active
+    _active = None
+
+
+def kernel_check(backend_name: str) -> None:
+    """Raise :class:`InjectedFault` if a kernel fault is planned for the
+    active run on ``backend_name`` (no-op outside an activated run)."""
+    if _active is None:
+        return
+    slot, attempt = _active
+    for spec in _current_plan():
+        if spec.kind != "kernel" or not spec.matches(slot, attempt):
+            continue
+        if spec.arg is None or spec.arg == backend_name:
+            raise InjectedFault(
+                f"injected kernel fault at slot {slot} on backend {backend_name}"
+            )

@@ -1,0 +1,185 @@
+"""Crash-safe sweep journal: append-only JSONL run accounting.
+
+The journal is the engine's durable record of a sweep: which runs were
+planned, which completed, which failed and which were quarantined.  A
+sweep killed at run 4,800 of 5,000 resumes by replaying the journal --
+completed runs are served from the persistent result store instead of
+re-executing, quarantined runs are skipped instead of re-poisoning the
+fleet, and the final output is bit-identical to an uninterrupted sweep
+because results are content-addressed.
+
+Crash safety comes from two properties:
+
+* every event is one JSON line appended with ``flush`` + ``fsync``
+  before the engine acts on the run's result, so a kill can lose at
+  most the event being written;
+* replay tolerates a truncated final line (the partial write of the
+  crash itself) by ignoring it.
+
+Events (all carry the run's content ``key``)::
+
+    {"event": "start", "scale": ..., "epoch": ..., "schema": ...}
+    {"event": "planned",     "key": k, "run": "<description>"}
+    {"event": "completed",   "key": k, "wall_s": ..., "backend": ...}
+    {"event": "failed",      "key": k, "kind": ..., "error": ...}
+    {"event": "quarantined", "key": k, "kind": ..., "error": ...}
+    {"event": "degraded",    "key": k, "from": ..., "to": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+#: Default journal filename inside a cache directory.
+JOURNAL_FILENAME = "journal.jsonl"
+
+#: Version of the journal line format.
+JOURNAL_VERSION = 1
+
+
+class JournalMismatch(RuntimeError):
+    """A journal cannot be resumed under the current engine settings
+    (different scale or results epoch: its runs name different work)."""
+
+
+@dataclass
+class JournalState:
+    """Replayed journal contents, keyed by run content key."""
+
+    completed: Set[str] = field(default_factory=set)
+    quarantined: Dict[str, dict] = field(default_factory=dict)
+    failed: Dict[str, dict] = field(default_factory=dict)
+    planned: Set[str] = field(default_factory=set)
+    scale: Optional[float] = None
+    epoch: Optional[int] = None
+
+    def check_compatible(self, scale: float, epoch: int) -> None:
+        if self.scale is not None and self.scale != scale:
+            raise JournalMismatch(
+                f"journal was recorded at scale {self.scale}, engine is at "
+                f"{scale}; refusing to resume across scales"
+            )
+        if self.epoch is not None and self.epoch != epoch:
+            raise JournalMismatch(
+                f"journal was recorded at results epoch {self.epoch}, code "
+                f"is at {epoch}; refusing to resume across epochs"
+            )
+
+
+class SweepJournal:
+    """Append-only JSONL journal with fsync'd atomic appends."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # -- writing -----------------------------------------------------------------
+
+    def _append(self, document: dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def start(self, scale: float, epoch: int, schema: int) -> None:
+        self._append(
+            {
+                "event": "start",
+                "version": JOURNAL_VERSION,
+                "scale": scale,
+                "epoch": epoch,
+                "schema": schema,
+            }
+        )
+
+    def planned(self, key: str, description: str) -> None:
+        self._append({"event": "planned", "key": key, "run": description})
+
+    def completed(
+        self, key: str, wall_s: float, backend: Optional[str] = None
+    ) -> None:
+        document = {"event": "completed", "key": key, "wall_s": wall_s}
+        if backend is not None:
+            document["backend"] = backend
+        self._append(document)
+
+    def failed(
+        self, key: str, kind: str, error: str, quarantined: bool = False
+    ) -> None:
+        self._append(
+            {
+                "event": "quarantined" if quarantined else "failed",
+                "key": key,
+                "kind": kind,
+                "error": error,
+            }
+        )
+
+    def degraded(self, key: str, from_backend: str, to_backend: str) -> None:
+        self._append(
+            {
+                "event": "degraded",
+                "key": key,
+                "from": from_backend,
+                "to": to_backend,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- replay ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> JournalState:
+        """Replay a journal into a :class:`JournalState`.
+
+        A missing file is an empty state; a truncated final line (the
+        crash's own partial write) is ignored; any other malformed line
+        is skipped rather than fatal -- the journal is an optimization
+        over the content-addressed store, never the source of truth.
+        """
+        state = JournalState()
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return state
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = event.get("event")
+            key = event.get("key")
+            if kind == "start":
+                state.scale = event.get("scale")
+                state.epoch = event.get("epoch")
+            elif kind == "planned" and key:
+                state.planned.add(key)
+            elif kind == "completed" and key:
+                state.completed.add(key)
+                state.failed.pop(key, None)
+                state.quarantined.pop(key, None)
+            elif kind == "failed" and key:
+                state.failed[key] = event
+            elif kind == "quarantined" and key:
+                state.quarantined[key] = event
+        return state

@@ -4,16 +4,23 @@
 serializes to the machine-readable ``engine-stats.json``;
 :class:`ProgressReporter` streams human-readable progress lines to
 stderr while a sweep runs.
+
+Accounting invariant (checked by the tests): every unique run handed to
+the executor ends in exactly one terminal state, so
+
+    ``runs_launched == runs_succeeded + failures + quarantined``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, TextIO
+from typing import Dict, List, Optional, TextIO
 
 
 @dataclass
@@ -33,22 +40,64 @@ class EngineMetrics:
     runs_deduplicated: int = 0  # requests collapsed onto an identical run
     memory_hits: int = 0        # unique runs answered by the in-process cache
     cache_hits: int = 0         # unique runs answered by the persistent store
-    runs_launched: int = 0      # unique runs actually executed
-    retries: int = 0            # runs re-executed after a worker failure
-    failures: int = 0           # runs that failed even after retry
+    resumed: int = 0            # journal-completed runs skipped on --resume
+    runs_launched: int = 0      # unique runs handed to the executor
+    runs_succeeded: int = 0     # launched runs that produced a result
+    retries: int = 0            # re-executions after a failed attempt
+    failures: int = 0           # runs that exhausted their retry budget
+    quarantined: int = 0        # poison runs (identical failure twice)
+    timeouts: int = 0           # attempts reaped by the watchdog
+    crashes: int = 0            # attempts lost to a dead worker process
+    degradations: int = 0       # runs retried on a lower backend tier
     wall_time_s: float = 0.0    # sum of per-run execution wall time
     batch_time_s: float = 0.0   # end-to-end run_many() wall time
     instructions: int = 0       # instructions simulated (detailed + warm)
     per_family: Dict[str, FamilyMetrics] = field(default_factory=dict)
+    #: Terminal failures: {"run", "kind", "error", "attempts", "quarantined"}.
+    failed_runs: List[Dict[str, object]] = field(default_factory=list)
+    #: Backend degradations: {"run", "from", "to"}.
+    degraded_runs: List[Dict[str, object]] = field(default_factory=list)
 
     def record_execution(self, family: str, wall: float, instructions: int) -> None:
-        self.runs_launched += 1
+        self.runs_succeeded += 1
         self.wall_time_s += wall
         self.instructions += instructions
         bucket = self.per_family.setdefault(family, FamilyMetrics())
         bucket.runs += 1
         bucket.wall_time_s += wall
         bucket.instructions += instructions
+
+    def record_failure(
+        self,
+        description: str,
+        kind: str,
+        error: str,
+        attempts: int,
+        quarantined: bool,
+    ) -> None:
+        if quarantined:
+            self.quarantined += 1
+        else:
+            self.failures += 1
+        if kind == "timeout":
+            self.timeouts += 1
+        elif kind == "crash":
+            self.crashes += 1
+        self.failed_runs.append(
+            {
+                "run": description,
+                "kind": kind,
+                "error": error,
+                "attempts": attempts,
+                "quarantined": quarantined,
+            }
+        )
+
+    def record_degradation(self, description: str, from_backend: str, to_backend: str) -> None:
+        self.degradations += 1
+        self.degraded_runs.append(
+            {"run": description, "from": from_backend, "to": to_backend}
+        )
 
     @property
     def instructions_per_second(self) -> float:
@@ -70,9 +119,15 @@ class EngineMetrics:
             "runs_deduplicated": self.runs_deduplicated,
             "memory_hits": self.memory_hits,
             "cache_hits": self.cache_hits,
+            "resumed": self.resumed,
             "runs_launched": self.runs_launched,
+            "runs_succeeded": self.runs_succeeded,
             "retries": self.retries,
             "failures": self.failures,
+            "quarantined": self.quarantined,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "degradations": self.degradations,
             "hit_rate": self.hit_rate,
             "wall_time_s": self.wall_time_s,
             "batch_time_s": self.batch_time_s,
@@ -86,16 +141,36 @@ class EngineMetrics:
                 }
                 for family, bucket in sorted(self.per_family.items())
             },
+            "failed_runs": list(self.failed_runs),
+            "degraded_runs": list(self.degraded_runs),
         }
 
     def write_json(self, path: Path, extra: Optional[Dict[str, object]] = None) -> None:
-        """Write ``engine-stats.json`` (snapshot plus engine context)."""
+        """Write ``engine-stats.json`` (snapshot plus engine context).
+
+        The write is atomic (temp file + ``os.replace``): a kill
+        mid-write can never leave a truncated JSON document for the
+        next resume to trip over.
+        """
         document = self.snapshot()
         if extra:
             document.update(extra)
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        payload = json.dumps(document, indent=2, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
 
 class ProgressReporter:
@@ -130,7 +205,8 @@ class ProgressReporter:
         self._emit(
             f"{done}/{total} runs "
             f"(cache {metrics.cache_hits + metrics.memory_hits}, "
-            f"executed {metrics.runs_launched}, failures {metrics.failures})"
+            f"executed {metrics.runs_succeeded}, failures "
+            f"{metrics.failures + metrics.quarantined})"
         )
 
     def batch_summary(self, metrics: EngineMetrics) -> None:
@@ -141,8 +217,11 @@ class ProgressReporter:
             f"{metrics.runs_deduplicated} deduplicated, "
             f"{metrics.memory_hits} memory hits, "
             f"{metrics.cache_hits} cache hits, "
+            f"{metrics.resumed} resumed, "
             f"{metrics.runs_launched} executed "
-            f"({metrics.retries} retries, {metrics.failures} failures), "
+            f"({metrics.retries} retries, {metrics.failures} failures, "
+            f"{metrics.quarantined} quarantined, "
+            f"{metrics.degradations} degradations), "
             f"{metrics.instructions} instructions at "
             f"{metrics.instructions_per_second:,.0f} instr/s"
         )

@@ -92,6 +92,11 @@ class Plan:
             plan.slots.append(slot)
         return plan
 
+    def items(self):
+        """Iterate ``(slot, request, key)`` over the unique runs."""
+        for slot, (request, key) in enumerate(zip(self.unique, self.keys)):
+            yield slot, request, key
+
     @property
     def num_requested(self) -> int:
         return len(self.slots)

@@ -10,20 +10,24 @@ Usage::
 
 Engine options resolve as flag > environment variable > default:
 
-==============  ==================  =========================
-flag            environment         default
-==============  ==================  =========================
-``--full``      ``REPRO_FULL``      four default benchmarks
-``--depth``     ``REPRO_DEPTH``     ``standard``
-``--jobs``      ``REPRO_JOBS``      all CPU cores
-``--cache-dir`` ``REPRO_CACHE_DIR`` no persistent cache
-``--profile``   ``REPRO_PROFILE``   ``tiny``
-``--backend``   ``REPRO_BACKEND``   fastest available backend
-==============  ==================  =========================
+=================  ===================  =========================
+flag               environment          default
+=================  ===================  =========================
+``--full``         ``REPRO_FULL``       four default benchmarks
+``--depth``        ``REPRO_DEPTH``      ``standard``
+``--jobs``         ``REPRO_JOBS``       all CPU cores
+``--cache-dir``    ``REPRO_CACHE_DIR``  no persistent cache
+``--profile``      ``REPRO_PROFILE``    ``tiny``
+``--backend``      ``REPRO_BACKEND``    fastest available backend
+``--run-timeout``  ``REPRO_RUN_TIMEOUT``  no per-run timeout
+``--max-retries``  ``REPRO_MAX_RETRIES``  1
+=================  ===================  =========================
 
 ``--no-cache`` disables the persistent cache even when a directory is
 configured.  When a cache directory is active, engine metrics are
-written to ``<cache-dir>/engine-stats.json`` after the run.
+written to ``<cache-dir>/engine-stats.json`` after the run and every
+run's fate is journaled to ``<cache-dir>/journal.jsonl``; ``--resume``
+replays that journal so an interrupted sweep skips its completed runs.
 """
 
 from __future__ import annotations
@@ -38,7 +42,11 @@ from repro.cpu.kernels.registry import (
     BACKEND_NAMES,
     resolve_backend_name,
 )
-from repro.engine import default_jobs
+from repro.engine import (
+    MAX_RETRIES_ENV_VAR,
+    RUN_TIMEOUT_ENV_VAR,
+    default_jobs,
+)
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
 from repro.experiments import figure7, section52, survey, tables
 from repro.experiments.common import (
@@ -134,6 +142,29 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the persistent result cache even if configured",
     )
     parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep from <cache-dir>/journal.jsonl "
+        "(skips journaled completed runs; requires a cache dir)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=f"per-run wall-clock timeout (default: ${RUN_TIMEOUT_ENV_VAR} "
+        "or unbounded); hung runs are killed, retried and, if they hang "
+        "again, quarantined; enforced when --jobs > 1",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"retry budget per run (default: ${MAX_RETRIES_ENV_VAR} or 1); "
+        "retries back off exponentially with deterministic jitter",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=BACKEND_NAMES + ("auto",),
@@ -172,6 +203,12 @@ def main(argv: list[str] | None = None) -> int:
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     if args.no_cache:
         cache_dir = None
+    if args.resume and cache_dir is None:
+        parser.error("--resume requires a cache directory (--cache-dir)")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        parser.error("--run-timeout must be positive")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
 
     scale = (
         scale_from_profile(args.profile) if args.profile else default_scale()
@@ -187,20 +224,34 @@ def main(argv: list[str] | None = None) -> int:
         jobs=jobs,
         cache_dir=cache_dir,
         progress=sys.stderr.isatty(),
+        run_timeout=args.run_timeout,
+        max_retries=args.max_retries,
+        resume=args.resume,
     )
-    for name in names:
-        report = EXPERIMENTS[name](context)
-        print(report.render())
-        print()
-    stats_path = context.engine.write_stats()
+    try:
+        for name in names:
+            report = EXPERIMENTS[name](context)
+            print(report.render())
+            print()
+    finally:
+        stats_path = context.engine.write_stats()
+        context.engine.close()
     metrics = context.engine.metrics
     if metrics.runs_requested:
         summary = (
             f"[engine] {metrics.runs_requested} runs requested, "
             f"{metrics.runs_launched} executed, "
-            f"{metrics.cache_hits} cache hits "
+            f"{metrics.cache_hits} cache hits, "
+            f"{metrics.resumed} resumed "
             f"({metrics.hit_rate:.0%} served from cache)"
         )
+        if metrics.failures or metrics.quarantined:
+            summary += (
+                f"; {metrics.failures} failed, "
+                f"{metrics.quarantined} quarantined"
+            )
+        if metrics.degradations:
+            summary += f"; {metrics.degradations} backend degradations"
         if stats_path is not None:
             summary += f"; stats: {stats_path}"
         print(summary, file=sys.stderr)

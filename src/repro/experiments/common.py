@@ -91,6 +91,12 @@ class ExperimentContext:
     jobs: int = field(default_factory=default_context_jobs)
     cache_dir: Optional[Path] = field(default_factory=default_cache_dir)
     progress: bool = False
+    #: Per-run wall-clock timeout in seconds (None: $REPRO_RUN_TIMEOUT
+    #: or unbounded) and retry budget (None: $REPRO_MAX_RETRIES or 1).
+    run_timeout: Optional[float] = None
+    max_retries: Optional[int] = None
+    #: Resume an interrupted sweep from <cache_dir>/journal.jsonl.
+    resume: bool = False
 
     #: The engine executing this context's runs; built from the fields
     #: above unless injected.
@@ -105,6 +111,9 @@ class ExperimentContext:
                 jobs=self.jobs,
                 cache_dir=self.cache_dir,
                 progress=self.progress,
+                retries=self.max_retries,
+                run_timeout=self.run_timeout,
+                resume=self.resume,
             )
 
     # -- workloads ---------------------------------------------------------------

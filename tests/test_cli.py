@@ -104,3 +104,58 @@ class TestEngineOptions:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert main(["table3", "--no-cache"]) == 0
         assert not (tmp_path / "engine-stats.json").exists()
+
+
+class TestSupervisorOptions:
+    def test_run_timeout_flag_parses(self, capsys):
+        assert main(["table3", "--run-timeout", "300"]) == 0
+
+    def test_run_timeout_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--run-timeout", "0"])
+
+    def test_max_retries_flag_parses(self, capsys):
+        assert main(["table3", "--max-retries", "0"]) == 0
+
+    def test_max_retries_must_be_nonnegative(self):
+        with pytest.raises(SystemExit):
+            main(["table3", "--max-retries", "-1"])
+
+    def test_resume_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table3", "--no-cache", "--resume"])
+        assert "--resume requires a cache directory" in capsys.readouterr().err
+
+    def test_resume_with_cache_dir(self, tmp_path, capsys):
+        args = [
+            "figure6",
+            "--cache-dir", str(tmp_path),
+            "--jobs", "1",
+            "--depth", "quick",
+            "--benchmarks", "gzip",
+            "--profile", "tiny",
+        ]
+        assert main(args) == 0
+        assert main(args + ["--resume"]) == 0
+        document = json.loads((tmp_path / "engine-stats.json").read_text())
+        assert document["runs_launched"] == 0
+        assert document["resumed"] > 0
+        assert document["run_timeout_s"] is None
+
+    def test_stats_include_supervisor_fields(self, tmp_path, capsys):
+        assert main(
+            [
+                "table3",
+                "--cache-dir", str(tmp_path),
+                "--run-timeout", "120",
+                "--max-retries", "3",
+            ]
+        ) == 0
+        document = json.loads((tmp_path / "engine-stats.json").read_text())
+        for field in (
+            "runs_succeeded", "quarantined", "timeouts", "crashes",
+            "degradations", "failed_runs", "degraded_runs", "resumed",
+        ):
+            assert field in document
+        assert document["run_timeout_s"] == 120.0
+        assert document["max_retries"] == 3

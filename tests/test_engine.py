@@ -302,10 +302,19 @@ class TestEngine:
         with pytest.raises(EngineRunError) as excinfo:
             engine.run_many(requests)
         assert "broken" in str(excinfo.value)
-        # The sweep completed: both healthy runs were executed and cached.
-        assert engine.metrics.runs_launched == 2
-        assert engine.metrics.failures == 1
+        # The sweep completed: both healthy runs were executed and
+        # cached; the broken run failed identically twice, so it was
+        # quarantined rather than retried to budget exhaustion.
+        assert engine.metrics.runs_launched == 3
+        assert engine.metrics.runs_succeeded == 2
+        assert engine.metrics.failures + engine.metrics.quarantined == 1
+        assert engine.metrics.quarantined == 1
         assert engine.metrics.retries == 1  # the one retry was spent
+        assert engine.metrics.runs_launched == (
+            engine.metrics.runs_succeeded
+            + engine.metrics.failures
+            + engine.metrics.quarantined
+        )
 
         results = engine.run_many(requests, allow_errors=True)
         assert results[0] is not None and results[2] is not None
