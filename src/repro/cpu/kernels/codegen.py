@@ -588,7 +588,15 @@ def _timing_source(cfg) -> str:
         "                fc, fetch_count, dc, dcount, cc, ccount,",
         "                instr_index, mem_index, store_index):",
     ]
+    # The issue scan keeps each pool's free times sorted ascending and
+    # the exit spill preserves that order, but the *reference* loop
+    # (used for small regions and shared warm segments) min-scans and
+    # writes back in place, handing over pools in arbitrary order.
+    # Sorting on entry restores the invariant; only the multiset of
+    # free times is observable, so this never changes a result.
     for p, names in enumerate(pool_names):
+        if len(names) > 1:
+            lines.append(f"    pools[{p}].sort()")
         for j, name in enumerate(names):
             lines.append(f"    {name} = pools[{p}][{j}]")
     lines += [

@@ -18,26 +18,36 @@ retry:
   retry on the same schedule;
 * a run that fails with an *identical* signature twice is a poison run:
   it is quarantined (no further retries, regardless of remaining
-  budget) and reported instead of burning the fleet's time;
+  budget) and reported instead of burning the fleet's time.  Crash
+  signatures are exempt: a pool breakage cannot be attributed to one
+  run with certainty, so identical crashes never quarantine -- the
+  retry budget is the backstop for a run that keeps killing workers;
 * a per-run wall-clock timeout (``jobs > 1`` only: a hang in-process
   cannot be interrupted) is enforced by a watchdog that kills the
-  worker processes and rebuilds the pool; sibling in-flight runs are
-  requeued without being charged an attempt;
+  worker processes and rebuilds the pool.  The clock starts when the
+  run *begins executing* in a worker (workers report start/end events
+  to the parent), so time spent queued behind siblings never counts
+  against a run's budget; sibling in-flight runs are requeued without
+  being charged an attempt;
 * a failure raised from inside a simulation kernel
   (:class:`~repro.cpu.kernels.registry.KernelError`) degrades the run
   one backend tier (numba -> numpy -> python) instead of consuming
   retry budget -- the backends' bit-identical-statistics contract
   makes the degraded result indistinguishable.
 
-Tasks that were queued but never submitted when a pool broke are
-requeued as "never ran": they are not charged a retry attempt and do
-not inflate the retry metric.
+When a pool breaks, only the in-flight runs that had actually started
+executing are charged a ``crash`` attempt; runs still queued inside
+the pool (or never submitted at all) are requeued as "never ran" --
+they are not charged a retry attempt and do not inflate the retry
+metric.
 """
 
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
+import signal
 import time
 from collections import deque
 from concurrent.futures import (
@@ -63,6 +73,11 @@ _BACKLOG_PER_WORKER = 4
 
 #: Grace period for draining futures off a broken pool.
 _BROKEN_DRAIN_S = 5.0
+
+#: How often the parent wakes to drain worker lifecycle events while a
+#: run timeout is armed (a run's deadline only becomes known once its
+#: start event arrives, so the parent cannot sleep indefinitely).
+_EVENT_POLL_S = 0.25
 
 #: RunError kinds (the engine's error taxonomy).
 ERROR_KINDS = ("transient", "deterministic", "timeout", "crash")
@@ -139,22 +154,93 @@ def execute_request(
     )
 
 
+# Worker-side handle on the parent's lifecycle event queue, installed
+# by the pool initializer (None when running inline in the parent).
+# Every event carries the pool generation so the parent can discard
+# stragglers written by workers of an already-killed pool.
+_worker_events = None
+_worker_generation = 0
+
+
+def _pool_init(event_queue, generation: int) -> None:
+    """Pool initializer: report this worker's PID to the parent (the
+    watchdog kills by these PIDs rather than executor internals) and
+    stash the event queue for :func:`_worker`."""
+    global _worker_events, _worker_generation
+    _worker_events = event_queue
+    _worker_generation = generation
+    event_queue.put(("spawn", generation, os.getpid()))
+
+
 def _worker(task: RunTask, scale: Scale):
-    faults.activate(task.slot, task.attempt)
-    previous = os.environ.get(BACKEND_ENV_VAR)
-    if task.backend is not None:
-        os.environ[BACKEND_ENV_VAR] = task.backend
-    started = time.perf_counter()
+    events, generation = _worker_events, _worker_generation
+    if events is not None:
+        # Start event first: the run-timeout clock starts here, and a
+        # worker that dies mid-run (SIGKILL) must already have told the
+        # parent this run was executing so the crash is attributed.
+        events.put(
+            ("start", generation, task.slot, task.attempt, time.monotonic())
+        )
     try:
-        result = execute_request(task.request, scale, task.selection)
-    finally:
-        faults.deactivate()
+        faults.activate(task.slot, task.attempt)
+        previous = os.environ.get(BACKEND_ENV_VAR)
         if task.backend is not None:
-            if previous is None:
-                os.environ.pop(BACKEND_ENV_VAR, None)
-            else:
-                os.environ[BACKEND_ENV_VAR] = previous
-    return task.slot, result, time.perf_counter() - started
+            os.environ[BACKEND_ENV_VAR] = task.backend
+        started = time.perf_counter()
+        try:
+            result = execute_request(task.request, scale, task.selection)
+        finally:
+            faults.deactivate()
+            if task.backend is not None:
+                if previous is None:
+                    os.environ.pop(BACKEND_ENV_VAR, None)
+                else:
+                    os.environ[BACKEND_ENV_VAR] = previous
+        return task.slot, result, time.perf_counter() - started
+    finally:
+        if events is not None:
+            events.put(("end", generation, task.slot, task.attempt))
+
+
+class _WorkerEvents:
+    """Parent-side view of the worker lifecycle event stream.
+
+    Tracks which PIDs belong to the current pool generation and which
+    ``(slot, attempt)`` runs are executing right now (with their start
+    times).  Killing a pool bumps the generation, which both resets the
+    state and makes the parent ignore straggler events still in the
+    pipe from the old pool's workers.
+    """
+
+    def __init__(self) -> None:
+        self.queue = multiprocessing.SimpleQueue()
+        self.generation = 0
+        self.pids: set = set()
+        self.started: Dict[Tuple[int, int], float] = {}
+
+    def drain(self) -> None:
+        # Single consumer: if empty() is False a get() cannot block.
+        while not self.queue.empty():
+            event = self.queue.get()
+            if event[1] != self.generation:
+                continue
+            if event[0] == "spawn":
+                self.pids.add(event[2])
+            elif event[0] == "start":
+                self.started[(event[2], event[3])] = event[4]
+            elif event[0] == "end":
+                self.started.pop((event[2], event[3]), None)
+
+    def start_time(self, task: "RunTask") -> Optional[float]:
+        return self.started.get((task.slot, task.attempt))
+
+    def new_generation(self) -> None:
+        self.generation += 1
+        self.pids.clear()
+        self.started.clear()
+
+    def close(self) -> None:
+        self.queue.close()
 
 
 class _WatchdogTimeout(Exception):
@@ -170,12 +256,14 @@ RetryCallback = Callable[[int, BaseException], None]
 DegradeCallback = Callable[[int, str, str], None]
 
 
+#: Normalized signature for any pool breakage (messages vary by phase).
+_CRASH_SIGNATURE = ("WorkerCrash", "worker process died")
+
+
 def _signature(exc: BaseException) -> Tuple[str, str]:
     """Stable identity of a failure, for poison-run detection."""
     if isinstance(exc, BrokenExecutor):
-        # Pool-breakage messages vary by phase; every crash of the same
-        # run should look identical to the quarantine logic.
-        return ("WorkerCrash", "worker process died")
+        return _CRASH_SIGNATURE
     return (type(exc).__name__, str(exc))
 
 
@@ -280,7 +368,16 @@ class Executor:
 
         kind = classify_failure(exc)
         sig = _signature(exc)
-        identical = bool(sup.signatures) and sup.signatures[-1] == sig
+        # A pool breakage is charged to every run that was executing
+        # when the worker died, so two identical crash signatures do
+        # not prove *this* run is the poison one -- crashes never
+        # quarantine; the retry budget backstops a genuine worker
+        # killer.
+        identical = (
+            bool(sup.signatures)
+            and sup.signatures[-1] == sig
+            and sig != _CRASH_SIGNATURE
+        )
         sup.signatures.append(sig)
         sup.failures += 1
         attempts = sup.failures
@@ -381,8 +478,9 @@ class Executor:
         pending: Deque[RunTask] = deque(tasks)
         waiting: List[Tuple[float, RunTask]] = []  # backoff: (ready_at, task)
         supervision: Dict[int, _Supervision] = {}
-        futures: Dict[object, Tuple[RunTask, Optional[float]]] = {}
-        pool = ProcessPoolExecutor(max_workers=workers)
+        futures: Dict[object, RunTask] = {}
+        events = _WorkerEvents()
+        pool = self._new_pool(workers, events)
 
         def handle_failure(task: RunTask, exc: BaseException) -> None:
             action = self._after_failure(
@@ -400,7 +498,15 @@ class Executor:
             try:
                 slot, result, wall = future.result()
             except BrokenExecutor as exc:
-                handle_failure(task, exc)
+                # The breakage exception lands on *every* in-flight
+                # future, but only runs that had started executing can
+                # have killed (or been killed with) the worker; runs
+                # still queued inside the pool never ran and are
+                # requeued uncharged.
+                if events.start_time(task) is not None:
+                    handle_failure(task, exc)
+                else:
+                    pending.append(task)
                 return True
             except Exception as exc:
                 handle_failure(task, exc)
@@ -430,13 +536,10 @@ class Executor:
                         pending.appendleft(task)
                         if futures:
                             break  # drain in-flight first; rebuild below
-                        pool = self._replace_pool(pool, workers)
+                        pool = self._replace_pool(pool, workers, events)
                         pool_dead = True
                         break
-                    deadline = (
-                        now + self.timeout if self.timeout is not None else None
-                    )
-                    futures[future] = (task, deadline)
+                    futures[future] = task
                 if pool_dead:
                     continue
 
@@ -446,11 +549,21 @@ class Executor:
                         time.sleep(max(0.0, next_ready - time.monotonic()))
                     continue
 
-                timeouts = [
-                    deadline - now
-                    for _, deadline in futures.values()
-                    if deadline is not None
-                ]
+                # A run's deadline is measured from the start event its
+                # worker reported, never from submission: a run queued
+                # behind more than `timeout` of sibling work must not
+                # be reaped before it even begins.
+                events.drain()
+                now = time.monotonic()
+                timeouts = []
+                if self.timeout is not None:
+                    # Wake periodically to pick up start events; a
+                    # not-yet-started run has no deadline to sleep on.
+                    timeouts.append(_EVENT_POLL_S)
+                    for task in futures.values():
+                        begun = events.start_time(task)
+                        if begun is not None:
+                            timeouts.append(begun + self.timeout - now)
                 if waiting:
                     timeouts.append(min(ready for ready, _ in waiting) - now)
                 wait_for = max(0.0, min(timeouts)) if timeouts else None
@@ -458,40 +571,61 @@ class Executor:
                     futures, timeout=wait_for, return_when=FIRST_COMPLETED
                 )
 
+                events.drain()
                 broken = False
                 for future in done:
-                    task, _ = futures.pop(future)
+                    task = futures.pop(future)
                     broken |= handle_done_future(future, task)
                 if broken:
                     self._drain_broken(futures, pending, handle_done_future)
-                    pool = self._replace_pool(pool, workers)
+                    pool = self._replace_pool(pool, workers, events)
                     continue
 
                 if self.timeout is not None:
                     pool = self._reap_expired(
-                        pool, workers, futures, pending,
+                        pool, workers, futures, pending, events,
                         handle_failure, handle_done_future,
                     )
         finally:
-            if futures:
-                # Bailing out with work in flight (error/interrupt): a
-                # hung worker would block a graceful shutdown forever.
-                self._kill_pool(pool)
-            else:
-                # Normal completion: wait for the pool's management
-                # thread to wind down, or its atexit hook can race the
-                # close of the wakeup pipe and spew EBADF on exit.
-                pool.shutdown(wait=True, cancel_futures=True)
+            try:
+                if futures:
+                    # Bailing out with work in flight (error/interrupt):
+                    # a hung worker would block a graceful shutdown
+                    # forever.
+                    self._kill_pool(pool, events)
+                else:
+                    # Normal completion: wait for the pool's management
+                    # thread to wind down, or its atexit hook can race
+                    # the close of the wakeup pipe and spew EBADF on
+                    # exit.
+                    pool.shutdown(wait=True, cancel_futures=True)
+            finally:
+                events.close()
 
     # -- parallel-mode internals --------------------------------------------------
 
-    def _replace_pool(self, pool, workers: int):
+    @staticmethod
+    def _new_pool(workers: int, events: _WorkerEvents):
+        """Build a pool whose workers report lifecycle events.
+
+        Bumps the event generation first, so state from any previous
+        pool (worker PIDs, started runs, straggler events still in the
+        pipe) cannot leak into this one.
+        """
+        events.new_generation()
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_pool_init,
+            initargs=(events.queue, events.generation),
+        )
+
+    def _replace_pool(self, pool, workers: int, events: _WorkerEvents):
         """Tear down a (possibly broken) pool and build a fresh one."""
         try:
             pool.shutdown(wait=False, cancel_futures=True)
         except Exception:
             pass
-        return ProcessPoolExecutor(max_workers=workers)
+        return self._new_pool(workers, events)
 
     @staticmethod
     def _drain_broken(futures, pending, handle_done_future) -> None:
@@ -504,7 +638,7 @@ class Executor:
         remaining = list(futures.items())
         futures.clear()
         done, _ = wait([f for f, _ in remaining], timeout=_BROKEN_DRAIN_S)
-        for future, (task, _) in remaining:
+        for future, task in remaining:
             if future in done:
                 handle_done_future(future, task)
             else:
@@ -512,32 +646,34 @@ class Executor:
                 pending.append(task)
 
     def _reap_expired(
-        self, pool, workers, futures, pending, handle_failure, handle_done_future
+        self, pool, workers, futures, pending, events,
+        handle_failure, handle_done_future,
     ):
         """Kill the pool if any in-flight run blew its deadline.
 
-        The hung run is charged a ``timeout`` failure; sibling in-flight
+        A run's deadline is its worker-reported start time plus the
+        timeout; runs that have not started yet have no deadline.  The
+        hung run is charged a ``timeout`` failure; sibling in-flight
         runs are interrupted through no fault of their own, so they are
         requeued without being charged an attempt.
         """
+        events.drain()
         now = time.monotonic()
-        if not any(
-            deadline is not None and now >= deadline
-            for _, deadline in futures.values()
-        ):
-            return pool
         raced: List[Tuple[object, RunTask]] = []
         expired: List[RunTask] = []
         interrupted: List[RunTask] = []
-        for future, (task, deadline) in futures.items():
+        for future, task in futures.items():
+            begun = events.start_time(task)
             if future.done():  # completed while we were deciding
                 raced.append((future, task))
-            elif deadline is not None and now >= deadline:
+            elif begun is not None and now >= begun + self.timeout:
                 expired.append(task)
             else:
                 interrupted.append(task)
+        if not expired:
+            return pool  # raced futures are picked up by the next wait()
         futures.clear()
-        self._kill_pool(pool)
+        self._kill_pool(pool, events)
         for future, task in raced:
             handle_done_future(future, task)
         for task in expired:
@@ -548,15 +684,25 @@ class Executor:
                 ),
             )
         pending.extend(interrupted)
-        return ProcessPoolExecutor(max_workers=workers)
+        return self._new_pool(workers, events)
 
     @staticmethod
-    def _kill_pool(pool) -> None:
-        """Forcibly terminate a pool's worker processes (watchdog path:
-        a hung worker never returns, so a graceful shutdown would wait
-        forever)."""
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
+    def _kill_pool(pool, events: _WorkerEvents) -> None:
+        """Forcibly terminate a pool's worker processes (watchdog and
+        bail-out paths: a hung worker never returns, so a graceful
+        shutdown would wait forever).
+
+        Workers are killed by the PIDs they reported at spawn; the
+        executor's private ``_processes`` map is swept too, as a
+        belt-and-braces fallback on interpreters where it still exists.
+        """
+        events.drain()
+        for pid in list(events.pids):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass  # already dead (or PID recycled to another user)
+        for process in list((getattr(pool, "_processes", None) or {}).values()):
             try:
                 process.kill()
             except Exception:

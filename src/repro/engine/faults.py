@@ -165,13 +165,17 @@ def activate(slot: int, attempt: int) -> None:
     ``exc``/``hang``/``kill`` faults fire here; ``kernel`` faults are
     checked later, from inside the backend dispatch
     (:func:`kernel_check`).
+
+    The plan is armed only *after* the pre-run faults have fired: an
+    ``exc`` fault propagates out of this function before the worker's
+    try/finally (and so :func:`deactivate`) is ever entered, and must
+    not leave the plan armed for whatever runs next in this process.
     """
     global _active
     _active = None
     plan = _current_plan()
     if not plan:
         return
-    _active = (slot, attempt)
     for spec in plan:
         if not spec.matches(slot, attempt):
             continue
@@ -181,6 +185,7 @@ def activate(slot: int, attempt: int) -> None:
             time.sleep(float(spec.arg) if spec.arg else 3600.0)
         elif spec.kind == "kill":
             os.kill(os.getpid(), signal.SIGKILL)
+    _active = (slot, attempt)
 
 
 def deactivate() -> None:

@@ -118,6 +118,15 @@ class TestActivation:
         with pytest.raises(InjectedFault):
             faults.activate(0, 1)
 
+    def test_activate_raising_does_not_leave_plan_armed(self, monkeypatch):
+        # An exc fault propagates out of activate() before the worker's
+        # try/finally (and deactivate()) is ever entered; the kernel
+        # guard must not see a stale armed run afterwards.
+        monkeypatch.setenv(FAULT_PLAN_ENV_VAR, "exc@2,kernel@2")
+        with pytest.raises(InjectedFault):
+            faults.activate(2, 1)
+        faults.kernel_check("numpy")  # no active run: must not raise
+
     def test_injected_fault_signature_is_stable(self, monkeypatch):
         # Quarantine keys on identical failure signatures, so the same
         # injected fault must raise the same message every time.

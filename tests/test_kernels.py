@@ -147,6 +147,31 @@ class TestFixedScenarioParity:
         assert actual == expected
 
     @pytest.mark.parametrize("backend", ARRAY_BACKENDS, ids=lambda b: b.name)
+    def test_reference_warm_segment_handoff(self, trace, backend):
+        # A detail-warm segment shorter than SMALL_REGION runs through
+        # the reference loop even on array backends, which leaves the
+        # function-unit pools in min-scan (arbitrary) order.  The
+        # vectorized measured segment that follows must not assume the
+        # sorted-pool invariant it maintains internally.
+        config = ProcessorConfig(
+            branch_predictor="combined", bht_entries=512, btb_entries=256,
+            btb_assoc=1, il1_assoc=1, dl1_assoc=1, l2_assoc=2,
+            rob_entries=64, lsq_entries=8, ras_entries=4,
+        )
+        enhancements = Enhancements(
+            trivial_computation=False, next_line_prefetch=False
+        )
+        warm_end = len(trace) // 7          # reference path (< SMALL_REGION)
+        measure_from = warm_end + 765       # detail-warm also < SMALL_REGION
+        expected = run_scenario(
+            PythonBackend(), trace, config, enhancements, warm_end, measure_from
+        )
+        actual = run_scenario(
+            backend, trace, config, enhancements, warm_end, measure_from
+        )
+        assert actual == expected
+
+    @pytest.mark.parametrize("backend", ARRAY_BACKENDS, ids=lambda b: b.name)
     def test_cold_full_trace(self, trace, backend):
         reference = Simulator(backend=PythonBackend()).run_reference(trace)
         result = Simulator(backend=backend).run_reference(trace)

@@ -82,6 +82,26 @@ class VaryingFailureTechnique(SimulationTechnique):
         raise RuntimeError(f"failure number {count}")
 
 
+class SleepingTechnique(SimulationTechnique):
+    """Healthy but slow: succeeds after sleeping a fixed time."""
+
+    family = "Stub"
+
+    def __init__(self, tag, seconds):
+        self.tag = tag
+        self.seconds = seconds
+
+    @property
+    def permutation(self):
+        return self.tag
+
+    def run(self, workload, config, scale, enhancements=None):
+        time.sleep(self.seconds)
+        from tests.test_engine import _stub_result
+
+        return _stub_result(workload, config, self.tag)
+
+
 class CallbackRecorder:
     """Counts terminal callbacks per slot for exactly-once assertions."""
 
@@ -145,6 +165,25 @@ class TestFailureMatrix:
         assert engine.metrics.runs_succeeded == 4
         _check_accounting(engine.metrics)
 
+    def test_queue_wait_does_not_count_against_timeout(self, workload):
+        # Six healthy 0.5s runs on 2 workers with a 1s timeout: each
+        # run individually finishes well inside its budget, but the
+        # last runs spend ~1s queued behind siblings.  The watchdog
+        # must measure from each run's actual start, not submission,
+        # so nothing may be reaped.
+        requests = [
+            RunRequest(SleepingTechnique(f"s{i}", 0.5), workload, ARCH_CONFIGS[0])
+            for i in range(6)
+        ]
+        engine = _engine(jobs=2, run_timeout=1.0)
+        results = engine.run_many(requests)
+        assert [r.permutation for r in results] == [f"s{i}" for i in range(6)]
+        assert engine.metrics.timeouts == 0
+        assert engine.metrics.retries == 0
+        assert engine.metrics.failures == 0
+        assert engine.metrics.runs_succeeded == 6
+        _check_accounting(engine.metrics)
+
     def test_persistent_hang_is_quarantined(self, monkeypatch, workload):
         monkeypatch.setenv(FAULT_PLAN_ENV_VAR, "hang@1:60x*")
         engine = _engine(jobs=2, run_timeout=1.0, retries=5)
@@ -176,6 +215,23 @@ class TestFailureMatrix:
         # charged (the backlog bound is workers * 4 = 8), never the
         # whole queue.
         assert 1 <= engine.metrics.retries <= 8
+        _check_accounting(engine.metrics)
+
+    def test_pool_breakage_charges_only_started_runs(self, monkeypatch, workload):
+        # 12 tasks on 2 workers: at most 2 runs can have started when
+        # the pool breaks, so at most 2 crash charges -- every other
+        # in-flight future was still queued inside the pool and must be
+        # requeued without a crash charge (and certainly never
+        # quarantined).
+        monkeypatch.setenv(FAULT_PLAN_ENV_VAR, "kill@0")
+        engine = _engine(jobs=2)
+        results = engine.run_many(_requests(workload, n=12))
+        assert len(results) == 12
+        assert engine.metrics.runs_succeeded == 12
+        assert engine.metrics.failures == 0
+        assert engine.metrics.quarantined == 0
+        assert 1 <= engine.metrics.crashes <= 2
+        assert engine.metrics.retries == engine.metrics.crashes
         _check_accounting(engine.metrics)
 
     def test_retry_exhaustion_reports_transient(self, tmp_path, workload):
@@ -274,6 +330,40 @@ class TestExecutorCallbacks:
         assert not recorder.retries
         assert recorder.errors[0].kind == "transient"
         assert recorder.errors[0].attempts == 1
+
+
+class TestCrashQuarantineExemption:
+    """A pool breakage cannot be attributed to one run with certainty,
+    so identical crash signatures must never trigger the poison-run
+    quarantine -- only the retry budget ends a repeat worker-killer."""
+
+    def test_identical_crash_signatures_do_not_quarantine(self, workload):
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = Executor(jobs=2, retries=3, backoff_base=0.0)
+        recorder = CallbackRecorder()
+        task = RunTask(
+            slot=0,
+            request=RunRequest(StubTechnique("t0"), workload, ARCH_CONFIGS[0]),
+            key="k0",
+        )
+        supervision = {}
+        for _ in range(3):  # three identical crashes: all within budget
+            action = executor._after_failure(
+                task, BrokenProcessPool("pool died"), supervision,
+                recorder.on_failure, recorder.on_retry, recorder.on_degrade,
+            )
+            assert action[0] == "requeue"
+        action = executor._after_failure(  # fourth exceeds retries=3
+            task, BrokenProcessPool("pool died"), supervision,
+            recorder.on_failure, recorder.on_retry, recorder.on_degrade,
+        )
+        assert action[0] == "done"
+        assert recorder.failures[0] == 1
+        error = recorder.errors[0]
+        assert error.kind == "crash"
+        assert error.quarantined is False
+        assert error.attempts == 4
 
 
 class TestBackoff:
