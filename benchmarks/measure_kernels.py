@@ -83,10 +83,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO / "src"))
-    from repro.cpu.kernels.registry import available_backends
+    from repro.cpu.kernels.registry import BACKEND_NAMES, available_backends
 
+    available = available_backends()
     backends = {}
-    for name in available_backends():
+    for name in BACKEND_NAMES:
+        if name not in available:
+            # Recorded, not omitted: a reader of the report can tell
+            # "numba was not installed" from "numba was not measured".
+            backends[name] = "unavailable"
+            print(f"skipping {name} backend (unavailable)", file=sys.stderr)
+            continue
         print(f"measuring {name} backend ...", file=sys.stderr)
         backends[name] = measure_backend(name, args.region, args.rounds)
 
@@ -109,7 +116,7 @@ def main(argv=None) -> int:
                 ),
             }
             for name, timing in backends.items()
-            if name != "python"
+            if name != "python" and isinstance(timing, dict)
         },
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

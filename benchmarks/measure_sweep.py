@@ -1,0 +1,185 @@
+"""Measure end-to-end sweep speedup from the shared stores.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/measure_sweep.py [--out FILE]
+        [--min-speedup RATIO] [--ff-points N] [--configs N]
+
+The benchmark runs one warmed fast-forward sweep (latency-variant
+configurations x fast-forward depths, the shape a sensitivity study
+takes) three times, each in a freshly spawned interpreter:
+
+``cold``
+    No cache directory at all -- every process regenerates its traces
+    and replays every warming prefix from zero.  This is the status
+    quo the stores exist to beat.
+``prime``
+    A cache directory is active: the run populates ``traces/`` and
+    ``checkpoints/`` (and the result store, which is then deleted).
+``warm``
+    The result store and journal are wiped but ``traces/`` and
+    ``checkpoints/`` survive, so every run re-executes -- loading its
+    trace memory-mapped and resuming prefix warming from the stored
+    checkpoints.
+
+All three passes must produce bit-identical results (the stores are
+accelerators, never approximations); the report records the wall-clock
+ratio cold/warm plus the warm pass's reuse counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: One timed sweep pass, executed in a clean child interpreter.
+_CHILD = """
+import hashlib, json, sys, time
+from repro.cpu.config import ARCH_CONFIGS
+from repro.engine import Engine, RunRequest
+from repro.scale import Scale
+from repro.techniques.truncated import FFRunZ
+from repro.workloads.spec import get_workload
+
+mode, cache_dir, ff_points, num_configs = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4])
+)
+scale = Scale(200)
+workload = get_workload("gzip")
+
+base = ARCH_CONFIGS[0]
+configs = [base] + [
+    base.replace(l2_latency=base.l2_latency + i) for i in range(1, num_configs)
+]
+depths = [1000.0 * (i + 1) for i in range(ff_points)]
+requests = [
+    RunRequest(FFRunZ(x_m, 100.0, warmed=True), workload, config)
+    for config in configs
+    for x_m in depths
+]
+
+if mode == "cold":
+    engine = Engine(scale=scale, jobs=1, checkpoint_interval=0.0,
+                    trace_cache=False)
+else:
+    engine = Engine(scale=scale, jobs=1, cache_dir=cache_dir,
+                    checkpoint_interval=500.0)
+
+t0 = time.perf_counter()
+results = engine.run_many(requests)
+seconds = time.perf_counter() - t0
+engine.close()
+
+fingerprint = hashlib.sha256(
+    json.dumps(
+        [sorted(r.stats.counters().items()) for r in results],
+        sort_keys=True,
+    ).encode()
+).hexdigest()
+counters = {
+    name: getattr(engine.metrics, name)
+    for name in ("trace_cache_hits", "trace_cache_misses",
+                 "checkpoint_hits", "checkpoint_misses",
+                 "instructions_skipped")
+}
+print(json.dumps({
+    "seconds": seconds,
+    "runs": len(requests),
+    "fingerprint": fingerprint,
+    "counters": counters,
+}))
+"""
+
+
+def run_pass(mode: str, cache_dir: str, ff_points: int, configs: int) -> dict:
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    out = subprocess.run(
+        [
+            sys.executable, "-c", _CHILD,
+            mode, cache_dir, str(ff_points), str(configs),
+        ],
+        check=True, capture_output=True, text=True, env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ff-points", type=int, default=3,
+                        help="fast-forward depths per configuration")
+    parser.add_argument("--configs", type=int, default=8,
+                        help="latency-variant configurations")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless cold/warm >= this ratio")
+    parser.add_argument("--out", default=str(REPO / "BENCH_sweep.json"))
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-sweep-")
+    try:
+        print("cold pass (no stores) ...", file=sys.stderr)
+        cold = run_pass("cold", workdir, args.ff_points, args.configs)
+        print("prime pass (populating stores) ...", file=sys.stderr)
+        prime = run_pass("prime", workdir, args.ff_points, args.configs)
+        # Wipe the result store + journal but keep traces/checkpoints:
+        # the warm pass re-executes every run against warm stores.
+        for entry in ("v1", "journal.jsonl", "engine-stats.json"):
+            path = Path(workdir) / entry
+            if path.is_dir():
+                shutil.rmtree(path)
+            elif path.exists():
+                path.unlink()
+        print("warm pass (traces + checkpoints hot) ...", file=sys.stderr)
+        warm = run_pass("warm", workdir, args.ff_points, args.configs)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    if not (cold["fingerprint"] == prime["fingerprint"] == warm["fingerprint"]):
+        print("FAIL: store-accelerated results differ from cold results",
+              file=sys.stderr)
+        return 1
+    if warm["counters"]["checkpoint_hits"] == 0:
+        print("FAIL: warm pass resumed no checkpoints", file=sys.stderr)
+        return 1
+    if warm["counters"]["trace_cache_hits"] == 0:
+        print("FAIL: warm pass loaded no stored traces", file=sys.stderr)
+        return 1
+
+    speedup = cold["seconds"] / warm["seconds"]
+    report = {
+        "benchmark": (
+            "warmed fast-forward sweep (gzip, Scale(200), "
+            f"{args.configs} latency configs x {args.ff_points} FF depths, "
+            "FF X + Run 100M, checkpoint interval 500M)"
+        ),
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": cold["runs"],
+        "cold_seconds": round(cold["seconds"], 3),
+        "prime_seconds": round(prime["seconds"], 3),
+        "warm_seconds": round(warm["seconds"], 3),
+        "speedup_cold_over_warm": round(speedup, 2),
+        "bit_identical": True,
+        "warm_counters": warm["counters"],
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.out}", file=sys.stderr)
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x < required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,14 @@ class BimodalPredictor:
             self.table[index] = counter - 1
         return prediction == taken
 
+    def warm_state(self) -> dict:
+        """Canonical warm-state snapshot (shared with the kernel
+        predictor, so snapshots restore across backends)."""
+        return {"bimodal": list(self.table)}
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.table = [int(v) for v in state["bimodal"]]
+
 
 class GsharePredictor:
     """Global-history predictor: PC xor history indexes a counter table."""
@@ -64,6 +72,13 @@ class GsharePredictor:
             self.table[index] = counter - 1
         self.history = ((self.history << 1) | (1 if taken else 0)) & self.mask
         return prediction == taken
+
+    def warm_state(self) -> dict:
+        return {"gshare": list(self.table), "history": self.history}
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.table = [int(v) for v in state["gshare"]]
+        self.history = int(state["history"])
 
 
 class CombinedPredictor:
@@ -116,6 +131,20 @@ class CombinedPredictor:
         self.history = ((self.history << 1) | (1 if taken else 0)) & mask
         return prediction == taken
 
+    def warm_state(self) -> dict:
+        return {
+            "bimodal": list(self.bimodal),
+            "gshare": list(self.gshare),
+            "chooser": list(self.chooser),
+            "history": self.history,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.bimodal = [int(v) for v in state["bimodal"]]
+        self.gshare = [int(v) for v in state["gshare"]]
+        self.chooser = [int(v) for v in state["chooser"]]
+        self.history = int(state["history"])
+
 
 class StaticTakenPredictor:
     """Always predicts taken (a degenerate baseline)."""
@@ -126,6 +155,12 @@ class StaticTakenPredictor:
     def predict_update(self, pc: int, taken: bool) -> bool:
         return taken
 
+    def warm_state(self) -> dict:
+        return {}
+
+    def restore_warm_state(self, state: dict) -> None:
+        pass
+
 
 class PerfectPredictor:
     """Oracle direction prediction (upper-bound studies)."""
@@ -135,6 +170,12 @@ class PerfectPredictor:
 
     def predict_update(self, pc: int, taken: bool) -> bool:
         return True
+
+    def warm_state(self) -> dict:
+        return {}
+
+    def restore_warm_state(self, state: dict) -> None:
+        pass
 
 
 PREDICTORS = {
@@ -196,6 +237,32 @@ class BranchTargetBuffer:
             ways.pop()
         return False
 
+    def warm_state(self) -> dict:
+        """Canonical snapshot: per-set ``[key, target]`` pairs (MRU
+        first) plus counters -- the BTB *does* count during functional
+        warming, so its counters are part of the warm state."""
+        return {
+            "sets": [
+                [[int(entry[0]), int(entry[1])] for entry in ways]
+                for ways in self.sets
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != len(self.sets):
+            raise ValueError(
+                f"BTB snapshot has {len(sets)} sets, structure has "
+                f"{len(self.sets)}"
+            )
+        self.sets = [
+            [[int(entry[0]), int(entry[1])] for entry in ways] for ways in sets
+        ]
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+
 
 class ReturnAddressStack:
     """Return-address stack modeled by depth tracking.
@@ -230,3 +297,13 @@ class ReturnAddressStack:
     @property
     def depth(self) -> int:
         return len(self._stack)
+
+    def warm_state(self) -> dict:
+        """Canonical snapshot: the stack only ever holds valid entries
+        (a crushed entry is deleted), so depth + overflow count is the
+        complete observable state."""
+        return {"depth": self.depth, "overflows": self.overflows}
+
+    def restore_warm_state(self, state: dict) -> None:
+        self._stack = [True] * int(state["depth"])
+        self.overflows = int(state["overflows"])

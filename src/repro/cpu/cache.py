@@ -37,6 +37,13 @@ class MainMemory:
         self.accesses += 1
         return self.fill_latency(block_bytes)
 
+    def warm_state(self) -> dict:
+        """Canonical (backend-independent) warm-state snapshot."""
+        return {"accesses": int(self.accesses)}
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.accesses = int(state["accesses"])
+
 
 class Cache:
     """One level of a set-associative cache hierarchy.
@@ -188,6 +195,33 @@ class Cache:
         self.misses = 0
         self.prefetches = 0
 
+    def warm_state(self) -> dict:
+        """Canonical warm-state snapshot: per-set resident tags
+        (most-recently-used first) plus counters.
+
+        The same dict shape is produced by the flat kernel structures
+        (:mod:`repro.cpu.kernels.state`), so a snapshot taken under one
+        backend restores bit-identically under any other.
+        """
+        return {
+            "sets": [list(map(int, ways)) for ways in self.sets],
+            "hits": self.hits,
+            "misses": self.misses,
+            "prefetches": self.prefetches,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"cache has {self.num_sets}"
+            )
+        self.sets = [list(ways) for ways in sets]
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.prefetches = int(state["prefetches"])
+
 
 class TLB:
     """A translation lookaside buffer: fully configured like a tiny
@@ -251,3 +285,22 @@ class TLB:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+
+    def warm_state(self) -> dict:
+        """Canonical warm-state snapshot (see :meth:`Cache.warm_state`)."""
+        return {
+            "sets": [list(map(int, ways)) for ways in self.sets],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != len(self.sets):
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"TLB has {len(self.sets)}"
+            )
+        self.sets = [list(ways) for ways in sets]
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])

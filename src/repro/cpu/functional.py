@@ -12,8 +12,9 @@ simulation, which is what gives SMARTS its speed advantage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
+from repro.cpu import checkpoint
 from repro.cpu.machine import Machine
 from repro.isa.instructions import OpClass
 from repro.isa.trace import (
@@ -48,6 +49,64 @@ class WarmingStats:
     mispredictions: int = 0
     loads: int = 0
     stores: int = 0
+
+    def merge(self, other: "WarmingStats") -> "WarmingStats":
+        """Accumulate ``other`` into this instance (and return it)."""
+        self.instructions += other.instructions
+        self.branches += other.branches
+        self.mispredictions += other.mispredictions
+        self.loads += other.loads
+        self.stores += other.stores
+        return self
+
+
+def warm_prefix(
+    machine: Machine,
+    trace: Trace,
+    end: int,
+    checkpoint_key: "str | None" = None,
+) -> WarmingStats:
+    """Warm ``trace[0, end)`` on a *cold* machine, checkpoint-assisted.
+
+    Without an active checkpoint store (or a key) this is exactly
+    ``run_functional_warming(machine, trace, 0, end)``.  With one, the
+    nearest stored checkpoint at-or-below ``end`` is restored and only
+    the remainder is warmed -- and fresh checkpoints are dropped at
+    every ``interval`` boundary crossed on the way, so the next run
+    (any backend, any latency variant) starts even closer.  The warmed
+    state and the returned event counts are bit-identical to the full
+    replay: snapshots are canonical and cumulative counts ride along
+    with each checkpoint.
+    """
+    store = checkpoint.active_store()
+    if store is None or checkpoint_key is None or end <= 0:
+        return run_functional_warming(machine, trace, 0, max(0, end))
+
+    position = 0
+    stats = WarmingStats()
+    found = store.nearest(checkpoint_key, end)
+    if found is not None:
+        position, state, saved = found
+        checkpoint.restore_machine(machine, state)
+        stats = WarmingStats(**saved)
+        checkpoint.record_hit(position)
+    else:
+        checkpoint.record_miss()
+
+    interval = store.interval
+    while position < end:
+        boundary = (position // interval + 1) * interval
+        stop = min(end, boundary)
+        stats.merge(run_functional_warming(machine, trace, position, stop))
+        position = stop
+        if position == boundary:
+            store.save(
+                checkpoint_key,
+                position,
+                checkpoint.snapshot_machine(machine),
+                asdict(stats),
+            )
+    return stats
 
 
 def run_functional_warming(

@@ -87,6 +87,41 @@ class KernelMemory:
         self.stats[0] += 1
         return self.fill_latency(block_bytes)
 
+    def warm_state(self) -> dict:
+        """Canonical snapshot (same shape as the reference class)."""
+        return {"accesses": int(self.stats[0])}
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.stats[0] = int(state["accesses"])
+
+
+def _sets_from_flat(tags, num_sets: int, assoc: int):
+    """Per-set valid-prefix tag lists from a flat MRU-first tag array.
+
+    Insertion always shifts within the set, so invalid (``-1``) slots
+    stay at the tail of each set: the valid prefix *is* the reference
+    class's MRU list.
+    """
+    sets = []
+    for index in range(num_sets):
+        base = index * assoc
+        ways = []
+        for way in range(assoc):
+            tag = int(tags[base + way])
+            if tag == -1:
+                break
+            ways.append(tag)
+        sets.append(ways)
+    return sets
+
+
+def _sets_to_flat(tags, sets, assoc: int) -> None:
+    """Write per-set MRU lists back into a flat tag array in place."""
+    for index, ways in enumerate(sets):
+        base = index * assoc
+        for way in range(assoc):
+            tags[base + way] = int(ways[way]) if way < len(ways) else -1
+
 
 class KernelCache:
     """Flat-state equivalent of :class:`repro.cpu.cache.Cache`."""
@@ -243,6 +278,27 @@ class KernelCache:
             tags[base + shift] = tags[base + shift - 1]
         tags[base] = block
 
+    def warm_state(self) -> dict:
+        """Canonical snapshot (same shape as :class:`repro.cpu.cache.Cache`)."""
+        return {
+            "sets": _sets_from_flat(self.tags, self.num_sets, self.assoc),
+            "hits": self.hits,
+            "misses": self.misses,
+            "prefetches": self.prefetches,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"cache has {self.num_sets}"
+            )
+        _sets_to_flat(self.tags, sets, self.assoc)
+        self.stats[STAT_HITS] = int(state["hits"])
+        self.stats[STAT_MISSES] = int(state["misses"])
+        self.stats[STAT_PREFETCHES] = int(state["prefetches"])
+
 
 class KernelTLB:
     """Flat-state equivalent of :class:`repro.cpu.cache.TLB`."""
@@ -316,6 +372,25 @@ class KernelTLB:
         for shift in range(assoc - 1, 0, -1):
             tags[base + shift] = tags[base + shift - 1]
         tags[base] = page
+
+    def warm_state(self) -> dict:
+        """Canonical snapshot (same shape as :class:`repro.cpu.cache.TLB`)."""
+        return {
+            "sets": _sets_from_flat(self.tags, self.num_sets, self.assoc),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"TLB has {self.num_sets}"
+            )
+        _sets_to_flat(self.tags, sets, self.assoc)
+        self.stats[STAT_HITS] = int(state["hits"])
+        self.stats[STAT_MISSES] = int(state["misses"])
 
 
 class KernelPredictor:
@@ -407,6 +482,39 @@ class KernelPredictor:
         self.state[0] = ((self.state[0] << 1) | (1 if taken else 0)) & mask
         return prediction == taken
 
+    def warm_state(self) -> dict:
+        """Canonical snapshot mirroring the matching reference class
+        for this predictor kind (so snapshots restore across backends)."""
+        kind = self.kind
+        if kind == PRED_BIMODAL:
+            return {"bimodal": [int(v) for v in self.bimodal]}
+        if kind == PRED_GSHARE:
+            return {
+                "gshare": [int(v) for v in self.gshare],
+                "history": int(self.state[0]),
+            }
+        if kind == PRED_COMBINED:
+            return {
+                "bimodal": [int(v) for v in self.bimodal],
+                "gshare": [int(v) for v in self.gshare],
+                "chooser": [int(v) for v in self.chooser],
+                "history": int(self.state[0]),
+            }
+        return {}  # taken / perfect hold no state
+
+    def restore_warm_state(self, state: dict) -> None:
+        kind = self.kind
+        if kind in (PRED_BIMODAL, PRED_COMBINED):
+            for i, value in enumerate(state["bimodal"]):
+                self.bimodal[i] = int(value)
+        if kind in (PRED_GSHARE, PRED_COMBINED):
+            for i, value in enumerate(state["gshare"]):
+                self.gshare[i] = int(value)
+            self.state[0] = int(state["history"])
+        if kind == PRED_COMBINED:
+            for i, value in enumerate(state["chooser"]):
+                self.chooser[i] = int(value)
+
 
 class KernelBTB:
     """Flat-state equivalent of :class:`repro.cpu.branch.BranchTargetBuffer`."""
@@ -459,6 +567,40 @@ class KernelBTB:
         targets[base] = target
         return False
 
+    def warm_state(self) -> dict:
+        """Canonical snapshot: per-set ``[key, target]`` pairs (MRU
+        first) plus counters, matching the reference BTB."""
+        sets = []
+        for index in range(self.num_sets):
+            base = index * self.assoc
+            ways = []
+            for way in range(self.assoc):
+                key = int(self.keys[base + way])
+                if key == -1:
+                    break
+                ways.append([key, int(self.targets[base + way])])
+            sets.append(ways)
+        return {"sets": sets, "hits": self.hits, "misses": self.misses}
+
+    def restore_warm_state(self, state: dict) -> None:
+        sets = state["sets"]
+        if len(sets) != self.num_sets:
+            raise ValueError(
+                f"BTB snapshot has {len(sets)} sets, structure has "
+                f"{self.num_sets}"
+            )
+        for index, ways in enumerate(sets):
+            base = index * self.assoc
+            for way in range(self.assoc):
+                if way < len(ways):
+                    self.keys[base + way] = int(ways[way][0])
+                    self.targets[base + way] = int(ways[way][1])
+                else:
+                    self.keys[base + way] = -1
+                    self.targets[base + way] = 0
+        self.stats[STAT_HITS] = int(state["hits"])
+        self.stats[STAT_MISSES] = int(state["misses"])
+
 
 class KernelRAS:
     """Counter-based return-address stack.
@@ -495,6 +637,13 @@ class KernelRAS:
             return False
         self.state[0] -= 1
         return True
+
+    def warm_state(self) -> dict:
+        return {"depth": self.depth, "overflows": self.overflows}
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.state[0] = int(state["depth"])
+        self.state[1] = int(state["overflows"])
 
 
 def build_structures(config, enhancements, storage: str):

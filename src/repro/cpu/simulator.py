@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.cpu import checkpoint, functional
 from repro.cpu.config import Enhancements, ProcessorConfig
 from repro.cpu.functional import run_functional_warming
 from repro.cpu.machine import Machine
@@ -77,30 +78,70 @@ class Simulator:
         end: int,
         warmup_instructions: int = 0,
         machine: Optional[Machine] = None,
+        warmed_prefix: bool = False,
+        checkpoint_key: Optional[str] = None,
     ) -> SimulationResult:
         """Detailed-simulate ``[start, end)`` on a fresh machine.
 
         ``warmup_instructions`` instructions *before* ``start`` are
         simulated in detail but excluded from the statistics.  The
-        region before the warm-up is fast-forwarded (skipped cold).
+        region before the warm-up is fast-forwarded: skipped cold by
+        default, or -- with ``warmed_prefix`` -- functionally warmed so
+        measurement starts from realistic microarchitectural state.
+        Warmed prefixes resume from the nearest stored checkpoint when
+        a checkpoint store is active and ``checkpoint_key`` names this
+        (trace, geometry) chain; the result is bit-identical either
+        way.
         """
         if machine is None:
             machine = self.new_machine()
         warm_start = max(0, start - warmup_instructions)
+        warmed = 0
+        if warmed_prefix and warm_start > 0:
+            warming = functional.warm_prefix(
+                machine, trace, warm_start, checkpoint_key=checkpoint_key
+            )
+            warmed = warming.instructions
         stats = run_detailed(machine, trace, warm_start, end, measure_from=start)
         return SimulationResult(
             stats=stats,
             config_name=self.config.name,
             detailed_instructions=end - start,
             extra_detailed_instructions=start - warm_start,
-            fastforwarded_instructions=warm_start,
+            warmed_instructions=warmed,
+            fastforwarded_instructions=0 if warmed_prefix else warm_start,
         )
 
     # -- primitives for techniques that interleave modes -----------------------
 
+    def checkpoint_key(self, workload, scale) -> Optional[str]:
+        """This config's checkpoint-chain key, or None when no store
+        is active (so callers can pass the result straight through)."""
+        if checkpoint.active_store() is None:
+            return None
+        return checkpoint.state_key(
+            workload, scale, self.config, self.enhancements
+        )
+
     def warm(self, machine: Machine, trace: Trace, start: int, end: int):
         """Functionally warm ``[start, end)``; returns WarmingStats."""
         return run_functional_warming(machine, trace, start, end)
+
+    def warm_prefix(
+        self,
+        machine: Machine,
+        trace: Trace,
+        end: int,
+        checkpoint_key: Optional[str] = None,
+    ):
+        """Warm ``[0, end)`` on a cold machine, checkpoint-assisted.
+
+        Only sound when ``machine`` is cold (fresh): checkpoints
+        snapshot the state of warming from trace position 0.
+        """
+        return functional.warm_prefix(
+            machine, trace, end, checkpoint_key=checkpoint_key
+        )
 
     def detail(
         self,

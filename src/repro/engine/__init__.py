@@ -30,10 +30,12 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.cpu import checkpoint
 from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
 from repro.scale import Scale, default_scale
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
+from repro.workloads import trace_store
 from repro.workloads.inputs import Workload
 
 from repro.engine.executor import (
@@ -80,6 +82,14 @@ STATS_FILENAME = "engine-stats.json"
 RUN_TIMEOUT_ENV_VAR = "REPRO_RUN_TIMEOUT"
 MAX_RETRIES_ENV_VAR = "REPRO_MAX_RETRIES"
 
+#: Warm-state checkpoint spacing in paper-M instructions (flag > env >
+#: default; 0 disables checkpointing).
+CHECKPOINT_INTERVAL_ENV_VAR = "REPRO_CHECKPOINT_INTERVAL"
+
+#: Cache-dir subdirectories for the shared stores.
+TRACES_SUBDIR = "traces"
+CHECKPOINTS_SUBDIR = "checkpoints"
+
 
 def default_jobs() -> int:
     """Worker count when none is requested: every available core."""
@@ -110,6 +120,26 @@ def default_max_retries() -> int:
         raise ValueError(
             f"${MAX_RETRIES_ENV_VAR} must be an integer, got {value!r}"
         ) from None
+
+
+def default_checkpoint_interval() -> float:
+    """Checkpoint spacing in paper-M from ``$REPRO_CHECKPOINT_INTERVAL``
+    (default 500; 0 disables)."""
+    value = os.environ.get(CHECKPOINT_INTERVAL_ENV_VAR)
+    if not value:
+        return checkpoint.DEFAULT_INTERVAL_M
+    try:
+        interval = float(value)
+    except ValueError:
+        raise ValueError(
+            f"${CHECKPOINT_INTERVAL_ENV_VAR} must be a number of "
+            f"M-instructions, got {value!r}"
+        ) from None
+    if interval < 0:
+        raise ValueError(
+            f"${CHECKPOINT_INTERVAL_ENV_VAR} must be non-negative, got {value!r}"
+        )
+    return interval
 
 
 class EngineRunError(RuntimeError):
@@ -148,12 +178,18 @@ class Engine:
         run_timeout: Optional[float] = None,
         resume: bool = False,
         backoff_base: float = 0.1,
+        checkpoint_interval: Optional[float] = None,
+        trace_cache: bool = True,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
         if retries is None:
             retries = default_max_retries()
         if run_timeout is None:
             run_timeout = default_run_timeout()
+        if checkpoint_interval is None:
+            checkpoint_interval = default_checkpoint_interval()
+        elif checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
         self.executor = Executor(
             jobs=jobs,
             retries=retries,
@@ -161,6 +197,26 @@ class Engine:
             backoff_base=backoff_base,
         )
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
+        self.checkpoint_interval_m = checkpoint_interval
+        self.trace_cache = trace_cache
+        # The stores activate through the environment so pool workers
+        # inherit them (fork or spawn alike); close() restores it.
+        self._saved_env: Dict[str, Optional[str]] = {}
+        if self.store is not None:
+            if trace_cache:
+                self._export_env(
+                    trace_store.TRACE_DIR_ENV_VAR,
+                    str(self.store.root / TRACES_SUBDIR),
+                )
+            if checkpoint_interval > 0:
+                interval = max(1, self.scale.instructions(checkpoint_interval))
+                self._export_env(
+                    checkpoint.CHECKPOINT_DIR_ENV_VAR,
+                    str(self.store.root / CHECKPOINTS_SUBDIR),
+                )
+                self._export_env(
+                    checkpoint.CHECKPOINT_INTERVAL_ENV_VAR, str(interval)
+                )
         self.metrics = EngineMetrics()
         self.reporter = ProgressReporter(enabled=progress)
         self._memory: Dict[str, TechniqueResult] = {}
@@ -186,6 +242,12 @@ class Engine:
             )
         elif resume:
             raise ValueError("resume requires a cache_dir (journal + store)")
+
+    def _export_env(self, name: str, value: str) -> None:
+        """Set an environment variable, remembering what it replaced."""
+        if name not in self._saved_env:
+            self._saved_env[name] = os.environ.get(name)
+        os.environ[name] = value
 
     @property
     def jobs(self) -> int:
@@ -277,6 +339,19 @@ class Engine:
                     key=key,
                 )
             )
+        # Trace-affinity scheduling: adjacent tasks share a workload, so
+        # a worker's in-process trace LRU (and the OS page cache under
+        # the trace store) is hit by the next task instead of thrashing
+        # between benchmarks.  Results are keyed by slot, so execution
+        # order never affects the output.
+        tasks.sort(
+            key=lambda t: (
+                t.request.workload.benchmark,
+                t.request.workload.input_set.name,
+                t.request.workload.seed,
+                t.slot,
+            )
+        )
         if self.journal is not None:
             for task in tasks:
                 self.journal.planned(task.key, task.request.describe())
@@ -301,6 +376,7 @@ class Engine:
             self.metrics.record_execution(
                 result.family, wall, _instructions_simulated(result)
             )
+            self.metrics.record_reuse(info.reuse)
             self.reporter.update(completed, plan.num_unique, self.metrics)
 
         def on_failure(slot: int, request: RunRequest, error: RunError) -> None:
@@ -342,6 +418,10 @@ class Engine:
             self.executor.run(
                 tasks, self.scale, on_success, on_failure, on_retry, on_degrade
             )
+        # Fold in parent-side store traffic (SimPoint selections, inline
+        # trace loads); worker-side traffic arrived via RunInfo.reuse.
+        self.metrics.record_reuse(trace_store.consume_counters())
+        self.metrics.record_reuse(checkpoint.consume_counters())
         self.metrics.batch_time_s += time.perf_counter() - batch_started
         self.reporter.batch_summary(self.metrics)
 
@@ -368,14 +448,24 @@ class Engine:
                 "cache_dir": str(self.store.root) if self.store else None,
                 "results_epoch": RESULTS_EPOCH,
                 "schema_version": SCHEMA_VERSION,
+                "checkpoint_interval_m": self.checkpoint_interval_m,
+                "trace_cache": self.trace_cache,
             },
         )
         return path
 
     def close(self) -> None:
-        """Release the journal handle (safe to call repeatedly)."""
+        """Release the journal handle and restore the environment
+        variables the store activation exported (safe to call
+        repeatedly)."""
         if self.journal is not None:
             self.journal.close()
+        saved, self._saved_env = self._saved_env, {}
+        for name, previous in saved.items():
+            if previous is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = previous
 
     # -- internals ---------------------------------------------------------------
 

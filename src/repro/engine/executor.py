@@ -1,10 +1,14 @@
 """Run execution: serial fallback and a supervised process pool.
 
-Workers receive fully pickled ``(technique, workload, config,
-enhancements, scale)`` tuples and return the finished
-:class:`TechniqueResult`, so a run's outcome cannot depend on which
-process executed it -- parallel sweeps are bit-for-bit identical to
-serial ones.
+Workers receive pickled ``(technique, workload, config, enhancements,
+scale)`` tuples and return the finished :class:`TechniqueResult`, so a
+run's outcome cannot depend on which process executed it -- parallel
+sweeps are bit-for-bit identical to serial ones.  Canonical registry
+workloads are shipped as a compact ``(benchmark, input set, seed)``
+key instead of by value: the worker rebinds the key through the
+(deterministic, memoized) benchmark registry, which shrinks every
+submission pickle and lets workers share one trace per benchmark via
+the trace store instead of regenerating per request.
 
 Failures are handled by a per-run supervisor rather than a single bare
 retry:
@@ -44,6 +48,7 @@ metric.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import multiprocessing
 import os
@@ -57,9 +62,12 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro.cpu import checkpoint
 from repro.cpu.kernels.registry import BACKEND_ENV_VAR, KernelError
+from repro.workloads import trace_store
 from repro.scale import Scale
 from repro.techniques.base import TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
@@ -116,6 +124,9 @@ class RunInfo:
 
     attempts: int = 1
     backend: Optional[str] = None  # degraded backend used, None = default
+    #: Trace-store / checkpoint counter deltas observed by this run's
+    #: worker (empty when the stores are inactive).
+    reuse: Dict[str, int] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -132,6 +143,48 @@ class RunTask:
     key: str = ""                       # content key (journal + backoff seed)
     attempt: int = 1                    # 1-based attempt about to execute
     backend: Optional[str] = None       # degradation override
+    #: ``(benchmark, input set, seed)`` when ``request.workload`` was
+    #: stripped for submission; the worker rebinds it via the registry.
+    workload_key: Optional[Tuple[str, str, int]] = None
+
+
+@lru_cache(maxsize=64)
+def _resolve_workload(benchmark: str, input_set: str, seed: int):
+    """Worker-side workload rebinding (memoized per process)."""
+    from repro.workloads.spec import get_workload
+
+    return get_workload(benchmark, input_set, seed=seed)
+
+
+def _strip_workload(task: RunTask) -> RunTask:
+    """A submission copy of ``task`` that ships its workload by key.
+
+    Only *canonical* registry workloads are stripped, detected by
+    identity of their program and input-set spec against what the
+    (memoized) registry returns for the same key.  A custom workload --
+    e.g. a reduced-input variant carrying its own
+    :class:`InputSetSpec` -- is pickled by value as before, because a
+    key lookup would rebind the wrong one.
+    """
+    workload = task.request.workload
+    if workload is None:
+        return task
+    try:
+        canonical = _resolve_workload(
+            workload.benchmark, workload.input_set.name, workload.seed
+        )
+    except Exception:
+        return task
+    if (
+        canonical.program is not workload.program
+        or canonical.input_set is not workload.input_set
+    ):
+        return task
+    return dataclasses.replace(
+        task,
+        request=dataclasses.replace(task.request, workload=None),
+        workload_key=(workload.benchmark, workload.input_set.name, workload.seed),
+    )
 
 
 def execute_request(
@@ -169,7 +222,18 @@ def _pool_init(event_queue, generation: int) -> None:
     global _worker_events, _worker_generation
     _worker_events = event_queue
     _worker_generation = generation
+    # A forked worker inherits the parent's in-flight counter state;
+    # drain it so the deltas this worker reports are its own.
+    trace_store.consume_counters()
+    checkpoint.consume_counters()
     event_queue.put(("spawn", generation, os.getpid()))
+
+
+def _consume_reuse_counters() -> Dict[str, int]:
+    """Drain the trace-store and checkpoint counters into one delta."""
+    counters = trace_store.consume_counters()
+    counters.update(checkpoint.consume_counters())
+    return counters
 
 
 def _worker(task: RunTask, scale: Scale):
@@ -182,13 +246,18 @@ def _worker(task: RunTask, scale: Scale):
             ("start", generation, task.slot, task.attempt, time.monotonic())
         )
     try:
+        request = task.request
+        if request.workload is None and task.workload_key is not None:
+            request = dataclasses.replace(
+                request, workload=_resolve_workload(*task.workload_key)
+            )
         faults.activate(task.slot, task.attempt)
         previous = os.environ.get(BACKEND_ENV_VAR)
         if task.backend is not None:
             os.environ[BACKEND_ENV_VAR] = task.backend
         started = time.perf_counter()
         try:
-            result = execute_request(task.request, scale, task.selection)
+            result = execute_request(request, scale, task.selection)
         finally:
             faults.deactivate()
             if task.backend is not None:
@@ -196,7 +265,8 @@ def _worker(task: RunTask, scale: Scale):
                     os.environ.pop(BACKEND_ENV_VAR, None)
                 else:
                     os.environ[BACKEND_ENV_VAR] = previous
-        return task.slot, result, time.perf_counter() - started
+        wall = time.perf_counter() - started
+        return task.slot, result, wall, _consume_reuse_counters()
     finally:
         if events is not None:
             events.put(("end", generation, task.slot, task.attempt))
@@ -450,7 +520,7 @@ class Executor:
     ) -> None:
         while True:
             try:
-                slot, result, wall = _worker(task, scale)
+                slot, result, wall, reuse = _worker(task, scale)
             except Exception as exc:
                 action = self._after_failure(
                     task, exc, supervision, on_failure, on_retry, on_degrade
@@ -461,7 +531,9 @@ class Executor:
                 if delay > 0:
                     time.sleep(delay)
                 continue
-            on_success(slot, result, wall, self._info(task, supervision))
+            info = self._info(task, supervision)
+            info.reuse = reuse
+            on_success(slot, result, wall, info)
             return
 
     def _run_parallel(
@@ -496,7 +568,7 @@ class Executor:
         def handle_done_future(future, task: RunTask) -> bool:
             """Dispatch one completed future; True if the pool broke."""
             try:
-                slot, result, wall = future.result()
+                slot, result, wall, reuse = future.result()
             except BrokenExecutor as exc:
                 # The breakage exception lands on *every* in-flight
                 # future, but only runs that had started executing can
@@ -511,7 +583,9 @@ class Executor:
             except Exception as exc:
                 handle_failure(task, exc)
             else:
-                on_success(slot, result, wall, self._info(task, supervision))
+                info = self._info(task, supervision)
+                info.reuse = reuse
+                on_success(slot, result, wall, info)
             return False
 
         try:
@@ -528,7 +602,7 @@ class Executor:
                 while pending and len(futures) < backlog:
                     task = pending.popleft()
                     try:
-                        future = pool.submit(_worker, task, scale)
+                        future = pool.submit(_worker, _strip_workload(task), scale)
                     except RuntimeError:
                         # Pool broken or shut down mid-submission: this
                         # task never ran, so it is requeued without

@@ -49,6 +49,12 @@ class EngineMetrics:
     timeouts: int = 0           # attempts reaped by the watchdog
     crashes: int = 0            # attempts lost to a dead worker process
     degradations: int = 0       # runs retried on a lower backend tier
+    # Shared-state reuse (trace store + warm-state checkpoints):
+    trace_cache_hits: int = 0   # traces served memory-mapped from the store
+    trace_cache_misses: int = 0  # traces generated (and stored) fresh
+    checkpoint_hits: int = 0    # prefix warmings resumed from a checkpoint
+    checkpoint_misses: int = 0  # prefix warmings that replayed from zero
+    instructions_skipped: int = 0  # warming instructions checkpoints saved
     wall_time_s: float = 0.0    # sum of per-run execution wall time
     batch_time_s: float = 0.0   # end-to-end run_many() wall time
     instructions: int = 0       # instructions simulated (detailed + warm)
@@ -93,6 +99,14 @@ class EngineMetrics:
             }
         )
 
+    def record_reuse(self, counters: Dict[str, int]) -> None:
+        """Fold one trace-store/checkpoint counter delta into the totals."""
+        self.trace_cache_hits += counters.get("trace_cache_hits", 0)
+        self.trace_cache_misses += counters.get("trace_cache_misses", 0)
+        self.checkpoint_hits += counters.get("checkpoint_hits", 0)
+        self.checkpoint_misses += counters.get("checkpoint_misses", 0)
+        self.instructions_skipped += counters.get("instructions_skipped", 0)
+
     def record_degradation(self, description: str, from_backend: str, to_backend: str) -> None:
         self.degradations += 1
         self.degraded_runs.append(
@@ -128,6 +142,11 @@ class EngineMetrics:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "degradations": self.degradations,
+            "trace_cache_hits": self.trace_cache_hits,
+            "trace_cache_misses": self.trace_cache_misses,
+            "checkpoint_hits": self.checkpoint_hits,
+            "checkpoint_misses": self.checkpoint_misses,
+            "instructions_skipped": self.instructions_skipped,
             "hit_rate": self.hit_rate,
             "wall_time_s": self.wall_time_s,
             "batch_time_s": self.batch_time_s,

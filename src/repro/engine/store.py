@@ -10,6 +10,17 @@ that can change the result, plus :data:`~repro.engine.planner.RESULTS_EPOCH`.
 Simulator changes are invalidated by bumping the epoch; schema changes
 (the payload format itself) by bumping :data:`SCHEMA_VERSION`, which
 moves the store to a fresh subdirectory.
+
+The result store's root doubles as the engine's cache directory; its
+full layout is::
+
+    <root>/v<schema>/...       this result store
+    <root>/journal.jsonl       crash-safe sweep journal
+    <root>/engine-stats.json   machine-readable engine metrics
+    <root>/traces/             shared memory-mapped trace store
+                               (:mod:`repro.workloads.trace_store`)
+    <root>/checkpoints/        functional warm-state checkpoints
+                               (:mod:`repro.cpu.checkpoint`)
 """
 
 from __future__ import annotations

@@ -10,24 +10,30 @@ Usage::
 
 Engine options resolve as flag > environment variable > default:
 
-=================  ===================  =========================
-flag               environment          default
-=================  ===================  =========================
-``--full``         ``REPRO_FULL``       four default benchmarks
-``--depth``        ``REPRO_DEPTH``      ``standard``
-``--jobs``         ``REPRO_JOBS``       all CPU cores
-``--cache-dir``    ``REPRO_CACHE_DIR``  no persistent cache
-``--profile``      ``REPRO_PROFILE``    ``tiny``
-``--backend``      ``REPRO_BACKEND``    fastest available backend
-``--run-timeout``  ``REPRO_RUN_TIMEOUT``  no per-run timeout
-``--max-retries``  ``REPRO_MAX_RETRIES``  1
-=================  ===================  =========================
+=======================  ===============================  =========================
+flag                     environment                      default
+=======================  ===============================  =========================
+``--full``               ``REPRO_FULL``                   four default benchmarks
+``--depth``              ``REPRO_DEPTH``                  ``standard``
+``--jobs``               ``REPRO_JOBS``                   all CPU cores
+``--cache-dir``          ``REPRO_CACHE_DIR``              no persistent cache
+``--profile``            ``REPRO_PROFILE``                ``tiny``
+``--backend``            ``REPRO_BACKEND``                fastest available backend
+``--run-timeout``        ``REPRO_RUN_TIMEOUT``            no per-run timeout
+``--max-retries``        ``REPRO_MAX_RETRIES``            1
+``--checkpoint-interval``  ``REPRO_CHECKPOINT_INTERVAL``  500 (M instructions)
+=======================  ===============================  =========================
 
 ``--no-cache`` disables the persistent cache even when a directory is
 configured.  When a cache directory is active, engine metrics are
 written to ``<cache-dir>/engine-stats.json`` after the run and every
 run's fate is journaled to ``<cache-dir>/journal.jsonl``; ``--resume``
 replays that journal so an interrupted sweep skips its completed runs.
+The cache directory also hosts the shared trace store
+(``<cache-dir>/traces``, disable with ``--no-trace-cache``) and the
+functional warm-state checkpoints (``<cache-dir>/checkpoints``,
+spacing via ``--checkpoint-interval`` in paper-M instructions; 0
+disables checkpointing).
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.cpu.kernels.registry import (
     resolve_backend_name,
 )
 from repro.engine import (
+    CHECKPOINT_INTERVAL_ENV_VAR,
     MAX_RETRIES_ENV_VAR,
     RUN_TIMEOUT_ENV_VAR,
     default_jobs,
@@ -165,6 +172,21 @@ def main(argv: list[str] | None = None) -> int:
         "retries back off exponentially with deterministic jitter",
     )
     parser.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=None,
+        metavar="M",
+        help="warm-state checkpoint spacing in M instructions "
+        f"(default: ${CHECKPOINT_INTERVAL_ENV_VAR} or 500); 0 disables "
+        "checkpointing; requires a cache dir to take effect",
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable the shared memory-mapped trace store "
+        "(<cache-dir>/traces); traces are regenerated per process",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         choices=BACKEND_NAMES + ("auto",),
@@ -209,6 +231,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--run-timeout must be positive")
     if args.max_retries is not None and args.max_retries < 0:
         parser.error("--max-retries must be >= 0")
+    if args.checkpoint_interval is not None and args.checkpoint_interval < 0:
+        parser.error("--checkpoint-interval must be >= 0 (0 disables)")
 
     scale = (
         scale_from_profile(args.profile) if args.profile else default_scale()
@@ -227,6 +251,8 @@ def main(argv: list[str] | None = None) -> int:
         run_timeout=args.run_timeout,
         max_retries=args.max_retries,
         resume=args.resume,
+        checkpoint_interval=args.checkpoint_interval,
+        trace_cache=not args.no_trace_cache,
     )
     try:
         for name in names:

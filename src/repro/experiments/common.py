@@ -97,6 +97,11 @@ class ExperimentContext:
     max_retries: Optional[int] = None
     #: Resume an interrupted sweep from <cache_dir>/journal.jsonl.
     resume: bool = False
+    #: Warm-state checkpoint spacing in paper-M instructions (None:
+    #: $REPRO_CHECKPOINT_INTERVAL or 500; 0 disables) and whether
+    #: traces are shared through <cache_dir>/traces.
+    checkpoint_interval: Optional[float] = None
+    trace_cache: bool = True
 
     #: The engine executing this context's runs; built from the fields
     #: above unless injected.
@@ -114,6 +119,8 @@ class ExperimentContext:
                 retries=self.max_retries,
                 run_timeout=self.run_timeout,
                 resume=self.resume,
+                checkpoint_interval=self.checkpoint_interval,
+                trace_cache=self.trace_cache,
             )
 
     # -- workloads ---------------------------------------------------------------

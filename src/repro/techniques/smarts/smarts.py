@@ -146,6 +146,11 @@ class SmartsTechnique(SimulationTechnique):
         )
 
         simulator = Simulator(config, enhancements)
+        # The opening warming segment starts from a cold machine at
+        # trace position 0, which is exactly what warm-state
+        # checkpoints snapshot -- later segments continue mid-run
+        # state and must replay in full.
+        checkpoint_key = simulator.checkpoint_key(workload, scale)
         total_detailed = 0
         total_warm_detailed = 0
         total_functional = 0
@@ -154,7 +159,9 @@ class SmartsTechnique(SimulationTechnique):
 
         while True:
             runs += 1
-            outcome = self._one_run(simulator, trace, n, u, w)
+            outcome = self._one_run(
+                simulator, trace, n, u, w, checkpoint_key=checkpoint_key
+            )
             total_detailed += outcome.detailed
             total_warm_detailed += outcome.warm_detailed
             total_functional += outcome.functional
@@ -210,7 +217,13 @@ class SmartsTechnique(SimulationTechnique):
         stats.prefetches = delta.get("prefetches", 0)
 
     def _one_run(
-        self, simulator: Simulator, trace, n: int, u: int, w: int
+        self,
+        simulator: Simulator,
+        trace,
+        n: int,
+        u: int,
+        w: int,
+        checkpoint_key: Optional[str] = None,
     ) -> _RunOutcome:
         """One full pass: functional warming with n embedded samples."""
         trace_length = len(trace)
@@ -237,7 +250,13 @@ class SmartsTechnique(SimulationTechnique):
             if sample_start <= position and position >= trace_length:
                 break
             if warm_start > position:
-                warming = simulator.warm(machine, trace, position, warm_start)
+                if position == 0:
+                    # Cold prefix: checkpoint-assisted (bit-identical).
+                    warming = simulator.warm_prefix(
+                        machine, trace, warm_start, checkpoint_key=checkpoint_key
+                    )
+                else:
+                    warming = simulator.warm(machine, trace, position, warm_start)
                 functional += warming.instructions
                 branches += warming.branches
                 mispredictions += warming.mispredictions

@@ -74,19 +74,27 @@ class RunZ(SimulationTechnique):
 
 
 class FFRunZ(SimulationTechnique):
-    """Fast-forward X M instructions, then measure the next Z M (cold)."""
+    """Fast-forward X M instructions, then measure the next Z M.
+
+    With ``warmed`` the skipped prefix is functionally warmed instead
+    of skipped cold (``wFF``): measurement starts from realistic
+    long-history state, and the warming resumes from the nearest
+    stored checkpoint when the engine has a checkpoint store active.
+    """
 
     family = "FF+Run Z"
 
-    def __init__(self, x_m: float, z_m: float) -> None:
+    def __init__(self, x_m: float, z_m: float, warmed: bool = False) -> None:
         if x_m <= 0 or z_m <= 0:
             raise ValueError("X and Z must be positive")
         self.x_m = x_m
         self.z_m = z_m
+        self.warmed = warmed
 
     @property
     def permutation(self) -> str:
-        return f"FF {self.x_m:g}M + Run {self.z_m:g}M"
+        prefix = "wFF" if self.warmed else "FF"
+        return f"{prefix} {self.x_m:g}M + Run {self.z_m:g}M"
 
     def run(
         self,
@@ -100,7 +108,15 @@ class FFRunZ(SimulationTechnique):
         end = start + scale.instructions(self.z_m)
         start, end = _clamp_region(len(trace), start, end)
         simulator = Simulator(config, enhancements)
-        result = simulator.run_region(trace, start, end)
+        result = simulator.run_region(
+            trace,
+            start,
+            end,
+            warmed_prefix=self.warmed,
+            checkpoint_key=(
+                simulator.checkpoint_key(workload, scale) if self.warmed else None
+            ),
+        )
         return TechniqueResult(
             family=self.family,
             permutation=self.permutation,
@@ -110,25 +126,37 @@ class FFRunZ(SimulationTechnique):
             regions=[(start, end)],
             weights=[1.0],
             detailed_instructions=end - start,
-            fastforward_instructions=start,
+            functional_warm_instructions=start if self.warmed else 0,
+            fastforward_instructions=0 if self.warmed else start,
         )
 
 
 class FFWURunZ(SimulationTechnique):
-    """Fast-forward X M, warm up in detail for Y M, measure Z M."""
+    """Fast-forward X M, warm up in detail for Y M, measure Z M.
+
+    With ``warmed`` the fast-forwarded region is functionally warmed
+    (``wFF``) before the detailed warm-up, checkpoint-assisted when
+    the engine has a checkpoint store active.
+    """
 
     family = "FF+WU+Run Z"
 
-    def __init__(self, x_m: float, y_m: float, z_m: float) -> None:
+    def __init__(
+        self, x_m: float, y_m: float, z_m: float, warmed: bool = False
+    ) -> None:
         if x_m <= 0 or y_m <= 0 or z_m <= 0:
             raise ValueError("X, Y and Z must be positive")
         self.x_m = x_m
         self.y_m = y_m
         self.z_m = z_m
+        self.warmed = warmed
 
     @property
     def permutation(self) -> str:
-        return f"FF {self.x_m:g}M + WU {self.y_m:g}M + Run {self.z_m:g}M"
+        prefix = "wFF" if self.warmed else "FF"
+        return (
+            f"{prefix} {self.x_m:g}M + WU {self.y_m:g}M + Run {self.z_m:g}M"
+        )
 
     def run(
         self,
@@ -144,7 +172,16 @@ class FFWURunZ(SimulationTechnique):
         start, end = _clamp_region(len(trace), start, end)
         warmup = min(warmup, start)
         simulator = Simulator(config, enhancements)
-        result = simulator.run_region(trace, start, end, warmup_instructions=warmup)
+        result = simulator.run_region(
+            trace,
+            start,
+            end,
+            warmup_instructions=warmup,
+            warmed_prefix=self.warmed,
+            checkpoint_key=(
+                simulator.checkpoint_key(workload, scale) if self.warmed else None
+            ),
+        )
         return TechniqueResult(
             family=self.family,
             permutation=self.permutation,
@@ -155,5 +192,6 @@ class FFWURunZ(SimulationTechnique):
             weights=[1.0],
             detailed_instructions=end - start,
             warm_detailed_instructions=warmup,
-            fastforward_instructions=start - warmup,
+            functional_warm_instructions=(start - warmup) if self.warmed else 0,
+            fastforward_instructions=0 if self.warmed else start - warmup,
         )

@@ -37,6 +37,11 @@ from repro.workloads.program import (
 #: ``(phase_index, instruction_count)`` pairs.
 Schedule = Sequence[Tuple[int, int]]
 
+#: Bump whenever a generator change alters the traces it produces for
+#: unchanged inputs: it invalidates every serialized trace in the
+#: shared trace store (:mod:`repro.workloads.trace_store`) at once.
+TRACE_EPOCH = 1
+
 
 def generate_trace(
     program: SyntheticProgram,

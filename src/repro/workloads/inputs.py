@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from repro.isa.trace import Trace
 from repro.scale import Scale
+from repro.workloads import trace_store
 from repro.workloads.generator import generate_trace
 from repro.workloads.program import SyntheticProgram
 
@@ -104,17 +105,32 @@ class Workload:
         return tuple(segments)
 
     def trace(self, scale: Scale) -> Trace:
-        """The dynamic trace at ``scale`` (memoized)."""
+        """The dynamic trace at ``scale`` (memoized).
+
+        With a trace store active (see
+        :mod:`repro.workloads.trace_store`), the trace is loaded
+        memory-mapped from the shared on-disk store when present, and
+        generated-then-stored when not -- so across a sweep each trace
+        is materialized once per machine, not once per process.
+        """
         key = (self.benchmark, self.input_set, self.seed, scale.instructions_per_m)
         cached = _TRACE_CACHE.get(key)
         if cached is not None:
             return cached
-        trace = generate_trace(
-            self.program,
-            self.schedule(scale),
-            seed=self.seed,
-            footprint_scale=self.input_set.footprint_scale,
-        )
+        store = trace_store.active_store()
+        trace = store.load(self, scale) if store is not None else None
+        if trace is None:
+            trace = generate_trace(
+                self.program,
+                self.schedule(scale),
+                seed=self.seed,
+                footprint_scale=self.input_set.footprint_scale,
+            )
+            if store is not None:
+                try:
+                    store.save(self, scale, trace)
+                except OSError:
+                    pass  # a read-only or full cache dir never fails the run
         _TRACE_CACHE.put(key, trace)
         return trace
 

@@ -22,6 +22,26 @@ from repro.workloads.program import (
 TEST_SCALE = Scale(5)
 
 
+@pytest.fixture(autouse=True)
+def _isolate_shared_store_env(monkeypatch):
+    """Start every test without inherited trace/checkpoint stores.
+
+    An engine with a cache dir exports the store locations through the
+    environment (so its pool workers inherit them); a test that does
+    not close its engine would otherwise leak an active store into
+    every later test in the process.
+    """
+    from repro.cpu import checkpoint
+    from repro.workloads import trace_store
+
+    for var in (
+        trace_store.TRACE_DIR_ENV_VAR,
+        checkpoint.CHECKPOINT_DIR_ENV_VAR,
+        checkpoint.CHECKPOINT_INTERVAL_ENV_VAR,
+    ):
+        monkeypatch.delenv(var, raising=False)
+
+
 def make_micro_program(name: str = "micro") -> SyntheticProgram:
     """A tiny hand-built two-phase program exercising every op class."""
     stream_a = MemoryStream(base=0x1000_0000, footprint=1 << 14, stride=8)

@@ -339,6 +339,164 @@ class TestEngine:
         assert explicit is not None and explicit.exists()
 
 
+class TestSharedStores:
+    """The engine's trace store + warm-state checkpoints: compact
+    submission, counter plumbing, and bit-identical acceleration."""
+
+    def _warmed_requests(self, workload):
+        from repro.techniques.truncated import FFRunZ, FFWURunZ
+
+        lat_variant = ARCH_CONFIGS[0].replace(
+            l2_latency=ARCH_CONFIGS[0].l2_latency + 5
+        )
+        return [
+            RunRequest(FFRunZ(400, 200, warmed=True), workload, ARCH_CONFIGS[0]),
+            RunRequest(FFRunZ(400, 200, warmed=True), workload, lat_variant),
+            RunRequest(FFWURunZ(300, 100, 200, warmed=True), workload, ARCH_CONFIGS[0]),
+        ]
+
+    def test_stats_expose_reuse_counters(self, tmp_path, workload):
+        from repro.workloads.inputs import clear_trace_cache
+
+        clear_trace_cache()
+        engine = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path, checkpoint_interval=100.0
+        )
+        try:
+            engine.run_many(self._warmed_requests(workload))
+            document = json.loads(engine.write_stats().read_text())
+        finally:
+            engine.close()
+        # The warmed runs share one trace (generated once, stored) and
+        # one checkpoint chain: the latency variant and the FF+WU run
+        # resume from checkpoints the first run wrote.
+        assert document["trace_cache_misses"] >= 1
+        assert document["checkpoint_misses"] >= 1
+        assert document["checkpoint_hits"] >= 1
+        assert document["instructions_skipped"] > 0
+        assert document["checkpoint_interval_m"] == 100.0
+        assert document["trace_cache"] is True
+        assert (tmp_path / "traces").is_dir()
+        assert (tmp_path / "checkpoints").is_dir()
+
+    def test_acceleration_is_bit_identical(self, tmp_path, workload):
+        requests = self._warmed_requests(workload)
+        plain = Engine(
+            scale=SCALE, jobs=1, checkpoint_interval=0.0, trace_cache=False
+        )
+        baseline = plain.run_many(requests)
+
+        accelerated = Engine(
+            scale=SCALE, jobs=2, cache_dir=tmp_path, checkpoint_interval=100.0
+        )
+        try:
+            results = accelerated.run_many(requests)
+        finally:
+            accelerated.close()
+        for a, b in zip(baseline, results):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_resume_with_stores_is_bit_identical(self, tmp_path, workload):
+        requests = self._warmed_requests(workload) + _real_requests(workload)
+        first = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path, checkpoint_interval=100.0
+        )
+        results = first.run_many(requests)
+        first.close()
+
+        resumed_engine = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path,
+            checkpoint_interval=100.0, resume=True,
+        )
+        try:
+            resumed = resumed_engine.run_many(requests)
+            assert resumed_engine.metrics.runs_launched == 0
+            assert resumed_engine.metrics.resumed == len(
+                {r.content_key(SCALE) for r in requests}
+            )
+        finally:
+            resumed_engine.close()
+        for a, b in zip(results, resumed):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_close_restores_environment(self, tmp_path, workload):
+        from repro.cpu import checkpoint
+        from repro.workloads import trace_store
+
+        engine = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path, checkpoint_interval=100.0
+        )
+        assert os.environ[trace_store.TRACE_DIR_ENV_VAR] == str(
+            tmp_path / "traces"
+        )
+        assert os.environ[checkpoint.CHECKPOINT_DIR_ENV_VAR] == str(
+            tmp_path / "checkpoints"
+        )
+        engine.close()
+        assert trace_store.TRACE_DIR_ENV_VAR not in os.environ
+        assert checkpoint.CHECKPOINT_DIR_ENV_VAR not in os.environ
+        assert checkpoint.CHECKPOINT_INTERVAL_ENV_VAR not in os.environ
+
+    def test_knob_gating(self, tmp_path):
+        from repro.cpu import checkpoint
+        from repro.workloads import trace_store
+
+        engine = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path,
+            checkpoint_interval=0.0, trace_cache=False,
+        )
+        try:
+            assert trace_store.TRACE_DIR_ENV_VAR not in os.environ
+            assert checkpoint.CHECKPOINT_DIR_ENV_VAR not in os.environ
+        finally:
+            engine.close()
+        with pytest.raises(ValueError):
+            Engine(scale=SCALE, jobs=1, checkpoint_interval=-1.0)
+
+
+class TestWorkloadStripping:
+    """Registry workloads ship to workers as compact keys, not pickles."""
+
+    def test_registry_workload_is_stripped(self, workload):
+        from repro.engine.executor import RunTask, _strip_workload
+
+        task = RunTask(
+            slot=0,
+            request=RunRequest(RunZ(500), workload, ARCH_CONFIGS[0]),
+            key="k",
+        )
+        stripped = _strip_workload(task)
+        assert stripped.request.workload is None
+        assert stripped.workload_key == ("gzip", "reference", workload.seed)
+        # The original task is untouched (the parent keeps using it).
+        assert task.request.workload is workload
+
+    def test_custom_workload_is_not_stripped(self):
+        from repro.engine.executor import RunTask, _strip_workload
+        from tests.conftest import make_micro_workload
+
+        custom = make_micro_workload()
+        task = RunTask(
+            slot=0,
+            request=RunRequest(RunZ(500), custom, ARCH_CONFIGS[0]),
+            key="k",
+        )
+        stripped = _strip_workload(task)
+        assert stripped.request.workload is custom
+        assert stripped.workload_key is None
+
+    def test_worker_rebinds_stripped_workload(self, workload):
+        from repro.engine.executor import RunTask, _strip_workload, _worker
+
+        request = RunRequest(RunZ(500), workload, ARCH_CONFIGS[0])
+        task = RunTask(slot=3, request=request, key="k")
+        slot, result, wall, reuse = _worker(_strip_workload(task), SCALE)
+        assert slot == 3
+        direct = RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE)
+        assert _result_fingerprint(result) == _result_fingerprint(direct)
+        assert isinstance(reuse, dict)
+
+
 class TestContextIntegration:
     def test_context_run_many_matches_run(self, workload):
         from repro.experiments.common import ExperimentContext
