@@ -21,10 +21,17 @@ takes) three times, each in a freshly spawned interpreter:
     ``checkpoints/`` survive, so every run re-executes -- loading its
     trace memory-mapped and resuming prefix warming from the stored
     checkpoints.
+``traced``
+    The warm pass again, with ``--trace`` recording the full span
+    stream.  Warm and traced passes alternate ``--trace-repeats``
+    times and the minima are compared, so the tracing overhead gate
+    (``--max-trace-overhead``, default 3%) measures instrumentation
+    cost rather than scheduler noise.
 
-All three passes must produce bit-identical results (the stores are
-accelerators, never approximations); the report records the wall-clock
-ratio cold/warm plus the warm pass's reuse counters.
+All passes must produce bit-identical results (the stores and the
+tracer are accelerators/observers, never approximations); the report
+records the wall-clock ratio cold/warm, the warm pass's reuse
+counters and the tracing overhead.
 """
 
 from __future__ import annotations
@@ -73,7 +80,7 @@ if mode == "cold":
                     trace_cache=False)
 else:
     engine = Engine(scale=scale, jobs=1, cache_dir=cache_dir,
-                    checkpoint_interval=500.0)
+                    checkpoint_interval=500.0, trace=(mode == "traced"))
 
 t0 = time.perf_counter()
 results = engine.run_many(requests)
@@ -121,30 +128,58 @@ def main(argv=None) -> int:
                         help="latency-variant configurations")
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="fail unless cold/warm >= this ratio")
+    parser.add_argument("--trace-repeats", type=int, default=3,
+                        help="warm/traced pass pairs for the overhead gate")
+    parser.add_argument("--max-trace-overhead", type=float, default=3.0,
+                        help="fail if tracing slows the sweep by more "
+                        "than this percentage (0 disables)")
     parser.add_argument("--out", default=str(REPO / "BENCH_sweep.json"))
     args = parser.parse_args(argv)
 
     workdir = tempfile.mkdtemp(prefix="repro-sweep-")
-    try:
-        print("cold pass (no stores) ...", file=sys.stderr)
-        cold = run_pass("cold", workdir, args.ff_points, args.configs)
-        print("prime pass (populating stores) ...", file=sys.stderr)
-        prime = run_pass("prime", workdir, args.ff_points, args.configs)
-        # Wipe the result store + journal but keep traces/checkpoints:
-        # the warm pass re-executes every run against warm stores.
+
+    def wipe_results() -> None:
+        # Wipe the result store + journal but keep traces/checkpoints,
+        # so the next pass re-executes every run against warm stores.
         for entry in ("v1", "journal.jsonl", "engine-stats.json"):
             path = Path(workdir) / entry
             if path.is_dir():
                 shutil.rmtree(path)
             elif path.exists():
                 path.unlink()
+
+    try:
+        print("cold pass (no stores) ...", file=sys.stderr)
+        cold = run_pass("cold", workdir, args.ff_points, args.configs)
+        print("prime pass (populating stores) ...", file=sys.stderr)
+        prime = run_pass("prime", workdir, args.ff_points, args.configs)
+        wipe_results()
         print("warm pass (traces + checkpoints hot) ...", file=sys.stderr)
         warm = run_pass("warm", workdir, args.ff_points, args.configs)
+        warm_seconds = [warm["seconds"]]
+        traced_seconds = []
+        traced = None
+        for repeat in range(max(1, args.trace_repeats)):
+            wipe_results()
+            print(f"traced pass {repeat + 1} ...", file=sys.stderr)
+            traced = run_pass("traced", workdir, args.ff_points, args.configs)
+            traced_seconds.append(traced["seconds"])
+            if repeat + 1 < max(1, args.trace_repeats):
+                wipe_results()
+                print(f"warm pass {repeat + 2} ...", file=sys.stderr)
+                warm_seconds.append(
+                    run_pass("warm", workdir, args.ff_points,
+                             args.configs)["seconds"]
+                )
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
     if not (cold["fingerprint"] == prime["fingerprint"] == warm["fingerprint"]):
         print("FAIL: store-accelerated results differ from cold results",
+              file=sys.stderr)
+        return 1
+    if traced["fingerprint"] != cold["fingerprint"]:
+        print("FAIL: traced results differ from untraced results",
               file=sys.stderr)
         return 1
     if warm["counters"]["checkpoint_hits"] == 0:
@@ -155,6 +190,9 @@ def main(argv=None) -> int:
         return 1
 
     speedup = cold["seconds"] / warm["seconds"]
+    trace_overhead_pct = (
+        min(traced_seconds) / min(warm_seconds) - 1.0
+    ) * 100.0
     report = {
         "benchmark": (
             "warmed fast-forward sweep (gzip, Scale(200), "
@@ -168,6 +206,8 @@ def main(argv=None) -> int:
         "prime_seconds": round(prime["seconds"], 3),
         "warm_seconds": round(warm["seconds"], 3),
         "speedup_cold_over_warm": round(speedup, 2),
+        "traced_seconds": round(min(traced_seconds), 3),
+        "trace_overhead_pct": round(trace_overhead_pct, 2),
         "bit_identical": True,
         "warm_counters": warm["counters"],
     }
@@ -177,6 +217,10 @@ def main(argv=None) -> int:
     if args.min_speedup and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x < required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if args.max_trace_overhead and trace_overhead_pct > args.max_trace_overhead:
+        print(f"FAIL: tracing overhead {trace_overhead_pct:.2f}% > allowed "
+              f"{args.max_trace_overhead:.2f}%", file=sys.stderr)
         return 1
     return 0
 

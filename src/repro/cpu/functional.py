@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass
 
 from repro.cpu import checkpoint
 from repro.cpu.machine import Machine
+from repro.obs import phases as obs_phases
 from repro.isa.instructions import OpClass
 from repro.isa.trace import (
     FLAG_CALL,
@@ -84,14 +85,15 @@ def warm_prefix(
 
     position = 0
     stats = WarmingStats()
-    found = store.nearest(checkpoint_key, end)
-    if found is not None:
-        position, state, saved = found
-        checkpoint.restore_machine(machine, state)
-        stats = WarmingStats(**saved)
-        checkpoint.record_hit(position)
-    else:
-        checkpoint.record_miss()
+    with obs_phases.measured("checkpoint_restore"):
+        found = store.nearest(checkpoint_key, end)
+        if found is not None:
+            position, state, saved = found
+            checkpoint.restore_machine(machine, state)
+            stats = WarmingStats(**saved)
+            checkpoint.record_hit(position)
+        else:
+            checkpoint.record_miss()
 
     interval = store.interval
     while position < end:
@@ -100,12 +102,13 @@ def warm_prefix(
         stats.merge(run_functional_warming(machine, trace, position, stop))
         position = stop
         if position == boundary:
-            store.save(
-                checkpoint_key,
-                position,
-                checkpoint.snapshot_machine(machine),
-                asdict(stats),
-            )
+            with obs_phases.measured("checkpoint_save"):
+                store.save(
+                    checkpoint_key,
+                    position,
+                    checkpoint.snapshot_machine(machine),
+                    asdict(stats),
+                )
     return stats
 
 
@@ -120,7 +123,12 @@ def run_functional_warming(
     """
     if end > len(trace):
         raise ValueError(f"region [{start}, {end}) exceeds trace length {len(trace)}")
-    return machine.backend.run_warming(machine, trace, start, end)
+    with obs_phases.measured(
+        "warming",
+        instructions=max(0, end - start),
+        backend=machine.backend.name,
+    ):
+        return machine.backend.run_warming(machine, trace, start, end)
 
 
 def _python_warming(

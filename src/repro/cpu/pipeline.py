@@ -24,6 +24,7 @@ from typing import Optional
 
 from repro.cpu.machine import Machine
 from repro.cpu.stats import SimulationStats
+from repro.obs import phases as obs_phases
 from repro.isa.trace import (
     FLAG_CALL,
     FLAG_COND_BRANCH,
@@ -154,7 +155,12 @@ def run_detailed(
     advance = machine.backend.advance_detailed
 
     if measure_from > start:
-        advance(machine, trace, start, measure_from, state)
+        with obs_phases.measured(
+            "warm_detailed",
+            instructions=measure_from - start,
+            backend=machine.backend.name,
+        ):
+            advance(machine, trace, start, measure_from, state)
 
     cycles_before = state.cc
     snapshot = machine.cache_snapshot()
@@ -167,7 +173,12 @@ def run_detailed(
     )
 
     if end > measure_from:
-        advance(machine, trace, measure_from, end, state)
+        with obs_phases.measured(
+            "detailed",
+            instructions=end - measure_from,
+            backend=machine.backend.name,
+        ):
+            advance(machine, trace, measure_from, end, state)
 
     after = machine.cache_snapshot()
     stats = SimulationStats()

@@ -19,6 +19,7 @@ from repro.cpu.machine import Machine
 from repro.cpu.pipeline import run_detailed
 from repro.cpu.stats import SimulationStats
 from repro.isa.trace import Trace
+from repro.obs import phases as obs_phases
 
 
 @dataclass
@@ -102,6 +103,10 @@ class Simulator:
                 machine, trace, warm_start, checkpoint_key=checkpoint_key
             )
             warmed = warming.instructions
+        elif warm_start > 0:
+            # Skipping is free, but the skipped instructions still
+            # belong in the per-phase work attribution.
+            obs_phases.record("fastforward", 0.0, warm_start)
         stats = run_detailed(machine, trace, warm_start, end, measure_from=start)
         return SimulationResult(
             stats=stats,

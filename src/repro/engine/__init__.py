@@ -32,6 +32,15 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cpu import checkpoint
 from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
+from repro.cpu.kernels.registry import default_backend_name, resolve_backend_name
+from repro.obs import phases as obs_phases
+from repro.obs import trace as obs_trace
+from repro.obs.live import (
+    LIVE_FILENAME,
+    METRICS_FILE_ENV_VAR,
+    InflightTracker,
+    LiveMonitor,
+)
 from repro.scale import Scale, default_scale
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
@@ -180,6 +189,9 @@ class Engine:
         backoff_base: float = 0.1,
         checkpoint_interval: Optional[float] = None,
         trace_cache: bool = True,
+        trace: Optional[bool] = None,
+        metrics_file: Optional[os.PathLike] = None,
+        live_interval: float = 1.0,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
         if retries is None:
@@ -199,6 +211,17 @@ class Engine:
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
         self.checkpoint_interval_m = checkpoint_interval
         self.trace_cache = trace_cache
+        if trace is None:
+            trace = obs_trace.default_enabled()
+        if trace and self.store is None:
+            raise ValueError(
+                "tracing requires a cache_dir (events live under the store)"
+            )
+        self.trace = trace
+        if metrics_file is None:
+            env_metrics = os.environ.get(METRICS_FILE_ENV_VAR)
+            metrics_file = Path(env_metrics) if env_metrics else None
+        self.metrics_file = Path(metrics_file) if metrics_file else None
         # The stores activate through the environment so pool workers
         # inherit them (fork or spawn alike); close() restores it.
         self._saved_env: Dict[str, Optional[str]] = {}
@@ -217,8 +240,39 @@ class Engine:
                 self._export_env(
                     checkpoint.CHECKPOINT_INTERVAL_ENV_VAR, str(interval)
                 )
+        self._events_dir: Optional[Path] = None
+        if self.trace:
+            self._events_dir = self.store.directory / obs_trace.EVENTS_SUBDIR
+            if not resume:
+                self._clear_stale_trace()
+            # Workers join the trace through the environment (fork or
+            # spawn alike); the supervisor gets a named event file.
+            self._export_env(obs_trace.EVENTS_DIR_ENV_VAR, str(self._events_dir))
+            obs_trace.activate(self._events_dir, worker="supervisor")
         self.metrics = EngineMetrics()
-        self.reporter = ProgressReporter(enabled=progress)
+        self.reporter = ProgressReporter(enabled=progress, jobs=jobs)
+        self.tracker = InflightTracker()
+        self.monitor: Optional[LiveMonitor] = None
+        live_path = (
+            self.store.directory / LIVE_FILENAME
+            if (self.store is not None and self.trace)
+            else None
+        )
+        if live_path is not None or self.metrics_file is not None:
+            self.monitor = LiveMonitor(
+                self.tracker,
+                live_path=live_path,
+                metrics_path=self.metrics_file,
+                metrics_source=lambda: self.metrics.snapshot(),
+                interval=live_interval,
+            )
+            self.monitor.start()
+        # Per-backend metrics attribute non-degraded runs to the
+        # session default backend (the env may name an unavailable one).
+        try:
+            self._default_backend = resolve_backend_name(None)
+        except ValueError:
+            self._default_backend = default_backend_name()
         self._memory: Dict[str, TechniqueResult] = {}
         self._selections: Dict[tuple, object] = {}
 
@@ -248,6 +302,21 @@ class Engine:
         if name not in self._saved_env:
             self._saved_env[name] = os.environ.get(name)
         os.environ[name] = value
+
+    def _clear_stale_trace(self) -> None:
+        """Drop a previous sweep's event files before a fresh traced
+        sweep (a resumed sweep appends instead, keeping its history)."""
+        if self._events_dir is not None and self._events_dir.is_dir():
+            for stale in self._events_dir.glob("*.jsonl"):
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        for name in (obs_trace.MERGED_FILENAME, LIVE_FILENAME):
+            try:
+                (self.store.directory / name).unlink()
+            except OSError:
+                pass
 
     @property
     def jobs(self) -> int:
@@ -285,13 +354,17 @@ class Engine:
         returned as None in the failed slots.
         """
         batch_started = time.perf_counter()
-        plan = Plan.build(requests, self.scale)
+        batch_mono = time.monotonic()
+        with obs_trace.span("plan", requests=len(requests)):
+            plan = Plan.build(requests, self.scale)
         self.metrics.runs_requested += plan.num_requested
         self.metrics.runs_deduplicated += plan.num_requested - plan.num_unique
 
         results: List[Optional[TechniqueResult]] = [None] * plan.num_unique
         errors: Dict[int, BaseException] = {}
         tasks: List[RunTask] = []
+        dedup_span = obs_trace.span("dedup", unique=plan.num_unique)
+        dedup_span.__enter__()
         for slot, request, key in plan.items():
             cached = self._memory.get(key)
             if cached is not None:
@@ -337,8 +410,10 @@ class Engine:
                     request=request,
                     selection=self._selection_for(request),
                     key=key,
+                    description=request.describe(),
                 )
             )
+        dedup_span.__exit__(None, None, None)
         # Trace-affinity scheduling: adjacent tasks share a workload, so
         # a worker's in-process trace LRU (and the OS page cache under
         # the trace store) is hit by the next task instead of thrashing
@@ -358,6 +433,19 @@ class Engine:
 
         self.metrics.runs_launched += len(tasks)
         completed = plan.num_unique - len(tasks)
+        self.tracker.set_progress(completed, plan.num_unique)
+
+        def progress_update(wall: Optional[float] = None) -> None:
+            self.tracker.set_progress(completed, plan.num_unique)
+            counts = self.tracker.counts()
+            self.reporter.update(
+                completed,
+                plan.num_unique,
+                self.metrics,
+                in_flight=counts["in_flight"],
+                queued=counts["queued"],
+                wall=wall,
+            )
 
         def on_success(
             slot: int, result: TechniqueResult, wall: float, info: RunInfo
@@ -368,21 +456,33 @@ class Engine:
             results[slot] = result
             self._memory[key] = result
             if self.store is not None:
-                self.store.put(key, result)
+                with obs_trace.span("store_write", run=key):
+                    self.store.put(key, result)
             if self.journal is not None:
                 # Journaled strictly after the store write: a crash
                 # between the two re-runs the run, never loses it.
                 self.journal.completed(key, wall, backend=info.backend)
             self.metrics.record_execution(
-                result.family, wall, _instructions_simulated(result)
+                result.family,
+                wall,
+                _instructions_simulated(result),
+                phase_times=result.phase_times,
+                backend=info.backend or self._default_backend,
             )
             self.metrics.record_reuse(info.reuse)
-            self.reporter.update(completed, plan.num_unique, self.metrics)
+            progress_update(wall)
 
         def on_failure(slot: int, request: RunRequest, error: RunError) -> None:
             nonlocal completed
             completed += 1
             errors[slot] = error
+            obs_trace.event(
+                "failed",
+                run=plan.keys[slot],
+                kind=error.kind,
+                attempts=error.attempts,
+                quarantined=error.quarantined,
+            )
             self.metrics.record_failure(
                 request.describe(),
                 error.kind,
@@ -395,7 +495,7 @@ class Engine:
                     plan.keys[slot], error.kind, str(error),
                     quarantined=error.quarantined,
                 )
-            self.reporter.update(completed, plan.num_unique, self.metrics)
+            progress_update()
 
         def on_retry(slot: int, exc: BaseException) -> None:
             self.metrics.retries += 1
@@ -406,23 +506,42 @@ class Engine:
                 self.metrics.timeouts += 1
             elif kind == "crash":
                 self.metrics.crashes += 1
+            obs_trace.event("retry", run=plan.keys[slot], kind=kind)
 
         def on_degrade(slot: int, from_backend: str, to_backend: str) -> None:
             self.metrics.record_degradation(
                 plan.unique[slot].describe(), from_backend, to_backend
+            )
+            obs_trace.event(
+                "degrade",
+                run=plan.keys[slot],
+                **{"from": from_backend, "to": to_backend},
             )
             if self.journal is not None:
                 self.journal.degraded(plan.keys[slot], from_backend, to_backend)
 
         if tasks:
             self.executor.run(
-                tasks, self.scale, on_success, on_failure, on_retry, on_degrade
+                tasks, self.scale, on_success, on_failure, on_retry, on_degrade,
+                telemetry=self.tracker,
             )
         # Fold in parent-side store traffic (SimPoint selections, inline
         # trace loads); worker-side traffic arrived via RunInfo.reuse.
         self.metrics.record_reuse(trace_store.consume_counters())
         self.metrics.record_reuse(checkpoint.consume_counters())
+        # Parent-side phases not attributed to a run (inline-mode runs
+        # drain into their results; this catches supervisor leftovers).
+        self.metrics.record_phases("(engine)", obs_phases.drain())
         self.metrics.batch_time_s += time.perf_counter() - batch_started
+        obs_trace.emit_span(
+            "batch",
+            batch_mono,
+            time.monotonic() - batch_mono,
+            launched=len(tasks),
+            unique=plan.num_unique,
+        )
+        if self.monitor is not None:
+            self.monitor.write_once()
         self.reporter.batch_summary(self.metrics)
 
         if errors and not allow_errors:
@@ -450,14 +569,33 @@ class Engine:
                 "schema_version": SCHEMA_VERSION,
                 "checkpoint_interval_m": self.checkpoint_interval_m,
                 "trace_cache": self.trace_cache,
+                "trace": self.trace,
+                "metrics_file": str(self.metrics_file)
+                if self.metrics_file
+                else None,
             },
         )
         return path
 
+    def merged_trace_path(self) -> Optional[Path]:
+        """Where the merged ``trace.jsonl`` lands (None when untraced)."""
+        if not self.trace or self.store is None:
+            return None
+        return self.store.directory / obs_trace.MERGED_FILENAME
+
     def close(self) -> None:
-        """Release the journal handle and restore the environment
-        variables the store activation exported (safe to call
-        repeatedly)."""
+        """Stop telemetry, merge the trace, release the journal handle
+        and restore the environment variables the store activation
+        exported (safe to call repeatedly)."""
+        if self.monitor is not None:
+            self.monitor.stop()
+            self.monitor = None
+        if self.trace and self._events_dir is not None:
+            obs_trace.deactivate()
+            try:
+                obs_trace.merge(self._events_dir, self.merged_trace_path())
+            except OSError:
+                pass  # a read-only cache dir never fails shutdown
         if self.journal is not None:
             self.journal.close()
         saved, self._saved_env = self._saved_env, {}
@@ -487,6 +625,11 @@ class Engine:
         if selection is None:
             selection = technique.select(request.workload, self.scale)
             self._selections[key] = selection
+            # Selection runs in the parent, outside any run's wall
+            # time; attribute its phases (analysis, trace load) to the
+            # family directly so they are not lost to the next run's
+            # ledger reset.
+            self.metrics.record_phases(technique.family, obs_phases.drain())
         return selection
 
 

@@ -67,6 +67,9 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.cpu import checkpoint
 from repro.cpu.kernels.registry import BACKEND_ENV_VAR, KernelError
+from repro.obs import phases as obs_phases
+from repro.obs import trace as obs_trace
+from repro.obs.live import InflightTracker
 from repro.workloads import trace_store
 from repro.scale import Scale
 from repro.techniques.base import TechniqueResult
@@ -86,6 +89,14 @@ _BROKEN_DRAIN_S = 5.0
 #: run timeout is armed (a run's deadline only becomes known once its
 #: start event arrives, so the parent cannot sleep indefinitely).
 _EVENT_POLL_S = 0.25
+
+#: Cap on the parent's wait when live telemetry is attached, so phase
+#: updates reach ``live.json`` promptly even while no future completes.
+_TELEMETRY_POLL_S = 0.5
+
+#: Minimum spacing of a worker's phase-transition events to the parent
+#: (a warming loop alternates phases far faster than a live view needs).
+_PHASE_EVENT_MIN_S = 0.25
 
 #: RunError kinds (the engine's error taxonomy).
 ERROR_KINDS = ("transient", "deterministic", "timeout", "crash")
@@ -146,6 +157,11 @@ class RunTask:
     #: ``(benchmark, input set, seed)`` when ``request.workload`` was
     #: stripped for submission; the worker rebinds it via the registry.
     workload_key: Optional[Tuple[str, str, int]] = None
+    #: Human-readable run description for the live telemetry view.
+    description: str = ""
+    #: ``time.monotonic()`` at pool submission (stamped by the parent;
+    #: comparable across processes), feeding the queue-wait span.
+    submitted: Optional[float] = None
 
 
 @lru_cache(maxsize=64)
@@ -223,9 +239,12 @@ def _pool_init(event_queue, generation: int) -> None:
     _worker_events = event_queue
     _worker_generation = generation
     # A forked worker inherits the parent's in-flight counter state;
-    # drain it so the deltas this worker reports are its own.
+    # drain it so the deltas this worker reports are its own.  The
+    # phase ledger and notifier are likewise parent leftovers.
     trace_store.consume_counters()
     checkpoint.consume_counters()
+    obs_phases.drain()
+    obs_phases.set_notifier(None)
     event_queue.put(("spawn", generation, os.getpid()))
 
 
@@ -236,15 +255,72 @@ def _consume_reuse_counters() -> Dict[str, int]:
     return counters
 
 
+class _PhaseNotifier:
+    """Streams a run's phase transitions to the parent, rate-limited."""
+
+    __slots__ = ("events", "generation", "slot", "attempt", "last", "sent_at")
+
+    def __init__(self, events, generation: int, task: RunTask) -> None:
+        self.events = events
+        self.generation = generation
+        self.slot = task.slot
+        self.attempt = task.attempt
+        self.last: Optional[str] = None
+        self.sent_at = 0.0
+
+    def __call__(self, phase: str) -> None:
+        now = time.monotonic()
+        if phase == self.last or now - self.sent_at < _PHASE_EVENT_MIN_S:
+            return
+        self.last = phase
+        self.sent_at = now
+        try:
+            self.events.put(
+                ("phase", self.generation, self.slot, self.attempt, phase)
+            )
+        except Exception:
+            pass  # telemetry must never fail the run
+
+
+def _run_attrs(task: RunTask) -> Dict[str, object]:
+    """Trace attributes identifying a run (no simulation state)."""
+    attrs: Dict[str, object] = {"run": task.key, "attempt": task.attempt}
+    workload = task.request.workload
+    if workload is not None:
+        attrs["benchmark"] = workload.benchmark
+    elif task.workload_key is not None:
+        attrs["benchmark"] = task.workload_key[0]
+    try:
+        attrs["family"] = task.request.technique.family
+    except Exception:
+        pass
+    if task.backend is not None:
+        attrs["backend"] = task.backend
+    return attrs
+
+
 def _worker(task: RunTask, scale: Scale):
     events, generation = _worker_events, _worker_generation
+    begun = time.monotonic()
     if events is not None:
         # Start event first: the run-timeout clock starts here, and a
         # worker that dies mid-run (SIGKILL) must already have told the
         # parent this run was executing so the crash is attributed.
         events.put(
-            ("start", generation, task.slot, task.attempt, time.monotonic())
+            ("start", generation, task.slot, task.attempt, begun, os.getpid())
         )
+        obs_phases.set_notifier(_PhaseNotifier(events, generation, task))
+    attrs = _run_attrs(task)
+    if task.submitted is not None:
+        # Stamped by the parent at submission; CLOCK_MONOTONIC is
+        # machine-wide, so the difference is the true queue wait.
+        obs_trace.emit_span(
+            "queue_wait", task.submitted, begun - task.submitted, **attrs
+        )
+    obs_trace.set_context(
+        **{k: v for k, v in attrs.items() if k in ("run", "family", "benchmark")}
+    )
+    obs_phases.drain()  # stray ledger state must not leak into this run
     try:
         request = task.request
         if request.workload is None and task.workload_key is not None:
@@ -257,7 +333,8 @@ def _worker(task: RunTask, scale: Scale):
             os.environ[BACKEND_ENV_VAR] = task.backend
         started = time.perf_counter()
         try:
-            result = execute_request(request, scale, task.selection)
+            with obs_trace.span("run", **attrs):
+                result = execute_request(request, scale, task.selection)
         finally:
             faults.deactivate()
             if task.backend is not None:
@@ -266,9 +343,12 @@ def _worker(task: RunTask, scale: Scale):
                 else:
                     os.environ[BACKEND_ENV_VAR] = previous
         wall = time.perf_counter() - started
+        result.phase_times = obs_phases.drain()
         return task.slot, result, wall, _consume_reuse_counters()
     finally:
+        obs_trace.clear_context()
         if events is not None:
+            obs_phases.set_notifier(None)
             events.put(("end", generation, task.slot, task.attempt))
 
 
@@ -287,6 +367,8 @@ class _WorkerEvents:
         self.generation = 0
         self.pids: set = set()
         self.started: Dict[Tuple[int, int], float] = {}
+        self.run_pids: Dict[Tuple[int, int], int] = {}
+        self.phases: Dict[Tuple[int, int], str] = {}
 
     def drain(self) -> None:
         # Single consumer: if empty() is False a get() cannot block.
@@ -298,16 +380,29 @@ class _WorkerEvents:
                 self.pids.add(event[2])
             elif event[0] == "start":
                 self.started[(event[2], event[3])] = event[4]
+                self.run_pids[(event[2], event[3])] = event[5]
+            elif event[0] == "phase":
+                self.phases[(event[2], event[3])] = event[4]
             elif event[0] == "end":
                 self.started.pop((event[2], event[3]), None)
+                self.run_pids.pop((event[2], event[3]), None)
+                self.phases.pop((event[2], event[3]), None)
 
     def start_time(self, task: "RunTask") -> Optional[float]:
         return self.started.get((task.slot, task.attempt))
+
+    def run_pid(self, task: "RunTask") -> Optional[int]:
+        return self.run_pids.get((task.slot, task.attempt))
+
+    def phase(self, task: "RunTask") -> Optional[str]:
+        return self.phases.get((task.slot, task.attempt))
 
     def new_generation(self) -> None:
         self.generation += 1
         self.pids.clear()
         self.started.clear()
+        self.run_pids.clear()
+        self.phases.clear()
 
     def close(self) -> None:
         self.queue.close()
@@ -493,19 +588,28 @@ class Executor:
         on_failure: FailureCallback,
         on_retry: RetryCallback,
         on_degrade: Optional[DegradeCallback] = None,
+        telemetry: Optional[InflightTracker] = None,
     ) -> None:
         """Execute every task, dispatching exactly one terminal callback
-        (success or failure) per task."""
+        (success or failure) per task.
+
+        ``telemetry``, when given, is kept in sync with the runs that
+        are executing right now (slot, phase, attempt, worker PID) for
+        the live view and the progress reporter.
+        """
         if self.jobs == 1 or (len(tasks) <= 1 and self.timeout is None):
             supervision: Dict[int, _Supervision] = {}
-            for task in tasks:
+            for index, task in enumerate(tasks):
+                if telemetry is not None:
+                    telemetry.set_queue(len(tasks) - index - 1)
                 self._run_inline(
                     task, scale, supervision,
-                    on_success, on_failure, on_retry, on_degrade,
+                    on_success, on_failure, on_retry, on_degrade, telemetry,
                 )
             return
         self._run_parallel(
-            tasks, scale, on_success, on_failure, on_retry, on_degrade
+            tasks, scale, on_success, on_failure, on_retry, on_degrade,
+            telemetry,
         )
 
     def _run_inline(
@@ -517,8 +621,21 @@ class Executor:
         on_failure: FailureCallback,
         on_retry: RetryCallback,
         on_degrade: Optional[DegradeCallback],
+        telemetry: Optional[InflightTracker] = None,
     ) -> None:
         while True:
+            if telemetry is not None:
+                telemetry.start(
+                    task.slot,
+                    key=task.key,
+                    description=task.description,
+                    attempt=task.attempt,
+                    backend=task.backend,
+                    pid=os.getpid(),
+                )
+                obs_phases.set_notifier(
+                    lambda phase, slot=task.slot: telemetry.set_phase(slot, phase)
+                )
             try:
                 slot, result, wall, reuse = _worker(task, scale)
             except Exception as exc:
@@ -531,6 +648,10 @@ class Executor:
                 if delay > 0:
                     time.sleep(delay)
                 continue
+            finally:
+                if telemetry is not None:
+                    obs_phases.set_notifier(None)
+                    telemetry.finish(task.slot)
             info = self._info(task, supervision)
             info.reuse = reuse
             on_success(slot, result, wall, info)
@@ -544,6 +665,7 @@ class Executor:
         on_failure: FailureCallback,
         on_retry: RetryCallback,
         on_degrade: Optional[DegradeCallback],
+        telemetry: Optional[InflightTracker] = None,
     ) -> None:
         workers = min(self.jobs, max(1, len(tasks)))
         backlog = workers * _BACKLOG_PER_WORKER
@@ -553,6 +675,32 @@ class Executor:
         futures: Dict[object, RunTask] = {}
         events = _WorkerEvents()
         pool = self._new_pool(workers, events)
+
+        def sync_telemetry() -> None:
+            """Rebuild the live in-flight view from worker events."""
+            if telemetry is None:
+                return
+            running = []
+            for task in futures.values():
+                begun = events.start_time(task)
+                if begun is None:
+                    continue
+                running.append(
+                    {
+                        "slot": task.slot,
+                        "key": task.key,
+                        "description": task.description,
+                        "attempt": task.attempt,
+                        "backend": task.backend,
+                        "pid": events.run_pid(task),
+                        "phase": events.phase(task),
+                        "started": begun,
+                    }
+                )
+            queued = (
+                len(pending) + len(waiting) + (len(futures) - len(running))
+            )
+            telemetry.sync(running, queued)
 
         def handle_failure(task: RunTask, exc: BaseException) -> None:
             action = self._after_failure(
@@ -601,6 +749,7 @@ class Executor:
                 pool_dead = False
                 while pending and len(futures) < backlog:
                     task = pending.popleft()
+                    task.submitted = time.monotonic()
                     try:
                         future = pool.submit(_worker, _strip_workload(task), scale)
                     except RuntimeError:
@@ -628,6 +777,7 @@ class Executor:
                 # behind more than `timeout` of sibling work must not
                 # be reaped before it even begins.
                 events.drain()
+                sync_telemetry()
                 now = time.monotonic()
                 timeouts = []
                 if self.timeout is not None:
@@ -638,6 +788,10 @@ class Executor:
                         begun = events.start_time(task)
                         if begun is not None:
                             timeouts.append(begun + self.timeout - now)
+                if telemetry is not None:
+                    # Keep phase/queue updates flowing to the live view
+                    # even while no future completes.
+                    timeouts.append(_TELEMETRY_POLL_S)
                 if waiting:
                     timeouts.append(min(ready for ready, _ in waiting) - now)
                 wait_for = max(0.0, min(timeouts)) if timeouts else None
@@ -675,6 +829,8 @@ class Executor:
                     pool.shutdown(wait=True, cancel_futures=True)
             finally:
                 events.close()
+                if telemetry is not None:
+                    telemetry.clear()
 
     # -- parallel-mode internals --------------------------------------------------
 
@@ -686,6 +842,9 @@ class Executor:
         pool (worker PIDs, started runs, straggler events still in the
         pipe) cannot leak into this one.
         """
+        # Event files are line-buffered, but flush anyway so a forked
+        # worker can never inherit half-written parent trace bytes.
+        obs_trace.flush()
         events.new_generation()
         return ProcessPoolExecutor(
             max_workers=workers,

@@ -18,9 +18,43 @@ import os
 import sys
 import tempfile
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, TextIO
+
+
+def _percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (0 for an empty sample set)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, int(round(fraction * len(ordered))) - 1))
+    if fraction <= 0:
+        rank = 0
+    return ordered[rank]
+
+
+def _histogram(samples: List[float]) -> Dict[str, float]:
+    return {
+        "p50_s": _percentile(samples, 0.50),
+        "p90_s": _percentile(samples, 0.90),
+        "max_s": max(samples) if samples else 0.0,
+    }
+
+
+@dataclass
+class PhaseBucket:
+    """Totals and per-run samples for one simulation phase."""
+
+    seconds: float = 0.0
+    instructions: int = 0
+    samples: List[float] = field(default_factory=list)
+
+    def add(self, seconds: float, instructions: int) -> None:
+        self.seconds += seconds
+        self.instructions += instructions
+        self.samples.append(seconds)
 
 
 @dataclass
@@ -30,6 +64,17 @@ class FamilyMetrics:
     runs: int = 0
     wall_time_s: float = 0.0
     instructions: int = 0
+    wall_samples: List[float] = field(default_factory=list)
+    phases: Dict[str, PhaseBucket] = field(default_factory=dict)
+
+
+@dataclass
+class BackendMetrics:
+    """Per-kernel-backend execution totals."""
+
+    runs: int = 0
+    wall_time_s: float = 0.0
+    wall_samples: List[float] = field(default_factory=list)
 
 
 @dataclass
@@ -59,12 +104,23 @@ class EngineMetrics:
     batch_time_s: float = 0.0   # end-to-end run_many() wall time
     instructions: int = 0       # instructions simulated (detailed + warm)
     per_family: Dict[str, FamilyMetrics] = field(default_factory=dict)
+    per_backend: Dict[str, BackendMetrics] = field(default_factory=dict)
+    #: Every terminal failure kind, counted (timeout/crash also keep
+    #: their dedicated counters for backwards compatibility).
+    failures_by_kind: Dict[str, int] = field(default_factory=dict)
     #: Terminal failures: {"run", "kind", "error", "attempts", "quarantined"}.
     failed_runs: List[Dict[str, object]] = field(default_factory=list)
     #: Backend degradations: {"run", "from", "to"}.
     degraded_runs: List[Dict[str, object]] = field(default_factory=list)
 
-    def record_execution(self, family: str, wall: float, instructions: int) -> None:
+    def record_execution(
+        self,
+        family: str,
+        wall: float,
+        instructions: int,
+        phase_times: Optional[Dict[str, Dict[str, float]]] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.runs_succeeded += 1
         self.wall_time_s += wall
         self.instructions += instructions
@@ -72,6 +128,34 @@ class EngineMetrics:
         bucket.runs += 1
         bucket.wall_time_s += wall
         bucket.instructions += instructions
+        bucket.wall_samples.append(wall)
+        if phase_times:
+            self._add_phases(bucket, phase_times)
+        if backend:
+            backend_bucket = self.per_backend.setdefault(backend, BackendMetrics())
+            backend_bucket.runs += 1
+            backend_bucket.wall_time_s += wall
+            backend_bucket.wall_samples.append(wall)
+
+    @staticmethod
+    def _add_phases(
+        bucket: FamilyMetrics, phase_times: Dict[str, Dict[str, float]]
+    ) -> None:
+        for phase, entry in phase_times.items():
+            bucket.phases.setdefault(phase, PhaseBucket()).add(
+                float(entry.get("seconds", 0.0)),
+                int(entry.get("instructions", 0)),
+            )
+
+    def record_phases(
+        self, family: str, phase_times: Dict[str, Dict[str, float]]
+    ) -> None:
+        """Attribute phases that ran outside a run's wall time (e.g.
+        supervisor-side SimPoint selection) to ``family``."""
+        if phase_times:
+            self._add_phases(
+                self.per_family.setdefault(family, FamilyMetrics()), phase_times
+            )
 
     def record_failure(
         self,
@@ -89,6 +173,7 @@ class EngineMetrics:
             self.timeouts += 1
         elif kind == "crash":
             self.crashes += 1
+        self.failures_by_kind[kind] = self.failures_by_kind.get(kind, 0) + 1
         self.failed_runs.append(
             {
                 "run": description,
@@ -152,13 +237,32 @@ class EngineMetrics:
             "batch_time_s": self.batch_time_s,
             "instructions": self.instructions,
             "instructions_per_second": self.instructions_per_second,
+            "failures_by_kind": dict(sorted(self.failures_by_kind.items())),
             "per_family": {
                 family: {
                     "runs": bucket.runs,
                     "wall_time_s": bucket.wall_time_s,
                     "instructions": bucket.instructions,
+                    "wall": _histogram(bucket.wall_samples),
+                    "phases": {
+                        phase: {
+                            "seconds": phase_bucket.seconds,
+                            "instructions": phase_bucket.instructions,
+                            "samples": len(phase_bucket.samples),
+                            **_histogram(phase_bucket.samples),
+                        }
+                        for phase, phase_bucket in sorted(bucket.phases.items())
+                    },
                 }
                 for family, bucket in sorted(self.per_family.items())
+            },
+            "per_backend": {
+                backend: {
+                    "runs": bucket.runs,
+                    "wall_time_s": bucket.wall_time_s,
+                    "wall": _histogram(bucket.wall_samples),
+                }
+                for backend, bucket in sorted(self.per_backend.items())
             },
             "failed_runs": list(self.failed_runs),
             "degraded_runs": list(self.degraded_runs),
@@ -197,36 +301,84 @@ class ProgressReporter:
 
     Silent when disabled; otherwise prints at most one line per
     ``min_interval`` seconds plus a final per-batch summary, so a
-    thousand-run sweep does not flood the terminal.
+    thousand-run sweep does not flood the terminal.  The final line of
+    a batch (``done == total``) always prints, even when it lands
+    inside the throttle window.
+
+    When the executor reports in-flight/queued counts and per-run wall
+    times, the line carries them plus an ETA extrapolated from the
+    rolling mean of recent run wall times and the worker count.
     """
+
+    #: Rolling window of recent per-run wall times feeding the ETA.
+    ETA_WINDOW = 32
 
     def __init__(
         self,
         enabled: bool = False,
         stream: Optional[TextIO] = None,
         min_interval: float = 0.5,
+        jobs: int = 1,
     ) -> None:
         self.enabled = enabled
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
+        self.jobs = max(1, jobs)
         self._last_emit = 0.0
+        self._recent_walls: "deque[float]" = deque(maxlen=self.ETA_WINDOW)
 
     def _emit(self, text: str) -> None:
         print(f"[engine] {text}", file=self.stream, flush=True)
 
-    def update(self, done: int, total: int, metrics: EngineMetrics) -> None:
+    @staticmethod
+    def _format_eta(seconds: float) -> str:
+        if seconds >= 3600:
+            return f"{seconds / 3600:.1f}h"
+        if seconds >= 60:
+            return f"{seconds / 60:.1f}m"
+        return f"{seconds:.0f}s"
+
+    def eta_seconds(self, remaining: int) -> Optional[float]:
+        """Remaining wall time from the rolling per-run mean, or None
+        before any run has finished."""
+        if not self._recent_walls or remaining <= 0:
+            return None
+        mean = sum(self._recent_walls) / len(self._recent_walls)
+        return mean * remaining / self.jobs
+
+    def update(
+        self,
+        done: int,
+        total: int,
+        metrics: EngineMetrics,
+        in_flight: Optional[int] = None,
+        queued: Optional[int] = None,
+        wall: Optional[float] = None,
+    ) -> None:
+        if wall is not None:
+            self._recent_walls.append(wall)
         if not self.enabled:
             return
+        final = done >= total
         now = time.monotonic()
-        if done < total and now - self._last_emit < self.min_interval:
+        if not final and now - self._last_emit < self.min_interval:
             return
         self._last_emit = now
-        self._emit(
+        parts = [
             f"{done}/{total} runs "
             f"(cache {metrics.cache_hits + metrics.memory_hits}, "
             f"executed {metrics.runs_succeeded}, failures "
             f"{metrics.failures + metrics.quarantined})"
-        )
+        ]
+        if in_flight is not None:
+            parts.append(f"in-flight {in_flight}")
+        if queued is not None:
+            parts.append(f"queued {queued}")
+        if not final:
+            eta = self.eta_seconds(total - done)
+            if eta is not None:
+                parts.append(f"eta {self._format_eta(eta)}")
+        self._emit(", ".join(parts))
 
     def batch_summary(self, metrics: EngineMetrics) -> None:
         if not self.enabled:

@@ -14,13 +14,18 @@ moves the store to a fresh subdirectory.
 The result store's root doubles as the engine's cache directory; its
 full layout is::
 
-    <root>/v<schema>/...       this result store
-    <root>/journal.jsonl       crash-safe sweep journal
-    <root>/engine-stats.json   machine-readable engine metrics
-    <root>/traces/             shared memory-mapped trace store
-                               (:mod:`repro.workloads.trace_store`)
-    <root>/checkpoints/        functional warm-state checkpoints
-                               (:mod:`repro.cpu.checkpoint`)
+    <root>/v<schema>/...           this result store
+    <root>/v<schema>/events/       per-worker trace event files
+                                   (:mod:`repro.obs.trace`)
+    <root>/v<schema>/trace.jsonl   merged run trace (written on close)
+    <root>/v<schema>/live.json     live sweep telemetry snapshot
+                                   (:mod:`repro.obs.live`)
+    <root>/journal.jsonl           crash-safe sweep journal
+    <root>/engine-stats.json       machine-readable engine metrics
+    <root>/traces/                 shared memory-mapped trace store
+                                   (:mod:`repro.workloads.trace_store`)
+    <root>/checkpoints/            functional warm-state checkpoints
+                                   (:mod:`repro.cpu.checkpoint`)
 """
 
 from __future__ import annotations

@@ -22,7 +22,13 @@ flag                     environment                      default
 ``--run-timeout``        ``REPRO_RUN_TIMEOUT``            no per-run timeout
 ``--max-retries``        ``REPRO_MAX_RETRIES``            1
 ``--checkpoint-interval``  ``REPRO_CHECKPOINT_INTERVAL``  500 (M instructions)
+``--trace/--no-trace``   ``REPRO_TRACE``                  tracing off
+``--metrics-file``       ``REPRO_METRICS_FILE``           no Prometheus export
 =======================  ===============================  =========================
+
+``python -m repro.experiments report`` renders a traced sweep's
+``trace.jsonl`` (wall-time attribution, ``--run KEY`` replay,
+``--chrome`` export); see :mod:`repro.obs.report`.
 
 ``--no-cache`` disables the persistent cache even when a directory is
 configured.  When a cache directory is active, engine metrics are
@@ -54,6 +60,8 @@ from repro.engine import (
     RUN_TIMEOUT_ENV_VAR,
     default_jobs,
 )
+from repro.obs.live import METRICS_FILE_ENV_VAR
+from repro.obs.trace import TRACE_ENV_VAR, default_enabled as default_trace
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
 from repro.experiments import figure7, section52, survey, tables
 from repro.experiments.common import (
@@ -94,6 +102,13 @@ def _resolved_jobs(flag_value: int | None) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        # Trace reporting is its own surface with its own flags.
+        from repro.obs.report import main as report_main
+
+        return report_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -193,6 +208,28 @@ def main(argv: list[str] | None = None) -> int:
         help=f"simulation kernel backend (default: ${BACKEND_ENV_VAR} or "
         "the fastest available); all backends produce identical statistics",
     )
+    parser.add_argument(
+        "--trace",
+        dest="trace",
+        action="store_true",
+        default=None,
+        help=f"record a structured run trace under <cache-dir>/v1/ "
+        f"(default: ${TRACE_ENV_VAR} or off); requires a cache dir; "
+        "render it with 'python -m repro.experiments report'",
+    )
+    parser.add_argument(
+        "--no-trace",
+        dest="trace",
+        action="store_false",
+        help="disable tracing even when $REPRO_TRACE requests it",
+    )
+    parser.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="FILE",
+        help="export live engine counters to FILE in Prometheus "
+        f"textfile-collector format (default: ${METRICS_FILE_ENV_VAR})",
+    )
     args = parser.parse_args(argv)
 
     # Resolve once (flag > env > default) and export the result so the
@@ -233,6 +270,12 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-retries must be >= 0")
     if args.checkpoint_interval is not None and args.checkpoint_interval < 0:
         parser.error("--checkpoint-interval must be >= 0 (0 disables)")
+    trace = args.trace if args.trace is not None else default_trace()
+    if trace and cache_dir is None:
+        parser.error(
+            "--trace requires a cache directory (--cache-dir): trace "
+            "events live under <cache-dir>/v1/events"
+        )
 
     scale = (
         scale_from_profile(args.profile) if args.profile else default_scale()
@@ -253,6 +296,8 @@ def main(argv: list[str] | None = None) -> int:
         resume=args.resume,
         checkpoint_interval=args.checkpoint_interval,
         trace_cache=not args.no_trace_cache,
+        trace=trace,
+        metrics_file=Path(args.metrics_file) if args.metrics_file else None,
     )
     try:
         for name in names:
@@ -280,6 +325,9 @@ def main(argv: list[str] | None = None) -> int:
             summary += f"; {metrics.degradations} backend degradations"
         if stats_path is not None:
             summary += f"; stats: {stats_path}"
+        trace_path = context.engine.merged_trace_path()
+        if trace_path is not None and trace_path.exists():
+            summary += f"; trace: {trace_path}"
         print(summary, file=sys.stderr)
     return 0
 

@@ -102,6 +102,10 @@ class ExperimentContext:
     #: traces are shared through <cache_dir>/traces.
     checkpoint_interval: Optional[float] = None
     trace_cache: bool = True
+    #: Structured run tracing (None: $REPRO_TRACE; needs a cache_dir)
+    #: and an optional Prometheus textfile to export live counters to.
+    trace: Optional[bool] = None
+    metrics_file: Optional[Path] = None
 
     #: The engine executing this context's runs; built from the fields
     #: above unless injected.
@@ -121,6 +125,8 @@ class ExperimentContext:
                 resume=self.resume,
                 checkpoint_interval=self.checkpoint_interval,
                 trace_cache=self.trace_cache,
+                trace=self.trace,
+                metrics_file=self.metrics_file,
             )
 
     # -- workloads ---------------------------------------------------------------

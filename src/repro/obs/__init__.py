@@ -1,0 +1,34 @@
+"""Observability: structured tracing, phase timing, live telemetry.
+
+The engine and the simulation layers emit three kinds of signal through
+this package, all of them parity-safe (they carry *no* simulation
+state, so traced and untraced sweeps produce bit-identical results):
+
+:mod:`repro.obs.trace`
+    A low-overhead structured event/span tracer.  Workers append JSONL
+    events to ``<cache-dir>/v1/events/<worker>.jsonl``; the supervisor
+    merges every worker file into a single ``trace.jsonl`` ordered by
+    span start time.  Disabled, a span costs one module-global check.
+
+:mod:`repro.obs.phases`
+    A per-run phase-timing ledger.  The simulation primitives record
+    how long each run spent warming, simulating in detail, loading
+    traces and restoring checkpoints; the worker drains the ledger into
+    ``TechniqueResult.phase_times`` and the engine aggregates it into
+    per-family and per-backend histograms in ``engine-stats.json``.
+
+:mod:`repro.obs.live`
+    Live telemetry: a supervisor-side heartbeat thread snapshots the
+    in-flight runs to ``<cache-dir>/v1/live.json`` every second and,
+    optionally, exports engine counters as a Prometheus textfile.
+
+:mod:`repro.obs.report`
+    The ``python -m repro.experiments report`` surface: wall-time
+    attribution tables, per-run replay, and a Chrome/Perfetto
+    ``trace-viewer.json`` export (imported on demand, not re-exported
+    here, to keep this package free of experiment dependencies).
+"""
+
+from repro.obs import phases, trace
+
+__all__ = ["phases", "trace"]

@@ -1,0 +1,279 @@
+"""Live sweep telemetry: in-flight snapshots and Prometheus export.
+
+The executor keeps an :class:`InflightTracker` up to date as runs
+start, change phase, retry and finish; a :class:`LiveMonitor` daemon
+thread snapshots it -- along with the engine's counters -- to
+``<cache-dir>/v1/live.json`` atomically every second, and optionally
+renders the counters as a Prometheus textfile (node_exporter's
+textfile collector format) for scrape-based monitoring.
+
+Both files are written with the temp-file + ``os.replace`` idiom, so a
+reader polling ``live.json`` never observes a torn write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+#: Filename of the live snapshot under the store's versioned directory.
+LIVE_FILENAME = "live.json"
+
+#: Environment fallback for ``--metrics-file``.
+METRICS_FILE_ENV_VAR = "REPRO_METRICS_FILE"
+
+#: Version of the live.json document format.
+LIVE_SCHEMA_VERSION = 1
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class InflightTracker:
+    """Thread-safe view of what the sweep is doing *right now*.
+
+    The executor (and the inline fallback path) mutate it; the
+    :class:`LiveMonitor` and :class:`ProgressReporter
+    <repro.engine.metrics.ProgressReporter>` read it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._runs: Dict[int, dict] = {}
+        self.queued = 0
+        self.done = 0
+        self.total = 0
+
+    def start(
+        self,
+        slot: int,
+        *,
+        key: str = "",
+        description: str = "",
+        attempt: int = 1,
+        backend: Optional[str] = None,
+        pid: Optional[int] = None,
+        started: Optional[float] = None,
+    ) -> None:
+        with self._lock:
+            self._runs[slot] = {
+                "slot": slot,
+                "key": key,
+                "description": description,
+                "attempt": attempt,
+                "backend": backend,
+                "pid": pid,
+                "phase": None,
+                "started": started if started is not None else time.monotonic(),
+            }
+
+    def set_phase(self, slot: int, phase: str) -> None:
+        with self._lock:
+            run = self._runs.get(slot)
+            if run is not None:
+                run["phase"] = phase
+
+    def set_pid(self, slot: int, pid: int) -> None:
+        with self._lock:
+            run = self._runs.get(slot)
+            if run is not None:
+                run["pid"] = pid
+
+    def finish(self, slot: int) -> None:
+        with self._lock:
+            self._runs.pop(slot, None)
+
+    def sync(self, runs: List[dict], queued: int) -> None:
+        """Replace the whole in-flight view (parallel-supervisor path).
+
+        Rebuilding from scratch every poll keeps the view self-healing
+        across pool kills and requeues; each entry needs ``slot`` and
+        ``started`` plus whatever else is known.
+        """
+        with self._lock:
+            self._runs = {
+                run["slot"]: {
+                    "slot": run["slot"],
+                    "key": run.get("key", ""),
+                    "description": run.get("description", ""),
+                    "attempt": run.get("attempt", 1),
+                    "backend": run.get("backend"),
+                    "pid": run.get("pid"),
+                    "phase": run.get("phase"),
+                    "started": run.get("started", time.monotonic()),
+                }
+                for run in runs
+            }
+            self.queued = queued
+
+    def set_queue(self, queued: int) -> None:
+        with self._lock:
+            self.queued = queued
+
+    def set_progress(self, done: int, total: int) -> None:
+        with self._lock:
+            self.done = done
+            self.total = total
+
+    def clear(self) -> None:
+        with self._lock:
+            self._runs.clear()
+            self.queued = 0
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {"in_flight": len(self._runs), "queued": self.queued}
+
+    def snapshot(self) -> dict:
+        now = time.monotonic()
+        with self._lock:
+            in_flight = [
+                {
+                    "slot": run["slot"],
+                    "key": run["key"],
+                    "description": run["description"],
+                    "attempt": run["attempt"],
+                    "backend": run["backend"],
+                    "pid": run["pid"],
+                    "phase": run["phase"],
+                    "elapsed_s": round(now - run["started"], 3),
+                }
+                for run in sorted(self._runs.values(), key=lambda r: r["slot"])
+            ]
+            return {
+                "in_flight": in_flight,
+                "queued": self.queued,
+                "done": self.done,
+                "total": self.total,
+            }
+
+
+def _prometheus_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(metrics: dict, tracker_counts: Dict[str, int]) -> str:
+    """Engine counters as Prometheus textfile-collector lines.
+
+    Scalars become ``repro_sweep_<name>`` gauges; per-family run counts
+    and wall time are labelled series; nested objects are skipped.
+    """
+    lines: List[str] = []
+
+    def gauge(name: str, value, labels: str = "") -> None:
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels} {value}")
+
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        gauge(f"repro_sweep_{name}", value)
+    for kind, count in sorted((metrics.get("failures_by_kind") or {}).items()):
+        gauge(
+            "repro_sweep_failures_by_kind",
+            count,
+            '{kind="%s"}' % _prometheus_escape(str(kind)),
+        )
+    for family, stats in sorted((metrics.get("per_family") or {}).items()):
+        label = '{family="%s"}' % _prometheus_escape(str(family))
+        if isinstance(stats, dict):
+            gauge("repro_sweep_family_runs", stats.get("runs", 0), label)
+            gauge(
+                "repro_sweep_family_wall_time_seconds",
+                stats.get("wall_time_s", 0.0),
+                label,
+            )
+    gauge("repro_sweep_in_flight", tracker_counts.get("in_flight", 0))
+    gauge("repro_sweep_queued", tracker_counts.get("queued", 0))
+    return "\n".join(lines) + "\n"
+
+
+class LiveMonitor:
+    """Heartbeat thread: ``live.json`` + Prometheus textfile each tick."""
+
+    def __init__(
+        self,
+        tracker: InflightTracker,
+        live_path: Optional[os.PathLike] = None,
+        metrics_path: Optional[os.PathLike] = None,
+        metrics_source: Optional[Callable[[], dict]] = None,
+        interval: float = 1.0,
+    ) -> None:
+        self.tracker = tracker
+        self.live_path = Path(live_path) if live_path is not None else None
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self.metrics_source = metrics_source
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def write_once(self) -> None:
+        metrics = {}
+        if self.metrics_source is not None:
+            try:
+                metrics = self.metrics_source()
+            except Exception:
+                metrics = {}
+        if self.live_path is not None:
+            document = {
+                "version": LIVE_SCHEMA_VERSION,
+                "updated_unix": time.time(),
+                "pid": os.getpid(),
+            }
+            document.update(self.tracker.snapshot())
+            document["metrics"] = metrics
+            _atomic_write(
+                self.live_path,
+                json.dumps(document, indent=2, sort_keys=True, default=str) + "\n",
+            )
+        if self.metrics_path is not None:
+            _atomic_write(
+                self.metrics_path,
+                render_prometheus(metrics, self.tracker.counts()),
+            )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.write_once()
+            except Exception:
+                pass  # telemetry must never take a sweep down
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self.write_once()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-live-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        try:
+            self.write_once()  # final state, with the sweep quiesced
+        except Exception:
+            pass

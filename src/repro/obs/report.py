@@ -1,0 +1,341 @@
+"""Trace reporting: wall-time attribution, run replay, Chrome export.
+
+``python -m repro.experiments report`` lands here.  The input is the
+merged ``trace.jsonl`` a traced sweep leaves under ``<cache-dir>/v1/``
+(the per-worker files under ``events/`` are merged on the fly when the
+sweep was killed before its supervisor could merge them):
+
+* the default view is a wall-time attribution table -- per family /
+  benchmark / phase / backend -- plus a coverage summary stating how
+  much of the batch wall time the run spans account for;
+* ``--run KEY`` replays one run's full event history (every attempt,
+  queue wait, phase, retry and degradation) in time order;
+* ``--chrome FILE`` writes a ``chrome://tracing`` / Perfetto-compatible
+  JSON export (one timeline row per worker process);
+* ``--check`` validates the event stream's schema and (optionally)
+  enforces ``--min-coverage``, for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import trace as obs_trace
+
+#: Span names that represent per-run simulation phases (the attribution
+#: table rows); lifecycle/engine spans are summarized separately.
+_RUN_SPAN = "run"
+_ENGINE_SPANS = ("batch", "plan", "dedup")
+
+
+def _attr(event: dict, name: str, default: str = "-") -> str:
+    value = (event.get("attrs") or {}).get(name)
+    return str(value) if value is not None else default
+
+
+def load_trace(cache_dir: Path) -> List[dict]:
+    """The merged event stream for ``cache_dir`` (merging worker files
+    when the supervisor never got to)."""
+    directory = cache_dir / "v1"
+    merged = directory / obs_trace.MERGED_FILENAME
+    if merged.exists():
+        return obs_trace.read_events(merged)
+    return obs_trace.merge_events(directory / obs_trace.EVENTS_SUBDIR)
+
+
+def attribution_rows(events: List[dict]) -> List[Sequence[object]]:
+    """(family, benchmark, phase, backend, seconds, instructions, spans)
+    rows, sorted by descending wall time."""
+    buckets: Dict[tuple, List[float]] = defaultdict(lambda: [0.0, 0, 0])
+    for event in events:
+        if event.get("event") != "span":
+            continue
+        name = event.get("name")
+        if name == _RUN_SPAN or name in _ENGINE_SPANS:
+            continue
+        attrs = event.get("attrs") or {}
+        key = (
+            str(attrs.get("family", "-")),
+            str(attrs.get("benchmark", attrs.get("workload", "-"))),
+            str(name),
+            str(attrs.get("backend", "-")),
+        )
+        bucket = buckets[key]
+        bucket[0] += float(event.get("dur", 0.0))
+        bucket[1] += int(attrs.get("instructions", 0))
+        bucket[2] += 1
+    rows = [
+        [family, benchmark, phase, backend, seconds, instructions, spans]
+        for (family, benchmark, phase, backend), (
+            seconds, instructions, spans,
+        ) in buckets.items()
+    ]
+    rows.sort(key=lambda row: -row[4])
+    return rows
+
+
+def coverage(events: List[dict]) -> Dict[str, float]:
+    """How much measured batch wall time the trace spans account for.
+
+    ``batch_s`` sums the engine's batch spans; ``run_s`` sums worker
+    run spans; ``supervisor_s`` sums supervisor-side work performed
+    inside the batch but outside any run (technique analysis, trace
+    generation, store writes).  ``accounted`` is their combined ratio,
+    capped at 1 for parallel sweeps, where run spans overlap and
+    legitimately sum past the batch."""
+    batch_s = sum(
+        float(e.get("dur", 0.0))
+        for e in events
+        if e.get("event") == "span" and e.get("name") == "batch"
+    )
+    run_s = sum(
+        float(e.get("dur", 0.0))
+        for e in events
+        if e.get("event") == "span" and e.get("name") == _RUN_SPAN
+    )
+    supervisor_s = sum(
+        float(e.get("dur", 0.0))
+        for e in events
+        if e.get("event") == "span"
+        and e.get("worker") == "supervisor"
+        and e.get("name") not in _ENGINE_SPANS
+        and e.get("name") != "queue_wait"
+    )
+    phase_s = sum(
+        float(e.get("dur", 0.0))
+        for e in events
+        if e.get("event") == "span"
+        and e.get("name") not in _ENGINE_SPANS
+        and e.get("name") != _RUN_SPAN
+        and e.get("name") != "queue_wait"
+    )
+    accounted = (
+        min(1.0, (run_s + supervisor_s) / batch_s) if batch_s > 0 else 0.0
+    )
+    return {
+        "batch_s": batch_s,
+        "run_s": run_s,
+        "supervisor_s": supervisor_s,
+        "phase_s": phase_s,
+        "accounted": accounted,
+    }
+
+
+def replay_lines(events: List[dict], run_prefix: str) -> List[str]:
+    """One run's event history, in time order.
+
+    ``run_prefix`` matches any event whose ``run`` attribute starts
+    with it (content keys are long; a short unique prefix suffices).
+    """
+    origin: Optional[float] = None
+    for event in events:
+        ts = event.get("ts", event.get("mono"))
+        if ts is not None:
+            origin = ts if origin is None else min(origin, ts)
+    lines: List[str] = []
+    for event in events:
+        run = _attr(event, "run", "")
+        if not run.startswith(run_prefix):
+            continue
+        ts = event.get("ts")
+        offset = (ts - origin) if (ts is not None and origin is not None) else 0.0
+        attrs = dict(event.get("attrs") or {})
+        attrs.pop("run", None)
+        detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        if event.get("event") == "span":
+            lines.append(
+                f"+{offset:9.3f}s  {event.get('worker', '?'):>12}  "
+                f"{event['name']:<18} {event.get('dur', 0.0):.3f}s  {detail}"
+            )
+        else:
+            lines.append(
+                f"+{offset:9.3f}s  {event.get('worker', '?'):>12}  "
+                f"{event['name']:<18} (event)  {detail}"
+            )
+    return lines
+
+
+def chrome_trace(events: List[dict]) -> dict:
+    """A ``chrome://tracing`` / Perfetto ``traceEvents`` document.
+
+    Each worker process becomes one timeline row; span timestamps are
+    rebased to the earliest event and expressed in microseconds.
+    """
+    origin: Optional[float] = None
+    for event in events:
+        ts = event.get("ts", event.get("mono"))
+        if ts is not None:
+            origin = ts if origin is None else min(origin, ts)
+    if origin is None:
+        origin = 0.0
+    trace_events: List[dict] = []
+    workers = sorted(
+        {str(e.get("worker", "?")) for e in events if e.get("event") != "meta"}
+    )
+    worker_pid = {worker: index + 1 for index, worker in enumerate(workers)}
+    for worker, pid in worker_pid.items():
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": worker},
+            }
+        )
+    for event in events:
+        kind = event.get("event")
+        worker = str(event.get("worker", "?"))
+        pid = worker_pid.get(worker, 0)
+        attrs = event.get("attrs") or {}
+        if kind == "span":
+            trace_events.append(
+                {
+                    "name": event.get("name", "?"),
+                    "cat": "repro",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": (event.get("ts", origin) - origin) * 1e6,
+                    "dur": float(event.get("dur", 0.0)) * 1e6,
+                    "args": attrs,
+                }
+            )
+        elif kind == "point":
+            trace_events.append(
+                {
+                    "name": event.get("name", "?"),
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": (event.get("ts", origin) - origin) * 1e6,
+                    "args": attrs,
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.experiments.common import CACHE_DIR_ENV_VAR, format_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report",
+        description="Render a traced sweep's trace.jsonl: wall-time "
+        "attribution, per-run replay, Chrome/Perfetto export.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=f"sweep cache directory (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--run",
+        metavar="KEY",
+        default=None,
+        help="replay one run's event history (content-key prefix)",
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="FILE",
+        type=Path,
+        default=None,
+        help="write a chrome://tracing-compatible trace-viewer.json",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the event stream schema (exit 1 on problems)",
+    )
+    parser.add_argument(
+        "--min-coverage",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="with --check: fail unless trace spans cover at least this "
+        "fraction of batch wall time",
+    )
+    args = parser.parse_args(argv)
+
+    import os
+
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        value = os.environ.get(CACHE_DIR_ENV_VAR)
+        cache_dir = Path(value) if value else None
+    if cache_dir is None:
+        parser.error("--cache-dir (or $REPRO_CACHE_DIR) is required")
+    events = load_trace(cache_dir)
+    if not events:
+        print(
+            f"no trace events under {cache_dir} -- was the sweep run "
+            "with --trace?",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.check:
+        problems = obs_trace.validate_events(events)
+        stats = coverage(events)
+        if args.min_coverage is not None and stats["accounted"] < args.min_coverage:
+            problems.append(
+                f"trace spans cover {stats['accounted']:.1%} of batch wall "
+                f"time, below --min-coverage {args.min_coverage:.1%}"
+            )
+        if problems:
+            for problem in problems:
+                print(f"check: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"check: {len(events)} events well-formed, trace spans cover "
+            f"{stats['accounted']:.1%} of batch wall time"
+        )
+
+    if args.chrome is not None:
+        document = chrome_trace(events)
+        args.chrome.parent.mkdir(parents=True, exist_ok=True)
+        args.chrome.write_text(json.dumps(document) + "\n", encoding="utf-8")
+        print(
+            f"wrote {len(document['traceEvents'])} trace events to "
+            f"{args.chrome} (open in chrome://tracing or ui.perfetto.dev)"
+        )
+
+    if args.run is not None:
+        lines = replay_lines(events, args.run)
+        if not lines:
+            print(f"no events match run prefix {args.run!r}", file=sys.stderr)
+            return 1
+        print(f"run {args.run} event history:")
+        for line in lines:
+            print(f"  {line}")
+        return 0
+
+    if args.check or args.chrome is not None:
+        return 0
+
+    rows = attribution_rows(events)
+    if rows:
+        print(
+            format_table(
+                (
+                    "family", "benchmark", "phase", "backend",
+                    "seconds", "instructions", "spans",
+                ),
+                rows,
+            )
+        )
+    stats = coverage(events)
+    print(
+        f"\nbatch wall time {stats['batch_s']:.3f}s; run spans "
+        f"{stats['run_s']:.3f}s + supervisor work "
+        f"{stats['supervisor_s']:.3f}s ({stats['accounted']:.1%} "
+        f"accounted); phase spans {stats['phase_s']:.3f}s"
+    )
+    return 0

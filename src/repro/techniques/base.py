@@ -44,6 +44,15 @@ class TechniqueResult:
     profiled_instructions: int = 0  # BBV profiling pass (SimPoint)
     runs: int = 1  # SMARTS may need several runs
 
+    #: Wall-time/instruction breakdown per simulation phase, e.g.
+    #: ``{"warming": {"seconds": 1.2, "instructions": 5000000}}``.
+    #: Timing, not simulation output: excluded from equality so traced
+    #: and untraced results compare identical, and absent (empty) on
+    #: results served from the cache.
+    phase_times: Dict[str, Dict[str, float]] = field(
+        default_factory=dict, compare=False
+    )
+
     @property
     def cpi(self) -> float:
         return self.stats.cpi

@@ -22,6 +22,7 @@ import numpy as np
 from repro.cpu.config import Enhancements, ProcessorConfig
 from repro.cpu.simulator import Simulator
 from repro.cpu.stats import combine_weighted
+from repro.obs import phases as obs_phases
 from repro.scale import Scale
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.simpoint.bbv import normalize_bbvs, project_bbvs
@@ -95,52 +96,55 @@ class SimPointTechnique(SimulationTechnique):
     def select(self, workload: Workload, scale: Scale) -> SimPointSelection:
         """Choose simulation points for ``workload`` (config-independent)."""
         trace = workload.trace(scale)
-        interval = max(1, scale.instructions(self.interval_m))
-        bbvs = trace.interval_bbvs(interval)
-        # Drop a tiny tail interval: it would get full weight per-interval
-        # anyway and SimPoint profiles whole intervals.
-        if len(bbvs) > 1 and trace.block_execution_counts(
-            (len(bbvs) - 1) * interval
-        ).sum() < interval // 2:
-            bbvs = bbvs[:-1]
-        points = project_bbvs(normalize_bbvs(bbvs), seed=self.seed)
-        if self.max_k == 1:
-            clustering = kmeans(
-                points, 1, seeds=self.seeds,
-                max_iterations=self.max_iterations, seed=self.seed,
-            )
-        else:
-            clustering = pick_k(
-                points,
-                self.max_k,
-                seeds=self.seeds,
-                max_iterations=self.max_iterations,
-                seed=self.seed,
-            )
-        intervals: List[int] = []
-        weights: List[float] = []
-        total = len(points)
-        for cluster in range(clustering.k):
-            members = np.nonzero(clustering.assignments == cluster)[0]
-            if len(members) == 0:
-                continue
-            centroid = clustering.centroids[cluster]
-            distances = np.sum((points[members] - centroid) ** 2, axis=1)
-            if self.early_points:
-                # Earliest member within 30% of the medoid's distance.
-                tolerance = float(distances.min()) * 1.3 + 1e-12
-                eligible = members[distances <= tolerance]
-                representative = int(eligible.min())
+        with obs_phases.measured(
+            "analysis", technique="simpoint", workload=workload.name
+        ):
+            interval = max(1, scale.instructions(self.interval_m))
+            bbvs = trace.interval_bbvs(interval)
+            # Drop a tiny tail interval: it would get full weight per-interval
+            # anyway and SimPoint profiles whole intervals.
+            if len(bbvs) > 1 and trace.block_execution_counts(
+                (len(bbvs) - 1) * interval
+            ).sum() < interval // 2:
+                bbvs = bbvs[:-1]
+            points = project_bbvs(normalize_bbvs(bbvs), seed=self.seed)
+            if self.max_k == 1:
+                clustering = kmeans(
+                    points, 1, seeds=self.seeds,
+                    max_iterations=self.max_iterations, seed=self.seed,
+                )
             else:
-                representative = int(members[int(np.argmin(distances))])
-            intervals.append(representative)
-            weights.append(len(members) / total)
-        return SimPointSelection(
-            interval_instructions=interval,
-            intervals=intervals,
-            weights=weights,
-            k=clustering.k,
-        )
+                clustering = pick_k(
+                    points,
+                    self.max_k,
+                    seeds=self.seeds,
+                    max_iterations=self.max_iterations,
+                    seed=self.seed,
+                )
+            intervals: List[int] = []
+            weights: List[float] = []
+            total = len(points)
+            for cluster in range(clustering.k):
+                members = np.nonzero(clustering.assignments == cluster)[0]
+                if len(members) == 0:
+                    continue
+                centroid = clustering.centroids[cluster]
+                distances = np.sum((points[members] - centroid) ** 2, axis=1)
+                if self.early_points:
+                    # Earliest member within 30% of the medoid's distance.
+                    tolerance = float(distances.min()) * 1.3 + 1e-12
+                    eligible = members[distances <= tolerance]
+                    representative = int(eligible.min())
+                else:
+                    representative = int(members[int(np.argmin(distances))])
+                intervals.append(representative)
+                weights.append(len(members) / total)
+            return SimPointSelection(
+                interval_instructions=interval,
+                intervals=intervals,
+                weights=weights,
+                k=clustering.k,
+            )
 
     # -- simulation -------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.isa.trace import Trace
+from repro.obs import phases as obs_phases
 from repro.scale import Scale
 from repro.workloads import trace_store
 from repro.workloads.generator import generate_trace
@@ -117,20 +118,21 @@ class Workload:
         cached = _TRACE_CACHE.get(key)
         if cached is not None:
             return cached
-        store = trace_store.active_store()
-        trace = store.load(self, scale) if store is not None else None
-        if trace is None:
-            trace = generate_trace(
-                self.program,
-                self.schedule(scale),
-                seed=self.seed,
-                footprint_scale=self.input_set.footprint_scale,
-            )
-            if store is not None:
-                try:
-                    store.save(self, scale, trace)
-                except OSError:
-                    pass  # a read-only or full cache dir never fails the run
+        with obs_phases.measured("trace_load", workload=self.name):
+            store = trace_store.active_store()
+            trace = store.load(self, scale) if store is not None else None
+            if trace is None:
+                trace = generate_trace(
+                    self.program,
+                    self.schedule(scale),
+                    seed=self.seed,
+                    footprint_scale=self.input_set.footprint_scale,
+                )
+                if store is not None:
+                    try:
+                        store.save(self, scale, trace)
+                    except OSError:
+                        pass  # a read-only or full cache dir never fails the run
         _TRACE_CACHE.put(key, trace)
         return trace
 

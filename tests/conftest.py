@@ -32,14 +32,24 @@ def _isolate_shared_store_env(monkeypatch):
     every later test in the process.
     """
     from repro.cpu import checkpoint
+    from repro.obs import live, phases, trace
     from repro.workloads import trace_store
 
     for var in (
         trace_store.TRACE_DIR_ENV_VAR,
         checkpoint.CHECKPOINT_DIR_ENV_VAR,
         checkpoint.CHECKPOINT_INTERVAL_ENV_VAR,
+        trace.TRACE_ENV_VAR,
+        trace.EVENTS_DIR_ENV_VAR,
+        live.METRICS_FILE_ENV_VAR,
     ):
         monkeypatch.delenv(var, raising=False)
+    yield
+    # A test that activates the tracer or phase ledger and fails before
+    # cleaning up must not leak spans into every later test.
+    trace.deactivate()
+    phases.set_notifier(None)
+    phases.drain()
 
 
 def make_micro_program(name: str = "micro") -> SyntheticProgram:

@@ -142,6 +142,45 @@ class TestSupervisorOptions:
         assert document["resumed"] > 0
         assert document["run_timeout_s"] is None
 
+    def test_trace_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table3", "--no-cache", "--trace"])
+        assert "--trace requires a cache directory" in capsys.readouterr().err
+
+    def test_traced_sweep_writes_observability_files(self, tmp_path, capsys):
+        metrics_file = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "figure6",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--jobs", "1",
+                "--depth", "quick",
+                "--benchmarks", "gzip",
+                "--profile", "tiny",
+                "--trace",
+                "--metrics-file", str(metrics_file),
+            ]
+        ) == 0
+        versioned = tmp_path / "cache" / "v1"
+        assert (versioned / "trace.jsonl").exists()
+        assert (versioned / "live.json").exists()
+        assert "repro_sweep_runs_succeeded" in metrics_file.read_text()
+        assert "trace:" in capsys.readouterr().err
+        # The report command renders the trace this sweep left behind.
+        assert main(["report", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "accounted" in capsys.readouterr().out
+
+    def test_no_trace_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert main(
+            [
+                "table3",
+                "--cache-dir", str(tmp_path),
+                "--no-trace",
+            ]
+        ) == 0
+        assert not (tmp_path / "v1" / "trace.jsonl").exists()
+
     def test_stats_include_supervisor_fields(self, tmp_path, capsys):
         assert main(
             [
