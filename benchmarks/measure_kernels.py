@@ -15,6 +15,16 @@ The output records instructions per second for detailed simulation and
 functional warming per backend, plus the speedup ratios over the
 ``python`` reference that the kernels PR promises (numpy >= 3x detailed,
 >= 5x warming).
+
+Backend availability is probed inside each child interpreter through
+the backend registry -- the same interpreter that measures.  Probing in
+the parent is wrong twice over: the parent's import environment can
+disagree with the children's, and ``Simulator(backend="numba")``
+degrades silently to numpy when numba is missing, so a stale parent-side
+availability flag would record numpy timings under the ``numba`` key.
+Every entry in ``backends`` is a dict with a ``status`` field --
+``{"status": "ok", ...timings...}`` or ``{"status": "unavailable",
+"reason": ...}`` -- so readers never have to special-case strings.
 """
 
 from __future__ import annotations
@@ -32,13 +42,28 @@ REPO = Path(__file__).resolve().parent.parent
 #: One backend's timing payload, executed in a clean child interpreter.
 _CHILD = """
 import json, sys, time
+
+backend, region, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+
+# Probe the registry in *this* interpreter, the one that measures.
+# Simulator() would degrade a missing backend silently, so an
+# unavailable backend must be reported, never timed as its fallback.
+from repro.cpu.kernels.registry import available_backends
+
+if backend not in available_backends():
+    print(json.dumps({
+        "status": "unavailable",
+        "reason": f"backend {backend!r} does not import "
+                  "in the measuring interpreter",
+    }))
+    raise SystemExit(0)
+
 from repro.cpu.config import ProcessorConfig
 from repro.cpu.functional import run_functional_warming
 from repro.cpu.simulator import Simulator
 from repro.scale import Scale
 from repro.workloads.spec import get_workload
 
-backend, region, rounds = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
 trace = get_workload("gzip").trace(Scale(25))
 simulator = Simulator(ProcessorConfig(), backend=backend)
 
@@ -58,6 +83,7 @@ for _ in range(rounds):
 assert warmed.instructions == region
 
 print(json.dumps({
+    "status": "ok",
     "detailed_seconds": best_detailed,
     "warming_seconds": best_warming,
     "detailed_instr_per_sec": region / best_detailed,
@@ -83,21 +109,27 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO / "src"))
-    from repro.cpu.kernels.registry import BACKEND_NAMES, available_backends
+    from repro.cpu.kernels.registry import BACKEND_NAMES
 
-    available = available_backends()
     backends = {}
     for name in BACKEND_NAMES:
-        if name not in available:
-            # Recorded, not omitted: a reader of the report can tell
-            # "numba was not installed" from "numba was not measured".
-            backends[name] = "unavailable"
-            print(f"skipping {name} backend (unavailable)", file=sys.stderr)
-            continue
+        # Every backend gets a child; the child itself reports whether
+        # it can import the backend.  Recorded, not omitted: a reader
+        # of the report can tell "numba was not installed" from
+        # "numba was not measured".
         print(f"measuring {name} backend ...", file=sys.stderr)
         backends[name] = measure_backend(name, args.region, args.rounds)
+        if backends[name]["status"] != "ok":
+            print(
+                f"skipped {name}: {backends[name]['reason']}",
+                file=sys.stderr,
+            )
 
     ref = backends["python"]
+    if ref["status"] != "ok":
+        print("FAIL: the python reference backend did not measure; "
+              "speedups are undefined", file=sys.stderr)
+        return 1
     report = {
         "benchmark": "bench_simulator_throughput (gzip, Scale(25), "
         f"region={args.region}, best of {args.rounds})",
@@ -116,7 +148,7 @@ def main(argv=None) -> int:
                 ),
             }
             for name, timing in backends.items()
-            if name != "python" and isinstance(timing, dict)
+            if name != "python" and timing["status"] == "ok"
         },
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")

@@ -4,10 +4,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/measure_sweep.py [--out FILE]
         [--min-speedup RATIO] [--ff-points N] [--configs N]
+        [--suite {stores,batch,all}]
 
-The benchmark runs one warmed fast-forward sweep (latency-variant
-configurations x fast-forward depths, the shape a sensitivity study
-takes) three times, each in a freshly spawned interpreter:
+``--suite stores`` (the default) measures the PR-4 shared stores;
+``--suite batch`` measures config batching (see *Batch suite* below)
+into ``BENCH_batch.json``; ``--suite all`` runs both.
+
+The stores benchmark runs one warmed fast-forward sweep
+(latency-variant configurations x fast-forward depths, the shape a
+sensitivity study takes) three times, each in a freshly spawned
+interpreter:
 
 ``cold``
     No cache directory at all -- every process regenerates its traces
@@ -32,6 +38,27 @@ All passes must produce bit-identical results (the stores and the
 tracer are accelerators/observers, never approximations); the report
 records the wall-clock ratio cold/warm, the warm pass's reuse
 counters and the tracing overhead.
+
+**Batch suite.**  The Figure-6-shaped sweep re-simulates one workload's
+trace under N latency-variant configurations of identical geometry --
+exactly what ``Engine(batch_configs=N)`` collapses into one batched
+detailed pass.  Three timed passes, again one child interpreter each:
+
+``cold``
+    No stores, ``batch_configs=1``: per-run numpy, the status quo.
+``warm``
+    Stores hot (a prime pass populates them first), still per-run:
+    what PR 4's checkpoints alone buy on this shape.
+``warm+batched``
+    Stores hot and ``batch_configs=N``: one warming prefix and one
+    resolve phase serve all N configurations.
+
+The suite asserts three ways that batching is an accelerator, not an
+approximation: all passes' statistics fingerprints are identical, the
+batched pass really batched (``batches``/``batched_runs`` counters),
+and the result store written by the batched pass is **byte-identical**
+to the per-run store.  The report records cold/warm/batched seconds
+and the batched speedup over both baselines.
 """
 
 from __future__ import annotations
@@ -108,64 +135,128 @@ print(json.dumps({
 """
 
 
-def run_pass(mode: str, cache_dir: str, ff_points: int, configs: int) -> dict:
+#: One timed batch-suite pass, executed in a clean child interpreter.
+#: The Figure-6 shape: one trace, one geometry, N latency configs.
+_BATCH_CHILD = """
+import hashlib, json, sys, time
+from repro.cpu.config import ARCH_CONFIGS
+from repro.engine import Engine, RunRequest
+from repro.scale import Scale
+from repro.techniques.truncated import FFRunZ
+from repro.workloads.spec import get_workload
+
+cache_dir, batch, num_configs, ff_m, run_m = (
+    sys.argv[1], int(sys.argv[2]), int(sys.argv[3]),
+    float(sys.argv[4]), float(sys.argv[5]),
+)
+scale = Scale(200)
+workload = get_workload("gzip")
+
+base = ARCH_CONFIGS[0]
+configs = [base] + [
+    base.replace(
+        l2_latency=base.l2_latency + 1 + i % 4,
+        mem_latency_first=base.mem_latency_first + 10 * (i // 4),
+    )
+    for i in range(num_configs - 1)
+]
+requests = [
+    RunRequest(FFRunZ(ff_m, run_m, warmed=True), workload, config)
+    for config in configs
+]
+
+if cache_dir:
+    engine = Engine(scale=scale, jobs=1, cache_dir=cache_dir,
+                    checkpoint_interval=500.0, batch_configs=batch)
+else:
+    engine = Engine(scale=scale, jobs=1, checkpoint_interval=0.0,
+                    trace_cache=False, batch_configs=batch)
+
+t0 = time.perf_counter()
+results = engine.run_many(requests)
+seconds = time.perf_counter() - t0
+engine.close()
+
+fingerprint = hashlib.sha256(
+    json.dumps(
+        [sorted(r.stats.counters().items()) for r in results],
+        sort_keys=True,
+    ).encode()
+).hexdigest()
+counters = {
+    name: getattr(engine.metrics, name)
+    for name in ("batches", "batched_runs", "checkpoint_hits",
+                 "trace_cache_hits", "instructions_skipped")
+}
+print(json.dumps({
+    "seconds": seconds,
+    "runs": len(requests),
+    "fingerprint": fingerprint,
+    "counters": counters,
+}))
+"""
+
+
+def _spawn_child(source: str, argv: list) -> dict:
     env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
     out = subprocess.run(
-        [
-            sys.executable, "-c", _CHILD,
-            mode, cache_dir, str(ff_points), str(configs),
-        ],
+        [sys.executable, "-c", source] + [str(a) for a in argv],
         check=True, capture_output=True, text=True, env=env,
     )
     return json.loads(out.stdout.strip().splitlines()[-1])
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--ff-points", type=int, default=3,
-                        help="fast-forward depths per configuration")
-    parser.add_argument("--configs", type=int, default=8,
-                        help="latency-variant configurations")
-    parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="fail unless cold/warm >= this ratio")
-    parser.add_argument("--trace-repeats", type=int, default=3,
-                        help="warm/traced pass pairs for the overhead gate")
-    parser.add_argument("--max-trace-overhead", type=float, default=3.0,
-                        help="fail if tracing slows the sweep by more "
-                        "than this percentage (0 disables)")
-    parser.add_argument("--out", default=str(REPO / "BENCH_sweep.json"))
-    args = parser.parse_args(argv)
+def run_pass(mode: str, cache_dir: str, ff_points: int, configs: int) -> dict:
+    return _spawn_child(_CHILD, [mode, cache_dir, ff_points, configs])
 
+
+def run_batch_pass(
+    cache_dir: str, batch: int, configs: int, ff_m: float, run_m: float
+) -> dict:
+    return _spawn_child(
+        _BATCH_CHILD, [cache_dir, batch, configs, ff_m, run_m]
+    )
+
+
+def snapshot_result_store(workdir: str) -> dict:
+    """The persisted result-store payloads, keyed by relative path."""
+    return {
+        str(path.relative_to(workdir)): path.read_bytes()
+        for path in sorted(Path(workdir).glob("v*/??/*.json"))
+    }
+
+
+def wipe_results(workdir: str) -> None:
+    # Wipe the result store + journal but keep traces/checkpoints,
+    # so the next pass re-executes every run against warm stores.
+    for entry in ("v1", "journal.jsonl", "engine-stats.json"):
+        path = Path(workdir) / entry
+        if path.is_dir():
+            shutil.rmtree(path)
+        elif path.exists():
+            path.unlink()
+
+
+def run_store_suite(args) -> int:
     workdir = tempfile.mkdtemp(prefix="repro-sweep-")
-
-    def wipe_results() -> None:
-        # Wipe the result store + journal but keep traces/checkpoints,
-        # so the next pass re-executes every run against warm stores.
-        for entry in ("v1", "journal.jsonl", "engine-stats.json"):
-            path = Path(workdir) / entry
-            if path.is_dir():
-                shutil.rmtree(path)
-            elif path.exists():
-                path.unlink()
-
     try:
         print("cold pass (no stores) ...", file=sys.stderr)
         cold = run_pass("cold", workdir, args.ff_points, args.configs)
         print("prime pass (populating stores) ...", file=sys.stderr)
         prime = run_pass("prime", workdir, args.ff_points, args.configs)
-        wipe_results()
+        wipe_results(workdir)
         print("warm pass (traces + checkpoints hot) ...", file=sys.stderr)
         warm = run_pass("warm", workdir, args.ff_points, args.configs)
         warm_seconds = [warm["seconds"]]
         traced_seconds = []
         traced = None
         for repeat in range(max(1, args.trace_repeats)):
-            wipe_results()
+            wipe_results(workdir)
             print(f"traced pass {repeat + 1} ...", file=sys.stderr)
             traced = run_pass("traced", workdir, args.ff_points, args.configs)
             traced_seconds.append(traced["seconds"])
             if repeat + 1 < max(1, args.trace_repeats):
-                wipe_results()
+                wipe_results(workdir)
                 print(f"warm pass {repeat + 2} ...", file=sys.stderr)
                 warm_seconds.append(
                     run_pass("warm", workdir, args.ff_points,
@@ -223,6 +314,127 @@ def main(argv=None) -> int:
               f"{args.max_trace_overhead:.2f}%", file=sys.stderr)
         return 1
     return 0
+
+
+def run_batch_suite(args) -> int:
+    n = args.batch_configs
+    ff_m, run_m = args.batch_ff, args.batch_run
+    workdir = tempfile.mkdtemp(prefix="repro-batch-")
+    try:
+        print(f"cold pass (per-run, no stores, {n} configs) ...",
+              file=sys.stderr)
+        cold = run_batch_pass("", 1, n, ff_m, run_m)
+        print("prime pass (per-run, populating stores) ...", file=sys.stderr)
+        prime = run_batch_pass(workdir, 1, n, ff_m, run_m)
+        # The per-run pass's persisted result store is the byte-parity
+        # reference the batched pass must reproduce exactly.
+        percfg_store = snapshot_result_store(workdir)
+        wipe_results(workdir)
+        print("warm pass (per-run, stores hot) ...", file=sys.stderr)
+        warm = run_batch_pass(workdir, 1, n, ff_m, run_m)
+        wipe_results(workdir)
+        print(f"warm+batched pass (batch_configs={n}) ...", file=sys.stderr)
+        batched = run_batch_pass(workdir, n, n, ff_m, run_m)
+        batched_store = snapshot_result_store(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    fingerprints = {
+        name: result["fingerprint"]
+        for name, result in (("cold", cold), ("prime", prime),
+                             ("warm", warm), ("batched", batched))
+    }
+    if len(set(fingerprints.values())) != 1:
+        print(f"FAIL: batched results differ from per-run results: "
+              f"{fingerprints}", file=sys.stderr)
+        return 1
+    if batched["counters"]["batches"] == 0:
+        print("FAIL: the batched pass formed no batches", file=sys.stderr)
+        return 1
+    if batched["counters"]["batched_runs"] != batched["runs"]:
+        print(f"FAIL: only {batched['counters']['batched_runs']} of "
+              f"{batched['runs']} runs were served batched", file=sys.stderr)
+        return 1
+    if not percfg_store or percfg_store != batched_store:
+        changed = [
+            rel for rel in set(percfg_store) | set(batched_store)
+            if percfg_store.get(rel) != batched_store.get(rel)
+        ]
+        print(f"FAIL: batched result store is not byte-identical to the "
+              f"per-run store ({len(percfg_store)} vs {len(batched_store)} "
+              f"files, {len(changed)} differ)", file=sys.stderr)
+        return 1
+
+    speedup_cold = cold["seconds"] / batched["seconds"]
+    speedup_warm = warm["seconds"] / batched["seconds"]
+    report = {
+        "benchmark": (
+            f"config-batched warmed sweep (gzip, Scale(200), {n} latency "
+            f"configs of one geometry, FF {ff_m:g}M + Run {run_m:g}M, "
+            "one batched detailed pass vs per-run numpy)"
+        ),
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "runs": cold["runs"],
+        "cold_seconds": round(cold["seconds"], 3),
+        "warm_seconds": round(warm["seconds"], 3),
+        "batched_seconds": round(batched["seconds"], 3),
+        "speedup_batched_over_cold": round(speedup_cold, 2),
+        "speedup_batched_over_warm": round(speedup_warm, 2),
+        "bit_identical": True,
+        "store_byte_identical": True,
+        "store_files": len(percfg_store),
+        "batched_counters": batched["counters"],
+    }
+    Path(args.batch_out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.batch_out}", file=sys.stderr)
+    if args.min_batch_speedup and speedup_cold < args.min_batch_speedup:
+        print(f"FAIL: batched speedup {speedup_cold:.2f}x < required "
+              f"{args.min_batch_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--suite", choices=("stores", "batch", "all"),
+                        default="stores",
+                        help="which benchmark suite to run (default: the "
+                        "shared-store sweep)")
+    parser.add_argument("--ff-points", type=int, default=3,
+                        help="fast-forward depths per configuration "
+                        "(stores suite)")
+    parser.add_argument("--configs", type=int, default=8,
+                        help="latency-variant configurations (stores suite)")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fail unless cold/warm >= this ratio")
+    parser.add_argument("--trace-repeats", type=int, default=3,
+                        help="warm/traced pass pairs for the overhead gate")
+    parser.add_argument("--max-trace-overhead", type=float, default=3.0,
+                        help="fail if tracing slows the sweep by more "
+                        "than this percentage (0 disables)")
+    parser.add_argument("--out", default=str(REPO / "BENCH_sweep.json"))
+    parser.add_argument("--batch-configs", type=int, default=16,
+                        help="latency configurations in the batch suite "
+                        "(also the batching width)")
+    parser.add_argument("--batch-ff", type=float, default=6000.0,
+                        help="fast-forward depth in paper-M instructions "
+                        "(batch suite)")
+    parser.add_argument("--batch-run", type=float, default=100.0,
+                        help="measured region in paper-M instructions "
+                        "(batch suite)")
+    parser.add_argument("--min-batch-speedup", type=float, default=0.0,
+                        help="fail unless cold/batched >= this ratio")
+    parser.add_argument("--batch-out", default=str(REPO / "BENCH_batch.json"))
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.suite in ("stores", "all"):
+        status = run_store_suite(args) or status
+    if args.suite in ("batch", "all"):
+        status = run_batch_suite(args) or status
+    return status
 
 
 if __name__ == "__main__":

@@ -644,3 +644,16 @@ def timing_loop_for(cfg) -> Callable:
         fn = namespace["timing_loop"]
         _TIMING_CACHE[key] = fn
     return fn
+
+
+def timing_loops_for(configs) -> "list[Callable]":
+    """Per-config timing loops for a batch, compiled with dedup.
+
+    Batch members usually vary only in memory-hierarchy latencies,
+    which the timing loop never sees (they arrive via the precomputed
+    feeds) -- so a 16-config latency sweep typically compiles exactly
+    one loop and shares it across every member.  Members that *do*
+    differ in a core parameter (widths, window sizes, FU latencies,
+    mispredict penalty) each get their own specialization.
+    """
+    return [timing_loop_for(cfg) for cfg in configs]

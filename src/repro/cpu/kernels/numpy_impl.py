@@ -34,6 +34,7 @@ from repro.cpu.kernels.codegen import (
     lru_grouped,
     ras_events,
     timing_loop_for,
+    timing_loops_for,
 )
 from repro.cpu.kernels.state import (
     PRED_BIMODAL,
@@ -42,6 +43,7 @@ from repro.cpu.kernels.state import (
     PRED_TAKEN,
     STAT_HITS,
     STAT_MISSES,
+    LatencyTable,
 )
 from repro.isa.trace import BK_CALL, BK_COND, BK_RETURN, BK_UNCOND
 
@@ -262,23 +264,61 @@ def _resolve_predictor(trace, tag, start, end, predictor, pc_cond, t_cond):
     return _correct_mask(wrong_l, count)
 
 
-def advance_detailed(machine, trace, start, end, state) -> None:
-    """Advance the detailed model over ``trace[start:end)`` (split-phase)."""
-    cfg = machine.config
+class RegionResolution:
+    """Latency-independent outcomes of one resolved region.
+
+    Everything a config needs that is *not* a latency: sparse miss
+    index sets with per-miss L2-missness flags, the shared sparse
+    event union for the segmented timing loop, and the counter deltas.
+    One resolution serves any number of latency configs -- the
+    structures were advanced while producing it, and no field depends
+    on a latency parameter (the serial prefetch path is the one
+    exception; it bakes its single config's latencies into
+    ``stall_cache``/``dl1_lat_ev`` and is never used for batches).
+    """
+
+    __slots__ = (
+        "n", "n_mem", "n_loads", "n_branches", "n_redir", "n_trivial",
+        "fetch_idx", "il1_miss", "il1_l2miss", "itlb_pos", "itlb_miss",
+        "is_load", "dl1_miss", "dl1_l2miss", "dtlb_miss",
+        "stall_cache", "dl1_lat_ev", "stall_ev", "stall_slot",
+        "ev_pos_l", "ev_redir", "last_fetch_block", "last_fetch_page",
+    )
+
+
+def resolve_region(
+    machine, trace, start, end,
+    last_fetch_block: int, last_fetch_page: int,
+    count_trivial: bool = False,
+) -> RegionResolution:
+    """Advance the structures over ``trace[start:end)``; resolve events.
+
+    This is phase 1 of the split: every structure (caches, TLBs,
+    predictor, BTB, RAS) is trained and its statistics updated, and the
+    returned :class:`RegionResolution` records which accesses missed --
+    but no latency is applied.  Because the model feeds no timing back
+    into the structures, the same resolution is valid for *every*
+    latency configuration sharing this geometry.
+    """
     il1 = machine.il1
     dl1 = machine.dl1
     l2 = machine.l2
     itlb = machine.itlb
     dtlb = machine.dtlb
     n = end - start
-    if n <= 0:
-        return
 
-    op_r = trace.op[start:end]
+    res = RegionResolution()
+    res.n = n
+    res.stall_cache = None
+    res.dl1_lat_ev = None
+
     pc_r = trace.pc[start:end]
     addr_r = trace.addr[start:end]
     mem_mask, mem_idx, is_load, n_loads = _mem_feed(trace, start, end)
     n_mem = len(mem_idx)
+    res.n_mem = n_mem
+    res.n_loads = n_loads
+    res.is_load = is_load
 
     # ---- fetch events (I-cache block changes; page changes within them)
     fb = trace.fetch_blocks(il1.block_shift)[start:end]
@@ -290,20 +330,26 @@ def advance_detailed(machine, trace, start, end, state) -> None:
     # The memoized index set assumes the first instruction starts a new
     # fetch block (always true from reset); on a warm machine whose
     # last block matches, drop that leading event.
-    first_in = int(fb[0]) != state.last_fetch_block
+    first_in = int(fb[0]) != last_fetch_block
     if not first_in:
         fetch_idx = fetch_idx[1:]
     pgs = pg[fetch_idx]
-    pgc = _change_mask(pgs, state.last_fetch_page)
+    pgc = _change_mask(pgs, last_fetch_page)
     itlb_pos = np.flatnonzero(pgc)
+    res.fetch_idx = fetch_idx
+    res.itlb_pos = itlb_pos
+    n_fetch = len(fetch_idx)
 
     # ---- caches
     if machine.enhancements.next_line_prefetch:
+        res.il1_miss = res.il1_l2miss = None
+        res.dl1_miss = res.dl1_l2miss = None
         stall_cache, dl1_lat_ev = _resolve_caches_serial(
             machine, pc_r, addr_r, fetch_idx, mem_idx
         )
+        res.stall_cache = stall_cache
+        res.dl1_lat_ev = dl1_lat_ev
     else:
-        n_fetch = len(fetch_idx)
         il1_feed = trace.region_memo(
             ("il1", start, end, il1.block_shift, il1.set_mask, il1.assoc, first_in),
             lambda: _dedup_filter(fb[fetch_idx], il1.set_mask, il1.assoc),
@@ -327,14 +373,18 @@ def advance_detailed(machine, trace, start, end, state) -> None:
         )[order]
         l2_miss = _structure_events(l2, l2_blocks)
 
+        # Only hit-or-miss is resolved here; the fill *latency* of each
+        # L2 miss is a per-config quantity applied during assembly.
         n_merge = len(l2_blocks)
-        l2_lat = np.full(n_merge, l2.hit_latency, dtype=np.int64)
-        l2_lat[l2_miss] += l2.memory.fill_latency(l2.block_bytes)
+        l2_missmask = np.zeros(n_merge, dtype=bool)
+        l2_missmask[l2_miss] = True
         inverse = np.empty(n_merge, dtype=np.int64)
         inverse[order] = np.arange(n_merge, dtype=np.int64)
         n_il1_miss = len(il1_g)
-        il1_l2lat = l2_lat[inverse[:n_il1_miss]]
-        dl1_l2lat = l2_lat[inverse[n_il1_miss:]]
+        res.il1_miss = il1_miss
+        res.il1_l2miss = l2_missmask[inverse[:n_il1_miss]]
+        res.dl1_miss = dl1_miss
+        res.dl1_l2miss = l2_missmask[inverse[n_il1_miss:]]
 
         il1.stats[STAT_HITS] += n_fetch - n_il1_miss
         il1.stats[STAT_MISSES] += n_il1_miss
@@ -343,11 +393,6 @@ def advance_detailed(machine, trace, start, end, state) -> None:
         l2.stats[STAT_HITS] += n_merge - len(l2_miss)
         l2.stats[STAT_MISSES] += len(l2_miss)
         l2.memory.stats[0] += len(l2_miss)
-
-        stall_cache = np.zeros(len(fetch_idx), dtype=np.int64)
-        stall_cache[il1_miss] = il1_l2lat
-        dl1_lat_ev = np.full(n_mem, dl1.hit_latency, dtype=np.int64)
-        dl1_lat_ev[dl1_miss] += dl1_l2lat
 
     # ---- TLBs (independent structures; no timing feedback)
     itlb_miss = _structure_events(itlb, pgs[itlb_pos])
@@ -361,22 +406,26 @@ def advance_detailed(machine, trace, start, end, state) -> None:
     dtlb_miss = _int64(_replay(dtlb, dtlb_feed))
     dtlb.stats[STAT_HITS] += n_mem - len(dtlb_miss)
     dtlb.stats[STAT_MISSES] += len(dtlb_miss)
+    res.itlb_miss = itlb_miss
+    res.dtlb_miss = dtlb_miss
 
-    # ---- fetch stalls (il1 miss fill + ITLB walk), sparse
-    if len(itlb_miss):
-        stall_cache[itlb_pos[itlb_miss]] += itlb.miss_latency
-    nz = np.flatnonzero(stall_cache)
-    stall_pos = fetch_idx[nz]
-    stall_vals = stall_cache[nz]
-
-    # ---- memory completion latencies per mem event
-    dtlb_extra = np.zeros(n_mem, dtype=np.int64)
-    dtlb_extra[dtlb_miss] = dtlb.miss_latency
-    ml = np.where(is_load, dl1_lat_ev + dtlb_extra, 1 + dtlb_extra)
-    # Write-buffer drain times are consumed by stores only, so the
-    # timing loop walks a store-only iterator instead of indexing a
-    # list parallel to every memory event.
-    drain = dl1_lat_ev[~is_load]
+    # ---- fetch-stall event positions (il1 miss fill + ITLB walk).
+    # Every stall contribution is strictly positive (validated
+    # latencies), so the *set* of stalling fetch events is latency-
+    # independent: il1 misses unioned with ITLB walks.  The serial
+    # prefetch path has its single config's values in hand and scans
+    # them directly.
+    if res.stall_cache is not None:
+        if len(itlb_miss):
+            res.stall_cache[itlb_pos[itlb_miss]] += itlb.miss_latency
+        stall_ev = np.flatnonzero(res.stall_cache)
+    else:
+        stall_sel = np.zeros(n_fetch, dtype=bool)
+        stall_sel[res.il1_miss] = True
+        stall_sel[itlb_pos[itlb_miss]] = True
+        stall_ev = np.flatnonzero(stall_sel)
+    res.stall_ev = stall_ev
+    stall_pos = fetch_idx[stall_ev]
 
     # ---- branches: direction predictor, RAS, BTB
     tg_r = trace.target[start:end]
@@ -399,7 +448,6 @@ def advance_detailed(machine, trace, start, end, state) -> None:
     ret_idx = cr_idx[~cr_is_call]
     ret_correct = _int64(ret_correct_l) != 0
 
-    btb = machine.btb
     taken_sel = pred_correct & (t_cond != 0)
     cond_btb_idx = cond_idx[taken_sel]
     bcorrect_full = _btb_resolve(
@@ -414,7 +462,10 @@ def advance_detailed(machine, trace, start, end, state) -> None:
     # entry per instruction that stalls fetch and/or redirects it.
     # Redirects are scattered straight into a full-length flag array
     # (no sort needed); the union with the sorted stall positions
-    # falls out of a flatnonzero over the two scatter arrays.
+    # falls out of a flatnonzero over the two scatter arrays.  The
+    # union is shared by every config; only the stall *values* are
+    # per-config, so ``stall_slot`` records where the stall events
+    # land inside the union for the assembly scatter.
     redir_full = np.zeros(n, dtype=np.int64)
     redir_full[cond_idx[~cond_correct]] = 1
     redir_full[call_idx[~call_correct]] = 1
@@ -422,32 +473,124 @@ def advance_detailed(machine, trace, start, end, state) -> None:
     redir_full[unc_idx[~unc_correct]] = 1
     n_redir = int(np.count_nonzero(redir_full))
     if len(stall_pos) or n_redir:
-        stall_full = np.zeros(n, dtype=np.int64)
-        stall_full[stall_pos] = stall_vals
-        ev_pos = np.flatnonzero(stall_full | redir_full)
-        ev_pos_l = ev_pos.tolist()
-        ev_stall = stall_full[ev_pos].tolist()
-        ev_redir = redir_full[ev_pos].tolist()
+        stall_flag = np.zeros(n, dtype=np.int64)
+        stall_flag[stall_pos] = 1
+        ev_pos = np.flatnonzero(stall_flag | redir_full)
+        res.ev_pos_l = ev_pos.tolist()
+        res.ev_redir = redir_full[ev_pos].tolist()
+        res.stall_slot = np.searchsorted(ev_pos, stall_pos)
     else:
-        ev_pos_l = []
-        ev_stall = []
-        ev_redir = []
+        res.ev_pos_l = []
+        res.ev_redir = []
+        res.stall_slot = np.empty(0, dtype=np.int64)
 
-    # ---- counters
-    state.branches += n_branches
-    state.mispredictions += n_redir
-    state.loads += n_loads
-    state.stores += n_mem - n_loads
-    tc_enabled = machine.enhancements.trivial_computation
-    if tc_enabled:
+    # ---- counter deltas
+    res.n_branches = n_branches
+    res.n_redir = n_redir
+    res.n_trivial = 0
+    if count_trivial:
         tv = trace.trivial_bits()[start:end]
-        state.trivial_simplified += int(np.count_nonzero((tv != 0) & ~mem_mask))
+        res.n_trivial = int(np.count_nonzero((tv != 0) & ~mem_mask))
+    if n_fetch:
+        res.last_fetch_block = int(fb[-1])
+        res.last_fetch_page = int(pgs[-1])
+    else:
+        res.last_fetch_block = None
+        res.last_fetch_page = None
+    return res
 
-    # ---- phase 2: the lean timing loop over precomputed latencies
+
+def assemble_timing_feed(machine, res: RegionResolution):
+    """One config's timing feed from a resolved region (the N=1 case).
+
+    Applies ``machine``'s own latencies to the resolution's miss sets:
+    memory completion latencies per mem event, write-buffer drains per
+    store, and the per-event stall magnitudes over the shared event
+    union.  Returns ``(ml_l, drain_l, ev_stall)`` ready for the timing
+    loop.
+    """
+    dtlb_extra = np.zeros(res.n_mem, dtype=np.int64)
+    dtlb_extra[res.dtlb_miss] = machine.dtlb.miss_latency
+    if res.dl1_lat_ev is not None:  # serial (prefetch) resolve
+        dl1_lat_ev = res.dl1_lat_ev
+        l2_hit = l2_fill = 0  # already folded into the serial values
+    else:
+        l2 = machine.l2
+        l2_hit = l2.hit_latency
+        l2_fill = l2.memory.fill_latency(l2.block_bytes)
+        dl1_lat_ev = np.full(res.n_mem, machine.dl1.hit_latency, dtype=np.int64)
+        if len(res.dl1_miss):
+            dl1_lat_ev[res.dl1_miss] += l2_hit + res.dl1_l2miss * l2_fill
+    ml = np.where(res.is_load, dl1_lat_ev + dtlb_extra, 1 + dtlb_extra)
+    # Write-buffer drain times are consumed by stores only, so the
+    # timing loop walks a store-only iterator instead of indexing a
+    # list parallel to every memory event.
+    drain = dl1_lat_ev[~res.is_load]
+    if res.ev_pos_l:
+        if res.stall_cache is not None:
+            stall_cache = res.stall_cache
+        else:
+            stall_cache = np.zeros(len(res.fetch_idx), dtype=np.int64)
+            stall_cache[res.il1_miss] = l2_hit + res.il1_l2miss * l2_fill
+            if len(res.itlb_miss):
+                stall_cache[res.itlb_pos[res.itlb_miss]] += (
+                    machine.itlb.miss_latency
+                )
+        ev_stall_arr = np.zeros(len(res.ev_pos_l), dtype=np.int64)
+        ev_stall_arr[res.stall_slot] = stall_cache[res.stall_ev]
+        ev_stall = ev_stall_arr.tolist()
+    else:
+        ev_stall = []
+    return ml.tolist(), drain.tolist(), ev_stall
+
+
+def assemble_timing_feeds(res: RegionResolution, lat: LatencyTable):
+    """All configs' timing feeds from one resolved region, vectorized.
+
+    The batched counterpart of :func:`assemble_timing_feed`: every
+    latency application runs as one 2-D operation over the latency
+    table's leading ``n_configs`` axis, then each row is peeled off as
+    that config's feed.  Row ``i`` is bit-identical to what
+    :func:`assemble_timing_feed` produces for config ``i`` alone.
+    """
+    k = lat.n_configs
+    n_mem = res.n_mem
+    dtlb_extra = np.zeros((k, n_mem), dtype=np.int64)
+    dtlb_extra[:, res.dtlb_miss] = lat.dtlb_miss[:, None]
+    dl1_lat_ev = np.broadcast_to(lat.dl1_hit[:, None], (k, n_mem)).copy()
+    if len(res.dl1_miss):
+        dl1_lat_ev[:, res.dl1_miss] += (
+            lat.l2_hit[:, None] + res.dl1_l2miss[None, :] * lat.l2_fill[:, None]
+        )
+    ml = np.where(res.is_load[None, :], dl1_lat_ev + dtlb_extra, 1 + dtlb_extra)
+    drain = dl1_lat_ev[:, ~res.is_load]
+    if res.ev_pos_l:
+        stall_cache = np.zeros((k, len(res.fetch_idx)), dtype=np.int64)
+        stall_cache[:, res.il1_miss] = (
+            lat.l2_hit[:, None] + res.il1_l2miss[None, :] * lat.l2_fill[:, None]
+        )
+        if len(res.itlb_miss):
+            stall_cache[:, res.itlb_pos[res.itlb_miss]] += (
+                lat.itlb_miss[:, None]
+            )
+        ev_stall_mat = np.zeros((k, len(res.ev_pos_l)), dtype=np.int64)
+        ev_stall_mat[:, res.stall_slot] = stall_cache[:, res.stall_ev]
+        ev_stall_rows = ev_stall_mat.tolist()
+    else:
+        ev_stall_rows = [[] for _ in range(k)]
+    return ml.tolist(), drain.tolist(), ev_stall_rows
+
+
+def _run_timing_phase(
+    cfg, trace, start, end, tc_enabled, res, ml_l, drain_l, ev_stall, state,
+    run_timing=None,
+) -> None:
+    """Phase 2: one config's specialized timing loop + counter updates."""
     instr_l = trace.timing_lists(
         tc_enabled, start, end, merge_ctrl=cfg.int_alu_lat == 1
     )
-    run_timing = timing_loop_for(cfg)
+    if run_timing is None:
+        run_timing = timing_loop_for(cfg)
     (
         state.fc,
         state.fetch_count,
@@ -457,11 +600,11 @@ def advance_detailed(machine, trace, start, end, state) -> None:
         state.ccount,
     ) = run_timing(
         instr_l,
-        ml.tolist(),
-        drain.tolist(),
-        ev_pos_l,
+        ml_l,
+        drain_l,
+        res.ev_pos_l,
         ev_stall,
-        ev_redir,
+        res.ev_redir,
         state.reg_ready,
         state.rob_ring,
         state.lsq_ring,
@@ -478,12 +621,76 @@ def advance_detailed(machine, trace, start, end, state) -> None:
         state.mem_index,
         state.store_index,
     )
-    state.instr_index += n
-    state.mem_index += n_mem
-    state.store_index += n_mem - n_loads
-    if len(fetch_idx):
-        state.last_fetch_block = int(fb[-1])
-        state.last_fetch_page = int(pgs[-1])
+    state.instr_index += res.n
+    state.mem_index += res.n_mem
+    state.store_index += res.n_mem - res.n_loads
+    state.branches += res.n_branches
+    state.mispredictions += res.n_redir
+    state.loads += res.n_loads
+    state.stores += res.n_mem - res.n_loads
+    if tc_enabled:
+        state.trivial_simplified += res.n_trivial
+    if res.last_fetch_block is not None:
+        state.last_fetch_block = res.last_fetch_block
+        state.last_fetch_page = res.last_fetch_page
+
+
+def advance_detailed(machine, trace, start, end, state) -> None:
+    """Advance the detailed model over ``trace[start:end)`` (split-phase)."""
+    if end - start <= 0:
+        return
+    tc_enabled = machine.enhancements.trivial_computation
+    res = resolve_region(
+        machine, trace, start, end,
+        state.last_fetch_block, state.last_fetch_page,
+        count_trivial=tc_enabled,
+    )
+    ml_l, drain_l, ev_stall = assemble_timing_feed(machine, res)
+    _run_timing_phase(
+        machine.config, trace, start, end, tc_enabled,
+        res, ml_l, drain_l, ev_stall, state,
+    )
+
+
+def advance_detailed_batch(machine, trace, start, end, batch, states) -> None:
+    """Advance N latency configs over ``trace[start:end)`` in one pass.
+
+    ``machine`` carries the *shared* structures -- every entry of
+    ``batch`` (a list of ``(config, enhancements)`` pairs) builds the
+    same geometry, so one resolve pass advances them for all.  The
+    assembly broadcasts the resolution across the latency table's
+    leading ``n_configs`` axis, and each config then runs its own
+    specialized timing loop over its private state in ``states``.
+    Per config, the result is bit-identical to N independent
+    :func:`advance_detailed` calls.
+    """
+    if end - start <= 0:
+        return
+    if machine.enhancements.next_line_prefetch:
+        raise ValueError(
+            "config batching requires per-structure event streams; "
+            "next-line prefetch resolves serially (callers fall back "
+            "to per-config runs)"
+        )
+    lead = states[0]
+    res = resolve_region(
+        machine, trace, start, end,
+        lead.last_fetch_block, lead.last_fetch_page,
+        count_trivial=any(e.trivial_computation for _, e in batch),
+    )
+    lat = LatencyTable([config for config, _ in batch])
+    ml_rows, drain_rows, ev_stall_rows = assemble_timing_feeds(res, lat)
+    # Compile every member's loop up front (deduplicated): a codegen
+    # failure then surfaces before any per-config state has advanced,
+    # leaving the whole batch cleanly retryable.
+    loops = timing_loops_for([config for config, _ in batch])
+    for (config, enhancements), state, ml_l, drain_l, ev_stall, run_timing in zip(
+        batch, states, ml_rows, drain_rows, ev_stall_rows, loops
+    ):
+        _run_timing_phase(
+            config, trace, start, end, enhancements.trivial_computation,
+            res, ml_l, drain_l, ev_stall, state, run_timing,
+        )
 
 
 def _resolve_caches_serial(machine, pc_r, addr_r, fetch_idx, mem_idx):

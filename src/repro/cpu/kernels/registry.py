@@ -120,6 +120,11 @@ class Backend:
     name = "abstract"
     storage = "python"
 
+    #: Whether :meth:`advance_detailed_batch` is implemented.  Callers
+    #: (``Simulator.run_regions``, the engine's batching pass) consult
+    #: this and fall back to per-config runs when it is False.
+    supports_config_batching = False
+
     def build_structures(self, config, enhancements) -> Optional[Dict[str, object]]:
         """Flat structures for a Machine, or None for the reference set."""
         return None
@@ -127,6 +132,19 @@ class Backend:
     def advance_detailed(self, machine, trace, start, end, state) -> None:
         """Advance the detailed timing model over ``trace[start:end)``."""
         raise NotImplementedError
+
+    def advance_detailed_batch(
+        self, machine, trace, start, end, batch, states
+    ) -> None:
+        """Advance N latency configs sharing ``machine``'s structures.
+
+        ``batch`` is a list of ``(config, enhancements)`` pairs and
+        ``states`` the matching per-config timing states.  Bit-identical
+        per config to N separate :meth:`advance_detailed` runs.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support config batching"
+        )
 
     def run_warming(self, machine, trace, start, end):
         """Functionally warm ``trace[start:end)``; returns WarmingStats."""
@@ -162,6 +180,7 @@ class NumpyBackend(Backend):
 
     name = "numpy"
     storage = "list"
+    supports_config_batching = True
 
     def build_structures(self, config, enhancements):
         from repro.cpu.kernels.state import build_structures
@@ -181,6 +200,17 @@ class NumpyBackend(Backend):
             advance_detailed(machine, trace, start, end, state)
         except Exception as exc:
             raise KernelError(self.name, f"detailed kernel failed: {exc!r}") from exc
+
+    def advance_detailed_batch(self, machine, trace, start, end, batch, states):
+        try:
+            _kernel_guard_check(self.name)
+            from repro.cpu.kernels.numpy_impl import advance_detailed_batch
+
+            advance_detailed_batch(machine, trace, start, end, batch, states)
+        except Exception as exc:
+            raise KernelError(
+                self.name, f"batched detailed kernel failed: {exc!r}"
+            ) from exc
 
     def run_warming(self, machine, trace, start, end):
         try:
@@ -205,6 +235,7 @@ class NumbaBackend(Backend):
 
     name = "numba"
     storage = "array"
+    supports_config_batching = True
 
     def build_structures(self, config, enhancements):
         from repro.cpu.kernels.state import build_structures
@@ -219,6 +250,21 @@ class NumbaBackend(Backend):
             advance_detailed(machine, trace, start, end, state)
         except Exception as exc:
             raise KernelError(self.name, f"detailed kernel failed: {exc!r}") from exc
+
+    def advance_detailed_batch(self, machine, trace, start, end, batch, states):
+        # No dedicated numba batch kernel yet: the numpy split-phase
+        # batch runs on the same flat-array structures and is
+        # bit-identical by the backend contract, so batching still
+        # amortizes the resolve pass under this backend.
+        try:
+            _kernel_guard_check(self.name)
+            from repro.cpu.kernels.numpy_impl import advance_detailed_batch
+
+            advance_detailed_batch(machine, trace, start, end, batch, states)
+        except Exception as exc:
+            raise KernelError(
+                self.name, f"batched detailed kernel failed: {exc!r}"
+            ) from exc
 
     def run_warming(self, machine, trace, start, end):
         try:

@@ -79,8 +79,12 @@ class _TimingState:
         "trivial_simplified",
     )
 
-    def __init__(self, machine: Machine) -> None:
-        cfg = machine.config
+    def __init__(self, machine: Machine, config=None) -> None:
+        # ``config`` overrides the ring/pool sizing for batched runs,
+        # where one machine's structures serve several configs that may
+        # differ in window sizes (ROB/LSQ/IFQ/FU counts are timing-only
+        # parameters; they build no shared structure).
+        cfg = config or machine.config
         backend = getattr(machine, "backend", None)
         if backend is not None and backend.storage == "array":
             import numpy as np
@@ -205,6 +209,97 @@ def run_detailed(
     stats.dtlb_misses = after["dtlb_misses"] - snapshot["dtlb_misses"]
     stats.prefetches = after["prefetches"] - snapshot["prefetches"]
     return stats
+
+
+def run_detailed_batch(
+    machine: Machine,
+    trace: Trace,
+    start: int,
+    end: int,
+    specs,
+    measure_from: Optional[int] = None,
+) -> "list[SimulationStats]":
+    """Detailed-simulate ``trace[start:end)`` for N configs in one pass.
+
+    ``machine`` holds the structures shared by every entry of ``specs``
+    (a list of ``(config, enhancements)`` pairs with identical
+    geometry); each config keeps its own :class:`_TimingState`.  The
+    returned statistics are, per config, bit-identical to a separate
+    :func:`run_detailed` run of that config alone -- the structures
+    advance identically because outcomes are trace-determined, and the
+    cache/TLB counter deltas are geometry properties shared by the
+    whole batch.
+    """
+    if measure_from is None:
+        measure_from = start
+    if not start <= measure_from <= end:
+        raise ValueError("need start <= measure_from <= end")
+    if end > len(trace):
+        raise ValueError(f"region [{start}, {end}) exceeds trace length {len(trace)}")
+
+    states = [_TimingState(machine, config=config) for config, _ in specs]
+    advance = machine.backend.advance_detailed_batch
+    n_configs = len(specs)
+
+    if measure_from > start:
+        with obs_phases.measured(
+            "warm_detailed",
+            instructions=(measure_from - start) * n_configs,
+            backend=machine.backend.name,
+            configs=n_configs,
+        ):
+            advance(machine, trace, start, measure_from, specs, states)
+
+    cycles_before = [state.cc for state in states]
+    snapshot = machine.cache_snapshot()
+    counters_before = [
+        (
+            state.branches,
+            state.mispredictions,
+            state.loads,
+            state.stores,
+            state.trivial_simplified,
+        )
+        for state in states
+    ]
+
+    if end > measure_from:
+        with obs_phases.measured(
+            "detailed",
+            instructions=(end - measure_from) * n_configs,
+            backend=machine.backend.name,
+            configs=n_configs,
+        ):
+            advance(machine, trace, measure_from, end, specs, states)
+
+    after = machine.cache_snapshot()
+    results = []
+    for state, cc_before, before in zip(states, cycles_before, counters_before):
+        stats = SimulationStats()
+        stats.instructions = end - measure_from
+        stats.cycles = max(1, state.cc - cc_before)
+        stats.branches = state.branches - before[0]
+        stats.mispredictions = state.mispredictions - before[1]
+        stats.loads = state.loads - before[2]
+        stats.stores = state.stores - before[3]
+        stats.trivial_simplified = state.trivial_simplified - before[4]
+        stats.il1_accesses = (after["il1_hits"] + after["il1_misses"]) - (
+            snapshot["il1_hits"] + snapshot["il1_misses"]
+        )
+        stats.il1_misses = after["il1_misses"] - snapshot["il1_misses"]
+        stats.dl1_accesses = (after["dl1_hits"] + after["dl1_misses"]) - (
+            snapshot["dl1_hits"] + snapshot["dl1_misses"]
+        )
+        stats.dl1_misses = after["dl1_misses"] - snapshot["dl1_misses"]
+        stats.l2_accesses = (after["l2_hits"] + after["l2_misses"]) - (
+            snapshot["l2_hits"] + snapshot["l2_misses"]
+        )
+        stats.l2_misses = after["l2_misses"] - snapshot["l2_misses"]
+        stats.itlb_misses = after["itlb_misses"] - snapshot["itlb_misses"]
+        stats.dtlb_misses = after["dtlb_misses"] - snapshot["dtlb_misses"]
+        stats.prefetches = after["prefetches"] - snapshot["prefetches"]
+        results.append(stats)
+    return results
 
 
 def _run_region(

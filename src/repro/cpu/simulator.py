@@ -10,13 +10,15 @@ each mode so the speed-versus-accuracy analysis can cost it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.cpu import checkpoint, functional
 from repro.cpu.config import Enhancements, ProcessorConfig
 from repro.cpu.functional import run_functional_warming
+from repro.cpu.kernels.registry import SMALL_REGION, get_backend
+from repro.cpu.kernels.state import LatencyTable, same_geometry
 from repro.cpu.machine import Machine
-from repro.cpu.pipeline import run_detailed
+from repro.cpu.pipeline import run_detailed, run_detailed_batch
 from repro.cpu.stats import SimulationStats
 from repro.isa.trace import Trace
 from repro.obs import phases as obs_phases
@@ -82,7 +84,8 @@ class Simulator:
         warmed_prefix: bool = False,
         checkpoint_key: Optional[str] = None,
     ) -> SimulationResult:
-        """Detailed-simulate ``[start, end)`` on a fresh machine.
+        """Detailed-simulate ``[start, end)``: the N=1 case of
+        :meth:`run_regions`.
 
         ``warmup_instructions`` instructions *before* ``start`` are
         simulated in detail but excluded from the statistics.  The
@@ -92,10 +95,148 @@ class Simulator:
         Warmed prefixes resume from the nearest stored checkpoint when
         a checkpoint store is active and ``checkpoint_key`` names this
         (trace, geometry) chain; the result is bit-identical either
-        way.
+        way.  A persistent ``machine`` bypasses the batch routing and
+        runs directly on its existing state.
         """
+        if machine is not None:
+            return self._run_single(
+                trace, start, end, self.config, self.enhancements,
+                warmup_instructions, machine, warmed_prefix, checkpoint_key,
+            )
+        return self.run_regions(
+            trace,
+            (start, end),
+            warmup_instructions=warmup_instructions,
+            warmed_prefix=warmed_prefix,
+            checkpoint_key=checkpoint_key,
+        )[0]
+
+    def run_regions(
+        self,
+        trace: Trace,
+        region: Tuple[int, int],
+        configs: Optional[Sequence[ProcessorConfig]] = None,
+        *,
+        enhancements: Union[Enhancements, Sequence[Enhancements], None] = None,
+        warmup_instructions: int = 0,
+        warmed_prefix: bool = False,
+        checkpoint_key: Optional[str] = None,
+    ) -> List[SimulationResult]:
+        """Detailed-simulate one region under N configs; N results.
+
+        The canonical simulation entry point.  ``configs`` defaults to
+        this simulator's bound config; ``enhancements`` is either one
+        set applied to every config or a per-config sequence.  When the
+        configs share their structure geometry (caches, TLBs,
+        predictor, BTB, RAS -- latency and core-width parameters are
+        free to differ) and the backend supports it, the whole batch
+        runs in ONE pass: the trace is decoded and the structures
+        advanced once, and only the per-config latency assembly and
+        timing loops repeat.  Each element of the result is
+        bit-identical to a separate :meth:`run_region` with that config
+        alone; ineligible batches transparently fall back to per-config
+        runs.
+        """
+        start, end = region
+        config_list = list(configs) if configs is not None else [self.config]
+        if not config_list:
+            return []
+        if enhancements is None:
+            enh_list = [self.enhancements] * len(config_list)
+        elif isinstance(enhancements, Enhancements):
+            enh_list = [enhancements] * len(config_list)
+        else:
+            enh_list = list(enhancements)
+        if len(enh_list) != len(config_list):
+            raise ValueError(
+                f"{len(config_list)} configs but {len(enh_list)} enhancement sets"
+            )
+        specs = list(zip(config_list, enh_list))
+        warm_start = max(0, start - warmup_instructions)
+
+        if len(specs) == 1 or not self._batchable(specs, warm_start, end):
+            # A checkpoint chain is keyed by the warm-state geometry
+            # (which includes the prefetch enhancement); sharing one
+            # key across the fallback runs is only sound when every
+            # member warms that same geometry.
+            shared_key = checkpoint_key
+            if len(specs) > 1 and (
+                not same_geometry(config_list)
+                or len({bool(e.next_line_prefetch) for e in enh_list}) > 1
+            ):
+                shared_key = None
+            return [
+                self._run_single(
+                    trace, start, end, config, enh,
+                    warmup_instructions, None, warmed_prefix, shared_key,
+                )
+                for config, enh in specs
+            ]
+
+        # One machine's structures serve the whole batch: outcomes are
+        # trace-determined, so the shared resolve pass advances them
+        # exactly as each per-config run would have.
+        machine = Machine(specs[0][0], specs[0][1], backend=self.backend)
+        warmed = 0
+        if warmed_prefix and warm_start > 0:
+            warming = functional.warm_prefix(
+                machine, trace, warm_start, checkpoint_key=checkpoint_key
+            )
+            warmed = warming.instructions
+        elif warm_start > 0:
+            # Skipped instructions count once per batched config in the
+            # per-phase work attribution, mirroring N separate runs.
+            obs_phases.record("fastforward", 0.0, warm_start * len(specs))
+        stats_list = run_detailed_batch(
+            machine, trace, warm_start, end, specs, measure_from=start
+        )
+        return [
+            SimulationResult(
+                stats=stats,
+                config_name=config.name,
+                detailed_instructions=end - start,
+                extra_detailed_instructions=start - warm_start,
+                warmed_instructions=warmed,
+                fastforwarded_instructions=0 if warmed_prefix else warm_start,
+            )
+            for stats, (config, _) in zip(stats_list, specs)
+        ]
+
+    def _batchable(self, specs, warm_start: int, end: int) -> bool:
+        """Whether one shared pass can serve this batch.
+
+        Requires a batching backend, a region long enough to clear the
+        small-region reference fallback, per-structure event streams
+        (no next-line prefetch: it resolves serially with latencies
+        baked in), one shared geometry, and strictly positive latencies
+        (what makes the stall-event *positions* latency-independent;
+        the config validators enforce this, so the check is defensive).
+        """
+        if not get_backend(self.backend).supports_config_batching:
+            return False
+        if end - warm_start < SMALL_REGION:
+            return False
+        if any(enh.next_line_prefetch for _, enh in specs):
+            return False
+        if not same_geometry([config for config, _ in specs]):
+            return False
+        return LatencyTable([config for config, _ in specs]).strictly_positive()
+
+    def _run_single(
+        self,
+        trace: Trace,
+        start: int,
+        end: int,
+        config: ProcessorConfig,
+        enhancements: Enhancements,
+        warmup_instructions: int,
+        machine: Optional[Machine],
+        warmed_prefix: bool,
+        checkpoint_key: Optional[str],
+    ) -> SimulationResult:
+        """One config's region run (direct path; no batch routing)."""
         if machine is None:
-            machine = self.new_machine()
+            machine = Machine(config, enhancements, backend=self.backend)
         warm_start = max(0, start - warmup_instructions)
         warmed = 0
         if warmed_prefix and warm_start > 0:
@@ -110,7 +251,7 @@ class Simulator:
         stats = run_detailed(machine, trace, warm_start, end, measure_from=start)
         return SimulationResult(
             stats=stats,
-            config_name=self.config.name,
+            config_name=config.name,
             detailed_instructions=end - start,
             extra_detailed_instructions=start - warm_start,
             warmed_instructions=warmed,

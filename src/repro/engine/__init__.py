@@ -42,12 +42,14 @@ from repro.obs.live import (
     LiveMonitor,
 )
 from repro.scale import Scale, default_scale
+from repro.settings import BATCH_CONFIGS_ENV_VAR, default_batch_configs, resolve
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
 from repro.workloads import trace_store
 from repro.workloads.inputs import Workload
 
 from repro.engine.executor import (
+    BatchTask,
     Executor,
     RunError,
     RunInfo,
@@ -62,6 +64,8 @@ from repro.engine.planner import RESULTS_EPOCH, Plan, RunRequest
 from repro.engine.store import SCHEMA_VERSION, ResultStore
 
 __all__ = [
+    "BATCH_CONFIGS_ENV_VAR",
+    "BatchTask",
     "Engine",
     "EngineMetrics",
     "EngineRunError",
@@ -107,46 +111,30 @@ def default_jobs() -> int:
 
 def default_run_timeout() -> Optional[float]:
     """Per-run timeout from ``$REPRO_RUN_TIMEOUT`` (default: none)."""
-    value = os.environ.get(RUN_TIMEOUT_ENV_VAR)
-    if not value:
-        return None
-    try:
-        return float(value)
-    except ValueError:
-        raise ValueError(
-            f"${RUN_TIMEOUT_ENV_VAR} must be a number of seconds, got {value!r}"
-        ) from None
+    return resolve(
+        None, RUN_TIMEOUT_ENV_VAR, None, float, "a number of seconds"
+    )
 
 
 def default_max_retries() -> int:
     """Retry budget from ``$REPRO_MAX_RETRIES`` (default: 1)."""
-    value = os.environ.get(MAX_RETRIES_ENV_VAR)
-    if not value:
-        return 1
-    try:
-        return int(value)
-    except ValueError:
-        raise ValueError(
-            f"${MAX_RETRIES_ENV_VAR} must be an integer, got {value!r}"
-        ) from None
+    return resolve(None, MAX_RETRIES_ENV_VAR, 1, int, "an integer")
 
 
 def default_checkpoint_interval() -> float:
     """Checkpoint spacing in paper-M from ``$REPRO_CHECKPOINT_INTERVAL``
     (default 500; 0 disables)."""
-    value = os.environ.get(CHECKPOINT_INTERVAL_ENV_VAR)
-    if not value:
-        return checkpoint.DEFAULT_INTERVAL_M
-    try:
-        interval = float(value)
-    except ValueError:
-        raise ValueError(
-            f"${CHECKPOINT_INTERVAL_ENV_VAR} must be a number of "
-            f"M-instructions, got {value!r}"
-        ) from None
+    interval = resolve(
+        None,
+        CHECKPOINT_INTERVAL_ENV_VAR,
+        checkpoint.DEFAULT_INTERVAL_M,
+        float,
+        "a number of M-instructions",
+    )
     if interval < 0:
         raise ValueError(
-            f"${CHECKPOINT_INTERVAL_ENV_VAR} must be non-negative, got {value!r}"
+            f"${CHECKPOINT_INTERVAL_ENV_VAR} must be non-negative, "
+            f"got {interval!r}"
         )
     return interval
 
@@ -175,6 +163,15 @@ class Engine:
     ``<cache_dir>/journal.jsonl``; ``resume=True`` replays that journal
     so a killed sweep skips its completed runs (and its quarantined
     poison runs) instead of starting over.
+
+    ``batch_configs`` (default 1 = off; ``$REPRO_BATCH_CONFIGS``) caps
+    how many same-geometry planned runs one config-batched simulation
+    pass may serve: runs grouped by ``technique.batch_key`` decode the
+    trace and advance the structures once and repeat only the
+    per-config timing, with results bit-identical to unbatched runs.
+    Batches journal, retry, degrade and quarantine per member run --
+    any batched failure re-executes the members as singletons without
+    charging their retry budgets.
     """
 
     def __init__(
@@ -192,6 +189,7 @@ class Engine:
         trace: Optional[bool] = None,
         metrics_file: Optional[os.PathLike] = None,
         live_interval: float = 1.0,
+        batch_configs: Optional[int] = None,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
         if retries is None:
@@ -202,6 +200,11 @@ class Engine:
             checkpoint_interval = default_checkpoint_interval()
         elif checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be non-negative")
+        if batch_configs is None:
+            batch_configs = default_batch_configs()
+        elif batch_configs < 1:
+            raise ValueError("batch_configs must be >= 1")
+        self.batch_configs = batch_configs
         self.executor = Executor(
             jobs=jobs,
             retries=retries,
@@ -520,10 +523,15 @@ class Engine:
             if self.journal is not None:
                 self.journal.degraded(plan.keys[slot], from_backend, to_backend)
 
+        def on_batch(members: int) -> None:
+            self.metrics.batches += 1
+            self.metrics.batched_runs += members
+
         if tasks:
             self.executor.run(
-                tasks, self.scale, on_success, on_failure, on_retry, on_degrade,
-                telemetry=self.tracker,
+                self._group_batches(tasks), self.scale,
+                on_success, on_failure, on_retry, on_degrade,
+                telemetry=self.tracker, on_batch=on_batch,
             )
         # Fold in parent-side store traffic (SimPoint selections, inline
         # trace loads); worker-side traffic arrived via RunInfo.reuse.
@@ -565,6 +573,7 @@ class Engine:
                 "run_timeout_s": self.run_timeout,
                 "max_retries": self.executor.retries,
                 "cache_dir": str(self.store.root) if self.store else None,
+                "batch_configs": self.batch_configs,
                 "results_epoch": RESULTS_EPOCH,
                 "schema_version": SCHEMA_VERSION,
                 "checkpoint_interval_m": self.checkpoint_interval_m,
@@ -606,6 +615,45 @@ class Engine:
                 os.environ[name] = previous
 
     # -- internals ---------------------------------------------------------------
+
+    def _group_batches(self, tasks: List[RunTask]) -> List[object]:
+        """Fold batchable singleton tasks into :class:`BatchTask` groups.
+
+        Tasks whose technique reports the same ``batch_key`` measure
+        the same trace regions on one shared structure geometry, so one
+        config-batched simulation pass serves them all.  Groups are
+        chunked to at most ``batch_configs`` members; each batch takes
+        the position of its first member, preserving the trace-affinity
+        order of the input.  With ``batch_configs == 1`` (the default)
+        the task list passes through untouched.
+        """
+        if self.batch_configs <= 1 or len(tasks) <= 1:
+            return list(tasks)
+        groups: Dict[tuple, List[RunTask]] = {}
+        keys: List[Optional[tuple]] = []
+        for task in tasks:
+            request = task.request
+            key = request.technique.batch_key(
+                request.workload, request.config, request.enhancements,
+                self.scale,
+            )
+            keys.append(key)
+            if key is not None:
+                groups.setdefault(key, []).append(task)
+        emitted: set = set()
+        work: List[object] = []
+        for task, key in zip(tasks, keys):
+            if key is None:
+                work.append(task)
+                continue
+            if key in emitted:
+                continue
+            emitted.add(key)
+            members = groups[key]
+            for index in range(0, len(members), self.batch_configs):
+                chunk = members[index : index + self.batch_configs]
+                work.append(chunk[0] if len(chunk) == 1 else BatchTask(chunk))
+        return work
 
     def _selection_for(self, request: RunRequest) -> Optional[object]:
         """SimPoint's config-independent selection, computed once per

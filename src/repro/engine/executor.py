@@ -44,6 +44,16 @@ executing are charged a ``crash`` attempt; runs still queued inside
 the pool (or never submitted at all) are requeued as "never ran" --
 they are not charged a retry attempt and do not inflate the retry
 metric.
+
+Config batching (:class:`BatchTask`) composes with all of the above by
+keeping supervision strictly per-run: a batch wraps N single-run tasks
+whose technique serves them in one shared simulation pass, and *any*
+failure of the batched pass -- an exception, a kernel error, a watchdog
+timeout (a batch's deadline is ``timeout * N``) or a pool breakage --
+explodes the batch back into its member singleton tasks, requeued
+without being charged an attempt.  The members then retry, degrade or
+quarantine individually through the normal machinery, so a poisoned
+config can never take its batch siblings down with it.
 """
 
 from __future__ import annotations
@@ -138,6 +148,8 @@ class RunInfo:
     #: Trace-store / checkpoint counter deltas observed by this run's
     #: worker (empty when the stores are inactive).
     reuse: Dict[str, int] = field(default_factory=dict)
+    #: How many runs shared this run's simulation pass (1 = unbatched).
+    batch_size: int = 1
 
     @property
     def degraded(self) -> bool:
@@ -162,6 +174,55 @@ class RunTask:
     #: ``time.monotonic()`` at pool submission (stamped by the parent;
     #: comparable across processes), feeding the queue-wait span.
     submitted: Optional[float] = None
+
+
+@dataclass
+class BatchTask:
+    """One config-batched execution of several same-group run tasks.
+
+    The members share a technique permutation, workload, measured
+    regions and structure geometry (the engine groups them by
+    ``technique.batch_key``), so one shared simulation pass serves them
+    all via ``technique.run_batch``.  A batch is all-or-nothing in
+    flight: any failure explodes it back into its member singleton
+    tasks, requeued *uncharged*, and retry/quarantine/degradation then
+    happen at single-config granularity.  Consequently a batch never
+    carries an attempt count above 1 and never degrades as a unit.
+    """
+
+    members: List[RunTask]
+    attempt: int = 1
+    backend: Optional[str] = None  # batches never degrade; kept for telemetry
+    submitted: Optional[float] = None
+
+    @property
+    def slot(self) -> int:
+        """Representative plan slot (lifecycle events and telemetry)."""
+        return self.members[0].slot
+
+    @property
+    def key(self) -> str:
+        return self.members[0].key
+
+    @property
+    def request(self) -> RunRequest:
+        return self.members[0].request
+
+    @property
+    def workload_key(self) -> Optional[Tuple[str, str, int]]:
+        return self.members[0].workload_key
+
+    @property
+    def description(self) -> str:
+        return (
+            f"{self.members[0].description} "
+            f"[batched x{len(self.members)} configs]"
+        )
+
+
+def _deadline_budget(task) -> int:
+    """Wall-clock budget multiplier: a batch earns its members' sum."""
+    return len(task.members) if isinstance(task, BatchTask) else 1
 
 
 @lru_cache(maxsize=64)
@@ -201,6 +262,28 @@ def _strip_workload(task: RunTask) -> RunTask:
         request=dataclasses.replace(task.request, workload=None),
         workload_key=(workload.benchmark, workload.input_set.name, workload.seed),
     )
+
+
+def _strip_task(task):
+    """Submission copy of any task kind with workloads shipped by key."""
+    if isinstance(task, BatchTask):
+        return dataclasses.replace(
+            task, members=[_strip_workload(member) for member in task.members]
+        )
+    return _strip_workload(task)
+
+
+def _rebind_workload(task: RunTask) -> RunTask:
+    """Worker-side inverse of :func:`_strip_workload` (no-op when the
+    workload travelled by value)."""
+    if task.request.workload is None and task.workload_key is not None:
+        return dataclasses.replace(
+            task,
+            request=dataclasses.replace(
+                task.request, workload=_resolve_workload(*task.workload_key)
+            ),
+        )
+    return task
 
 
 def execute_request(
@@ -299,7 +382,9 @@ def _run_attrs(task: RunTask) -> Dict[str, object]:
     return attrs
 
 
-def _worker(task: RunTask, scale: Scale):
+def _worker(task, scale: Scale):
+    if isinstance(task, BatchTask):
+        return _run_batch(task, scale)
     events, generation = _worker_events, _worker_generation
     begun = time.monotonic()
     if events is not None:
@@ -322,11 +407,7 @@ def _worker(task: RunTask, scale: Scale):
     )
     obs_phases.drain()  # stray ledger state must not leak into this run
     try:
-        request = task.request
-        if request.workload is None and task.workload_key is not None:
-            request = dataclasses.replace(
-                request, workload=_resolve_workload(*task.workload_key)
-            )
+        request = _rebind_workload(task).request
         faults.activate(task.slot, task.attempt)
         previous = os.environ.get(BACKEND_ENV_VAR)
         if task.backend is not None:
@@ -345,6 +426,76 @@ def _worker(task: RunTask, scale: Scale):
         wall = time.perf_counter() - started
         result.phase_times = obs_phases.drain()
         return task.slot, result, wall, _consume_reuse_counters()
+    finally:
+        obs_trace.clear_context()
+        if events is not None:
+            obs_phases.set_notifier(None)
+            events.put(("end", generation, task.slot, task.attempt))
+
+
+def _run_batch(task: BatchTask, scale: Scale):
+    """Execute one config-batched pass; returns per-member results.
+
+    The return shape is ``(slots, results, wall, reuse)`` with one slot
+    and one result per member.  Any exception -- including injected
+    faults armed for *any* member slot -- propagates whole, and the
+    parent explodes the batch back into singletons.  The phase ledger
+    is drained once for the shared pass and divided evenly across the
+    members, so per-family phase totals reflect the work actually done
+    (a batch warms once, not N times).
+    """
+    events, generation = _worker_events, _worker_generation
+    begun = time.monotonic()
+    if events is not None:
+        events.put(
+            ("start", generation, task.slot, task.attempt, begun, os.getpid())
+        )
+        obs_phases.set_notifier(_PhaseNotifier(events, generation, task))
+    attrs = _run_attrs(task)
+    attrs["configs"] = len(task.members)
+    if task.submitted is not None:
+        obs_trace.emit_span(
+            "queue_wait", task.submitted, begun - task.submitted, **attrs
+        )
+    obs_trace.set_context(
+        **{k: v for k, v in attrs.items() if k in ("run", "family", "benchmark")}
+    )
+    obs_phases.drain()  # stray ledger state must not leak into this batch
+    try:
+        members = [_rebind_workload(member) for member in task.members]
+        technique = members[0].request.technique
+        workload = members[0].request.workload
+        faults.activate_many([(m.slot, m.attempt) for m in members])
+        started = time.perf_counter()
+        try:
+            with obs_trace.span("run", **attrs):
+                results = technique.run_batch(
+                    workload,
+                    [m.request.config for m in members],
+                    [m.request.enhancements for m in members],
+                    scale,
+                )
+        finally:
+            faults.deactivate()
+        wall = time.perf_counter() - started
+        share = len(members)
+        shared_phases = obs_phases.drain()
+        for result in results:
+            result.phase_times = {
+                phase: {
+                    "seconds": entry.get("seconds", 0.0) / share,
+                    "instructions": int(
+                        round(entry.get("instructions", 0) / share)
+                    ),
+                }
+                for phase, entry in shared_phases.items()
+            }
+        return (
+            [m.slot for m in members],
+            results,
+            wall,
+            _consume_reuse_counters(),
+        )
     finally:
         obs_trace.clear_context()
         if events is not None:
@@ -413,12 +564,14 @@ class _WatchdogTimeout(Exception):
 
 
 #: Callback signatures: success(slot, result, wall_seconds, info),
-#: failure(slot, request, run_error), retry(slot, causing_exception)
-#: and degrade(slot, from_backend, to_backend).
+#: failure(slot, request, run_error), retry(slot, causing_exception),
+#: degrade(slot, from_backend, to_backend) and batch(member_count) --
+#: fired once per *successfully completed* batched pass.
 SuccessCallback = Callable[[int, TechniqueResult, float, RunInfo], None]
 FailureCallback = Callable[[int, RunRequest, RunError], None]
 RetryCallback = Callable[[int, BaseException], None]
 DegradeCallback = Callable[[int, str, str], None]
+BatchCallback = Callable[[int], None]
 
 
 #: Normalized signature for any pool breakage (messages vary by phase).
@@ -582,16 +735,18 @@ class Executor:
 
     def run(
         self,
-        tasks: Sequence[RunTask],
+        tasks: Sequence[object],
         scale: Scale,
         on_success: SuccessCallback,
         on_failure: FailureCallback,
         on_retry: RetryCallback,
         on_degrade: Optional[DegradeCallback] = None,
         telemetry: Optional[InflightTracker] = None,
+        on_batch: Optional[BatchCallback] = None,
     ) -> None:
         """Execute every task, dispatching exactly one terminal callback
-        (success or failure) per task.
+        (success or failure) per *run* -- a :class:`BatchTask` dispatches
+        one per member.
 
         ``telemetry``, when given, is kept in sync with the runs that
         are executing right now (slot, phase, attempt, worker PID) for
@@ -599,9 +754,19 @@ class Executor:
         """
         if self.jobs == 1 or (len(tasks) <= 1 and self.timeout is None):
             supervision: Dict[int, _Supervision] = {}
-            for index, task in enumerate(tasks):
+            queue: Deque = deque(tasks)
+            while queue:
+                task = queue.popleft()
                 if telemetry is not None:
-                    telemetry.set_queue(len(tasks) - index - 1)
+                    telemetry.set_queue(len(queue))
+                if isinstance(task, BatchTask):
+                    exploded = self._run_batch_inline(
+                        task, scale, on_success, on_batch, telemetry
+                    )
+                    if exploded is not None:
+                        # The members run next, as singletons, uncharged.
+                        queue.extendleft(reversed(exploded))
+                    continue
                 self._run_inline(
                     task, scale, supervision,
                     on_success, on_failure, on_retry, on_degrade, telemetry,
@@ -609,7 +774,7 @@ class Executor:
             return
         self._run_parallel(
             tasks, scale, on_success, on_failure, on_retry, on_degrade,
-            telemetry,
+            telemetry, on_batch,
         )
 
     def _run_inline(
@@ -657,22 +822,90 @@ class Executor:
             on_success(slot, result, wall, info)
             return
 
+    def _run_batch_inline(
+        self,
+        task: BatchTask,
+        scale: Scale,
+        on_success: SuccessCallback,
+        on_batch: Optional[BatchCallback],
+        telemetry: Optional[InflightTracker] = None,
+    ) -> Optional[List[RunTask]]:
+        """One inline batched pass; returns the members to requeue as
+        singletons when the pass failed (None on success)."""
+        if telemetry is not None:
+            telemetry.start(
+                task.slot,
+                key=task.key,
+                description=task.description,
+                attempt=task.attempt,
+                backend=task.backend,
+                pid=os.getpid(),
+            )
+            obs_phases.set_notifier(
+                lambda phase, slot=task.slot: telemetry.set_phase(slot, phase)
+            )
+        try:
+            payload = _worker(task, scale)
+        except Exception as exc:
+            # Exploded: supervision is per-run, so the batch itself is
+            # never retried -- its members are, individually, uncharged.
+            obs_trace.event(
+                "batch_explode",
+                run=task.key,
+                configs=len(task.members),
+                kind=classify_failure(exc),
+            )
+            return list(task.members)
+        finally:
+            if telemetry is not None:
+                obs_phases.set_notifier(None)
+                telemetry.finish(task.slot)
+        self._dispatch_batch_success(task, payload, on_success, on_batch)
+        return None
+
+    @staticmethod
+    def _dispatch_batch_success(
+        task: BatchTask,
+        payload,
+        on_success: SuccessCallback,
+        on_batch: Optional[BatchCallback],
+    ) -> None:
+        """Fan a completed batch out into per-member success callbacks.
+
+        Each member is credited an even share of the batch's wall time
+        (the shares sum back to the true cost) and the first member
+        carries the pass's store-reuse counters so they are folded into
+        the metrics exactly once.
+        """
+        slots, results, wall, reuse = payload
+        share = wall / max(1, len(slots))
+        for index, (slot, result) in enumerate(zip(slots, results)):
+            info = RunInfo(
+                attempts=1, backend=task.backend, batch_size=len(slots)
+            )
+            if index == 0:
+                info.reuse = reuse
+            on_success(slot, result, share, info)
+        if on_batch is not None:
+            on_batch(len(slots))
+
     def _run_parallel(
         self,
-        tasks: Sequence[RunTask],
+        tasks: Sequence[object],
         scale: Scale,
         on_success: SuccessCallback,
         on_failure: FailureCallback,
         on_retry: RetryCallback,
         on_degrade: Optional[DegradeCallback],
         telemetry: Optional[InflightTracker] = None,
+        on_batch: Optional[BatchCallback] = None,
     ) -> None:
         workers = min(self.jobs, max(1, len(tasks)))
         backlog = workers * _BACKLOG_PER_WORKER
-        pending: Deque[RunTask] = deque(tasks)
+        pending: Deque = deque(tasks)
         waiting: List[Tuple[float, RunTask]] = []  # backoff: (ready_at, task)
         supervision: Dict[int, _Supervision] = {}
-        futures: Dict[object, RunTask] = {}
+        futures: Dict[object, object] = {}
         events = _WorkerEvents()
         pool = self._new_pool(workers, events)
 
@@ -702,7 +935,19 @@ class Executor:
             )
             telemetry.sync(running, queued)
 
-        def handle_failure(task: RunTask, exc: BaseException) -> None:
+        def handle_failure(task, exc: BaseException) -> None:
+            if isinstance(task, BatchTask):
+                # Any batched failure explodes back to singletons,
+                # uncharged: retry/quarantine/degradation always happen
+                # at single-run granularity.
+                obs_trace.event(
+                    "batch_explode",
+                    run=task.key,
+                    configs=len(task.members),
+                    kind=classify_failure(exc),
+                )
+                pending.extend(task.members)
+                return
             action = self._after_failure(
                 task, exc, supervision, on_failure, on_retry, on_degrade
             )
@@ -713,10 +958,10 @@ class Executor:
                 else:
                     pending.append(retask)
 
-        def handle_done_future(future, task: RunTask) -> bool:
+        def handle_done_future(future, task) -> bool:
             """Dispatch one completed future; True if the pool broke."""
             try:
-                slot, result, wall, reuse = future.result()
+                payload = future.result()
             except BrokenExecutor as exc:
                 # The breakage exception lands on *every* in-flight
                 # future, but only runs that had started executing can
@@ -731,9 +976,15 @@ class Executor:
             except Exception as exc:
                 handle_failure(task, exc)
             else:
-                info = self._info(task, supervision)
-                info.reuse = reuse
-                on_success(slot, result, wall, info)
+                if isinstance(task, BatchTask):
+                    self._dispatch_batch_success(
+                        task, payload, on_success, on_batch
+                    )
+                else:
+                    slot, result, wall, reuse = payload
+                    info = self._info(task, supervision)
+                    info.reuse = reuse
+                    on_success(slot, result, wall, info)
             return False
 
         try:
@@ -751,7 +1002,7 @@ class Executor:
                     task = pending.popleft()
                     task.submitted = time.monotonic()
                     try:
-                        future = pool.submit(_worker, _strip_workload(task), scale)
+                        future = pool.submit(_worker, _strip_task(task), scale)
                     except RuntimeError:
                         # Pool broken or shut down mid-submission: this
                         # task never ran, so it is requeued without
@@ -787,7 +1038,11 @@ class Executor:
                     for task in futures.values():
                         begun = events.start_time(task)
                         if begun is not None:
-                            timeouts.append(begun + self.timeout - now)
+                            timeouts.append(
+                                begun
+                                + self.timeout * _deadline_budget(task)
+                                - now
+                            )
                 if telemetry is not None:
                     # Keep phase/queue updates flowing to the live view
                     # even while no future completes.
@@ -899,7 +1154,9 @@ class Executor:
             begun = events.start_time(task)
             if future.done():  # completed while we were deciding
                 raced.append((future, task))
-            elif begun is not None and now >= begun + self.timeout:
+            elif begun is not None and now >= (
+                begun + self.timeout * _deadline_budget(task)
+            ):
                 expired.append(task)
             else:
                 interrupted.append(task)

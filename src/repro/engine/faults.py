@@ -147,7 +147,9 @@ def _parse_compact_entry(entry: str) -> FaultSpec:
 # parsed once per distinct environment value per process.
 
 _parsed: Tuple[Optional[str], List[FaultSpec]] = (None, [])
-_active: Optional[Tuple[int, int]] = None  # (slot, attempt) of the current run
+#: ``(slot, attempt)`` pairs of the run(s) executing right now -- one
+#: pair for a singleton run, one per member for a config-batched run.
+_active: Optional[List[Tuple[int, int]]] = None
 
 
 def _current_plan() -> List[FaultSpec]:
@@ -171,21 +173,33 @@ def activate(slot: int, attempt: int) -> None:
     try/finally (and so :func:`deactivate`) is ever entered, and must
     not leave the plan armed for whatever runs next in this process.
     """
+    activate_many([(slot, attempt)])
+
+
+def activate_many(pairs: List[Tuple[int, int]]) -> None:
+    """Arm the plan for several runs executing as one batched pass.
+
+    A fault planned for *any* member ``(slot, attempt)`` fires during
+    the batch, so a batch containing a poisoned run fails exactly as a
+    sweep containing that run would -- the executor then explodes the
+    batch back into singletons and the per-run supervision takes over.
+    """
     global _active
     _active = None
     plan = _current_plan()
     if not plan:
         return
-    for spec in plan:
-        if not spec.matches(slot, attempt):
-            continue
-        if spec.kind == "exc":
-            raise InjectedFault(f"injected exception at slot {slot}")
-        if spec.kind == "hang":
-            time.sleep(float(spec.arg) if spec.arg else 3600.0)
-        elif spec.kind == "kill":
-            os.kill(os.getpid(), signal.SIGKILL)
-    _active = (slot, attempt)
+    for slot, attempt in pairs:
+        for spec in plan:
+            if not spec.matches(slot, attempt):
+                continue
+            if spec.kind == "exc":
+                raise InjectedFault(f"injected exception at slot {slot}")
+            if spec.kind == "hang":
+                time.sleep(float(spec.arg) if spec.arg else 3600.0)
+            elif spec.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+    _active = list(pairs)
 
 
 def deactivate() -> None:
@@ -195,15 +209,16 @@ def deactivate() -> None:
 
 
 def kernel_check(backend_name: str) -> None:
-    """Raise :class:`InjectedFault` if a kernel fault is planned for the
+    """Raise :class:`InjectedFault` if a kernel fault is planned for any
     active run on ``backend_name`` (no-op outside an activated run)."""
     if _active is None:
         return
-    slot, attempt = _active
-    for spec in _current_plan():
-        if spec.kind != "kernel" or not spec.matches(slot, attempt):
-            continue
-        if spec.arg is None or spec.arg == backend_name:
-            raise InjectedFault(
-                f"injected kernel fault at slot {slot} on backend {backend_name}"
-            )
+    for slot, attempt in _active:
+        for spec in _current_plan():
+            if spec.kind != "kernel" or not spec.matches(slot, attempt):
+                continue
+            if spec.arg is None or spec.arg == backend_name:
+                raise InjectedFault(
+                    f"injected kernel fault at slot {slot} "
+                    f"on backend {backend_name}"
+                )

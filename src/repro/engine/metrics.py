@@ -94,6 +94,8 @@ class EngineMetrics:
     timeouts: int = 0           # attempts reaped by the watchdog
     crashes: int = 0            # attempts lost to a dead worker process
     degradations: int = 0       # runs retried on a lower backend tier
+    batches: int = 0            # config-batched passes completed
+    batched_runs: int = 0       # runs served by a config-batched pass
     # Shared-state reuse (trace store + warm-state checkpoints):
     trace_cache_hits: int = 0   # traces served memory-mapped from the store
     trace_cache_misses: int = 0  # traces generated (and stored) fresh
@@ -227,6 +229,11 @@ class EngineMetrics:
             "timeouts": self.timeouts,
             "crashes": self.crashes,
             "degradations": self.degradations,
+            "batches": self.batches,
+            "batched_runs": self.batched_runs,
+            "configs_per_batch": (
+                self.batched_runs / self.batches if self.batches else 0.0
+            ),
             "trace_cache_hits": self.trace_cache_hits,
             "trace_cache_misses": self.trace_cache_misses,
             "checkpoint_hits": self.checkpoint_hits,

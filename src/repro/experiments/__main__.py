@@ -24,6 +24,7 @@ flag                     environment                      default
 ``--checkpoint-interval``  ``REPRO_CHECKPOINT_INTERVAL``  500 (M instructions)
 ``--trace/--no-trace``   ``REPRO_TRACE``                  tracing off
 ``--metrics-file``       ``REPRO_METRICS_FILE``           no Prometheus export
+``--batch-configs``      ``REPRO_BATCH_CONFIGS``          1 (config batching off)
 =======================  ===============================  =========================
 
 ``python -m repro.experiments report`` renders a traced sweep's
@@ -62,6 +63,7 @@ from repro.engine import (
 )
 from repro.obs.live import METRICS_FILE_ENV_VAR
 from repro.obs.trace import TRACE_ENV_VAR, default_enabled as default_trace
+from repro.settings import BATCH_CONFIGS_ENV_VAR, resolve as resolve_setting
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
 from repro.experiments import figure7, section52, survey, tables
 from repro.experiments.common import (
@@ -93,12 +95,9 @@ EXPERIMENTS = {
 
 def _resolved_jobs(flag_value: int | None) -> int:
     """--jobs > $REPRO_JOBS > every available core."""
-    if flag_value is not None:
-        return flag_value
-    env = os.environ.get(JOBS_ENV_VAR)
-    if env:
-        return int(env)
-    return default_jobs()
+    return resolve_setting(
+        flag_value, JOBS_ENV_VAR, default_jobs, int, "an integer"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -230,6 +229,15 @@ def main(argv: list[str] | None = None) -> int:
         help="export live engine counters to FILE in Prometheus "
         f"textfile-collector format (default: ${METRICS_FILE_ENV_VAR})",
     )
+    parser.add_argument(
+        "--batch-configs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve up to N same-geometry configurations per batched "
+        f"simulation pass (default: ${BATCH_CONFIGS_ENV_VAR} or 1 = "
+        "batching off); results are bit-identical either way",
+    )
     args = parser.parse_args(argv)
 
     # Resolve once (flag > env > default) and export the result so the
@@ -270,6 +278,14 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-retries must be >= 0")
     if args.checkpoint_interval is not None and args.checkpoint_interval < 0:
         parser.error("--checkpoint-interval must be >= 0 (0 disables)")
+    try:
+        batch_configs = resolve_setting(
+            args.batch_configs, BATCH_CONFIGS_ENV_VAR, 1, int, "an integer"
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if batch_configs < 1:
+        parser.error("--batch-configs must be >= 1 (1 disables batching)")
     trace = args.trace if args.trace is not None else default_trace()
     if trace and cache_dir is None:
         parser.error(
@@ -298,6 +314,7 @@ def main(argv: list[str] | None = None) -> int:
         trace_cache=not args.no_trace_cache,
         trace=trace,
         metrics_file=Path(args.metrics_file) if args.metrics_file else None,
+        batch_configs=batch_configs,
     )
     try:
         for name in names:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
 from repro.engine import Engine, RunRequest
 from repro.scale import Scale, default_scale
+from repro.settings import resolve as resolve_setting
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.reference import ReferenceTechnique
 from repro.techniques.registry import FAMILIES, permutations
@@ -62,15 +63,7 @@ def default_context_jobs() -> int:
     Library contexts stay serial unless asked; the CLI defaults to all
     cores instead (see :mod:`repro.experiments.__main__`).
     """
-    value = os.environ.get(JOBS_ENV_VAR)
-    if not value:
-        return 1
-    try:
-        return int(value)
-    except ValueError:
-        raise ValueError(
-            f"${JOBS_ENV_VAR} must be an integer, got {value!r}"
-        ) from None
+    return resolve_setting(None, JOBS_ENV_VAR, 1, int, "an integer")
 
 
 @dataclass
@@ -106,6 +99,9 @@ class ExperimentContext:
     #: and an optional Prometheus textfile to export live counters to.
     trace: Optional[bool] = None
     metrics_file: Optional[Path] = None
+    #: Config-batching width (None: $REPRO_BATCH_CONFIGS or 1 = off):
+    #: how many same-geometry runs one batched pass may serve.
+    batch_configs: Optional[int] = None
 
     #: The engine executing this context's runs; built from the fields
     #: above unless injected.
@@ -127,6 +123,7 @@ class ExperimentContext:
                 trace_cache=self.trace_cache,
                 trace=self.trace,
                 metrics_file=self.metrics_file,
+                batch_configs=self.batch_configs,
             )
 
     # -- workloads ---------------------------------------------------------------

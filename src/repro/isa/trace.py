@@ -247,41 +247,52 @@ class Trace:
         becomes ``NUM_REGS + 1`` (a slot that is always ready at cycle
         0), so the hot loop needs no validity branches.  The rows are
         prezipped into one tuple list (cheaper to iterate than a zip
-        of four columns); the full-trace conversion is cached and
-        region slices are memoized so repeated simulation of the same
-        region pays the copy once.
+        of four columns).  A short region of a long trace converts (and
+        memoizes) just its slice -- the full conversion costs an order
+        of magnitude more than such a region needs; the full-trace
+        conversion is built and cached the first time a caller asks for
+        a large region, after which slices are pointer copies.
         """
         if end is None:
             end = len(self)
         key = ("timing", bool(trivial_enabled), bool(merge_ctrl))
         full = self._list_cache.get(key)
         if full is None:
-            from repro.isa.instructions import NUM_REGS
-
-            op = self.op.astype(np.int64)
-            codes = np.where(op >= 8, 0 if merge_ctrl else 8, op)
-            if trivial_enabled:
-                trivial = (
-                    (self.trivial_bits() != 0) & (op != 6) & (op != 7)
+            if (end - start) * 8 < len(self):
+                return self.region_memo(
+                    key + (start, end),
+                    lambda: self._timing_rows(
+                        trivial_enabled, merge_ctrl, start, end
+                    ),
                 )
-                codes = np.where(trivial, 15, codes)
-            dst = self.dst.astype(np.int64)
-            src1 = self.src1.astype(np.int64)
-            src2 = self.src2.astype(np.int64)
-            full = list(
-                zip(
-                    codes.tolist(),
-                    np.where(dst < 0, NUM_REGS, dst).tolist(),
-                    np.where(src1 < 0, NUM_REGS + 1, src1).tolist(),
-                    np.where(src2 < 0, NUM_REGS + 1, src2).tolist(),
-                )
-            )
+            full = self._timing_rows(trivial_enabled, merge_ctrl, 0, len(self))
             self._list_cache[key] = full
         if start == 0 and end == len(self):
             return full
-        return self.region_memo(
-            ("timing", bool(trivial_enabled), bool(merge_ctrl), start, end),
-            lambda: full[start:end],
+        return self.region_memo(key + (start, end), lambda: full[start:end])
+
+    def _timing_rows(
+        self, trivial_enabled: bool, merge_ctrl: bool, start: int, end: int
+    ) -> List[Tuple[int, int, int, int]]:
+        from repro.isa.instructions import NUM_REGS
+
+        op = self.op[start:end].astype(np.int64)
+        codes = np.where(op >= 8, 0 if merge_ctrl else 8, op)
+        if trivial_enabled:
+            trivial = (
+                (self.trivial_bits()[start:end] != 0) & (op != 6) & (op != 7)
+            )
+            codes = np.where(trivial, 15, codes)
+        dst = self.dst[start:end].astype(np.int64)
+        src1 = self.src1[start:end].astype(np.int64)
+        src2 = self.src2[start:end].astype(np.int64)
+        return list(
+            zip(
+                codes.tolist(),
+                np.where(dst < 0, NUM_REGS, dst).tolist(),
+                np.where(src1 < 0, NUM_REGS + 1, src1).tolist(),
+                np.where(src2 < 0, NUM_REGS + 1, src2).tolist(),
+            )
         )
 
     def block_execution_counts(self, start: int = 0, end: int | None = None) -> np.ndarray:

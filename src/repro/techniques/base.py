@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -145,6 +146,12 @@ class SimulationTechnique(ABC):
     #: "Run Z", "FF+Run Z", "FF+WU+Run Z", "Reference").
     family: str = "abstract"
 
+    #: Whether this technique measures fixed trace regions that one
+    #: config-batched pass can serve (:meth:`run_batch`).  Techniques
+    #: whose region choice depends on the config, or that interleave
+    #: modes run-specifically, leave this False.
+    supports_batching: bool = False
+
     @property
     @abstractmethod
     def permutation(self) -> str:
@@ -159,6 +166,62 @@ class SimulationTechnique(ABC):
         enhancements: Optional[Enhancements] = None,
     ) -> TechniqueResult:
         """Estimate the workload's behaviour on ``config``."""
+
+    def batch_key(
+        self,
+        workload: Workload,
+        config: ProcessorConfig,
+        enhancements: Optional[Enhancements],
+        scale: Scale,
+    ) -> Optional[Tuple]:
+        """Grouping key for engine-level config batching, or ``None``.
+
+        Runs whose keys compare equal may be served by one
+        :meth:`run_batch` call: same technique permutation, same trace,
+        and one shared structure geometry (latency and core-width
+        parameters are free to differ across the batch).  Next-line
+        prefetch resolves caches serially with latencies baked in, so
+        enhanced runs using it never batch.
+        """
+        if not self.supports_batching:
+            return None
+        enhancements = enhancements or Enhancements()
+        if enhancements.next_line_prefetch:
+            return None
+        from repro.cpu import checkpoint
+
+        return (
+            type(self).__name__,
+            json.dumps(self.signature(), sort_keys=True),
+            workload.benchmark,
+            workload.input_set.name,
+            workload.seed,
+            scale.instructions_per_m,
+            json.dumps(
+                checkpoint.geometry_fingerprint(config, enhancements),
+                sort_keys=True,
+            ),
+        )
+
+    def run_batch(
+        self,
+        workload: Workload,
+        configs: List[ProcessorConfig],
+        enhancements_list: List[Optional[Enhancements]],
+        scale: Scale,
+    ) -> List[TechniqueResult]:
+        """Run N same-geometry configs in one batched pass.
+
+        Element ``i`` of the result is bit-identical to
+        ``run(workload, configs[i], scale, enhancements_list[i])``.
+        Only meaningful for techniques with ``supports_batching``; the
+        default falls back to N independent runs so a caller holding a
+        group never has to special-case.
+        """
+        return [
+            self.run(workload, config, scale, enhancements)
+            for config, enhancements in zip(configs, enhancements_list)
+        ]
 
     def signature(self) -> Dict[str, object]:
         """Stable identity of this permutation for result-cache keys.

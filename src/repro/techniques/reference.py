@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.cpu.config import Enhancements, ProcessorConfig
 from repro.cpu.simulator import Simulator
@@ -16,6 +16,7 @@ class ReferenceTechnique(SimulationTechnique):
     is measured against)."""
 
     family = "Reference"
+    supports_batching = True
 
     @property
     def permutation(self) -> str:
@@ -28,16 +29,33 @@ class ReferenceTechnique(SimulationTechnique):
         scale: Scale,
         enhancements: Optional[Enhancements] = None,
     ) -> TechniqueResult:
+        return self.run_batch(workload, [config], [enhancements], scale)[0]
+
+    def run_batch(
+        self,
+        workload: Workload,
+        configs: List[ProcessorConfig],
+        enhancements_list: List[Optional[Enhancements]],
+        scale: Scale,
+    ) -> List[TechniqueResult]:
         trace = workload.trace(scale)
-        simulator = Simulator(config, enhancements)
-        result = simulator.run_reference(trace)
-        return TechniqueResult(
-            family=self.family,
-            permutation=self.permutation,
-            workload=workload,
-            config_name=config.name,
-            stats=result.stats,
-            regions=[(0, len(trace))],
-            weights=[1.0],
-            detailed_instructions=len(trace),
+        simulator = Simulator(configs[0], enhancements_list[0])
+        results = simulator.run_regions(
+            trace,
+            (0, len(trace)),
+            configs,
+            enhancements=[e or Enhancements() for e in enhancements_list],
         )
+        return [
+            TechniqueResult(
+                family=self.family,
+                permutation=self.permutation,
+                workload=workload,
+                config_name=config.name,
+                stats=result.stats,
+                regions=[(0, len(trace))],
+                weights=[1.0],
+                detailed_instructions=len(trace),
+            )
+            for config, result in zip(configs, results)
+        ]

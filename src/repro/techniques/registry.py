@@ -178,11 +178,19 @@ def count_permutations(benchmark: Optional[str] = None) -> int:
 
 
 # -- deprecated aliases ------------------------------------------------------------
+#
+# REMOVAL NOTE: the six per-family ``*_permutations()`` helpers below
+# predate :func:`permutations` and exist only as warning shims.  They
+# are scheduled for removal in the release after the batch-first
+# simulation API (``Simulator.run_regions`` / engine ``--batch-configs``)
+# lands; no in-tree caller uses them.  Migrate to
+# ``permutations(family, benchmark, extras=...)``.
 
 
 def _deprecated(name: str) -> None:
     warnings.warn(
-        f"{name}() is deprecated; use "
+        f"{name}() is deprecated and will be removed in the next "
+        "release; use "
         "repro.techniques.registry.permutations(family, benchmark)",
         DeprecationWarning,
         stacklevel=3,

@@ -13,7 +13,7 @@ the microarchitectural state is warmed before measurement begins:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.cpu.config import Enhancements, ProcessorConfig
 from repro.cpu.simulator import Simulator
@@ -40,6 +40,7 @@ class RunZ(SimulationTechnique):
     """Simulate only the first Z M instructions."""
 
     family = "Run Z"
+    supports_batching = True
 
     def __init__(self, z_m: float) -> None:
         if z_m <= 0:
@@ -57,20 +58,37 @@ class RunZ(SimulationTechnique):
         scale: Scale,
         enhancements: Optional[Enhancements] = None,
     ) -> TechniqueResult:
+        return self.run_batch(workload, [config], [enhancements], scale)[0]
+
+    def run_batch(
+        self,
+        workload: Workload,
+        configs: List[ProcessorConfig],
+        enhancements_list: List[Optional[Enhancements]],
+        scale: Scale,
+    ) -> List[TechniqueResult]:
         trace = workload.trace(scale)
         start, end = _clamp_region(len(trace), 0, scale.instructions(self.z_m))
-        simulator = Simulator(config, enhancements)
-        result = simulator.run_region(trace, start, end)
-        return TechniqueResult(
-            family=self.family,
-            permutation=self.permutation,
-            workload=workload,
-            config_name=config.name,
-            stats=result.stats,
-            regions=[(start, end)],
-            weights=[1.0],
-            detailed_instructions=end - start,
+        simulator = Simulator(configs[0], enhancements_list[0])
+        results = simulator.run_regions(
+            trace,
+            (start, end),
+            configs,
+            enhancements=[e or Enhancements() for e in enhancements_list],
         )
+        return [
+            TechniqueResult(
+                family=self.family,
+                permutation=self.permutation,
+                workload=workload,
+                config_name=config.name,
+                stats=result.stats,
+                regions=[(start, end)],
+                weights=[1.0],
+                detailed_instructions=end - start,
+            )
+            for config, result in zip(configs, results)
+        ]
 
 
 class FFRunZ(SimulationTechnique):
@@ -83,6 +101,7 @@ class FFRunZ(SimulationTechnique):
     """
 
     family = "FF+Run Z"
+    supports_batching = True
 
     def __init__(self, x_m: float, z_m: float, warmed: bool = False) -> None:
         if x_m <= 0 or z_m <= 0:
@@ -103,32 +122,45 @@ class FFRunZ(SimulationTechnique):
         scale: Scale,
         enhancements: Optional[Enhancements] = None,
     ) -> TechniqueResult:
+        return self.run_batch(workload, [config], [enhancements], scale)[0]
+
+    def run_batch(
+        self,
+        workload: Workload,
+        configs: List[ProcessorConfig],
+        enhancements_list: List[Optional[Enhancements]],
+        scale: Scale,
+    ) -> List[TechniqueResult]:
         trace = workload.trace(scale)
         start = scale.instructions(self.x_m)
         end = start + scale.instructions(self.z_m)
         start, end = _clamp_region(len(trace), start, end)
-        simulator = Simulator(config, enhancements)
-        result = simulator.run_region(
+        simulator = Simulator(configs[0], enhancements_list[0])
+        results = simulator.run_regions(
             trace,
-            start,
-            end,
+            (start, end),
+            configs,
+            enhancements=[e or Enhancements() for e in enhancements_list],
             warmed_prefix=self.warmed,
             checkpoint_key=(
                 simulator.checkpoint_key(workload, scale) if self.warmed else None
             ),
         )
-        return TechniqueResult(
-            family=self.family,
-            permutation=self.permutation,
-            workload=workload,
-            config_name=config.name,
-            stats=result.stats,
-            regions=[(start, end)],
-            weights=[1.0],
-            detailed_instructions=end - start,
-            functional_warm_instructions=start if self.warmed else 0,
-            fastforward_instructions=0 if self.warmed else start,
-        )
+        return [
+            TechniqueResult(
+                family=self.family,
+                permutation=self.permutation,
+                workload=workload,
+                config_name=config.name,
+                stats=result.stats,
+                regions=[(start, end)],
+                weights=[1.0],
+                detailed_instructions=end - start,
+                functional_warm_instructions=start if self.warmed else 0,
+                fastforward_instructions=0 if self.warmed else start,
+            )
+            for config, result in zip(configs, results)
+        ]
 
 
 class FFWURunZ(SimulationTechnique):
@@ -140,6 +172,7 @@ class FFWURunZ(SimulationTechnique):
     """
 
     family = "FF+WU+Run Z"
+    supports_batching = True
 
     def __init__(
         self, x_m: float, y_m: float, z_m: float, warmed: bool = False
@@ -165,33 +198,46 @@ class FFWURunZ(SimulationTechnique):
         scale: Scale,
         enhancements: Optional[Enhancements] = None,
     ) -> TechniqueResult:
+        return self.run_batch(workload, [config], [enhancements], scale)[0]
+
+    def run_batch(
+        self,
+        workload: Workload,
+        configs: List[ProcessorConfig],
+        enhancements_list: List[Optional[Enhancements]],
+        scale: Scale,
+    ) -> List[TechniqueResult]:
         trace = workload.trace(scale)
         warmup = scale.instructions(self.y_m)
         start = scale.instructions(self.x_m) + warmup
         end = start + scale.instructions(self.z_m)
         start, end = _clamp_region(len(trace), start, end)
         warmup = min(warmup, start)
-        simulator = Simulator(config, enhancements)
-        result = simulator.run_region(
+        simulator = Simulator(configs[0], enhancements_list[0])
+        results = simulator.run_regions(
             trace,
-            start,
-            end,
+            (start, end),
+            configs,
+            enhancements=[e or Enhancements() for e in enhancements_list],
             warmup_instructions=warmup,
             warmed_prefix=self.warmed,
             checkpoint_key=(
                 simulator.checkpoint_key(workload, scale) if self.warmed else None
             ),
         )
-        return TechniqueResult(
-            family=self.family,
-            permutation=self.permutation,
-            workload=workload,
-            config_name=config.name,
-            stats=result.stats,
-            regions=[(start, end)],
-            weights=[1.0],
-            detailed_instructions=end - start,
-            warm_detailed_instructions=warmup,
-            functional_warm_instructions=(start - warmup) if self.warmed else 0,
-            fastforward_instructions=0 if self.warmed else start - warmup,
-        )
+        return [
+            TechniqueResult(
+                family=self.family,
+                permutation=self.permutation,
+                workload=workload,
+                config_name=config.name,
+                stats=result.stats,
+                regions=[(start, end)],
+                weights=[1.0],
+                detailed_instructions=end - start,
+                warm_detailed_instructions=warmup,
+                functional_warm_instructions=(start - warmup) if self.warmed else 0,
+                fastforward_instructions=0 if self.warmed else start - warmup,
+            )
+            for config, result in zip(configs, results)
+        ]

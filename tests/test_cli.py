@@ -198,3 +198,42 @@ class TestSupervisorOptions:
             assert field in document
         assert document["run_timeout_s"] == 120.0
         assert document["max_retries"] == 3
+
+
+class TestBatchingOptions:
+    def _stats(self, tmp_path, *extra):
+        assert main(["table3", "--cache-dir", str(tmp_path), *extra]) == 0
+        return json.loads((tmp_path / "engine-stats.json").read_text())
+
+    def test_flag_reaches_engine_stats(self, tmp_path, capsys):
+        assert self._stats(tmp_path, "--batch-configs", "8")["batch_configs"] == 8
+
+    def test_defaults_to_off(self, tmp_path, capsys):
+        document = self._stats(tmp_path)
+        assert document["batch_configs"] == 1
+        assert document["batches"] == 0
+
+    def test_env_fallback(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CONFIGS", "4")
+        assert self._stats(tmp_path)["batch_configs"] == 4
+
+    def test_flag_overrides_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CONFIGS", "4")
+        assert self._stats(tmp_path, "--batch-configs", "2")["batch_configs"] == 2
+
+    def test_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table3", "--batch-configs", "0"])
+        assert "--batch-configs must be >= 1" in capsys.readouterr().err
+
+    def test_env_garbage_rejected_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CONFIGS", "many")
+        with pytest.raises(SystemExit):
+            main(["table3"])
+        assert "REPRO_BATCH_CONFIGS must be an integer" in capsys.readouterr().err
+
+    def test_env_zero_rejected_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_CONFIGS", "0")
+        with pytest.raises(SystemExit):
+            main(["table3"])
+        assert "--batch-configs must be >= 1" in capsys.readouterr().err

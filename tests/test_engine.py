@@ -454,6 +454,143 @@ class TestSharedStores:
             Engine(scale=SCALE, jobs=1, checkpoint_interval=-1.0)
 
 
+def _latency_sweep(workload, count=4):
+    """Same-geometry latency variants under one batchable technique."""
+    base = ARCH_CONFIGS[0]
+    configs = [base] + [
+        base.replace(
+            name=f"lat{i}",
+            l2_latency=base.l2_latency + 1 + i,
+            mem_latency_first=base.mem_latency_first + 10 * i,
+        )
+        for i in range(1, count)
+    ]
+    return [
+        RunRequest(ReferenceTechnique(), workload, config)
+        for config in configs
+    ]
+
+
+class TestConfigBatching:
+    """Engine-level config batching: grouping by batch key, parity with
+    unbatched execution, fault isolation, and counter plumbing."""
+
+    def test_batched_matches_unbatched(self, workload):
+        requests = _latency_sweep(workload)
+        baseline = Engine(scale=SCALE, jobs=1).run_many(requests)
+        engine = Engine(scale=SCALE, jobs=1, batch_configs=4)
+        results = engine.run_many(requests)
+        assert engine.metrics.batches == 1
+        assert engine.metrics.batched_runs == len(requests)
+        for a, b in zip(baseline, results):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_batched_matches_unbatched_parallel(self, workload):
+        requests = _latency_sweep(workload, count=6)
+        baseline = Engine(scale=SCALE, jobs=1).run_many(requests)
+        engine = Engine(scale=SCALE, jobs=2, batch_configs=3)
+        results = engine.run_many(requests)
+        assert engine.metrics.batches == 2
+        assert engine.metrics.batched_runs == len(requests)
+        for a, b in zip(baseline, results):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_distinct_batch_keys_do_not_group(self, workload):
+        # Different geometries and different technique permutations
+        # yield different batch keys; NLP enhancements never batch.
+        requests = [
+            RunRequest(ReferenceTechnique(), workload, ARCH_CONFIGS[0]),
+            RunRequest(ReferenceTechnique(), workload, ARCH_CONFIGS[1]),
+            RunRequest(RunZ(500), workload, ARCH_CONFIGS[0]),
+            RunRequest(
+                ReferenceTechnique(), workload, ARCH_CONFIGS[0],
+                enhancements=NLP,
+            ),
+        ]
+        engine = Engine(scale=SCALE, jobs=1, batch_configs=8)
+        engine.run_many(requests)
+        assert engine.metrics.batches == 0
+        assert engine.metrics.batched_runs == 0
+        assert engine.metrics.runs_succeeded == len(requests)
+
+    def test_unbatchable_technique_not_grouped(self, workload):
+        requests = [
+            RunRequest(StubTechnique(f"s{i}"), workload, ARCH_CONFIGS[0])
+            for i in range(3)
+        ]
+        engine = Engine(scale=SCALE, jobs=1, batch_configs=8)
+        engine.run_many(requests)
+        assert engine.metrics.batches == 0
+
+    def test_batch_member_fault_degrades_alone(self, workload, monkeypatch):
+        # A fault inside one member of a batch explodes the batch back
+        # into singletons; only the faulted member takes the retry /
+        # degradation path and every run still succeeds.
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "exc@2x*")
+        requests = _latency_sweep(workload)
+        engine = Engine(scale=SCALE, jobs=1, batch_configs=4, retries=0)
+        results = engine.run_many(requests, allow_errors=True)
+        assert [r is None for r in results] == [False, False, True, False]
+        assert engine.metrics.runs_succeeded == len(requests) - 1
+        assert engine.metrics.failures == 1
+        assert engine.metrics.batches == 0  # exploded batches don't count
+
+    def test_batched_store_resume_is_bit_identical(self, tmp_path, workload):
+        requests = _latency_sweep(workload)
+        first = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path, batch_configs=4)
+        results = first.run_many(requests)
+        first.close()
+
+        resumed_engine = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path,
+            batch_configs=4, resume=True,
+        )
+        try:
+            resumed = resumed_engine.run_many(requests)
+            assert resumed_engine.metrics.runs_launched == 0
+            assert resumed_engine.metrics.resumed == len(requests)
+        finally:
+            resumed_engine.close()
+        for a, b in zip(results, resumed):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_partial_store_regroups_remainder(self, tmp_path, workload):
+        # Two runs already persisted: a later batched sweep serves them
+        # from cache and batches only the remaining members.
+        requests = _latency_sweep(workload)
+        seed = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        seed.run_many(requests[:2])
+        seed.close()
+
+        baseline = Engine(scale=SCALE, jobs=1).run_many(requests)
+        engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path, batch_configs=4)
+        try:
+            results = engine.run_many(requests)
+            assert engine.metrics.cache_hits == 2
+            assert engine.metrics.batches == 1
+            assert engine.metrics.batched_runs == 2
+        finally:
+            engine.close()
+        for a, b in zip(baseline, results):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
+
+    def test_stats_expose_batch_counters(self, tmp_path, workload):
+        engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path, batch_configs=4)
+        try:
+            engine.run_many(_latency_sweep(workload))
+            document = json.loads(engine.write_stats().read_text())
+        finally:
+            engine.close()
+        assert document["batch_configs"] == 4
+        assert document["batches"] == 1
+        assert document["batched_runs"] == 4
+        assert document["configs_per_batch"] == 4.0
+
+    def test_batch_configs_validation(self):
+        with pytest.raises(ValueError):
+            Engine(scale=SCALE, jobs=1, batch_configs=0)
+
+
 class TestWorkloadStripping:
     """Registry workloads ship to workers as compact keys, not pickles."""
 

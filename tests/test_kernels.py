@@ -183,6 +183,216 @@ class TestFixedScenarioParity:
         assert result.stats == reference.stats
 
 
+class TestBatchedParity:
+    """``run_regions`` with N configs must be bit-identical, per config,
+    to N independent ``run_region`` calls -- against both the numpy
+    backend's own per-run path and the python reference backend."""
+
+    #: Latency / core-width variants of one geometry: every field a
+    #: batch is allowed to vary, including ``int_alu_lat`` (which
+    #: selects a different generated timing loop per config).
+    def variants(self):
+        base = ProcessorConfig()
+        return [
+            base,
+            base.replace(name="lat1", l2_latency=6, mem_latency_first=120),
+            base.replace(name="lat2", mem_latency_next=9, mem_bus_width=4),
+            base.replace(name="lat3", int_alu_lat=2, int_mult_lat=5),
+            base.replace(name="lat4", rob_entries=32, lsq_entries=16,
+                         ifq_size=8, mispredict_penalty=3),
+        ]
+
+    def per_run(self, backend, trace, specs, start, end, **kwargs):
+        return [
+            Simulator(config, enh, backend=backend).run_region(
+                trace, start, end, **kwargs
+            )
+            for config, enh in specs
+        ]
+
+    def batched(self, trace, specs, start, end, backend="numpy", **kwargs):
+        return Simulator(backend=backend).run_regions(
+            trace,
+            (start, end),
+            configs=[config for config, _ in specs],
+            enhancements=[enh for _, enh in specs],
+            **kwargs,
+        )
+
+    def test_latency_batch_matches_per_run(self, trace):
+        # Trivial-computation members may share a batch with baseline
+        # members (TC affects timing codes, not structure outcomes).
+        specs = [
+            (config, Enhancements(trivial_computation=(i % 2 == 1)))
+            for i, config in enumerate(self.variants())
+        ]
+        start, end = 2000, len(trace)
+        expected = self.per_run("numpy", trace, specs, start, end)
+        assert self.batched(trace, specs, start, end) == expected
+
+    def test_batch_matches_reference_backend(self, trace):
+        specs = [(config, Enhancements()) for config in self.variants()]
+        start, end = 1500, len(trace)
+        reference = self.per_run("python", trace, specs, start, end)
+        results = self.batched(trace, specs, start, end)
+        assert [r.stats for r in results] == [r.stats for r in reference]
+
+    def test_reference_backend_run_regions_falls_back(self, trace):
+        # The API holds on the python backend too: it reports no
+        # batching support, so run_regions loops per config.
+        specs = [(config, Enhancements()) for config in self.variants()[:3]]
+        start, end = 2000, len(trace)
+        expected = self.per_run("python", trace, specs, start, end)
+        assert self.batched(trace, specs, start, end, backend="python") == expected
+
+    def test_warmed_prefix_batch(self, trace):
+        specs = [(config, Enhancements()) for config in self.variants()]
+        start, end = len(trace) // 2, len(trace)
+        for backend in ("python", "numpy"):
+            expected = self.per_run(
+                backend, trace, specs, start, end,
+                warmup_instructions=300, warmed_prefix=True,
+            )
+            results = self.batched(
+                trace, specs, start, end,
+                warmup_instructions=300, warmed_prefix=True,
+            )
+            assert [r.stats for r in results] == [r.stats for r in expected]
+        assert results == expected  # full work profile on numpy too
+
+    def test_checkpoint_resume_batch(self, trace, tmp_path):
+        from repro.cpu import checkpoint
+        from repro.cpu.checkpoint import CheckpointStore
+
+        specs = [(config, Enhancements()) for config in self.variants()]
+        start, end = len(trace) // 2, len(trace)
+        expected = self.per_run(
+            "numpy", trace, specs, start, end, warmed_prefix=True
+        )
+        checkpoint.activate(CheckpointStore(tmp_path, 1000))
+        try:
+            first = self.batched(
+                trace, specs, start, end,
+                warmed_prefix=True, checkpoint_key="batch-chain",
+            )
+            # Second batch resumes its shared warming prefix from the
+            # checkpoint the first one stored.
+            resumed = self.batched(
+                trace, specs, start, end,
+                warmed_prefix=True, checkpoint_key="batch-chain",
+            )
+        finally:
+            checkpoint.activate(None)
+        assert [r.stats for r in first] == [r.stats for r in expected]
+        assert [r.stats for r in resumed] == [r.stats for r in expected]
+
+    def test_nlp_batch_falls_back_and_matches(self, trace):
+        specs = [
+            (config, Enhancements(next_line_prefetch=True))
+            for config in self.variants()[:3]
+        ]
+        start, end = 2000, len(trace)
+        expected = self.per_run("numpy", trace, specs, start, end)
+        assert self.batched(trace, specs, start, end) == expected
+
+    def test_nlp_rejected_by_batch_kernel(self, trace):
+        from repro.cpu.kernels import numpy_impl
+        from repro.cpu.pipeline import _TimingState
+
+        machine = Machine(
+            ProcessorConfig(), Enhancements(next_line_prefetch=True),
+            backend="numpy",
+        )
+        batch = [(machine.config, machine.enhancements)]
+        with pytest.raises(ValueError, match="next.line.prefetch"):
+            numpy_impl.advance_detailed_batch(
+                machine, trace, 0, 2000, batch,
+                [_TimingState(machine)],
+            )
+
+    def test_heterogeneous_geometry_falls_back(self, trace):
+        base = ProcessorConfig()
+        specs = [
+            (base, Enhancements()),
+            (base.replace(name="big-l2", l2_size_kb=2048), Enhancements()),
+        ]
+        start, end = 2000, len(trace)
+        expected = self.per_run("numpy", trace, specs, start, end)
+        assert self.batched(trace, specs, start, end) == expected
+
+    def test_mismatched_enhancement_count_rejected(self, trace):
+        with pytest.raises(ValueError, match="configs but"):
+            Simulator(backend="numpy").run_regions(
+                trace,
+                (0, 2000),
+                configs=[ProcessorConfig(), ProcessorConfig()],
+                enhancements=[Enhancements()] * 3,
+            )
+
+
+@st.composite
+def batch_scenarios(draw):
+    """A batch of 2-4 latency/width variants over one shared geometry,
+    with per-member trivial-computation and a warm-up split."""
+    base = ProcessorConfig(
+        branch_predictor=draw(st.sampled_from(["combined", "bimodal", "taken"])),
+        il1_assoc=draw(st.sampled_from([1, 2])),
+        dl1_assoc=draw(st.sampled_from([1, 4])),
+        bht_entries=draw(st.sampled_from([512, 4096])),
+    )
+    members = []
+    for index in range(draw(st.integers(2, 4))):
+        config = base.replace(
+            name=f"member{index}",
+            l2_latency=draw(st.integers(2, 14)),
+            mem_latency_first=draw(st.integers(40, 260)),
+            mem_latency_next=draw(st.integers(1, 10)),
+            mem_bus_width=draw(st.sampled_from([4, 8, 16])),
+            int_alu_lat=draw(st.sampled_from([1, 2])),
+            rob_entries=draw(st.sampled_from([16, 64])),
+            lsq_entries=draw(st.sampled_from([8, 32])),
+        )
+        enh = Enhancements(trivial_computation=draw(st.booleans()))
+        members.append((config, enh))
+    warm_frac = draw(st.floats(0.0, 0.5))
+    warmed_prefix = draw(st.booleans())
+    return members, warm_frac, warmed_prefix
+
+
+class TestBatchedHypothesisParity:
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(scenario=batch_scenarios())
+    def test_batched_bit_identical_per_config(self, trace, scenario):
+        members, warm_frac, warmed_prefix = scenario
+        start = int(len(trace) * warm_frac)
+        end = len(trace)
+        reference = [
+            Simulator(config, enh, backend="python").run_region(
+                trace, start, end, warmed_prefix=warmed_prefix
+            )
+            for config, enh in members
+        ]
+        per_run = [
+            Simulator(config, enh, backend="numpy").run_region(
+                trace, start, end, warmed_prefix=warmed_prefix
+            )
+            for config, enh in members
+        ]
+        batched = Simulator(backend="numpy").run_regions(
+            trace,
+            (start, end),
+            configs=[config for config, _ in members],
+            enhancements=[enh for _, enh in members],
+            warmed_prefix=warmed_prefix,
+        )
+        assert batched == per_run
+        assert [r.stats for r in batched] == [r.stats for r in reference]
+
+
 @st.composite
 def scenarios(draw):
     config = ProcessorConfig(
