@@ -59,6 +59,19 @@ batched pass really batched (``batches``/``batched_runs`` counters),
 and the result store written by the batched pass is **byte-identical**
 to the per-run store.  The report records cold/warm/batched seconds
 and the batched speedup over both baselines.
+
+The batch suite then measures a **configs x kernel-threads scaling
+matrix**: for each batch width it times the sequential numpy batched
+pass against the numba data-parallel batch kernel at 1/2/4 worker
+threads (``REPRO_KERNEL_THREADS``), with warm stores, gating every
+cell's statistics fingerprint against the sequential pass.  The
+matrix, the backend each cell actually resolved (numba degrades to
+numpy when not installed) and the host's ``cpu_count`` land in the
+report's ``scaling`` section -- thread scaling is only meaningful
+where numba and >1 core are present, so the numbers carry their own
+context.  ``--min-parallel-speedup R`` (default 0 = report-only)
+fails the suite unless the widest batch beats sequential by R on some
+thread count >= 2.
 """
 
 from __future__ import annotations
@@ -138,17 +151,29 @@ print(json.dumps({
 #: One timed batch-suite pass, executed in a clean child interpreter.
 #: The Figure-6 shape: one trace, one geometry, N latency configs.
 _BATCH_CHILD = """
-import hashlib, json, sys, time
-from repro.cpu.config import ARCH_CONFIGS
-from repro.engine import Engine, RunRequest
-from repro.scale import Scale
-from repro.techniques.truncated import FFRunZ
-from repro.workloads.spec import get_workload
+import hashlib, json, os, sys, time, warnings
 
 cache_dir, batch, num_configs, ff_m, run_m = (
     sys.argv[1], int(sys.argv[2]), int(sys.argv[3]),
     float(sys.argv[4]), float(sys.argv[5]),
 )
+backend, threads = sys.argv[6], sys.argv[7]
+if backend:
+    os.environ["REPRO_BACKEND"] = backend
+os.environ["REPRO_KERNEL_THREADS"] = threads
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.cpu.kernels.registry import resolve_backend_name
+from repro.engine import Engine, RunRequest
+from repro.scale import Scale
+from repro.techniques.truncated import FFRunZ
+from repro.workloads.spec import get_workload
+
+with warnings.catch_warnings():
+    # A numba request degrades (with a warning) where numba is absent;
+    # report the backend that actually serves the pass.
+    warnings.simplefilter("ignore")
+    backend_used = resolve_backend_name(backend or None)
 scale = Scale(200)
 workload = get_workload("gzip")
 
@@ -193,6 +218,7 @@ print(json.dumps({
     "runs": len(requests),
     "fingerprint": fingerprint,
     "counters": counters,
+    "backend": backend_used,
 }))
 """
 
@@ -211,10 +237,12 @@ def run_pass(mode: str, cache_dir: str, ff_points: int, configs: int) -> dict:
 
 
 def run_batch_pass(
-    cache_dir: str, batch: int, configs: int, ff_m: float, run_m: float
+    cache_dir: str, batch: int, configs: int, ff_m: float, run_m: float,
+    backend: str = "", threads: int = 0,
 ) -> dict:
     return _spawn_child(
-        _BATCH_CHILD, [cache_dir, batch, configs, ff_m, run_m]
+        _BATCH_CHILD, [cache_dir, batch, configs, ff_m, run_m,
+                       backend, threads]
     )
 
 
@@ -316,6 +344,68 @@ def run_store_suite(args) -> int:
     return 0
 
 
+#: Batch widths and kernel thread counts of the scaling matrix.
+SCALING_CONFIGS = (4, 16)
+SCALING_THREADS = (1, 2, 4)
+
+
+def measure_scaling(args) -> dict:
+    """Configs x kernel-threads matrix: sequential numpy batched vs the
+    numba data-parallel batch kernel, all against warm stores."""
+    import importlib.util
+
+    ff_m, run_m = args.batch_ff, args.batch_run
+    matrix = []
+    for n in SCALING_CONFIGS:
+        workdir = tempfile.mkdtemp(prefix="repro-batch-scale-")
+        try:
+            print(f"scaling: prime pass ({n} configs) ...", file=sys.stderr)
+            run_batch_pass(workdir, 1, n, ff_m, run_m)
+            wipe_results(workdir)
+            print(f"scaling: sequential batched pass ({n} configs) ...",
+                  file=sys.stderr)
+            sequential = run_batch_pass(
+                workdir, n, n, ff_m, run_m, backend="numpy"
+            )
+            entry = {
+                "configs": n,
+                "sequential_backend": sequential["backend"],
+                "sequential_seconds": round(sequential["seconds"], 3),
+                "threads": {},
+            }
+            for threads in SCALING_THREADS:
+                wipe_results(workdir)
+                print(f"scaling: parallel batched pass ({n} configs, "
+                      f"{threads} threads) ...", file=sys.stderr)
+                parallel = run_batch_pass(
+                    workdir, n, n, ff_m, run_m,
+                    backend="numba", threads=threads,
+                )
+                if parallel["fingerprint"] != sequential["fingerprint"]:
+                    raise SystemExit(
+                        f"FAIL: parallel batched results ({n} configs, "
+                        f"{threads} threads) differ from sequential"
+                    )
+                entry["threads"][str(threads)] = {
+                    "backend": parallel["backend"],
+                    "seconds": round(parallel["seconds"], 3),
+                    "speedup_vs_sequential": round(
+                        sequential["seconds"] / parallel["seconds"], 2
+                    ),
+                }
+            matrix.append(entry)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "kernel": "numba prange over the config dimension "
+                  "(sequential numpy batched is the baseline)",
+        "numba_available": importlib.util.find_spec("numba") is not None,
+        "cpu_count": os.cpu_count(),
+        "bit_identical": True,
+        "matrix": matrix,
+    }
+
+
 def run_batch_suite(args) -> int:
     n = args.batch_configs
     ff_m, run_m = args.batch_ff, args.batch_run
@@ -365,6 +455,12 @@ def run_batch_suite(args) -> int:
               f"files, {len(changed)} differ)", file=sys.stderr)
         return 1
 
+    try:
+        scaling = measure_scaling(args)
+    except SystemExit as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
     speedup_cold = cold["seconds"] / batched["seconds"]
     speedup_warm = warm["seconds"] / batched["seconds"]
     report = {
@@ -385,6 +481,7 @@ def run_batch_suite(args) -> int:
         "store_byte_identical": True,
         "store_files": len(percfg_store),
         "batched_counters": batched["counters"],
+        "scaling": scaling,
     }
     Path(args.batch_out).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
@@ -393,6 +490,18 @@ def run_batch_suite(args) -> int:
         print(f"FAIL: batched speedup {speedup_cold:.2f}x < required "
               f"{args.min_batch_speedup:.2f}x", file=sys.stderr)
         return 1
+    if args.min_parallel_speedup:
+        widest = scaling["matrix"][-1]
+        best = max(
+            cell["speedup_vs_sequential"]
+            for threads, cell in widest["threads"].items()
+            if int(threads) >= 2
+        )
+        if best < args.min_parallel_speedup:
+            print(f"FAIL: parallel kernel speedup {best:.2f}x at "
+                  f"{widest['configs']} configs < required "
+                  f"{args.min_parallel_speedup:.2f}x", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -426,6 +535,11 @@ def main(argv=None) -> int:
                         "(batch suite)")
     parser.add_argument("--min-batch-speedup", type=float, default=0.0,
                         help="fail unless cold/batched >= this ratio")
+    parser.add_argument("--min-parallel-speedup", type=float, default=0.0,
+                        help="fail unless the parallel kernel beats "
+                        "sequential batched by this ratio at the widest "
+                        "batch on >= 2 threads (0 = report only; needs "
+                        "numba and multiple cores to be meaningful)")
     parser.add_argument("--batch-out", default=str(REPO / "BENCH_batch.json"))
     args = parser.parse_args(argv)
 

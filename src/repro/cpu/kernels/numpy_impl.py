@@ -46,6 +46,7 @@ from repro.cpu.kernels.state import (
     LatencyTable,
 )
 from repro.isa.trace import BK_CALL, BK_COND, BK_RETURN, BK_UNCOND
+from repro.obs import phases as obs_phases
 
 _INF = 1 << 62
 
@@ -544,14 +545,16 @@ def assemble_timing_feed(machine, res: RegionResolution):
     return ml.tolist(), drain.tolist(), ev_stall
 
 
-def assemble_timing_feeds(res: RegionResolution, lat: LatencyTable):
-    """All configs' timing feeds from one resolved region, vectorized.
+def assemble_timing_tables(res: RegionResolution, lat: LatencyTable):
+    """All configs' timing feeds as int64 matrices, vectorized.
 
     The batched counterpart of :func:`assemble_timing_feed`: every
     latency application runs as one 2-D operation over the latency
-    table's leading ``n_configs`` axis, then each row is peeled off as
-    that config's feed.  Row ``i`` is bit-identical to what
-    :func:`assemble_timing_feed` produces for config ``i`` alone.
+    table's leading ``n_configs`` axis.  Returns ``(ml, drain,
+    ev_stall)`` matrices whose row ``i`` is bit-identical to config
+    ``i``'s single-config feed; the data-parallel batch kernel consumes
+    the matrices directly, the sequential loop peels rows off via
+    :func:`assemble_timing_feeds`.
     """
     k = lat.n_configs
     n_mem = res.n_mem
@@ -573,12 +576,21 @@ def assemble_timing_feeds(res: RegionResolution, lat: LatencyTable):
             stall_cache[:, res.itlb_pos[res.itlb_miss]] += (
                 lat.itlb_miss[:, None]
             )
-        ev_stall_mat = np.zeros((k, len(res.ev_pos_l)), dtype=np.int64)
-        ev_stall_mat[:, res.stall_slot] = stall_cache[:, res.stall_ev]
-        ev_stall_rows = ev_stall_mat.tolist()
+        ev_stall = np.zeros((k, len(res.ev_pos_l)), dtype=np.int64)
+        ev_stall[:, res.stall_slot] = stall_cache[:, res.stall_ev]
     else:
-        ev_stall_rows = [[] for _ in range(k)]
-    return ml.tolist(), drain.tolist(), ev_stall_rows
+        ev_stall = np.zeros((k, 0), dtype=np.int64)
+    return ml, drain, ev_stall
+
+
+def assemble_timing_feeds(res: RegionResolution, lat: LatencyTable):
+    """All configs' timing feeds as per-config lists.
+
+    Row ``i`` is bit-identical to what :func:`assemble_timing_feed`
+    produces for config ``i`` alone.
+    """
+    ml, drain, ev_stall = assemble_timing_tables(res, lat)
+    return ml.tolist(), drain.tolist(), ev_stall.tolist()
 
 
 def _run_timing_phase(
@@ -684,13 +696,17 @@ def advance_detailed_batch(machine, trace, start, end, batch, states) -> None:
     # failure then surfaces before any per-config state has advanced,
     # leaving the whole batch cleanly retryable.
     loops = timing_loops_for([config for config, _ in batch])
-    for (config, enhancements), state, ml_l, drain_l, ev_stall, run_timing in zip(
-        batch, states, ml_rows, drain_rows, ev_stall_rows, loops
+    with obs_phases.measured(
+        "timing_batch", instructions=res.n * len(batch),
+        configs=len(batch), threads=1,
     ):
-        _run_timing_phase(
-            config, trace, start, end, enhancements.trivial_computation,
-            res, ml_l, drain_l, ev_stall, state, run_timing,
-        )
+        for (config, enhancements), state, ml_l, drain_l, ev_stall, run_timing in zip(
+            batch, states, ml_rows, drain_rows, ev_stall_rows, loops
+        ):
+            _run_timing_phase(
+                config, trace, start, end, enhancements.trivial_computation,
+                res, ml_l, drain_l, ev_stall, state, run_timing,
+            )
 
 
 def _resolve_caches_serial(machine, pc_r, addr_r, fetch_idx, mem_idx):

@@ -252,13 +252,14 @@ class NumbaBackend(Backend):
             raise KernelError(self.name, f"detailed kernel failed: {exc!r}") from exc
 
     def advance_detailed_batch(self, machine, trace, start, end, batch, states):
-        # No dedicated numba batch kernel yet: the numpy split-phase
-        # batch runs on the same flat-array structures and is
-        # bit-identical by the backend contract, so batching still
-        # amortizes the resolve pass under this backend.
+        # The data-parallel batch kernel: one ``prange`` launch over the
+        # config dimension (repro.cpu.kernels.batch_impl), bit-identical
+        # to the sequential per-config loops.  A KernelError here
+        # degrades one tier to the numpy split-phase batch without
+        # spending retry budget, like the single-run ladder.
         try:
             _kernel_guard_check(self.name)
-            from repro.cpu.kernels.numpy_impl import advance_detailed_batch
+            from repro.cpu.kernels.batch_impl import advance_detailed_batch
 
             advance_detailed_batch(machine, trace, start, end, batch, states)
         except Exception as exc:

@@ -16,7 +16,7 @@ from repro.cpu import checkpoint, functional
 from repro.cpu.config import Enhancements, ProcessorConfig
 from repro.cpu.functional import run_functional_warming
 from repro.cpu.kernels.registry import SMALL_REGION, get_backend
-from repro.cpu.kernels.state import LatencyTable, same_geometry
+from repro.cpu.kernels.state import GEOMETRY_FIELDS, LatencyTable
 from repro.cpu.machine import Machine
 from repro.cpu.pipeline import run_detailed, run_detailed_batch
 from repro.cpu.stats import SimulationStats
@@ -120,22 +120,25 @@ class Simulator:
         enhancements: Union[Enhancements, Sequence[Enhancements], None] = None,
         warmup_instructions: int = 0,
         warmed_prefix: bool = False,
-        checkpoint_key: Optional[str] = None,
+        checkpoint_key: Union[str, Sequence[Optional[str]], None] = None,
     ) -> List[SimulationResult]:
         """Detailed-simulate one region under N configs; N results.
 
         The canonical simulation entry point.  ``configs`` defaults to
         this simulator's bound config; ``enhancements`` is either one
         set applied to every config or a per-config sequence.  When the
-        configs share their structure geometry (caches, TLBs,
-        predictor, BTB, RAS -- latency and core-width parameters are
-        free to differ) and the backend supports it, the whole batch
-        runs in ONE pass: the trace is decoded and the structures
-        advanced once, and only the per-config latency assembly and
-        timing loops repeat.  Each element of the result is
-        bit-identical to a separate :meth:`run_region` with that config
-        alone; ineligible batches transparently fall back to per-config
-        runs.
+        backend supports batching, the batch shares one decoded trace
+        and is grouped by structure geometry (caches, TLBs, predictor,
+        BTB, RAS): each geometry group advances one machine's
+        structures exactly once, and only the per-config latency
+        assembly and timing loops repeat -- so latency and core-width
+        parameters are free to differ everywhere, and mixed cache/TLB
+        geometries still batch within their groups.  ``checkpoint_key``
+        is one key derived from the lead member (applied to members
+        warming the lead's geometry) or a per-config sequence.  Each
+        element of the result is bit-identical to a separate
+        :meth:`run_region` with that config alone; ineligible batches
+        transparently fall back to per-config runs.
         """
         start, end = region
         config_list = list(configs) if configs is not None else [self.config]
@@ -152,73 +155,110 @@ class Simulator:
                 f"{len(config_list)} configs but {len(enh_list)} enhancement sets"
             )
         specs = list(zip(config_list, enh_list))
+        keys = self._checkpoint_keys(checkpoint_key, specs)
         warm_start = max(0, start - warmup_instructions)
 
         if len(specs) == 1 or not self._batchable(specs, warm_start, end):
-            # A checkpoint chain is keyed by the warm-state geometry
-            # (which includes the prefetch enhancement); sharing one
-            # key across the fallback runs is only sound when every
-            # member warms that same geometry.
-            shared_key = checkpoint_key
-            if len(specs) > 1 and (
-                not same_geometry(config_list)
-                or len({bool(e.next_line_prefetch) for e in enh_list}) > 1
-            ):
-                shared_key = None
             return [
                 self._run_single(
                     trace, start, end, config, enh,
-                    warmup_instructions, None, warmed_prefix, shared_key,
+                    warmup_instructions, None, warmed_prefix, key,
                 )
-                for config, enh in specs
+                for (config, enh), key in zip(specs, keys)
             ]
 
-        # One machine's structures serve the whole batch: outcomes are
-        # trace-determined, so the shared resolve pass advances them
-        # exactly as each per-config run would have.
-        machine = Machine(specs[0][0], specs[0][1], backend=self.backend)
-        warmed = 0
-        if warmed_prefix and warm_start > 0:
-            warming = functional.warm_prefix(
-                machine, trace, warm_start, checkpoint_key=checkpoint_key
+        # One machine's structures serve each geometry group: outcomes
+        # are trace-determined, so the shared resolve pass advances
+        # them exactly as each per-config run would have.  Groups keep
+        # first-appearance order and results scatter back to input
+        # order.
+        groups: "dict[tuple, List[int]]" = {}
+        for i, (config, enh) in enumerate(specs):
+            groups.setdefault(self._geometry_key(config, enh), []).append(i)
+
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        for indices in groups.values():
+            group = [specs[i] for i in indices]
+            machine = Machine(group[0][0], group[0][1], backend=self.backend)
+            warmed = 0
+            if warmed_prefix and warm_start > 0:
+                warming = functional.warm_prefix(
+                    machine, trace, warm_start,
+                    checkpoint_key=keys[indices[0]],
+                )
+                warmed = warming.instructions
+            elif warm_start > 0:
+                # Skipped instructions count once per batched config in
+                # the per-phase work attribution, mirroring N runs.
+                obs_phases.record(
+                    "fastforward", 0.0, warm_start * len(indices)
+                )
+            stats_list = run_detailed_batch(
+                machine, trace, warm_start, end, group, measure_from=start
             )
-            warmed = warming.instructions
-        elif warm_start > 0:
-            # Skipped instructions count once per batched config in the
-            # per-phase work attribution, mirroring N separate runs.
-            obs_phases.record("fastforward", 0.0, warm_start * len(specs))
-        stats_list = run_detailed_batch(
-            machine, trace, warm_start, end, specs, measure_from=start
+            for i, stats, (config, _) in zip(indices, stats_list, group):
+                results[i] = SimulationResult(
+                    stats=stats,
+                    config_name=config.name,
+                    detailed_instructions=end - start,
+                    extra_detailed_instructions=start - warm_start,
+                    warmed_instructions=warmed,
+                    fastforwarded_instructions=(
+                        0 if warmed_prefix else warm_start
+                    ),
+                )
+        return results
+
+    @staticmethod
+    def _geometry_key(config: ProcessorConfig, enhancements: Enhancements):
+        """The warm-state identity one machine's structures embody."""
+        return tuple(getattr(config, f) for f in GEOMETRY_FIELDS) + (
+            bool(enhancements.next_line_prefetch),
         )
-        return [
-            SimulationResult(
-                stats=stats,
-                config_name=config.name,
-                detailed_instructions=end - start,
-                extra_detailed_instructions=start - warm_start,
-                warmed_instructions=warmed,
-                fastforwarded_instructions=0 if warmed_prefix else warm_start,
+
+    def _checkpoint_keys(self, checkpoint_key, specs):
+        """Normalize ``checkpoint_key`` to one key per batch member.
+
+        A checkpoint chain is keyed by warm-state geometry (structure
+        fields plus the prefetch enhancement).  A single string key was
+        derived from the *lead* member, so it applies to every member
+        warming the lead's geometry and to no one else; a sequence is
+        taken as explicit per-member keys.
+        """
+        if checkpoint_key is None:
+            return [None] * len(specs)
+        if isinstance(checkpoint_key, str):
+            lead = self._geometry_key(*specs[0])
+            return [
+                checkpoint_key
+                if self._geometry_key(config, enh) == lead
+                else None
+                for config, enh in specs
+            ]
+        keys = list(checkpoint_key)
+        if len(keys) != len(specs):
+            raise ValueError(
+                f"{len(specs)} configs but {len(keys)} checkpoint keys"
             )
-            for stats, (config, _) in zip(stats_list, specs)
-        ]
+        return keys
 
     def _batchable(self, specs, warm_start: int, end: int) -> bool:
-        """Whether one shared pass can serve this batch.
+        """Whether shared passes can serve this batch.
 
         Requires a batching backend, a region long enough to clear the
         small-region reference fallback, per-structure event streams
         (no next-line prefetch: it resolves serially with latencies
-        baked in), one shared geometry, and strictly positive latencies
-        (what makes the stall-event *positions* latency-independent;
-        the config validators enforce this, so the check is defensive).
+        baked in), and strictly positive latencies (what makes the
+        stall-event *positions* latency-independent; the config
+        validators enforce this, so the check is defensive).  Geometry
+        may vary freely: members are grouped by geometry and each
+        group shares one resolve pass.
         """
         if not get_backend(self.backend).supports_config_batching:
             return False
         if end - warm_start < SMALL_REGION:
             return False
         if any(enh.next_line_prefetch for _, enh in specs):
-            return False
-        if not same_geometry([config for config, _ in specs]):
             return False
         return LatencyTable([config for config, _ in specs]).strictly_positive()
 

@@ -351,7 +351,7 @@ class _PhaseNotifier:
         self.last: Optional[str] = None
         self.sent_at = 0.0
 
-    def __call__(self, phase: str) -> None:
+    def __call__(self, phase: str, attrs: Optional[dict] = None) -> None:
         now = time.monotonic()
         if phase == self.last or now - self.sent_at < _PHASE_EVENT_MIN_S:
             return
@@ -359,7 +359,10 @@ class _PhaseNotifier:
         self.sent_at = now
         try:
             self.events.put(
-                ("phase", self.generation, self.slot, self.attempt, phase)
+                (
+                    "phase", self.generation, self.slot, self.attempt,
+                    phase, dict(attrs) if attrs else {},
+                )
             )
         except Exception:
             pass  # telemetry must never fail the run
@@ -519,7 +522,8 @@ class _WorkerEvents:
         self.pids: set = set()
         self.started: Dict[Tuple[int, int], float] = {}
         self.run_pids: Dict[Tuple[int, int], int] = {}
-        self.phases: Dict[Tuple[int, int], str] = {}
+        # (slot, attempt) -> (phase, attrs)
+        self.phases: Dict[Tuple[int, int], Tuple[str, dict]] = {}
 
     def drain(self) -> None:
         # Single consumer: if empty() is False a get() cannot block.
@@ -533,7 +537,9 @@ class _WorkerEvents:
                 self.started[(event[2], event[3])] = event[4]
                 self.run_pids[(event[2], event[3])] = event[5]
             elif event[0] == "phase":
-                self.phases[(event[2], event[3])] = event[4]
+                self.phases[(event[2], event[3])] = (
+                    event[4], event[5] if len(event) > 5 else {}
+                )
             elif event[0] == "end":
                 self.started.pop((event[2], event[3]), None)
                 self.run_pids.pop((event[2], event[3]), None)
@@ -546,7 +552,12 @@ class _WorkerEvents:
         return self.run_pids.get((task.slot, task.attempt))
 
     def phase(self, task: "RunTask") -> Optional[str]:
-        return self.phases.get((task.slot, task.attempt))
+        entry = self.phases.get((task.slot, task.attempt))
+        return entry[0] if entry is not None else None
+
+    def phase_attrs(self, task: "RunTask") -> dict:
+        entry = self.phases.get((task.slot, task.attempt))
+        return entry[1] if entry is not None else {}
 
     def new_generation(self) -> None:
         self.generation += 1
@@ -799,7 +810,9 @@ class Executor:
                     pid=os.getpid(),
                 )
                 obs_phases.set_notifier(
-                    lambda phase, slot=task.slot: telemetry.set_phase(slot, phase)
+                    lambda phase, attrs=None, slot=task.slot: (
+                        telemetry.set_phase(slot, phase, attrs)
+                    )
                 )
             try:
                 slot, result, wall, reuse = _worker(task, scale)
@@ -842,7 +855,9 @@ class Executor:
                 pid=os.getpid(),
             )
             obs_phases.set_notifier(
-                lambda phase, slot=task.slot: telemetry.set_phase(slot, phase)
+                lambda phase, attrs=None, slot=task.slot: (
+                    telemetry.set_phase(slot, phase, attrs)
+                )
             )
         try:
             payload = _worker(task, scale)
@@ -927,6 +942,7 @@ class Executor:
                         "backend": task.backend,
                         "pid": events.run_pid(task),
                         "phase": events.phase(task),
+                        "phase_attrs": events.phase_attrs(task),
                         "started": begun,
                     }
                 )

@@ -25,6 +25,7 @@ flag                     environment                      default
 ``--trace/--no-trace``   ``REPRO_TRACE``                  tracing off
 ``--metrics-file``       ``REPRO_METRICS_FILE``           no Prometheus export
 ``--batch-configs``      ``REPRO_BATCH_CONFIGS``          1 (config batching off)
+``--kernel-threads``     ``REPRO_KERNEL_THREADS``         0 (numba's own default)
 =======================  ===============================  =========================
 
 ``python -m repro.experiments report`` renders a traced sweep's
@@ -63,9 +64,13 @@ from repro.engine import (
 )
 from repro.obs.live import METRICS_FILE_ENV_VAR
 from repro.obs.trace import TRACE_ENV_VAR, default_enabled as default_trace
-from repro.settings import BATCH_CONFIGS_ENV_VAR, resolve as resolve_setting
+from repro.settings import (
+    BATCH_CONFIGS_ENV_VAR,
+    KERNEL_THREADS_ENV_VAR,
+    resolve as resolve_setting,
+)
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
-from repro.experiments import figure7, section52, survey, tables
+from repro.experiments import figure7, latency_sweep, section52, survey, tables
 from repro.experiments.common import (
     FULL_ENV_VAR,
     JOBS_ENV_VAR,
@@ -87,6 +92,8 @@ EXPERIMENTS = {
     "figure5": figure5.run,
     "figure6": figure6.run,
     "figure7": figure7.run,
+    "latency-sweep": latency_sweep.run,
+    "pb-latency": latency_sweep.run_pb_latency,
     "section52-profile": section52.run_profile,
     "section52-architectural": section52.run_architectural,
     "survey": survey.run,
@@ -234,9 +241,18 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="serve up to N same-geometry configurations per batched "
+        help="serve up to N same-trace configurations per batched "
         f"simulation pass (default: ${BATCH_CONFIGS_ENV_VAR} or 1 = "
         "batching off); results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--kernel-threads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for the data-parallel batch timing kernel "
+        f"(default: ${KERNEL_THREADS_ENV_VAR} or 0 = the numba runtime's "
+        "own default); ignored by the numpy and python backends",
     )
     args = parser.parse_args(argv)
 
@@ -286,6 +302,16 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
     if batch_configs < 1:
         parser.error("--batch-configs must be >= 1 (1 disables batching)")
+    try:
+        kernel_threads = resolve_setting(
+            args.kernel_threads, KERNEL_THREADS_ENV_VAR, 0, int, "an integer"
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if kernel_threads < 0:
+        parser.error("--kernel-threads must be >= 0 (0 = numba's default)")
+    # Export like the backend choice so worker processes inherit it.
+    os.environ[KERNEL_THREADS_ENV_VAR] = str(kernel_threads)
     trace = args.trace if args.trace is not None else default_trace()
     if trace and cache_dir is None:
         parser.error(

@@ -1,0 +1,189 @@
+"""Latency sweeps: experiment shapes that exercise config batching.
+
+The paper's Table 3 configurations differ in cache and predictor
+*geometry*, so a sweep over ``ARCH_CONFIGS`` never groups at the
+engine's config-batching layer.  Latency studies take a different
+shape: they hold the structure set fixed and sweep timing parameters
+only.  These two drivers reproduce that shape --
+
+``latency-sweep``
+    Memory-hierarchy sensitivity on one geometry: CPI versus L2 hit
+    latency and versus first-word memory latency, both swept across
+    the Plackett-Burman envelope around processor configuration #2.
+
+``pb-latency``
+    One-factor-at-a-time swing of every *latency* factor of the
+    Plackett-Burman design space (Table 2's timing subset): each
+    factor runs at its PB low and high value on the fixed geometry,
+    and factors are ranked by their relative CPI swing, in the spirit
+    of Yi et al. [Yi03].
+
+Because every config in a driver shares its geometry, a stock CLI run
+with ``--batch-configs N`` forms real batches; check ``batches`` in
+``engine-stats.json``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cpu.config import ARCH_CONFIGS, PB_PARAMETERS, ProcessorConfig
+from repro.engine import RunRequest
+from repro.experiments.common import ExperimentContext, ExperimentReport
+from repro.techniques.reference import ReferenceTechnique
+
+#: Same defaults as Figure 6: the paper's clearest case.
+DEFAULT_BENCHMARK = "gcc"
+DEFAULT_CONFIG = ARCH_CONFIGS[1]
+
+#: Swept axes for ``latency-sweep``: the PB envelope of each factor,
+#: with the base config's own value included so the sweep has an
+#: anchored reference point.
+L2_LATENCIES: Tuple[int, ...] = (6, 8, 10, 14, 20)
+MEM_LATENCIES: Tuple[int, ...] = (50, 100, 200, 300, 400)
+
+#: The latency factors of the PB design (``pb-latency`` sweeps these).
+#: All are pure timing parameters: changing them never changes the
+#: structure geometry, so every run in the sweep shares one batch group.
+PB_LATENCY_FACTORS: Tuple[str, ...] = (
+    "il1_latency",
+    "dl1_latency",
+    "l2_latency",
+    "mem_latency_first",
+    "mem_latency_next",
+    "tlb_miss_latency",
+    "int_alu_lat",
+    "int_mult_lat",
+    "int_div_lat",
+    "fp_alu_lat",
+    "fp_mult_lat",
+    "fp_div_lat",
+)
+
+
+def latency_axis_configs(
+    base: ProcessorConfig = DEFAULT_CONFIG,
+) -> List[Tuple[str, int, ProcessorConfig]]:
+    """(factor, value, config) triples for the two swept axes."""
+    triples = []
+    for value in L2_LATENCIES:
+        triples.append(
+            (
+                "l2_latency",
+                value,
+                base.replace(name=f"{base.name}-l2lat{value}", l2_latency=value),
+            )
+        )
+    for value in MEM_LATENCIES:
+        triples.append(
+            (
+                "mem_latency_first",
+                value,
+                base.replace(
+                    name=f"{base.name}-memlat{value}", mem_latency_first=value
+                ),
+            )
+        )
+    return triples
+
+
+def run(
+    context: Optional[ExperimentContext] = None,
+    benchmark: str = DEFAULT_BENCHMARK,
+) -> ExperimentReport:
+    """CPI versus L2 and memory latency on a fixed geometry."""
+    context = context or ExperimentContext()
+    workload = context.workload(benchmark)
+    technique = ReferenceTechnique()
+    triples = latency_axis_configs()
+    results = context.run_many(
+        [RunRequest(technique, workload, config) for _, _, config in triples]
+    )
+    base_cpi = {
+        "l2_latency": next(
+            r.cpi
+            for (f, v, _), r in zip(triples, results)
+            if f == "l2_latency" and v == DEFAULT_CONFIG.l2_latency
+        ),
+        "mem_latency_first": next(
+            r.cpi
+            for (f, v, _), r in zip(triples, results)
+            if f == "mem_latency_first" and v == DEFAULT_CONFIG.mem_latency_first
+        ),
+    }
+    rows = [
+        (factor, value, result.cpi, result.cpi / base_cpi[factor])
+        for (factor, value, _), result in zip(triples, results)
+    ]
+    return ExperimentReport(
+        experiment_id="Latency sweep",
+        title=(
+            "CPI vs L2 / memory latency, "
+            f"{benchmark} with {DEFAULT_CONFIG.name} geometry"
+        ),
+        headers=("factor", "value", "cpi", "cpi / base"),
+        rows=rows,
+        notes=[
+            "all configs share one structure geometry: with "
+            "--batch-configs N the engine serves this sweep in "
+            "config-batched passes",
+        ],
+    )
+
+
+def run_pb_latency(
+    context: Optional[ExperimentContext] = None,
+    benchmark: str = DEFAULT_BENCHMARK,
+) -> ExperimentReport:
+    """Relative CPI swing of each PB latency factor on a fixed geometry."""
+    context = context or ExperimentContext()
+    workload = context.workload(benchmark)
+    technique = ReferenceTechnique()
+    factors = {p.name: p for p in PB_PARAMETERS}
+    requests = [RunRequest(technique, workload, DEFAULT_CONFIG)]
+    for name in PB_LATENCY_FACTORS:
+        param = factors[name]
+        for level, value in (("low", param.low), ("high", param.high)):
+            requests.append(
+                RunRequest(
+                    technique,
+                    workload,
+                    DEFAULT_CONFIG.replace(
+                        name=f"{DEFAULT_CONFIG.name}-{name}-{level}",
+                        **{name: value},
+                    ),
+                )
+            )
+    results = context.run_many(requests)
+    base_cpi = results[0].cpi
+    rows = []
+    for i, name in enumerate(PB_LATENCY_FACTORS):
+        param = factors[name]
+        low_cpi = results[1 + 2 * i].cpi
+        high_cpi = results[2 + 2 * i].cpi
+        rows.append(
+            (
+                name,
+                param.low,
+                param.high,
+                low_cpi,
+                high_cpi,
+                (high_cpi - low_cpi) / base_cpi,
+            )
+        )
+    rows.sort(key=lambda row: abs(row[5]), reverse=True)
+    return ExperimentReport(
+        experiment_id="PB latency factors",
+        title=(
+            "CPI swing of each Plackett-Burman latency factor, "
+            f"{benchmark} with {DEFAULT_CONFIG.name} geometry"
+        ),
+        headers=("factor", "low", "high", "cpi@low", "cpi@high", "swing / base"),
+        rows=rows,
+        notes=[
+            "one-factor-at-a-time swing, not the full PB design; "
+            "ranked by |swing| after Yi et al. [Yi03]",
+            "latency-only factors keep the geometry fixed, so the "
+            "sweep batches under --batch-configs N",
+        ],
+    )

@@ -83,14 +83,20 @@ class InflightTracker:
                 "backend": backend,
                 "pid": pid,
                 "phase": None,
+                "phase_attrs": {},
                 "started": started if started is not None else time.monotonic(),
             }
 
-    def set_phase(self, slot: int, phase: str) -> None:
+    def set_phase(
+        self, slot: int, phase: str, attrs: Optional[dict] = None
+    ) -> None:
+        """Record the slot's current phase, with optional attributes
+        (e.g. ``timing_batch`` carries ``configs`` and ``threads``)."""
         with self._lock:
             run = self._runs.get(slot)
             if run is not None:
                 run["phase"] = phase
+                run["phase_attrs"] = dict(attrs) if attrs else {}
 
     def set_pid(self, slot: int, pid: int) -> None:
         with self._lock:
@@ -119,6 +125,7 @@ class InflightTracker:
                     "backend": run.get("backend"),
                     "pid": run.get("pid"),
                     "phase": run.get("phase"),
+                    "phase_attrs": run.get("phase_attrs") or {},
                     "started": run.get("started", time.monotonic()),
                 }
                 for run in runs
@@ -155,6 +162,7 @@ class InflightTracker:
                     "backend": run["backend"],
                     "pid": run["pid"],
                     "phase": run["phase"],
+                    "phase_attrs": run.get("phase_attrs") or {},
                     "elapsed_s": round(now - run["started"], 3),
                 }
                 for run in sorted(self._runs.values(), key=lambda r: r["slot"])

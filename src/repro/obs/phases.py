@@ -37,6 +37,7 @@ PHASE_ORDER = (
     "fastforward",
     "warming",
     "warm_detailed",
+    "timing_batch",
     "detailed",
     "checkpoint_save",
 )
@@ -44,8 +45,12 @@ PHASE_ORDER = (
 # phase -> [seconds, instructions]
 _ledger: Dict[str, List[float]] = {}
 
-# Called with the phase name when a measured block starts (live view).
-_notifier: Optional[Callable[[str], None]] = None
+# Called when a measured block starts (live view).  Preferred signature
+# is ``notifier(phase, attrs)`` -- ``attrs`` carries the measured
+# block's keyword attributes (e.g. ``timing_batch``'s ``configs`` and
+# ``threads``); single-argument ``notifier(phase)`` observers keep
+# working unchanged.
+_notifier: Optional[Callable[..., None]] = None
 
 
 def record(phase: str, seconds: float, instructions: int = 0) -> None:
@@ -72,10 +77,23 @@ def drain() -> Dict[str, Dict[str, float]]:
     return drained
 
 
-def set_notifier(notifier: Optional[Callable[[str], None]]) -> None:
+def set_notifier(notifier: Optional[Callable[..., None]]) -> None:
     """Install (or clear, with ``None``) the phase-start observer."""
     global _notifier
     _notifier = notifier
+
+
+def _notify(notifier: Callable[..., None], phase: str, attrs: dict) -> None:
+    """Call the observer, preferring the two-argument signature."""
+    try:
+        notifier(phase, attrs)
+    except TypeError:
+        try:
+            notifier(phase)
+        except Exception:
+            pass
+    except Exception:
+        pass
 
 
 @contextmanager
@@ -83,10 +101,7 @@ def measured(phase: str, instructions: int = 0, **attrs: object) -> Iterator[Non
     """Time a block as ``phase``: ledger entry + trace span + notifier."""
     notifier = _notifier
     if notifier is not None:
-        try:
-            notifier(phase)
-        except Exception:
-            pass
+        _notify(notifier, phase, dict(attrs))
     if instructions:
         attrs["instructions"] = instructions
     with trace.span(phase, **attrs):

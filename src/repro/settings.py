@@ -26,6 +26,10 @@ T = TypeVar("T")
 #: Engine config-batching width (``--batch-configs``); 1 = batching off.
 BATCH_CONFIGS_ENV_VAR = "REPRO_BATCH_CONFIGS"
 
+#: Worker threads for the data-parallel batch timing kernel
+#: (``--kernel-threads``); 0 = the numba runtime's own default.
+KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
+
 
 def resolve(
     flag: Optional[T],
@@ -63,3 +67,19 @@ def default_batch_configs() -> int:
     if width < 1:
         raise ValueError(f"${BATCH_CONFIGS_ENV_VAR} must be >= 1, got {width}")
     return width
+
+
+def default_kernel_threads() -> int:
+    """Batch-kernel thread count from ``$REPRO_KERNEL_THREADS`` (default 0).
+
+    0 defers to the numba runtime's own thread-pool size; positive
+    values cap the threads one data-parallel batch timing kernel may
+    use.  Thread count never changes results -- configs are disjoint
+    rows of the batch -- only wall clock.
+    """
+    threads = resolve(None, KERNEL_THREADS_ENV_VAR, 0, int, "an integer")
+    if threads < 0:
+        raise ValueError(
+            f"${KERNEL_THREADS_ENV_VAR} must be >= 0, got {threads}"
+        )
+    return threads

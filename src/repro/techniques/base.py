@@ -177,9 +177,11 @@ class SimulationTechnique(ABC):
         """Grouping key for engine-level config batching, or ``None``.
 
         Runs whose keys compare equal may be served by one
-        :meth:`run_batch` call: same technique permutation, same trace,
-        and one shared structure geometry (latency and core-width
-        parameters are free to differ across the batch).  Next-line
+        :meth:`run_batch` call: same technique permutation and same
+        trace.  Grouping is trace-level -- configs are free to differ
+        in *any* parameter, including structure geometry; the batched
+        simulation path groups members by geometry internally and each
+        group shares one decoded trace and resolve pass.  Next-line
         prefetch resolves caches serially with latencies baked in, so
         enhanced runs using it never batch.
         """
@@ -188,8 +190,6 @@ class SimulationTechnique(ABC):
         enhancements = enhancements or Enhancements()
         if enhancements.next_line_prefetch:
             return None
-        from repro.cpu import checkpoint
-
         return (
             type(self).__name__,
             json.dumps(self.signature(), sort_keys=True),
@@ -197,10 +197,6 @@ class SimulationTechnique(ABC):
             workload.input_set.name,
             workload.seed,
             scale.instructions_per_m,
-            json.dumps(
-                checkpoint.geometry_fingerprint(config, enhancements),
-                sort_keys=True,
-            ),
         )
 
     def run_batch(

@@ -22,6 +22,22 @@ from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.workloads.inputs import Workload
 
 
+def _checkpoint_keys(workload, scale, configs, enhancements_list, warmed):
+    """Per-config checkpoint-chain keys, or None when unwarmed.
+
+    Batches may mix warm-state geometries (the batched simulation path
+    groups them), so every member names its *own* checkpoint chain;
+    same-geometry members produce identical keys and keep sharing one
+    chain.  Entries are None when no checkpoint store is active.
+    """
+    if not warmed:
+        return None
+    return [
+        Simulator(config, e or Enhancements()).checkpoint_key(workload, scale)
+        for config, e in zip(configs, enhancements_list)
+    ]
+
+
 def _clamp_region(trace_length: int, start: int, end: int) -> tuple:
     """Clamp a measurement window to the trace, preserving its length
     where possible (short traces simply end sooner)."""
@@ -142,8 +158,8 @@ class FFRunZ(SimulationTechnique):
             configs,
             enhancements=[e or Enhancements() for e in enhancements_list],
             warmed_prefix=self.warmed,
-            checkpoint_key=(
-                simulator.checkpoint_key(workload, scale) if self.warmed else None
+            checkpoint_key=_checkpoint_keys(
+                workload, scale, configs, enhancements_list, self.warmed
             ),
         )
         return [
@@ -221,8 +237,8 @@ class FFWURunZ(SimulationTechnique):
             enhancements=[e or Enhancements() for e in enhancements_list],
             warmup_instructions=warmup,
             warmed_prefix=self.warmed,
-            checkpoint_key=(
-                simulator.checkpoint_key(workload, scale) if self.warmed else None
+            checkpoint_key=_checkpoint_keys(
+                workload, scale, configs, enhancements_list, self.warmed
             ),
         )
         return [

@@ -495,9 +495,11 @@ class TestConfigBatching:
         for a, b in zip(baseline, results):
             assert _result_fingerprint(a) == _result_fingerprint(b)
 
-    def test_distinct_batch_keys_do_not_group(self, workload):
-        # Different geometries and different technique permutations
-        # yield different batch keys; NLP enhancements never batch.
+    def test_batch_keys_group_trace_level(self, workload):
+        # Batch keys are trace-level: the same technique permutation
+        # groups even across geometries (the batched path re-groups by
+        # geometry internally).  Different permutations yield different
+        # keys; NLP enhancements never batch.
         requests = [
             RunRequest(ReferenceTechnique(), workload, ARCH_CONFIGS[0]),
             RunRequest(ReferenceTechnique(), workload, ARCH_CONFIGS[1]),
@@ -507,11 +509,14 @@ class TestConfigBatching:
                 enhancements=NLP,
             ),
         ]
+        baseline = Engine(scale=SCALE, jobs=1).run_many(requests)
         engine = Engine(scale=SCALE, jobs=1, batch_configs=8)
-        engine.run_many(requests)
-        assert engine.metrics.batches == 0
-        assert engine.metrics.batched_runs == 0
+        results = engine.run_many(requests)
+        assert engine.metrics.batches == 1  # the two reference runs
+        assert engine.metrics.batched_runs == 2
         assert engine.metrics.runs_succeeded == len(requests)
+        for a, b in zip(baseline, results):
+            assert _result_fingerprint(a) == _result_fingerprint(b)
 
     def test_unbatchable_technique_not_grouped(self, workload):
         requests = [

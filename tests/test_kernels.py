@@ -310,15 +310,86 @@ class TestBatchedParity:
                 [_TimingState(machine)],
             )
 
-    def test_heterogeneous_geometry_falls_back(self, trace):
+    def test_heterogeneous_geometry_batches(self, trace):
+        # Geometry-varying members are eligible: the simulator groups
+        # them per geometry internally, and each group's batched pass
+        # stays bit-identical to independent runs.
         base = ProcessorConfig()
         specs = [
             (base, Enhancements()),
             (base.replace(name="big-l2", l2_size_kb=2048), Enhancements()),
+            (base.replace(name="lat", l2_latency=6), Enhancements()),
+            (base.replace(name="gshare", branch_predictor="gshare"),
+             Enhancements()),
         ]
         start, end = 2000, len(trace)
         expected = self.per_run("numpy", trace, specs, start, end)
         assert self.batched(trace, specs, start, end) == expected
+
+    def test_geometry_varying_batch_warmed_prefix(self, trace):
+        # Mixed geometries through the warmed-prefix path: each
+        # geometry group warms its own machine and the per-config
+        # checkpoint keys keep results identical to independent runs.
+        base = ProcessorConfig()
+        specs = [
+            (base, Enhancements()),
+            (base.replace(name="small-bht", bht_entries=512),
+             Enhancements()),
+            (base.replace(name="lat", mem_latency_first=120),
+             Enhancements(trivial_computation=True)),
+        ]
+        start, end = len(trace) // 2, len(trace)
+        expected = self.per_run(
+            "numpy", trace, specs, start, end,
+            warmup_instructions=300, warmed_prefix=True,
+        )
+        results = self.batched(
+            trace, specs, start, end,
+            warmup_instructions=300, warmed_prefix=True,
+        )
+        assert results == expected
+
+    def test_numba_batch_matches_sequential_numpy(self, trace):
+        # The data-parallel kernel (interpreted when numba is absent)
+        # must be bit-identical to the numpy backend's sequential
+        # per-member path -- full results, stats and work profile.
+        specs = [
+            (config, Enhancements(trivial_computation=(i % 2 == 1)))
+            for i, config in enumerate(self.variants())
+        ]
+        start, end = 2000, len(trace)
+        expected = self.per_run("numpy", trace, specs, start, end)
+        assert self.batched(
+            trace, specs, start, end, backend=NumbaBackend()
+        ) == expected
+
+    @pytest.mark.parametrize("threads", ["1", "2", "4"])
+    def test_thread_count_independence(self, trace, monkeypatch, threads):
+        # prange iterations are fully independent, so the thread count
+        # must never show up in the results.
+        from repro.settings import KERNEL_THREADS_ENV_VAR
+
+        specs = [(config, Enhancements()) for config in self.variants()]
+        start, end = 2000, len(trace)
+        expected = self.per_run("numpy", trace, specs, start, end)
+        monkeypatch.setenv(KERNEL_THREADS_ENV_VAR, threads)
+        assert self.batched(
+            trace, specs, start, end, backend=NumbaBackend()
+        ) == expected
+
+    def test_batch_kernel_falls_back_without_numba(self, trace, monkeypatch):
+        # With numba unavailable the driver runs the same kernel
+        # interpreted, single-threaded, and stays bit-identical.
+        from repro.cpu.kernels import batch_impl
+
+        monkeypatch.setattr(batch_impl, "NUMBA_AVAILABLE", False)
+        assert batch_impl.resolve_threads(8) == 1
+        specs = [(config, Enhancements()) for config in self.variants()[:3]]
+        start, end = 2000, len(trace)
+        expected = self.per_run("numpy", trace, specs, start, end)
+        assert self.batched(
+            trace, specs, start, end, backend=NumbaBackend()
+        ) == expected
 
     def test_mismatched_enhancement_count_rejected(self, trace):
         with pytest.raises(ValueError, match="configs but"):
@@ -391,6 +462,16 @@ class TestBatchedHypothesisParity:
         )
         assert batched == per_run
         assert [r.stats for r in batched] == [r.stats for r in reference]
+        # The data-parallel numba kernel serves the same batch
+        # bit-identically (interpreted when numba is not installed).
+        parallel = Simulator(backend=NumbaBackend()).run_regions(
+            trace,
+            (start, end),
+            configs=[config for config, _ in members],
+            enhancements=[enh for _, enh in members],
+            warmed_prefix=warmed_prefix,
+        )
+        assert parallel == per_run
 
 
 @st.composite
