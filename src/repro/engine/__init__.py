@@ -61,6 +61,12 @@ from repro.engine.faults import FAULT_PLAN_ENV_VAR, FaultSpec, InjectedFault
 from repro.engine.journal import JOURNAL_FILENAME, JournalState, SweepJournal
 from repro.engine.metrics import EngineMetrics, ProgressReporter
 from repro.engine.planner import RESULTS_EPOCH, Plan, RunRequest
+from repro.engine.protocol import (
+    LEASE_TTL_ENV_VAR,
+    LeaseServer,
+    default_lease_ttl,
+    parse_address,
+)
 from repro.engine.store import SCHEMA_VERSION, ResultStore
 
 __all__ = [
@@ -75,6 +81,8 @@ __all__ = [
     "InjectedFault",
     "JOURNAL_FILENAME",
     "JournalState",
+    "LEASE_TTL_ENV_VAR",
+    "LeaseServer",
     "Plan",
     "ProgressReporter",
     "RESULTS_EPOCH",
@@ -85,7 +93,9 @@ __all__ = [
     "SCHEMA_VERSION",
     "SweepJournal",
     "default_jobs",
+    "default_lease_ttl",
     "execute_request",
+    "parse_address",
 ]
 
 #: Name of the machine-readable stats file written next to the cache.
@@ -190,12 +200,24 @@ class Engine:
         metrics_file: Optional[os.PathLike] = None,
         live_interval: float = 1.0,
         batch_configs: Optional[int] = None,
+        listen: Optional[str] = None,
+        lease_ttl: Optional[float] = None,
+        min_agents: int = 0,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
         if retries is None:
             retries = default_max_retries()
         if run_timeout is None:
             run_timeout = default_run_timeout()
+        if jobs == 0 and listen is None:
+            raise ValueError(
+                "jobs=0 (no local workers) requires listen= so remote "
+                "worker agents can execute the sweep"
+            )
+        if min_agents < 0:
+            raise ValueError("min_agents must be non-negative")
+        if min_agents > 0 and listen is None:
+            raise ValueError("min_agents requires listen=")
         if checkpoint_interval is None:
             checkpoint_interval = default_checkpoint_interval()
         elif checkpoint_interval < 0:
@@ -291,14 +313,39 @@ class Engine:
                 self._journal_state = state
             elif journal_path.exists():
                 # A fresh (non-resumed) sweep must not inherit stale
-                # completion or quarantine records.
-                journal_path.unlink()
+                # completion or quarantine records -- but the prior
+                # journal is a post-mortem artifact, so rotate it aside
+                # instead of destroying it.
+                os.replace(journal_path, journal_path.with_suffix(".jsonl.1"))
             self.journal = SweepJournal(journal_path)
             self.journal.start(
                 self.scale.instructions_per_m, RESULTS_EPOCH, SCHEMA_VERSION
             )
         elif resume:
             raise ValueError("resume requires a cache_dir (journal + store)")
+
+        self.lease_server: Optional[LeaseServer] = None
+        self.min_agents = min_agents
+        if listen is not None:
+            host, port = parse_address(listen)
+            checkpoint_instructions = 0
+            if self.checkpoint_interval_m > 0:
+                checkpoint_instructions = max(
+                    1, self.scale.instructions(self.checkpoint_interval_m)
+                )
+            self.lease_server = LeaseServer(
+                host,
+                port,
+                scale_instructions_per_m=self.scale.instructions_per_m,
+                results_epoch=RESULTS_EPOCH,
+                run_timeout=self.executor.timeout,
+                lease_ttl=lease_ttl,
+                backend=self._default_backend,
+                checkpoint_interval=checkpoint_instructions,
+                journal=self.journal,
+            )
+            if self.monitor is not None:
+                self.monitor.agents_source = self.lease_server.agents_snapshot
 
     def _export_env(self, name: str, value: str) -> None:
         """Set an environment variable, remembering what it replaced."""
@@ -460,11 +507,19 @@ class Engine:
             self._memory[key] = result
             if self.store is not None:
                 with obs_trace.span("store_write", run=key):
-                    self.store.put(key, result)
+                    if info.payload is not None:
+                        # A remote completion: persist the agent's wire
+                        # payload verbatim so the distributed store is
+                        # byte-identical to a single-host sweep's.
+                        self.store.put_payload(key, info.payload)
+                    else:
+                        self.store.put(key, result)
             if self.journal is not None:
                 # Journaled strictly after the store write: a crash
                 # between the two re-runs the run, never loses it.
-                self.journal.completed(key, wall, backend=info.backend)
+                self.journal.completed(
+                    key, wall, backend=info.backend, agent=info.agent
+                )
             self.metrics.record_execution(
                 result.family,
                 wall,
@@ -473,6 +528,15 @@ class Engine:
                 backend=info.backend or self._default_backend,
             )
             self.metrics.record_reuse(info.reuse)
+            if info.agent is not None:
+                self.metrics.record_agent_run(info.agent, wall)
+                obs_trace.emit_span(
+                    "remote_run",
+                    time.monotonic() - wall,
+                    wall,
+                    run=key,
+                    agent=info.agent,
+                )
             progress_update(wall)
 
         def on_failure(slot: int, request: RunRequest, error: RunError) -> None:
@@ -528,15 +592,24 @@ class Engine:
             self.metrics.batched_runs += members
 
         if tasks:
+            if self.lease_server is not None and self.min_agents > 0:
+                self.lease_server.wait_for_agents(self.min_agents)
             self.executor.run(
                 self._group_batches(tasks), self.scale,
                 on_success, on_failure, on_retry, on_degrade,
                 telemetry=self.tracker, on_batch=on_batch,
+                remote=self.lease_server,
             )
         # Fold in parent-side store traffic (SimPoint selections, inline
         # trace loads); worker-side traffic arrived via RunInfo.reuse.
         self.metrics.record_reuse(trace_store.consume_counters())
         self.metrics.record_reuse(checkpoint.consume_counters())
+        if self.lease_server is not None:
+            self.metrics.record_remote(self.lease_server.consume_counters())
+        if self.store is not None:
+            self.metrics.store_corrupt_entries += (
+                self.store.consume_corrupt_entries()
+            )
         # Parent-side phases not attributed to a run (inline-mode runs
         # drain into their results; this catches supervisor leftovers).
         self.metrics.record_phases("(engine)", obs_phases.drain())
@@ -579,6 +652,16 @@ class Engine:
                 "checkpoint_interval_m": self.checkpoint_interval_m,
                 "trace_cache": self.trace_cache,
                 "trace": self.trace,
+                "listen": (
+                    f"{self.lease_server.host}:{self.lease_server.port}"
+                    if self.lease_server is not None
+                    else None
+                ),
+                "lease_ttl_s": (
+                    self.lease_server.lease_ttl
+                    if self.lease_server is not None
+                    else None
+                ),
                 "metrics_file": str(self.metrics_file)
                 if self.metrics_file
                 else None,
@@ -596,6 +679,9 @@ class Engine:
         """Stop telemetry, merge the trace, release the journal handle
         and restore the environment variables the store activation
         exported (safe to call repeatedly)."""
+        if self.lease_server is not None:
+            self.lease_server.close()
+            self.lease_server = None
         if self.monitor is not None:
             self.monitor.stop()
             self.monitor = None

@@ -150,6 +150,12 @@ class RunInfo:
     reuse: Dict[str, int] = field(default_factory=dict)
     #: How many runs shared this run's simulation pass (1 = unbatched).
     batch_size: int = 1
+    #: The exact wire payload for a remotely-executed run (None for
+    #: local runs).  The engine stores it verbatim so a distributed
+    #: sweep's store bytes are identical to a single-host sweep's.
+    payload: Optional[dict] = None
+    #: Name of the worker agent that executed the run (None = local).
+    agent: Optional[str] = None
 
     @property
     def degraded(self) -> bool:
@@ -591,6 +597,12 @@ _CRASH_SIGNATURE = ("WorkerCrash", "worker process died")
 
 def _signature(exc: BaseException) -> Tuple[str, str]:
     """Stable identity of a failure, for poison-run detection."""
+    signature = getattr(exc, "signature", None)
+    if signature is not None:
+        # Remote failures (repro.engine.protocol.RemoteFailure) carry a
+        # precomputed signature: a remote worker crash must match the
+        # local crash signature so it stays quarantine-exempt.
+        return tuple(signature)
     if isinstance(exc, BrokenExecutor):
         return _CRASH_SIGNATURE
     return (type(exc).__name__, str(exc))
@@ -599,6 +611,9 @@ def _signature(exc: BaseException) -> Tuple[str, str]:
 def classify_failure(exc: BaseException) -> str:
     """Base taxonomy kind of one failed attempt (repetition may later
     upgrade ``transient`` to ``deterministic``)."""
+    remote_kind = getattr(exc, "remote_kind", None)
+    if remote_kind is not None:
+        return remote_kind
     if isinstance(exc, _WatchdogTimeout):
         return "timeout"
     if isinstance(exc, BrokenExecutor):
@@ -625,7 +640,10 @@ class Executor:
 
     ``retries`` bounds re-executions per run (on top of the first
     attempt); ``timeout`` is the per-run wall-clock budget in seconds
-    (None = unbounded; enforced only when ``jobs > 1``).
+    (None = unbounded; enforced only when ``jobs > 1``).  ``jobs=0``
+    runs no local workers at all -- every run is executed by remote
+    worker agents through the ``remote`` lease scheduler, so :meth:`run`
+    requires one.
     """
 
     def __init__(
@@ -636,8 +654,8 @@ class Executor:
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
     ) -> None:
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1")
+        if jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = remote agents only)")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         if timeout is not None and timeout <= 0:
@@ -754,6 +772,7 @@ class Executor:
         on_degrade: Optional[DegradeCallback] = None,
         telemetry: Optional[InflightTracker] = None,
         on_batch: Optional[BatchCallback] = None,
+        remote: Optional[object] = None,
     ) -> None:
         """Execute every task, dispatching exactly one terminal callback
         (success or failure) per *run* -- a :class:`BatchTask` dispatches
@@ -762,8 +781,18 @@ class Executor:
         ``telemetry``, when given, is kept in sync with the runs that
         are executing right now (slot, phase, attempt, worker PID) for
         the live view and the progress reporter.
+
+        ``remote``, when given, is a lease scheduler (a
+        :class:`~repro.engine.protocol.LeaseLedger`): connected worker
+        agents lease tasks straight out of the pending queue and their
+        completions/failures/expiries are folded back through the same
+        supervision machinery as local runs.
         """
-        if self.jobs == 1 or (len(tasks) <= 1 and self.timeout is None):
+        if self.jobs == 0 and remote is None:
+            raise ValueError("jobs=0 requires a remote lease scheduler")
+        if remote is None and (
+            self.jobs == 1 or (len(tasks) <= 1 and self.timeout is None)
+        ):
             supervision: Dict[int, _Supervision] = {}
             queue: Deque = deque(tasks)
             while queue:
@@ -785,7 +814,7 @@ class Executor:
             return
         self._run_parallel(
             tasks, scale, on_success, on_failure, on_retry, on_degrade,
-            telemetry, on_batch,
+            telemetry, on_batch, remote,
         )
 
     def _run_inline(
@@ -904,6 +933,48 @@ class Executor:
         if on_batch is not None:
             on_batch(len(slots))
 
+    def _dispatch_remote_success(
+        self,
+        task,
+        payloads: List[dict],
+        wall: float,
+        reuse: Dict[str, int],
+        agent: str,
+        supervision: Dict[int, _Supervision],
+        on_success: SuccessCallback,
+        on_batch: Optional[BatchCallback],
+    ) -> None:
+        """Fan a remotely-completed lease out into success callbacks.
+
+        The agent's wire payloads travel on :attr:`RunInfo.payload` so
+        the engine can persist them verbatim -- the store entry is then
+        byte-identical to a local execution of the same run.
+        """
+        results = [TechniqueResult.from_payload(p) for p in payloads]
+        if isinstance(task, BatchTask):
+            share = wall / max(1, len(results))
+            for index, (member, result) in enumerate(
+                zip(task.members, results)
+            ):
+                info = RunInfo(
+                    attempts=1,
+                    backend=task.backend,
+                    batch_size=len(results),
+                    payload=payloads[index],
+                    agent=agent,
+                )
+                if index == 0:
+                    info.reuse = reuse
+                on_success(member.slot, result, share, info)
+            if on_batch is not None:
+                on_batch(len(results))
+            return
+        info = self._info(task, supervision)
+        info.reuse = reuse
+        info.payload = payloads[0]
+        info.agent = agent
+        on_success(task.slot, results[0], wall, info)
+
     def _run_parallel(
         self,
         tasks: Sequence[object],
@@ -914,6 +985,7 @@ class Executor:
         on_degrade: Optional[DegradeCallback],
         telemetry: Optional[InflightTracker] = None,
         on_batch: Optional[BatchCallback] = None,
+        remote: Optional[object] = None,
     ) -> None:
         workers = min(self.jobs, max(1, len(tasks)))
         backlog = workers * _BACKLOG_PER_WORKER
@@ -922,7 +994,12 @@ class Executor:
         supervision: Dict[int, _Supervision] = {}
         futures: Dict[object, object] = {}
         events = _WorkerEvents()
-        pool = self._new_pool(workers, events)
+        pool = self._new_pool(workers, events) if workers > 0 else None
+        if remote is not None:
+            # Connected agents lease tasks straight out of `pending`
+            # (deque pops are atomic, so local submission and remote
+            # grants never double-own a task).
+            remote.begin_batch(pending)
 
         def sync_telemetry() -> None:
             """Rebuild the live in-flight view from worker events."""
@@ -1003,8 +1080,43 @@ class Executor:
                     on_success(slot, result, wall, info)
             return False
 
+        def drain_remote() -> None:
+            """Fold the lease scheduler's events into the run loop."""
+            for event in remote.collect():
+                kind = event[0]
+                if kind == "complete":
+                    _, task, payloads, wall_s, reuse, agent = event
+                    self._dispatch_remote_success(
+                        task, payloads, wall_s, reuse, agent,
+                        supervision, on_success, on_batch,
+                    )
+                elif kind == "fail":
+                    _, task, exc, _agent = event
+                    handle_failure(task, exc)
+                elif kind == "timeout":
+                    # Deadline blown while the agent kept heartbeating:
+                    # a genuinely slow run, charged exactly like a local
+                    # watchdog reap (a BatchTask explodes uncharged).
+                    _, task, _agent, reason = event
+                    handle_failure(task, _WatchdogTimeout(reason))
+                elif kind == "requeue":
+                    # Dead/partitioned agent: the run never (provably)
+                    # executed, so it is requeued without being charged
+                    # an attempt.
+                    _, task, _agent, _reason = event
+                    pending.append(task)
+                elif kind == "parity":
+                    _, key, agent, detail = event
+                    raise RuntimeError(
+                        f"distributed result parity violation for run "
+                        f"{key} from agent {agent}: {detail}"
+                    )
+
         try:
-            while pending or waiting or futures:
+            while (
+                pending or waiting or futures
+                or (remote is not None and remote.outstanding())
+            ):
                 now = time.monotonic()
                 if waiting:  # promote retries whose backoff has elapsed
                     still = [(ready, t) for ready, t in waiting if ready > now]
@@ -1013,9 +1125,15 @@ class Executor:
                             pending.append(t)
                     waiting = still
 
+                if remote is not None:
+                    drain_remote()
+
                 pool_dead = False
-                while pending and len(futures) < backlog:
-                    task = pending.popleft()
+                while pool is not None and pending and len(futures) < backlog:
+                    try:
+                        task = pending.popleft()
+                    except IndexError:
+                        break  # a remote agent leased the last task
                     task.submitted = time.monotonic()
                     try:
                         future = pool.submit(_worker, _strip_task(task), scale)
@@ -1034,9 +1152,18 @@ class Executor:
                     continue
 
                 if not futures:
+                    sleeps = []
                     if waiting:
                         next_ready = min(ready for ready, _ in waiting)
-                        time.sleep(max(0.0, next_ready - time.monotonic()))
+                        sleeps.append(next_ready - time.monotonic())
+                    if remote is not None and (
+                        remote.outstanding() or pending
+                    ):
+                        # Remote-only progress: wake to drain lease
+                        # events (and to re-check the heartbeat scan).
+                        sleeps.append(_EVENT_POLL_S)
+                    if sleeps:
+                        time.sleep(max(0.0, min(sleeps)))
                     continue
 
                 # A run's deadline is measured from the start event its
@@ -1063,6 +1190,10 @@ class Executor:
                     # Keep phase/queue updates flowing to the live view
                     # even while no future completes.
                     timeouts.append(_TELEMETRY_POLL_S)
+                if remote is not None:
+                    # Lease events (and heartbeat expiry) must be
+                    # drained even while no local future completes.
+                    timeouts.append(_EVENT_POLL_S)
                 if waiting:
                     timeouts.append(min(ready for ready, _ in waiting) - now)
                 wait_for = max(0.0, min(timeouts)) if timeouts else None
@@ -1087,7 +1218,11 @@ class Executor:
                     )
         finally:
             try:
-                if futures:
+                if remote is not None:
+                    remote.end_batch()
+                if pool is None:
+                    pass
+                elif futures:
                     # Bailing out with work in flight (error/interrupt):
                     # a hung worker would block a graceful shutdown
                     # forever.

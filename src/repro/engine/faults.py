@@ -29,6 +29,24 @@ Fault kinds:
 ``kernel``
     the simulation kernel of backend ``arg`` (default: any guarded
     backend) raises, triggering backend degradation.
+
+Network fault kinds (honored by remote worker agents,
+:mod:`repro.engine.worker`; ignored by local pool workers).  For these
+the ``@N`` operand is the *agent's Nth granted lease* (1-based), not a
+plan slot -- plans are per-process environment, so ``@N`` selects when
+the agent carrying the plan misbehaves, deterministically:
+
+``dead``
+    the agent SIGKILLs itself on lease N (a dead host: heartbeats
+    stop, the lease expires, the run requeues uncharged);
+``drop``
+    the agent executes lease N but severs the connection instead of
+    reporting the completion (a network partition: the work is lost,
+    the supervisor requeues the run uncharged);
+``delay``
+    the agent holds lease N's completion back ``arg`` milliseconds
+    (default 1000), heartbeating throughout (a slow link, not a dead
+    one -- the lease must *not* expire).
 """
 
 from __future__ import annotations
@@ -43,8 +61,12 @@ from typing import List, Optional, Tuple
 #: Environment variable holding the active fault plan (empty = none).
 FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
 
+#: Network fault kinds, honored by remote worker agents only; their
+#: ``slot`` operand is the agent's Nth granted lease (1-based).
+NETWORK_FAULT_KINDS = ("drop", "delay", "dead")
+
 #: Recognized fault kinds.
-FAULT_KINDS = ("exc", "hang", "kill", "kernel")
+FAULT_KINDS = ("exc", "hang", "kill", "kernel") + NETWORK_FAULT_KINDS
 
 #: ``max_attempt`` value meaning "fire on every attempt".
 EVERY_ATTEMPT = -1
@@ -206,6 +228,19 @@ def deactivate() -> None:
     """Disarm the plan after a run (pairs with :func:`activate`)."""
     global _active
     _active = None
+
+
+def network_fault(lease_ordinal: int) -> Optional[FaultSpec]:
+    """The planned network fault for an agent's Nth lease (1-based).
+
+    Called by :mod:`repro.engine.worker` after each grant; local pool
+    workers never consult this, and :func:`activate` ignores network
+    kinds, so one plan string can mix worker-side and network faults.
+    """
+    for spec in _current_plan():
+        if spec.kind in NETWORK_FAULT_KINDS and spec.matches(lease_ordinal, 1):
+            return spec
+    return None
 
 
 def kernel_check(backend_name: str) -> None:

@@ -20,16 +20,30 @@ Events (all carry the run's content ``key``)::
 
     {"event": "start", "scale": ..., "epoch": ..., "schema": ...}
     {"event": "planned",     "key": k, "run": "<description>"}
-    {"event": "completed",   "key": k, "wall_s": ..., "backend": ...}
+    {"event": "completed",   "key": k, "wall_s": ..., "backend": ..., "agent": ...}
     {"event": "failed",      "key": k, "kind": ..., "error": ...}
     {"event": "quarantined", "key": k, "kind": ..., "error": ...}
     {"event": "degraded",    "key": k, "from": ..., "to": ...}
+
+Distributed sweeps add lease-lifecycle events (written by the lease
+server's connection threads -- appends are lock-serialized -- and
+skipped by replay, which only trusts terminal run states)::
+
+    {"event": "agent_joined",  "agent": ..., "host": ...}
+    {"event": "agent_lost",    "agent": ..., "reason": ...}
+    {"event": "leased",        "key": k, "agent": ..., "delivery": ...}
+    {"event": "lease_expired", "key": k, "agent": ..., "reason": ...}
+
+A ``--resume`` of a partially distributed sweep therefore needs no
+special handling: completed runs are keyed identically however they
+executed, and an expired lease never wrote a ``completed`` record.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Set
@@ -76,17 +90,21 @@ class SweepJournal:
     def __init__(self, path: os.PathLike) -> None:
         self.path = Path(path)
         self._handle = None
+        # The lease server's connection threads journal lifecycle
+        # events concurrently with the engine's run records.
+        self._lock = threading.Lock()
 
     # -- writing -----------------------------------------------------------------
 
     def _append(self, document: dict) -> None:
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        line = json.dumps(document, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            line = json.dumps(document, sort_keys=True, separators=(",", ":"))
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def start(self, scale: float, epoch: int, schema: int) -> None:
         self._append(
@@ -103,11 +121,28 @@ class SweepJournal:
         self._append({"event": "planned", "key": key, "run": description})
 
     def completed(
-        self, key: str, wall_s: float, backend: Optional[str] = None
+        self,
+        key: str,
+        wall_s: float,
+        backend: Optional[str] = None,
+        agent: Optional[str] = None,
     ) -> None:
         document = {"event": "completed", "key": key, "wall_s": wall_s}
         if backend is not None:
             document["backend"] = backend
+        if agent is not None:
+            document["agent"] = agent
+        self._append(document)
+
+    #: Lease-lifecycle event kinds the lease server may record.
+    LEASE_EVENTS = ("agent_joined", "agent_lost", "leased", "lease_expired")
+
+    def lease_event(self, kind: str, fields: dict) -> None:
+        """Record one distributed-scheduling lifecycle event."""
+        if kind not in self.LEASE_EVENTS:
+            raise ValueError(f"unknown lease event kind {kind!r}")
+        document = {"event": kind}
+        document.update(fields)
         self._append(document)
 
     def failed(
@@ -133,9 +168,10 @@ class SweepJournal:
         )
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "SweepJournal":
         return self

@@ -78,6 +78,14 @@ class BackendMetrics:
 
 
 @dataclass
+class AgentMetrics:
+    """Per-remote-agent execution totals (distributed sweeps)."""
+
+    runs: int = 0
+    wall_time_s: float = 0.0
+
+
+@dataclass
 class EngineMetrics:
     """Counters for one engine's lifetime (possibly many batches)."""
 
@@ -96,6 +104,16 @@ class EngineMetrics:
     degradations: int = 0       # runs retried on a lower backend tier
     batches: int = 0            # config-batched passes completed
     batched_runs: int = 0       # runs served by a config-batched pass
+    # Distributed scheduling (lease server + remote worker agents):
+    agents_joined: int = 0      # worker agents that completed a handshake
+    agents_lost: int = 0        # agents whose heartbeats stopped
+    leases_granted: int = 0     # runs leased to remote agents
+    lease_expiries: int = 0     # leases reclaimed (dead/partitioned agent)
+    lease_requeues: int = 0     # expired leases requeued uncharged
+    remote_runs: int = 0        # runs completed by remote agents
+    duplicate_completions: int = 0  # at-least-once redeliveries deduped
+    stale_completions: int = 0  # completions for leases already requeued
+    store_corrupt_entries: int = 0  # store reads rejected by the checksum
     # Shared-state reuse (trace store + warm-state checkpoints):
     trace_cache_hits: int = 0   # traces served memory-mapped from the store
     trace_cache_misses: int = 0  # traces generated (and stored) fresh
@@ -107,6 +125,7 @@ class EngineMetrics:
     instructions: int = 0       # instructions simulated (detailed + warm)
     per_family: Dict[str, FamilyMetrics] = field(default_factory=dict)
     per_backend: Dict[str, BackendMetrics] = field(default_factory=dict)
+    per_agent: Dict[str, AgentMetrics] = field(default_factory=dict)
     #: Every terminal failure kind, counted (timeout/crash also keep
     #: their dedicated counters for backwards compatibility).
     failures_by_kind: Dict[str, int] = field(default_factory=dict)
@@ -194,6 +213,23 @@ class EngineMetrics:
         self.checkpoint_misses += counters.get("checkpoint_misses", 0)
         self.instructions_skipped += counters.get("instructions_skipped", 0)
 
+    def record_remote(self, counters: Dict[str, int]) -> None:
+        """Fold one lease-server counter delta into the totals."""
+        self.agents_joined += counters.get("agents_joined", 0)
+        self.agents_lost += counters.get("agents_lost", 0)
+        self.leases_granted += counters.get("leases_granted", 0)
+        self.lease_expiries += counters.get("lease_expiries", 0)
+        self.lease_requeues += counters.get("lease_requeues", 0)
+        self.duplicate_completions += counters.get("duplicate_completions", 0)
+        self.stale_completions += counters.get("stale_completions", 0)
+
+    def record_agent_run(self, agent: str, wall: float) -> None:
+        """Attribute one remotely-executed run to its worker agent."""
+        self.remote_runs += 1
+        bucket = self.per_agent.setdefault(agent, AgentMetrics())
+        bucket.runs += 1
+        bucket.wall_time_s += wall
+
     def record_degradation(self, description: str, from_backend: str, to_backend: str) -> None:
         self.degradations += 1
         self.degraded_runs.append(
@@ -231,6 +267,15 @@ class EngineMetrics:
             "degradations": self.degradations,
             "batches": self.batches,
             "batched_runs": self.batched_runs,
+            "agents_joined": self.agents_joined,
+            "agents_lost": self.agents_lost,
+            "leases_granted": self.leases_granted,
+            "lease_expiries": self.lease_expiries,
+            "lease_requeues": self.lease_requeues,
+            "remote_runs": self.remote_runs,
+            "duplicate_completions": self.duplicate_completions,
+            "stale_completions": self.stale_completions,
+            "store_corrupt_entries": self.store_corrupt_entries,
             "configs_per_batch": (
                 self.batched_runs / self.batches if self.batches else 0.0
             ),
@@ -270,6 +315,13 @@ class EngineMetrics:
                     "wall": _histogram(bucket.wall_samples),
                 }
                 for backend, bucket in sorted(self.per_backend.items())
+            },
+            "per_agent": {
+                agent: {
+                    "runs": bucket.runs,
+                    "wall_time_s": bucket.wall_time_s,
+                }
+                for agent, bucket in sorted(self.per_agent.items())
             },
             "failed_runs": list(self.failed_runs),
             "degraded_runs": list(self.degraded_runs),

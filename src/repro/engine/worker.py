@@ -1,0 +1,413 @@
+"""Remote worker agent for distributed sweeps.
+
+Usage::
+
+    python -m repro.engine.worker --connect HOST:PORT [--name gpu-box-1]
+        [--cache-dir DIR] [--backend numpy]
+
+An agent connects to a supervisor started with ``--listen``, leases
+runs one at a time and executes them with the *same* worker function
+the local process pool uses (:func:`repro.engine.executor._worker`), so
+a run's result cannot depend on where it executed.  Workloads arrive as
+compact registry keys; the agent materializes traces and warm-state
+checkpoints into its **own** local store (under ``--cache-dir``), so
+joining a host costs nothing but CPU.
+
+Each leased run executes in a child process.  While the child runs,
+the agent heartbeats at the cadence the supervisor announced (a third
+of the lease TTL); a ``cancel`` reply kills the child and abandons the
+run (the supervisor has already expired or reaped the lease).  A child
+that dies without reporting is a ``crash``; a
+:class:`~repro.cpu.kernels.registry.KernelError` is reported as a
+``kernel`` failure so the supervisor's backend-degradation path serves
+remote runs too; anything else is ``transient``.  Completed results
+travel back as the exact JSON payload dicts the store persists, which
+is what makes distributed stores byte-identical to local ones.
+
+Network fault injection (``$REPRO_FAULT_PLAN``, per-agent): the verbs
+``dead``/``drop``/``delay`` match the agent's Nth granted lease
+(1-based) rather than a plan slot -- plans are per-process, so ``@N``
+selects *when this agent* misbehaves deterministically regardless of
+which runs it happens to lease.  ``dead@1`` SIGKILLs the whole agent
+on its first lease; ``drop@1`` executes the run but severs the
+connection instead of reporting it (a partition -- the work is lost
+and the supervisor requeues); ``delay@1:300`` holds the completion
+back 300 ms (heartbeating throughout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import signal
+import socket
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.cpu import checkpoint
+from repro.cpu.kernels.registry import BACKEND_ENV_VAR, KernelError
+from repro.scale import Scale
+from repro.workloads import trace_store
+
+from repro.engine import faults
+from repro.engine.planner import RESULTS_EPOCH
+from repro.engine.protocol import (
+    Connection,
+    ProtocolError,
+    decode_task,
+    parse_address,
+)
+
+
+def _child_main(pipe, task, scale: Scale) -> None:
+    """Execute one leased task and report through ``pipe``.
+
+    Runs in a forked child so a hang or SIGKILL (injected or real)
+    never takes the agent's lease loop down; the agent turns a silent
+    child death into a ``crash`` report.
+    """
+    from repro.engine import executor as executor_mod
+
+    try:
+        payload = executor_mod._worker(task, scale)
+        if isinstance(task, executor_mod.BatchTask):
+            _, results, wall, reuse = payload
+        else:
+            _, result, wall, reuse = payload
+            results = [result]
+        pipe.send(
+            {
+                "ok": True,
+                "payloads": [r.to_payload() for r in results],
+                "wall_s": wall,
+                "reuse": {str(k): int(v) for k, v in dict(reuse).items()},
+            }
+        )
+    except KernelError as exc:
+        pipe.send(
+            {
+                "ok": False,
+                "kind": "kernel",
+                "backend": exc.backend,
+                "error": str(exc),
+            }
+        )
+    except BaseException as exc:  # report, never crash silently
+        pipe.send(
+            {
+                "ok": False,
+                "kind": "transient",
+                "type": type(exc).__name__,
+                "error": str(exc),
+            }
+        )
+
+
+class WorkerAgent:
+    """One remote agent: connect, lease, execute, report, repeat."""
+
+    def __init__(
+        self,
+        address: str,
+        name: str = "",
+        cache_dir: Optional[os.PathLike] = None,
+        backend: Optional[str] = None,
+        reconnect_attempts: int = 20,
+        reconnect_delay: float = 0.5,
+        quiet: bool = False,
+    ) -> None:
+        self.host, self.port = parse_address(address)
+        self.name = name
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.backend = backend
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_delay = reconnect_delay
+        self.quiet = quiet
+        self.agent_id = ""
+        self._lease_ordinal = 0   # network faults key on this, 1-based
+        self._sessions = 0
+        self._env_applied = False
+
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"[worker {self.agent_id or self.name or '?'}] {text}",
+                  file=sys.stderr, flush=True)
+
+    # -- connection lifecycle ------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until the supervisor says shutdown.  Returns an exit
+        code: 0 on orderly shutdown (or a vanished supervisor after at
+        least one session), nonzero on handshake failure."""
+        misses = 0
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=10.0
+                )
+            except OSError:
+                misses += 1
+                if misses > self.reconnect_attempts:
+                    # A supervisor that went away after serving us is an
+                    # orderly end of sweep, not an agent failure.
+                    return 0 if self._sessions else 1
+                time.sleep(self.reconnect_delay)
+                continue
+            misses = 0
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            connection = Connection(sock)
+            try:
+                outcome = self._session(connection)
+            except (ConnectionError, ProtocolError, OSError):
+                outcome = None  # connection lost mid-session: reconnect
+            finally:
+                connection.close()
+            self._sessions += 1
+            if outcome is not None:
+                return outcome
+
+    def _session(self, connection: Connection) -> Optional[int]:
+        """One connected session; None means reconnect and continue."""
+        welcome = connection.request(
+            {
+                "op": "hello",
+                "name": self.name,
+                "host": socket.gethostname(),
+                "pid": os.getpid(),
+            }
+        )
+        if welcome.get("op") != "welcome":
+            self._log(f"handshake rejected: {welcome}")
+            return 1
+        if int(welcome.get("epoch", -1)) != RESULTS_EPOCH:
+            self._log(
+                f"results epoch mismatch: supervisor at "
+                f"{welcome.get('epoch')}, this code at {RESULTS_EPOCH}; "
+                "refusing to compute incompatible results"
+            )
+            return 2
+        self.agent_id = str(welcome.get("agent", ""))
+        scale = Scale(int(welcome["scale"]))
+        heartbeat_s = float(welcome.get("heartbeat_s", 1.0))
+        self._apply_environment(welcome)
+        self._log(f"joined {self.host}:{self.port} (scale {scale.instructions_per_m})")
+
+        while True:
+            reply = connection.request({"op": "lease"})
+            op = reply.get("op")
+            if op == "shutdown":
+                self._log("supervisor shutting down")
+                return 0
+            if op == "idle":
+                time.sleep(float(reply.get("backoff_s", 0.2)))
+                continue
+            if op != "task":
+                self._log(f"unexpected lease reply: {reply}")
+                return 1
+            self._lease_ordinal += 1
+            lease_id = str(reply["lease"])
+            key = str(reply.get("key", ""))
+            task = decode_task(reply["task"])
+            spec = faults.network_fault(self._lease_ordinal)
+            if spec is not None and spec.kind == "dead":
+                # A dead host does not say goodbye.
+                os.kill(os.getpid(), signal.SIGKILL)
+            doc = self._execute(connection, lease_id, task, scale, heartbeat_s)
+            if doc is None:
+                continue  # canceled by the supervisor mid-run
+            if spec is not None and spec.kind == "delay":
+                self._delay(connection, lease_id, spec, heartbeat_s)
+            if spec is not None and spec.kind == "drop":
+                # Partition: the finished work is lost with the link.
+                self._log(f"injected drop: discarding completion of {key[:12]}")
+                return None
+            if doc.get("ok"):
+                reply = connection.request(
+                    {
+                        "op": "complete",
+                        "lease": lease_id,
+                        "key": key,
+                        "payloads": doc["payloads"],
+                        "wall_s": doc["wall_s"],
+                        "reuse": doc["reuse"],
+                    }
+                )
+                self._log(
+                    f"completed {key[:12]} in {doc['wall_s']:.3f}s "
+                    f"({reply.get('status', '?')})"
+                )
+            else:
+                connection.request(
+                    {
+                        "op": "fail",
+                        "lease": lease_id,
+                        "key": key,
+                        "kind": doc.get("kind", "transient"),
+                        "type": doc.get("type", ""),
+                        "backend": doc.get("backend", ""),
+                        "error": doc.get("error", ""),
+                    }
+                )
+                self._log(f"failed {key[:12]}: {doc.get('error', '')!r}")
+
+    # -- execution -----------------------------------------------------------------
+
+    def _execute(
+        self,
+        connection: Connection,
+        lease_id: str,
+        task,
+        scale: Scale,
+        heartbeat_s: float,
+    ) -> Optional[dict]:
+        """Run one task in a child, heartbeating; None when canceled."""
+        parent_end, child_end = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_child_main, args=(child_end, task, scale), daemon=True
+        )
+        process.start()
+        child_end.close()
+        try:
+            while True:
+                process.join(heartbeat_s)
+                if not process.is_alive():
+                    break
+                reply = connection.request(
+                    {"op": "heartbeat", "lease": lease_id}
+                )
+                if reply.get("status") != "ok":
+                    self._log("lease canceled; abandoning run")
+                    process.kill()
+                    process.join()
+                    return None
+        except BaseException:
+            # Connection loss (or anything else): never leave a child
+            # simulating a run nobody is waiting for.
+            process.kill()
+            process.join()
+            raise
+        doc = None
+        if parent_end.poll():
+            try:
+                doc = parent_end.recv()
+            except (EOFError, OSError):
+                doc = None
+        parent_end.close()
+        if doc is None:
+            # Died without reporting: the remote twin of a pool crash.
+            doc = {
+                "ok": False,
+                "kind": "crash",
+                "type": "WorkerCrash",
+                "error": "worker process died",
+            }
+        return doc
+
+    def _delay(
+        self,
+        connection: Connection,
+        lease_id: str,
+        spec,
+        heartbeat_s: float,
+    ) -> None:
+        """Injected completion delay, heartbeating so the lease stays
+        live (models slow links, not dead ones)."""
+        remaining = (float(spec.arg) if spec.arg else 1000.0) / 1000.0
+        while remaining > 0:
+            chunk = min(remaining, heartbeat_s)
+            time.sleep(chunk)
+            remaining -= chunk
+            if remaining > 0:
+                connection.request({"op": "heartbeat", "lease": lease_id})
+
+    # -- environment ---------------------------------------------------------------
+
+    def _apply_environment(self, welcome: dict) -> None:
+        """Point the stores at this agent's local cache and adopt the
+        supervisor's backend/checkpoint settings (flags win)."""
+        if self._env_applied:
+            return
+        self._env_applied = True
+        if self.cache_dir is None:
+            self.cache_dir = Path(
+                tempfile.mkdtemp(prefix="repro-worker-")
+            )
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        backend = self.backend or welcome.get("backend")
+        if backend:
+            os.environ[BACKEND_ENV_VAR] = str(backend)
+        os.environ[trace_store.TRACE_DIR_ENV_VAR] = str(
+            self.cache_dir / "traces"
+        )
+        interval = int(welcome.get("checkpoint_interval", 0) or 0)
+        if interval > 0:
+            os.environ[checkpoint.CHECKPOINT_DIR_ENV_VAR] = str(
+                self.cache_dir / "checkpoints"
+            )
+            os.environ[checkpoint.CHECKPOINT_INTERVAL_ENV_VAR] = str(interval)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.worker",
+        description="Join a distributed sweep as a remote worker agent.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="supervisor address (the engine's --listen endpoint)",
+    )
+    parser.add_argument(
+        "--name",
+        default="",
+        help="agent name for attribution (default: assigned by the server)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="local trace/checkpoint store for this agent "
+        "(default: a fresh temporary directory)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend override (default: the supervisor's choice)",
+    )
+    parser.add_argument(
+        "--reconnect",
+        type=int,
+        default=20,
+        metavar="N",
+        help="connection attempts before giving up (default: 20)",
+    )
+    parser.add_argument(
+        "--reconnect-delay",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="pause between connection attempts (default: 0.5)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress progress lines"
+    )
+    args = parser.parse_args(argv)
+    agent = WorkerAgent(
+        args.connect,
+        name=args.name,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        reconnect_attempts=args.reconnect,
+        reconnect_delay=args.reconnect_delay,
+        quiet=args.quiet,
+    )
+    return agent.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

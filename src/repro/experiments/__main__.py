@@ -26,7 +26,14 @@ flag                     environment                      default
 ``--metrics-file``       ``REPRO_METRICS_FILE``           no Prometheus export
 ``--batch-configs``      ``REPRO_BATCH_CONFIGS``          1 (config batching off)
 ``--kernel-threads``     ``REPRO_KERNEL_THREADS``         0 (numba's own default)
+``--lease-ttl``          ``REPRO_LEASE_TTL``              10 (seconds)
 =======================  ===============================  =========================
+
+Distributed sweeps: ``--listen HOST:PORT`` accepts remote worker
+agents (``python -m repro.engine.worker --connect HOST:PORT``) that
+lease runs from the sweep's queue; ``--workers-remote N`` gates the
+launch on N agents connecting, and ``--jobs 0`` makes the sweep
+remote-only.  See EXPERIMENTS.md, "Distributed sweeps".
 
 ``python -m repro.experiments report`` renders a traced sweep's
 ``trace.jsonl`` (wall-time attribution, ``--run KEY`` replay,
@@ -58,6 +65,7 @@ from repro.cpu.kernels.registry import (
 )
 from repro.engine import (
     CHECKPOINT_INTERVAL_ENV_VAR,
+    LEASE_TTL_ENV_VAR,
     MAX_RETRIES_ENV_VAR,
     RUN_TIMEOUT_ENV_VAR,
     default_jobs,
@@ -254,6 +262,31 @@ def main(argv: list[str] | None = None) -> int:
         f"(default: ${KERNEL_THREADS_ENV_VAR} or 0 = the numba runtime's "
         "own default); ignored by the numpy and python backends",
     )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="accept remote worker agents (python -m repro.engine.worker "
+        "--connect HOST:PORT) which lease runs from this sweep; "
+        "combine with --jobs 0 for a remote-only sweep",
+    )
+    parser.add_argument(
+        "--workers-remote",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --listen: wait for N worker agents to connect before "
+        "launching runs (default 0 = start immediately)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="heartbeat-liveness budget per leased run (default: "
+        f"${LEASE_TTL_ENV_VAR} or 10); a lease whose heartbeats stop "
+        "for this long is requeued uncharged",
+    )
     args = parser.parse_args(argv)
 
     # Resolve once (flag > env > default) and export the result so the
@@ -281,8 +314,14 @@ def main(argv: list[str] | None = None) -> int:
             f"${JOBS_ENV_VAR} must be an integer "
             f"(got {os.environ.get(JOBS_ENV_VAR)!r})"
         )
-    if jobs < 1:
-        parser.error("--jobs must be >= 1")
+    if jobs < 0 or (jobs == 0 and args.listen is None):
+        parser.error("--jobs must be >= 1 (0 is allowed only with --listen)")
+    if args.workers_remote < 0:
+        parser.error("--workers-remote must be >= 0")
+    if args.workers_remote > 0 and args.listen is None:
+        parser.error("--workers-remote requires --listen")
+    if args.lease_ttl is not None and args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be positive")
     cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     if args.no_cache:
         cache_dir = None
@@ -341,6 +380,9 @@ def main(argv: list[str] | None = None) -> int:
         trace=trace,
         metrics_file=Path(args.metrics_file) if args.metrics_file else None,
         batch_configs=batch_configs,
+        listen=args.listen,
+        lease_ttl=args.lease_ttl,
+        min_agents=args.workers_remote,
     )
     try:
         for name in names:

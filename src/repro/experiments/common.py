@@ -102,6 +102,13 @@ class ExperimentContext:
     #: Config-batching width (None: $REPRO_BATCH_CONFIGS or 1 = off):
     #: how many same-geometry runs one batched pass may serve.
     batch_configs: Optional[int] = None
+    #: Distributed sweeps: HOST:PORT to accept remote worker agents on
+    #: (None = single host), lease heartbeat budget in seconds (None:
+    #: $REPRO_LEASE_TTL or 10) and how many agents to wait for before
+    #: launching runs (with jobs=0 the sweep is remote-only).
+    listen: Optional[str] = None
+    lease_ttl: Optional[float] = None
+    min_agents: int = 0
 
     #: The engine executing this context's runs; built from the fields
     #: above unless injected.
@@ -124,6 +131,9 @@ class ExperimentContext:
                 trace=self.trace,
                 metrics_file=self.metrics_file,
                 batch_configs=self.batch_configs,
+                listen=self.listen,
+                lease_ttl=self.lease_ttl,
+                min_agents=self.min_agents,
             )
 
     # -- workloads ---------------------------------------------------------------

@@ -179,11 +179,17 @@ def _prometheus_escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def render_prometheus(metrics: dict, tracker_counts: Dict[str, int]) -> str:
+def render_prometheus(
+    metrics: dict,
+    tracker_counts: Dict[str, int],
+    agents: Optional[List[dict]] = None,
+) -> str:
     """Engine counters as Prometheus textfile-collector lines.
 
     Scalars become ``repro_sweep_<name>`` gauges; per-family run counts
     and wall time are labelled series; nested objects are skipped.
+    ``agents`` (the lease server's snapshot, when a sweep is
+    distributed) adds connected-agent gauges.
     """
     lines: List[str] = []
 
@@ -212,6 +218,19 @@ def render_prometheus(metrics: dict, tracker_counts: Dict[str, int]) -> str:
             )
     gauge("repro_sweep_in_flight", tracker_counts.get("in_flight", 0))
     gauge("repro_sweep_queued", tracker_counts.get("queued", 0))
+    if agents is not None:
+        connected = sum(1 for entry in agents if entry.get("state") != "lost")
+        gauge("repro_sweep_agents_connected", connected)
+        for entry in agents:
+            label = '{agent="%s"}' % _prometheus_escape(
+                str(entry.get("agent", ""))
+            )
+            gauge("repro_sweep_agent_runs", entry.get("runs", 0), label)
+            gauge(
+                "repro_sweep_agent_wall_time_seconds",
+                entry.get("wall_time_s", 0.0),
+                label,
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -225,11 +244,15 @@ class LiveMonitor:
         metrics_path: Optional[os.PathLike] = None,
         metrics_source: Optional[Callable[[], dict]] = None,
         interval: float = 1.0,
+        agents_source: Optional[Callable[[], List[dict]]] = None,
     ) -> None:
         self.tracker = tracker
         self.live_path = Path(live_path) if live_path is not None else None
         self.metrics_path = Path(metrics_path) if metrics_path is not None else None
         self.metrics_source = metrics_source
+        #: Lease-server agents snapshot (settable after construction:
+        #: the engine builds the server after its telemetry).
+        self.agents_source = agents_source
         self.interval = interval
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -241,6 +264,12 @@ class LiveMonitor:
                 metrics = self.metrics_source()
             except Exception:
                 metrics = {}
+        agents: Optional[List[dict]] = None
+        if self.agents_source is not None:
+            try:
+                agents = self.agents_source()
+            except Exception:
+                agents = None
         if self.live_path is not None:
             document = {
                 "version": LIVE_SCHEMA_VERSION,
@@ -248,6 +277,8 @@ class LiveMonitor:
                 "pid": os.getpid(),
             }
             document.update(self.tracker.snapshot())
+            if agents is not None:
+                document["agents"] = agents
             document["metrics"] = metrics
             _atomic_write(
                 self.live_path,
@@ -256,7 +287,7 @@ class LiveMonitor:
         if self.metrics_path is not None:
             _atomic_write(
                 self.metrics_path,
-                render_prometheus(metrics, self.tracker.counts()),
+                render_prometheus(metrics, self.tracker.counts(), agents),
             )
 
     def _run(self) -> None:

@@ -30,6 +30,9 @@ from repro.obs import trace as obs_trace
 #: Span names that represent per-run simulation phases (the attribution
 #: table rows); lifecycle/engine spans are summarized separately.
 _RUN_SPAN = "run"
+#: Supervisor-side record of a run executed by a remote worker agent
+#: (distributed sweeps); counted as run time, never as a phase.
+_REMOTE_RUN_SPAN = "remote_run"
 _ENGINE_SPANS = ("batch", "plan", "dedup")
 
 
@@ -56,7 +59,7 @@ def attribution_rows(events: List[dict]) -> List[Sequence[object]]:
         if event.get("event") != "span":
             continue
         name = event.get("name")
-        if name == _RUN_SPAN or name in _ENGINE_SPANS:
+        if name == _RUN_SPAN or name == _REMOTE_RUN_SPAN or name in _ENGINE_SPANS:
             continue
         attrs = event.get("attrs") or {}
         key = (
@@ -96,7 +99,8 @@ def coverage(events: List[dict]) -> Dict[str, float]:
     run_s = sum(
         float(e.get("dur", 0.0))
         for e in events
-        if e.get("event") == "span" and e.get("name") == _RUN_SPAN
+        if e.get("event") == "span"
+        and e.get("name") in (_RUN_SPAN, _REMOTE_RUN_SPAN)
     )
     supervisor_s = sum(
         float(e.get("dur", 0.0))
@@ -105,6 +109,7 @@ def coverage(events: List[dict]) -> Dict[str, float]:
         and e.get("worker") == "supervisor"
         and e.get("name") not in _ENGINE_SPANS
         and e.get("name") != "queue_wait"
+        and e.get("name") != _REMOTE_RUN_SPAN
     )
     phase_s = sum(
         float(e.get("dur", 0.0))
@@ -112,6 +117,7 @@ def coverage(events: List[dict]) -> Dict[str, float]:
         if e.get("event") == "span"
         and e.get("name") not in _ENGINE_SPANS
         and e.get("name") != _RUN_SPAN
+        and e.get("name") != _REMOTE_RUN_SPAN
         and e.get("name") != "queue_wait"
     )
     accounted = (
@@ -124,6 +130,24 @@ def coverage(events: List[dict]) -> Dict[str, float]:
         "phase_s": phase_s,
         "accounted": accounted,
     }
+
+
+def agent_rows(events: List[dict]) -> List[Sequence[object]]:
+    """(agent, runs, seconds) rows from ``remote_run`` spans (empty for
+    single-host sweeps), sorted by descending wall time."""
+    buckets: Dict[str, List[float]] = defaultdict(lambda: [0, 0.0])
+    for event in events:
+        if event.get("event") != "span" or event.get("name") != _REMOTE_RUN_SPAN:
+            continue
+        agent = _attr(event, "agent", "?")
+        bucket = buckets[agent]
+        bucket[0] += 1
+        bucket[1] += float(event.get("dur", 0.0))
+    rows = [
+        [agent, runs, seconds] for agent, (runs, seconds) in buckets.items()
+    ]
+    rows.sort(key=lambda row: -row[2])
+    return rows
 
 
 def replay_lines(events: List[dict], run_prefix: str) -> List[str]:
@@ -331,6 +355,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 rows,
             )
         )
+    agents = agent_rows(events)
+    if agents:
+        print("\nremote worker agents:")
+        print(format_table(("agent", "runs", "seconds"), agents))
     stats = coverage(events)
     print(
         f"\nbatch wall time {stats['batch_s']:.3f}s; run spans "

@@ -1,0 +1,479 @@
+"""Tests for lease-based distributed scheduling (ledger + end to end).
+
+The :class:`LeaseLedger` unit tests drive expiry with an injected fake
+clock, so no test here sleeps through a TTL.  The end-to-end tests
+launch real ``python -m repro.engine.worker`` agent subprocesses
+against an in-process engine listening on an ephemeral localhost port.
+"""
+
+import os
+import subprocess
+import sys
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.engine import Engine, RunRequest
+from repro.engine.protocol import (
+    MAX_LEASE_REQUEUES,
+    LeaseLedger,
+    RemoteFailure,
+    parse_address,
+    payload_digest,
+)
+from repro.scale import Scale
+from repro.techniques.reference import ReferenceTechnique
+from repro.techniques.truncated import RunZ
+from repro.workloads.spec import get_workload
+
+from tests.test_engine import SCALE
+
+
+class TestParseAddress:
+    def test_host_and_port(self):
+        assert parse_address("10.0.0.5:4242") == ("10.0.0.5", 4242)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address("4242") == ("127.0.0.1", 4242)
+
+    def test_whitespace_tolerated(self):
+        assert parse_address(" 127.0.0.1:80 ") == ("127.0.0.1", 80)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_address("localhost:http")
+
+
+class TestPayloadDigest:
+    def test_insensitive_to_key_order(self):
+        a = payload_digest([{"x": 1, "y": 2}])
+        b = payload_digest([{"y": 2, "x": 1}])
+        assert a == b
+
+    def test_sensitive_to_values(self):
+        assert payload_digest([{"x": 1}]) != payload_digest([{"x": 2}])
+
+
+# -- ledger unit tests (fake clock, no sockets) ------------------------------------
+
+
+@dataclass
+class FakeTask:
+    """The minimal task shape the ledger needs (key + no batch)."""
+
+    key: str
+    members: object = None
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float) -> None:
+        self.now += delta
+
+
+def make_ledger(**kwargs) -> tuple:
+    clock = FakeClock()
+    kwargs.setdefault("lease_ttl", 9.0)
+    ledger = LeaseLedger(clock=clock, **kwargs)
+    supply = deque()
+    ledger.begin_batch(supply)
+    return ledger, clock, supply
+
+
+class TestLeaseGrant:
+    def test_grant_pops_supply(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        supply.append(FakeTask("k1"))
+        lease, delivery = ledger.grant(agent)
+        assert lease.key == "k1"
+        assert delivery == 1
+        assert not supply
+        assert ledger.outstanding() == 1
+
+    def test_empty_supply_is_idle(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        assert ledger.grant(agent) is None
+
+    def test_redelivery_counts_up(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        supply.append(FakeTask("k1"))
+        ledger.grant(agent)
+        ledger.leave(agent)
+        events = ledger.collect()
+        task = [e for e in events if e[0] == "requeue"][0][1]
+        supply.append(task)
+        agent2 = ledger.join("a2")
+        _, delivery = ledger.grant(agent2)
+        assert delivery == 2
+
+    def test_join_name_collision_gets_suffix(self):
+        ledger, clock, supply = make_ledger()
+        first = ledger.join("twin")
+        second = ledger.join("twin")
+        assert first == "twin"
+        assert second != "twin" and second.startswith("twin#")
+
+
+class TestLeaseExpiry:
+    def test_heartbeat_loss_requeues_uncharged(self):
+        """Dead agent: the run is requeued without being charged."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        agent = ledger.join("a1")
+        supply.append(FakeTask("k1"))
+        ledger.grant(agent)
+        clock.advance(9.5)  # past the TTL with no heartbeat
+        events = ledger.collect()
+        kinds = [e[0] for e in events]
+        assert kinds == ["requeue"]
+        assert events[0][3] == "heartbeat lost"
+        counters = ledger.consume_counters()
+        assert counters["lease_expiries"] == 1
+        assert counters["lease_requeues"] == 1
+        assert counters["agents_lost"] == 1
+        assert ledger.outstanding() == 0
+
+    def test_heartbeats_keep_lease_alive(self):
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        agent = ledger.join("a1")
+        supply.append(FakeTask("k1"))
+        lease, _ = ledger.grant(agent)
+        for _ in range(10):
+            clock.advance(3.0)  # the agent's ttl/3 cadence
+            assert ledger.heartbeat(agent, lease.lease_id) == "ok"
+        assert ledger.collect() == []
+        assert ledger.outstanding() == 1
+
+    def test_slow_run_with_heartbeats_is_charged_timeout(self):
+        """Deadline blown while heartbeating: slow run, not dead agent."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0, run_timeout=30.0)
+        agent = ledger.join("a1")
+        supply.append(FakeTask("k1"))
+        lease, _ = ledger.grant(agent)
+        elapsed = 0.0
+        while elapsed < 34.0:  # budget 30s + ttl/3 grace
+            clock.advance(3.0)
+            elapsed += 3.0
+            ledger.heartbeat(agent, lease.lease_id)
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["timeout"]
+        counters = ledger.consume_counters()
+        assert "lease_requeues" not in counters
+        # The canceled lease survives so the agent's next heartbeat is
+        # told to abandon the run instead of reading "unknown lease".
+        assert ledger.heartbeat(agent, lease.lease_id) == "cancel"
+
+    def test_batch_deadline_scales_with_members(self):
+        ledger, clock, supply = make_ledger(lease_ttl=9.0, run_timeout=10.0)
+        agent = ledger.join("a1")
+        supply.append(FakeTask("batch", members=[object(), object()]))
+        lease, _ = ledger.grant(agent)
+        clock.advance(14.0)  # past a 1-member budget (10 + 3 grace)
+        ledger.heartbeat(agent, lease.lease_id)
+        assert ledger.collect() == []  # 2 members: budget is 23s
+        clock.advance(10.0)
+        ledger.heartbeat(agent, lease.lease_id)
+        assert [e[0] for e in ledger.collect()] == ["timeout"]
+
+    def test_requeue_budget_exhaustion_charges_timeout(self):
+        """A run cannot ping-pong across dying agents forever."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0, max_requeues=2)
+        task = FakeTask("poison")
+        for round_no in range(3):
+            supply.append(task)
+            agent = ledger.join(f"a{round_no}")
+            ledger.grant(agent)
+            clock.advance(9.5)
+            events = ledger.collect()
+            if round_no < 2:
+                assert [e[0] for e in events] == ["requeue"]
+            else:
+                assert [e[0] for e in events] == ["timeout"]
+                assert "requeue budget" in events[0][3]
+
+    def test_default_requeue_cap_matches_constant(self):
+        ledger, clock, supply = make_ledger()
+        assert ledger.max_requeues == MAX_LEASE_REQUEUES
+
+
+class TestCompletionDedup:
+    PAYLOADS = [{"family": "Stub", "cpi": 1.5}]
+
+    def grant_one(self, ledger, supply, agent, key="k1"):
+        supply.append(FakeTask(key))
+        lease, _ = ledger.grant(agent)
+        return lease
+
+    def test_live_completion_is_ok(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        lease = self.grant_one(ledger, supply, agent)
+        status = ledger.complete(
+            agent, lease.lease_id, "k1", self.PAYLOADS, 0.5, {}
+        )
+        assert status == "ok"
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["complete"]
+        _, task, payloads, wall, reuse, from_agent = events[0]
+        assert task.key == "k1" and payloads == self.PAYLOADS
+        assert from_agent == agent
+
+    def test_duplicate_completion_dedups_on_byte_parity(self):
+        """At-least-once: the straggler's identical bytes are dropped."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        lease = self.grant_one(ledger, supply, slow)
+        clock.advance(9.5)  # slow agent presumed dead; lease requeued
+        requeue = [e for e in ledger.collect() if e[0] == "requeue"]
+        supply.append(requeue[0][1])
+        fast = ledger.join("fast")
+        lease2, _ = ledger.grant(fast)
+        assert ledger.complete(
+            fast, lease2.lease_id, "k1", self.PAYLOADS, 0.4, {}
+        ) == "ok"
+        # The presumed-dead agent's completion arrives after all.
+        assert ledger.complete(
+            slow, lease.lease_id, "k1", self.PAYLOADS, 9.9, {}
+        ) == "duplicate"
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["complete"]  # exactly one
+        assert ledger.consume_counters()["duplicate_completions"] == 1
+
+    def test_duplicate_with_different_bytes_is_parity_violation(self):
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        lease = self.grant_one(ledger, supply, slow)
+        clock.advance(9.5)
+        requeue = [e for e in ledger.collect() if e[0] == "requeue"]
+        supply.append(requeue[0][1])
+        fast = ledger.join("fast")
+        lease2, _ = ledger.grant(fast)
+        ledger.complete(fast, lease2.lease_id, "k1", self.PAYLOADS, 0.4, {})
+        ledger.collect()
+        assert ledger.complete(
+            slow, lease.lease_id, "k1", [{"family": "Stub", "cpi": 9.9}],
+            9.9, {},
+        ) == "duplicate"
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["parity"]
+
+    def test_stale_completion_for_pending_key_is_discarded(self):
+        """The requeued task is authoritative until someone completes
+        it; an expired lease's completion must not race it in."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        lease = self.grant_one(ledger, supply, slow)
+        clock.advance(9.5)
+        ledger.collect()  # requeued; key not completed by anyone yet
+        assert ledger.complete(
+            slow, lease.lease_id, "k1", self.PAYLOADS, 9.9, {}
+        ) == "stale"
+        assert ledger.collect() == []
+        assert ledger.consume_counters()["stale_completions"] == 1
+
+    def test_remote_failure_event(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        lease = self.grant_one(ledger, supply, agent)
+        exc = RemoteFailure("transient", "RuntimeError", "boom")
+        assert ledger.fail(agent, lease.lease_id, "k1", exc) == "ok"
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["fail"]
+        assert events[0][2] is exc
+
+
+# -- end to end: real agents over localhost ----------------------------------------
+
+
+def _requests(count=3):
+    workload = get_workload("gzip", "reference", seed=7)
+    techniques = [ReferenceTechnique()] + [
+        RunZ(100 * (i + 1)) for i in range(count - 1)
+    ]
+    return [
+        RunRequest(technique, workload, ARCH_CONFIGS[0])
+        for technique in techniques
+    ]
+
+
+def _store_bytes(root: Path) -> dict:
+    """Map of result-store entries to their exact bytes."""
+    out = {}
+    for path in sorted((root / "v1").rglob("*.json")):
+        if path.name == "engine-stats.json":
+            continue
+        out[str(path.relative_to(root / "v1"))] = path.read_bytes()
+    return out
+
+
+def _spawn_agent(port, name, fault_plan=None, backend="python"):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path(__file__).resolve().parents[1] / "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    env["REPRO_BACKEND"] = backend
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.engine.worker",
+         "--connect", f"127.0.0.1:{port}", "--name", name],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+    )
+
+
+@pytest.fixture()
+def distributed_engine(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "python")
+
+    def build(cache_name="dist", **kwargs):
+        kwargs.setdefault("jobs", 0)
+        kwargs.setdefault("listen", "127.0.0.1:0")
+        kwargs.setdefault("lease_ttl", 3.0)
+        return Engine(
+            scale=SCALE, cache_dir=tmp_path / cache_name, **kwargs
+        )
+
+    return build
+
+
+class TestDistributedSweep:
+    def test_two_agents_one_killed_matches_single_host(
+        self, tmp_path, distributed_engine
+    ):
+        """The acceptance anchor: a two-agent sweep with one agent
+        SIGKILLed mid-run completes byte-identical to a single-host
+        sweep, with nothing charged to the requeued runs."""
+        reference = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path / "ref")
+        try:
+            reference.run_many(_requests())
+        finally:
+            reference.close()
+
+        engine = distributed_engine(min_agents=2)
+        agents = []
+        try:
+            port = engine.lease_server.port
+            # dead@1: the victim SIGKILLs itself on its first lease.
+            agents.append(_spawn_agent(port, "victim", fault_plan="dead@1"))
+            agents.append(_spawn_agent(port, "steady"))
+            results = engine.run_many(_requests())
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            for proc in agents:
+                try:
+                    proc.wait(timeout=15)
+                finally:
+                    proc.kill()
+
+        assert all(result is not None for result in results)
+        assert _store_bytes(tmp_path / "dist") == _store_bytes(
+            tmp_path / "ref"
+        )
+        assert snapshot["failed_runs"] == []
+        assert snapshot["agents_joined"] == 2
+        assert snapshot["agents_lost"] >= 1
+        assert snapshot["remote_runs"] == len(results)
+        assert snapshot["lease_requeues"] >= 1
+        # Uncharged requeue: every completion was a first attempt.
+        assert snapshot["runs_launched"] == snapshot["runs_succeeded"]
+        assert snapshot["per_agent"]["steady"]["runs"] == len(results)
+
+    def test_dropped_completion_requeues_and_dedups(
+        self, tmp_path, distributed_engine
+    ):
+        """drop@N: the agent executes, discards the completion and
+        reconnects; the rerun wins and nothing is double-counted."""
+        engine = distributed_engine(min_agents=1)
+        agent = None
+        try:
+            port = engine.lease_server.port
+            agent = _spawn_agent(port, "flaky", fault_plan="drop@1")
+            results = engine.run_many(_requests())
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        assert all(result is not None for result in results)
+        assert snapshot["failed_runs"] == []
+        assert snapshot["remote_runs"] == len(results)
+        assert snapshot["lease_requeues"] >= 1
+        assert snapshot["agents_joined"] == 2  # the reconnect rejoined
+
+    def test_resume_of_partially_distributed_sweep(
+        self, tmp_path, distributed_engine
+    ):
+        """A distributed sweep's journal resumes like a local one: the
+        remotely-completed runs are trusted, only the rest execute."""
+        engine = distributed_engine(min_agents=1)
+        agent = None
+        try:
+            port = engine.lease_server.port
+            agent = _spawn_agent(port, "only")
+            engine.run_many(_requests(2))
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        resumed = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path / "dist", resume=True
+        )
+        try:
+            results = resumed.run_many(_requests(4))
+            snapshot = resumed.metrics.snapshot()
+        finally:
+            resumed.close()
+        assert all(result is not None for result in results)
+        assert snapshot["resumed"] == 2
+        assert snapshot["runs_launched"] == 2  # only the new work ran
+
+    def test_worker_rejects_epoch_mismatch(self, tmp_path, monkeypatch):
+        """An agent from a different results epoch must refuse to mix
+        its results into the sweep (exit code 2)."""
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        engine = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path / "dist",
+            listen="127.0.0.1:0",
+        )
+        agent = None
+        try:
+            port = engine.lease_server.port
+            env = dict(os.environ)
+            env["PYTHONPATH"] = str(
+                Path(__file__).resolve().parents[1] / "src"
+            )
+            agent = subprocess.Popen(
+                [sys.executable, "-c",
+                 "import sys\n"
+                 "from repro.engine import worker\n"
+                 "worker.RESULTS_EPOCH = worker.RESULTS_EPOCH + 999\n"
+                 "sys.exit(worker.main(['--connect', '127.0.0.1:%d']))"
+                 % port],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            )
+            assert agent.wait(timeout=30) == 2
+        finally:
+            if agent is not None and agent.poll() is None:
+                agent.kill()
+            engine.close()

@@ -163,6 +163,66 @@ class TestSerialization:
         store.path_for(key).write_text("{not json")
         assert store.get(key) is None
 
+    def test_store_embeds_payload_checksum(self, tmp_path, workload):
+        from repro.engine.store import CHECKSUM_FIELD
+
+        store = ResultStore(tmp_path)
+        key = "ef" * 32
+        store.put(key, RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE))
+        document = json.loads(store.path_for(key).read_text())
+        assert CHECKSUM_FIELD in document
+
+    def test_store_detects_silent_bit_rot(self, tmp_path, workload):
+        """Valid JSON whose bytes drifted after the write must read as
+        a miss (and be counted), not as a subtly-wrong result."""
+        store = ResultStore(tmp_path)
+        key = "ef" * 32
+        store.put(key, RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE))
+        path = store.path_for(key)
+        document = json.loads(path.read_text())
+        document["stats"]["cycles"] += 1  # the silent flip
+        path.write_text(json.dumps(document))
+        assert store.get(key) is None
+        assert store.consume_corrupt_entries() == 1
+        assert store.consume_corrupt_entries() == 0  # drained
+
+    def test_store_accepts_legacy_unchecksummed_entry(
+        self, tmp_path, workload
+    ):
+        from repro.engine.store import CHECKSUM_FIELD
+
+        store = ResultStore(tmp_path)
+        key = "ef" * 32
+        store.put(key, RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE))
+        path = store.path_for(key)
+        document = json.loads(path.read_text())
+        del document[CHECKSUM_FIELD]
+        path.write_text(json.dumps(document))
+        assert store.get(key) is not None
+        assert store.consume_corrupt_entries() == 0
+
+    def test_engine_regenerates_corrupt_entry(self, tmp_path, workload):
+        request = RunRequest(RunZ(500), workload, ARCH_CONFIGS[0])
+        engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        try:
+            engine.run_many([request])
+            key = request.content_key(SCALE)
+            engine.store.path_for(key).write_text("garbage")
+        finally:
+            engine.close()
+
+        engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+        try:
+            results = engine.run_many([request])
+            snapshot = engine.metrics.snapshot()
+            regenerated = engine.store.get(key)
+        finally:
+            engine.close()
+        assert results[0] is not None
+        assert regenerated is not None  # rewritten, not left rotten
+        assert snapshot["store_corrupt_entries"] == 1
+        assert snapshot["runs_launched"] == 1  # re-executed, no hit
+
 
 class TestPlanner:
     def test_deduplicates_preserving_order(self, workload):

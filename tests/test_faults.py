@@ -57,6 +57,38 @@ class TestPlanParsing:
         with pytest.raises(FaultPlanError):
             parse_plan("[not json")
 
+    def test_network_verbs(self):
+        plan = parse_plan("dead@1,drop@2,delay@3:400")
+        assert plan == [
+            FaultSpec(kind="dead", slot=1),
+            FaultSpec(kind="drop", slot=2),
+            FaultSpec(kind="delay", slot=3, arg="400"),
+        ]
+
+
+class TestNetworkFaults:
+    """``network_fault`` keys on the agent's Nth granted lease."""
+
+    def test_matches_lease_ordinal(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV_VAR, "drop@2,delay@4:250")
+        assert faults.network_fault(1) is None
+        spec = faults.network_fault(2)
+        assert spec is not None and spec.kind == "drop"
+        assert faults.network_fault(3) is None
+        spec = faults.network_fault(4)
+        assert spec is not None and spec.kind == "delay" and spec.arg == "250"
+
+    def test_ignores_process_fault_verbs(self, monkeypatch):
+        # kill@1 targets plan slot 1 inside a worker process; it must
+        # never fire on an agent's lease ordinal.
+        monkeypatch.setenv(faults.FAULT_PLAN_ENV_VAR, "kill@1,exc@2")
+        assert faults.network_fault(1) is None
+        assert faults.network_fault(2) is None
+
+    def test_no_plan(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_PLAN_ENV_VAR, raising=False)
+        assert faults.network_fault(1) is None
+
 
 class TestMatching:
     def test_first_attempt_only_by_default(self):

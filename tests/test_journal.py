@@ -124,11 +124,12 @@ class TestEngineJournalling:
         for a, b in zip(reference, results):
             assert _result_fingerprint(a) == _result_fingerprint(b)
 
-    def test_fresh_sweep_truncates_stale_journal(self, tmp_path, workload):
+    def test_fresh_sweep_rotates_stale_journal(self, tmp_path, workload):
         requests = self._requests(workload, 2)
         first = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
         first.run_many(requests)
         first.close()
+        previous = (tmp_path / JOURNAL_FILENAME).read_text()
         # A non-resume engine starts a new journal; the store still
         # serves the results (as cache hits, not resumed runs).
         second = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
@@ -141,6 +142,20 @@ class TestEngineJournalling:
             for line in (tmp_path / JOURNAL_FILENAME).read_text().splitlines()
         ]
         assert sum(1 for e in events if e["event"] == "start") == 1
+        # The superseded journal is a post-mortem artifact: rotated
+        # aside, never destroyed.
+        rotated = tmp_path / (JOURNAL_FILENAME + ".1")
+        assert rotated.read_text() == previous
+
+    def test_rotation_keeps_only_one_generation(self, tmp_path, workload):
+        requests = self._requests(workload, 2)
+        for _ in range(3):
+            engine = Engine(scale=SCALE, jobs=1, cache_dir=tmp_path)
+            engine.run_many(requests)
+            engine.close()
+        assert (tmp_path / JOURNAL_FILENAME).exists()
+        assert (tmp_path / (JOURNAL_FILENAME + ".1")).exists()
+        assert not (tmp_path / (JOURNAL_FILENAME + ".2")).exists()
 
     def test_resume_skips_quarantined_runs(self, tmp_path, workload, monkeypatch):
         from repro.engine.faults import FAULT_PLAN_ENV_VAR
