@@ -4,11 +4,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/measure_sweep.py [--out FILE]
         [--min-speedup RATIO] [--ff-points N] [--configs N]
-        [--suite {stores,batch,all}]
+        [--suite {stores,batch,distributed,all}]
 
 ``--suite stores`` (the default) measures the PR-4 shared stores;
 ``--suite batch`` measures config batching (see *Batch suite* below)
-into ``BENCH_batch.json``; ``--suite all`` runs both.
+into ``BENCH_batch.json``; ``--suite distributed`` measures batch
+leasing plus the wire-level artifact cache (see *Distributed suite*)
+into ``BENCH_distributed.json``; ``--suite all`` runs all of them.
 
 The stores benchmark runs one warmed fast-forward sweep
 (latency-variant configurations x fast-forward depths, the shape a
@@ -65,13 +67,46 @@ matrix**: for each batch width it times the sequential numpy batched
 pass against the numba data-parallel batch kernel at 1/2/4 worker
 threads (``REPRO_KERNEL_THREADS``), with warm stores, gating every
 cell's statistics fingerprint against the sequential pass.  The
-matrix, the backend each cell actually resolved (numba degrades to
-numpy when not installed) and the host's ``cpu_count`` land in the
-report's ``scaling`` section -- thread scaling is only meaningful
-where numba and >1 core are present, so the numbers carry their own
-context.  ``--min-parallel-speedup R`` (default 0 = report-only)
-fails the suite unless the widest batch beats sequential by R on some
-thread count >= 2.
+matrix and the host's ``cpu_count`` land in the report's ``scaling``
+section.  Every cell is a dict with a ``status`` field, the same
+shape :mod:`benchmarks.measure_kernels` uses -- ``{"status": "ok",
+"backend": ..., ...timings...}`` when the requested numba kernel
+really served the pass, or ``{"status": "unavailable", "reason":
+...}`` when the measuring interpreter cannot import numba.  Timing a
+silently degraded fallback and recording it under the numba key is
+exactly the staleness this stanza exists to prevent: a reader can
+always tell "numba was not installed" from "numba was measured".
+``--min-parallel-speedup R`` (default 0 = report-only) fails the
+suite unless the widest batch beats sequential by R on some
+``status: ok`` cell with >= 2 threads.
+
+**Distributed suite.**  The same Figure-6-shaped batch, executed by a
+remote worker agent leased from a supervisor (``jobs=0``), in four
+timed legs -- each leg spawns a fresh supervisor child (which prints
+its ephemeral port) plus a fresh agent child:
+
+``single``
+    Single-host ``batch_configs=N``: the PR-5 baseline and the
+    byte-parity reference store.  This pass also primes the
+    supervisor cache's ``traces/`` + ``checkpoints/`` for the legs
+    below.
+``singleton``
+    ``remote_batch_configs=1`` against an unprimed supervisor cache:
+    the PR-8 wire protocol, one lease round-trip per run and no
+    artifacts to fetch, so every run pays its own warming.
+``cold``
+    Batch leasing against the primed supervisor, agent cache empty:
+    one lease carries the whole batch, the agent probes, misses and
+    fetches the trace/checkpoint artifacts, then runs one batched
+    pass (``artifact_fetches > 0`` asserted).
+``warmed``
+    The cold leg again with the agent's cache retained: every probe
+    hits locally, nothing crosses the wire (``artifact_fetches == 0``
+    asserted), one batched pass.
+
+All four result stores must be byte-identical; the report records
+per-leg seconds plus the warmed-over-singleton ratio, gated by
+``--min-distributed-speedup`` (default 3).
 """
 
 from __future__ import annotations
@@ -174,6 +209,16 @@ with warnings.catch_warnings():
     # report the backend that actually serves the pass.
     warnings.simplefilter("ignore")
     backend_used = resolve_backend_name(backend or None)
+if backend and backend_used != backend:
+    # Never time the fallback under the requested backend's key: an
+    # unavailable backend is reported, not measured (the same contract
+    # as benchmarks/measure_kernels.py).
+    print(json.dumps({
+        "status": "unavailable",
+        "reason": f"backend {backend!r} does not import in the "
+                  f"measuring interpreter (resolved to {backend_used!r})",
+    }))
+    raise SystemExit(0)
 scale = Scale(200)
 workload = get_workload("gzip")
 
@@ -214,11 +259,87 @@ counters = {
                  "trace_cache_hits", "instructions_skipped")
 }
 print(json.dumps({
+    "status": "ok",
     "seconds": seconds,
     "runs": len(requests),
     "fingerprint": fingerprint,
     "counters": counters,
     "backend": backend_used,
+}))
+"""
+
+
+#: One distributed-suite supervisor pass.  The child binds an
+#: ephemeral lease port, prints it on its first stdout line (the
+#: parent spawns the worker agent against it), then times the sweep.
+_DIST_CHILD = """
+import hashlib, json, sys, time
+
+cache_dir, batch, remote_batch, num_configs, ff_m, run_m = (
+    sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]),
+    float(sys.argv[5]), float(sys.argv[6]),
+)
+
+from repro.cpu.config import ARCH_CONFIGS
+from repro.engine import Engine, RunRequest
+from repro.scale import Scale
+from repro.techniques.truncated import FFRunZ
+from repro.workloads.spec import get_workload
+
+scale = Scale(200)
+workload = get_workload("gzip")
+
+base = ARCH_CONFIGS[0]
+configs = [base] + [
+    base.replace(
+        l2_latency=base.l2_latency + 1 + i % 4,
+        mem_latency_first=base.mem_latency_first + 10 * (i // 4),
+    )
+    for i in range(num_configs - 1)
+]
+requests = [
+    RunRequest(FFRunZ(ff_m, run_m, warmed=True), workload, config)
+    for config in configs
+]
+
+engine = Engine(scale=scale, jobs=0, cache_dir=cache_dir,
+                checkpoint_interval=500.0, batch_configs=batch,
+                remote_batch_configs=remote_batch,
+                listen="127.0.0.1:0", min_agents=1, lease_ttl=10.0)
+print(json.dumps({"port": engine.lease_server.port}), flush=True)
+
+# Wait for the agent's handshake before starting the clock, so the
+# measured seconds compare lease/execution paths, not interpreter
+# startup of the agent child.
+deadline = time.monotonic() + 120.0
+while not engine.lease_server.agents_snapshot():
+    if time.monotonic() > deadline:
+        raise SystemExit("no agent joined within 120s")
+    time.sleep(0.02)
+
+t0 = time.perf_counter()
+results = engine.run_many(requests)
+seconds = time.perf_counter() - t0
+engine.close()
+
+fingerprint = hashlib.sha256(
+    json.dumps(
+        [sorted(r.stats.counters().items()) for r in results],
+        sort_keys=True,
+    ).encode()
+).hexdigest()
+counters = {
+    name: getattr(engine.metrics, name)
+    for name in ("leases_granted", "remote_runs", "agents_joined",
+                 "remote_batch_explodes", "artifact_fetches",
+                 "artifact_refetches", "artifact_corrupt_chunks")
+}
+print(json.dumps({
+    "status": "ok",
+    "seconds": seconds,
+    "runs": len(requests),
+    "fingerprint": fingerprint,
+    "counters": counters,
 }))
 """
 
@@ -244,6 +365,46 @@ def run_batch_pass(
         _BATCH_CHILD, [cache_dir, batch, configs, ff_m, run_m,
                        backend, threads]
     )
+
+
+def run_distributed_pass(
+    cache_dir: str, batch: int, remote_batch: int, configs: int,
+    ff_m: float, run_m: float, agent_cache: str,
+) -> dict:
+    """One supervisor child + one worker-agent child, both fresh.
+
+    The supervisor prints its ephemeral lease port first; the agent is
+    spawned against it with ``agent_cache`` as its private artifact
+    cache (retained across passes to measure the warmed path).
+    """
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    supervisor = subprocess.Popen(
+        [sys.executable, "-c", _DIST_CHILD]
+        + [str(a) for a in (cache_dir, batch, remote_batch, configs,
+                            ff_m, run_m)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    agent = None
+    try:
+        port = json.loads(supervisor.stdout.readline())["port"]
+        agent = subprocess.Popen(
+            [sys.executable, "-m", "repro.engine.worker",
+             "--connect", f"127.0.0.1:{port}",
+             "--name", "bench", "--cache-dir", agent_cache, "--quiet"],
+            env=env,
+        )
+        out, err = supervisor.communicate(timeout=600)
+        if supervisor.returncode != 0:
+            raise RuntimeError(
+                f"supervisor child failed ({supervisor.returncode}): {err}"
+            )
+        agent.wait(timeout=60)  # orderly shutdown after engine close
+        return json.loads(out.strip().splitlines()[-1])
+    finally:
+        if supervisor.poll() is None:
+            supervisor.kill()
+        if agent is not None and agent.poll() is None:
+            agent.kill()
 
 
 def snapshot_result_store(workdir: str) -> dict:
@@ -381,12 +542,23 @@ def measure_scaling(args) -> dict:
                     workdir, n, n, ff_m, run_m,
                     backend="numba", threads=threads,
                 )
+                if parallel["status"] != "ok":
+                    # Recorded, never timed as the fallback: the cell
+                    # says *why* there is no numba number.
+                    print(f"scaling: skipped ({parallel['reason']})",
+                          file=sys.stderr)
+                    entry["threads"][str(threads)] = {
+                        "status": "unavailable",
+                        "reason": parallel["reason"],
+                    }
+                    continue
                 if parallel["fingerprint"] != sequential["fingerprint"]:
                     raise SystemExit(
                         f"FAIL: parallel batched results ({n} configs, "
                         f"{threads} threads) differ from sequential"
                     )
                 entry["threads"][str(threads)] = {
+                    "status": "ok",
                     "backend": parallel["backend"],
                     "seconds": round(parallel["seconds"], 3),
                     "speedup_vs_sequential": round(
@@ -493,21 +665,137 @@ def run_batch_suite(args) -> int:
     if args.min_parallel_speedup:
         widest = scaling["matrix"][-1]
         best = max(
-            cell["speedup_vs_sequential"]
-            for threads, cell in widest["threads"].items()
-            if int(threads) >= 2
+            (cell["speedup_vs_sequential"]
+             for threads, cell in widest["threads"].items()
+             if int(threads) >= 2 and cell["status"] == "ok"),
+            default=0.0,
         )
         if best < args.min_parallel_speedup:
             print(f"FAIL: parallel kernel speedup {best:.2f}x at "
                   f"{widest['configs']} configs < required "
-                  f"{args.min_parallel_speedup:.2f}x", file=sys.stderr)
+                  f"{args.min_parallel_speedup:.2f}x (unavailable cells "
+                  "count as 0)", file=sys.stderr)
             return 1
+    return 0
+
+
+def run_distributed_suite(args) -> int:
+    n = args.batch_configs
+    ff_m, run_m = args.batch_ff, args.batch_run
+    sup_dir = tempfile.mkdtemp(prefix="repro-dist-sup-")
+    singleton_dir = tempfile.mkdtemp(prefix="repro-dist-single-")
+    agent_cold = tempfile.mkdtemp(prefix="repro-dist-agent-")
+    agent_pr8 = tempfile.mkdtemp(prefix="repro-dist-agent8-")
+    try:
+        print(f"single-host batched pass ({n} configs, primes the "
+              "supervisor stores) ...", file=sys.stderr)
+        single = run_batch_pass(sup_dir, n, n, ff_m, run_m)
+        reference_store = snapshot_result_store(sup_dir)
+        wipe_results(sup_dir)
+
+        print("singleton-lease pass (remote_batch_configs=1, unprimed "
+              "supervisor, cold agent) ...", file=sys.stderr)
+        singleton = run_distributed_pass(
+            singleton_dir, n, 1, n, ff_m, run_m, agent_pr8)
+        singleton_store = snapshot_result_store(singleton_dir)
+
+        print("cold-agent batched pass (primed supervisor, empty agent "
+              "cache) ...", file=sys.stderr)
+        cold = run_distributed_pass(sup_dir, n, n, n, ff_m, run_m, agent_cold)
+        cold_store = snapshot_result_store(sup_dir)
+        wipe_results(sup_dir)
+
+        print("artifact-warmed batched pass (agent cache retained) ...",
+              file=sys.stderr)
+        warmed = run_distributed_pass(
+            sup_dir, n, n, n, ff_m, run_m, agent_cold)
+        warmed_store = snapshot_result_store(sup_dir)
+    finally:
+        for path in (sup_dir, singleton_dir, agent_cold, agent_pr8):
+            shutil.rmtree(path, ignore_errors=True)
+
+    fingerprints = {
+        name: result["fingerprint"]
+        for name, result in (("single", single), ("singleton", singleton),
+                             ("cold", cold), ("warmed", warmed))
+    }
+    if len(set(fingerprints.values())) != 1:
+        print(f"FAIL: distributed results differ from single-host results: "
+              f"{fingerprints}", file=sys.stderr)
+        return 1
+    stores = {"singleton": singleton_store, "cold": cold_store,
+              "warmed": warmed_store}
+    for name, store in stores.items():
+        if not reference_store or store != reference_store:
+            changed = [
+                rel for rel in set(reference_store) | set(store)
+                if reference_store.get(rel) != store.get(rel)
+            ]
+            print(f"FAIL: the {name} pass's result store is not "
+                  f"byte-identical to the single-host store "
+                  f"({len(changed)} files differ)", file=sys.stderr)
+            return 1
+    for name, result in (("singleton", singleton), ("cold", cold),
+                         ("warmed", warmed)):
+        counters = result["counters"]
+        if counters["remote_runs"] != result["runs"]:
+            print(f"FAIL: {name} pass completed "
+                  f"{counters['remote_runs']}/{result['runs']} runs "
+                  "remotely", file=sys.stderr)
+            return 1
+        if counters["artifact_refetches"]:
+            print(f"FAIL: {name} pass needed artifact refetches: "
+                  f"{counters}", file=sys.stderr)
+            return 1
+    if cold["counters"]["artifact_fetches"] == 0:
+        print("FAIL: the cold agent fetched no artifacts", file=sys.stderr)
+        return 1
+    if warmed["counters"]["artifact_fetches"] != 0:
+        print(f"FAIL: the warmed agent still fetched "
+              f"{warmed['counters']['artifact_fetches']} artifacts",
+              file=sys.stderr)
+        return 1
+
+    speedup = singleton["seconds"] / warmed["seconds"]
+    report = {
+        "benchmark": (
+            f"distributed config-batched sweep (gzip, Scale(200), {n} "
+            f"latency configs of one geometry, FF {ff_m:g}M + Run "
+            f"{run_m:g}M, one remote worker agent)"
+        ),
+        "python_version": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "runs": single["runs"],
+        "single_host_batched_seconds": round(single["seconds"], 3),
+        "singleton_lease_seconds": round(singleton["seconds"], 3),
+        "cold_agent_batched_seconds": round(cold["seconds"], 3),
+        "warmed_agent_batched_seconds": round(warmed["seconds"], 3),
+        "speedup_warmed_over_singleton": round(speedup, 2),
+        "speedup_cold_over_singleton": round(
+            singleton["seconds"] / cold["seconds"], 2),
+        "bit_identical": True,
+        "store_byte_identical": True,
+        "store_files": len(reference_store),
+        "singleton_counters": singleton["counters"],
+        "cold_agent_counters": cold["counters"],
+        "warmed_agent_counters": warmed["counters"],
+    }
+    Path(args.distributed_out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"wrote {args.distributed_out}", file=sys.stderr)
+    if args.min_distributed_speedup and speedup < args.min_distributed_speedup:
+        print(f"FAIL: warmed-agent speedup {speedup:.2f}x over the "
+              f"singleton-lease path < required "
+              f"{args.min_distributed_speedup:.2f}x", file=sys.stderr)
+        return 1
     return 0
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--suite", choices=("stores", "batch", "all"),
+    parser.add_argument("--suite",
+                        choices=("stores", "batch", "distributed", "all"),
                         default="stores",
                         help="which benchmark suite to run (default: the "
                         "shared-store sweep)")
@@ -541,6 +829,12 @@ def main(argv=None) -> int:
                         "batch on >= 2 threads (0 = report only; needs "
                         "numba and multiple cores to be meaningful)")
     parser.add_argument("--batch-out", default=str(REPO / "BENCH_batch.json"))
+    parser.add_argument("--min-distributed-speedup", type=float, default=3.0,
+                        help="fail unless the artifact-warmed remote agent "
+                        "beats the singleton-lease path by this ratio "
+                        "(0 disables)")
+    parser.add_argument("--distributed-out",
+                        default=str(REPO / "BENCH_distributed.json"))
     args = parser.parse_args(argv)
 
     status = 0
@@ -548,6 +842,8 @@ def main(argv=None) -> int:
         status = run_store_suite(args) or status
     if args.suite in ("batch", "all"):
         status = run_batch_suite(args) or status
+    if args.suite in ("distributed", "all"):
+        status = run_distributed_suite(args) or status
     return status
 
 

@@ -42,7 +42,13 @@ from repro.obs.live import (
     LiveMonitor,
 )
 from repro.scale import Scale, default_scale
-from repro.settings import BATCH_CONFIGS_ENV_VAR, default_batch_configs, resolve
+from repro.settings import (
+    BATCH_CONFIGS_ENV_VAR,
+    REMOTE_BATCH_CONFIGS_ENV_VAR,
+    default_batch_configs,
+    default_remote_batch_configs,
+    resolve,
+)
 from repro.techniques.base import SimulationTechnique, TechniqueResult
 from repro.techniques.simpoint import SimPointTechnique
 from repro.workloads import trace_store
@@ -71,6 +77,7 @@ from repro.engine.store import SCHEMA_VERSION, ResultStore
 
 __all__ = [
     "BATCH_CONFIGS_ENV_VAR",
+    "REMOTE_BATCH_CONFIGS_ENV_VAR",
     "BatchTask",
     "Engine",
     "EngineMetrics",
@@ -182,6 +189,13 @@ class Engine:
     Batches journal, retry, degrade and quarantine per member run --
     any batched failure re-executes the members as singletons without
     charging their retry budgets.
+
+    With ``listen=`` the same batches are leased whole to remote worker
+    agents, capped at ``remote_batch_configs`` members per lease
+    (``$REPRO_REMOTE_BATCH_CONFIGS``; default: the local
+    ``batch_configs`` cap) -- agents prefetch missing traces and
+    checkpoints through the wire-level artifact cache and run one
+    batched pass instead of N cold singleton simulations.
     """
 
     def __init__(
@@ -200,6 +214,7 @@ class Engine:
         metrics_file: Optional[os.PathLike] = None,
         live_interval: float = 1.0,
         batch_configs: Optional[int] = None,
+        remote_batch_configs: Optional[int] = None,
         listen: Optional[str] = None,
         lease_ttl: Optional[float] = None,
         min_agents: int = 0,
@@ -227,6 +242,18 @@ class Engine:
         elif batch_configs < 1:
             raise ValueError("batch_configs must be >= 1")
         self.batch_configs = batch_configs
+        if remote_batch_configs is None:
+            remote_batch_configs = default_remote_batch_configs()
+        elif remote_batch_configs < 1:
+            raise ValueError("remote_batch_configs must be >= 1")
+        # A remote lease carries at most this many batch members; the
+        # default mirrors the local grouping cap so a lease ships the
+        # same work a local worker would receive.
+        self.remote_batch_configs = (
+            remote_batch_configs
+            if remote_batch_configs is not None
+            else batch_configs
+        )
         self.executor = Executor(
             jobs=jobs,
             retries=retries,
@@ -333,6 +360,14 @@ class Engine:
                 checkpoint_instructions = max(
                     1, self.scale.instructions(self.checkpoint_interval_m)
                 )
+            artifact_roots: Dict[str, Path] = {}
+            if self.store is not None:
+                if trace_cache:
+                    artifact_roots["trace"] = self.store.root / TRACES_SUBDIR
+                if checkpoint_interval > 0:
+                    artifact_roots["checkpoint"] = (
+                        self.store.root / CHECKPOINTS_SUBDIR
+                    )
             self.lease_server = LeaseServer(
                 host,
                 port,
@@ -343,6 +378,8 @@ class Engine:
                 backend=self._default_backend,
                 checkpoint_interval=checkpoint_instructions,
                 journal=self.journal,
+                remote_batch_configs=self.remote_batch_configs,
+                artifact_roots=artifact_roots or None,
             )
             if self.monitor is not None:
                 self.monitor.agents_source = self.lease_server.agents_snapshot
@@ -606,6 +643,18 @@ class Engine:
         self.metrics.record_reuse(checkpoint.consume_counters())
         if self.lease_server is not None:
             self.metrics.record_remote(self.lease_server.consume_counters())
+            # Remote per-phase observations stream back over the lease
+            # connections; fold them into the same per-family attribution
+            # the local pool feeds so reports see one unified table.
+            remote_phases = self.lease_server.consume_remote_phases()
+            for family, phase_times in remote_phases.items():
+                self.metrics.record_phases(family, phase_times)
+            for row in self.lease_server.agents_snapshot():
+                self.metrics.record_agent_artifacts(
+                    row["agent"],
+                    row.get("artifact_hits", 0),
+                    row.get("artifact_misses", 0),
+                )
         if self.store is not None:
             self.metrics.store_corrupt_entries += (
                 self.store.consume_corrupt_entries()
@@ -647,6 +696,7 @@ class Engine:
                 "max_retries": self.executor.retries,
                 "cache_dir": str(self.store.root) if self.store else None,
                 "batch_configs": self.batch_configs,
+                "remote_batch_configs": self.remote_batch_configs,
                 "results_epoch": RESULTS_EPOCH,
                 "schema_version": SCHEMA_VERSION,
                 "checkpoint_interval_m": self.checkpoint_interval_m,

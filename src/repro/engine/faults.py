@@ -42,11 +42,19 @@ the agent carrying the plan misbehaves, deterministically:
 ``drop``
     the agent executes lease N but severs the connection instead of
     reporting the completion (a network partition: the work is lost,
-    the supervisor requeues the run uncharged);
+    the supervisor requeues the run uncharged); ``drop@N:fetch``
+    severs mid-``artifact_fetch`` instead, before the lease executes
+    (a partition during artifact transfer -- the lease requeues
+    uncharged and the half-written artifact is discarded);
 ``delay``
     the agent holds lease N's completion back ``arg`` milliseconds
     (default 1000), heartbeating throughout (a slow link, not a dead
-    one -- the lease must *not* expire).
+    one -- the lease must *not* expire);
+``corrupt``
+    one artifact chunk received during lease N arrives with a byte
+    flipped (a bad NIC or middlebox: the agent must catch it via the
+    whole-file sha256, discard the write, count
+    ``artifact_corrupt_chunks`` and re-fetch).
 """
 
 from __future__ import annotations
@@ -63,7 +71,7 @@ FAULT_PLAN_ENV_VAR = "REPRO_FAULT_PLAN"
 
 #: Network fault kinds, honored by remote worker agents only; their
 #: ``slot`` operand is the agent's Nth granted lease (1-based).
-NETWORK_FAULT_KINDS = ("drop", "delay", "dead")
+NETWORK_FAULT_KINDS = ("drop", "delay", "dead", "corrupt")
 
 #: Recognized fault kinds.
 FAULT_KINDS = ("exc", "hang", "kill", "kernel") + NETWORK_FAULT_KINDS

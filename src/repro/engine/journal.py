@@ -135,7 +135,13 @@ class SweepJournal:
         self._append(document)
 
     #: Lease-lifecycle event kinds the lease server may record.
-    LEASE_EVENTS = ("agent_joined", "agent_lost", "leased", "lease_expired")
+    LEASE_EVENTS = (
+        "agent_joined",
+        "agent_lost",
+        "leased",
+        "lease_expired",
+        "batch_exploded",
+    )
 
     def lease_event(self, kind: str, fields: dict) -> None:
         """Record one distributed-scheduling lifecycle event."""

@@ -83,6 +83,8 @@ class AgentMetrics:
 
     runs: int = 0
     wall_time_s: float = 0.0
+    artifact_hits: int = 0    # local artifact-store probe hits
+    artifact_misses: int = 0  # probe misses (fetched or regenerated)
 
 
 @dataclass
@@ -113,6 +115,10 @@ class EngineMetrics:
     remote_runs: int = 0        # runs completed by remote agents
     duplicate_completions: int = 0  # at-least-once redeliveries deduped
     stale_completions: int = 0  # completions for leases already requeued
+    remote_batch_explodes: int = 0  # batch leases exploded by a member fault
+    artifact_fetches: int = 0   # artifacts agents fetched over the wire
+    artifact_refetches: int = 0  # re-fetches after a failed verification
+    artifact_corrupt_chunks: int = 0  # transfers rejected by the sha256
     store_corrupt_entries: int = 0  # store reads rejected by the checksum
     # Shared-state reuse (trace store + warm-state checkpoints):
     trace_cache_hits: int = 0   # traces served memory-mapped from the store
@@ -222,6 +228,12 @@ class EngineMetrics:
         self.lease_requeues += counters.get("lease_requeues", 0)
         self.duplicate_completions += counters.get("duplicate_completions", 0)
         self.stale_completions += counters.get("stale_completions", 0)
+        self.remote_batch_explodes += counters.get("remote_batch_explodes", 0)
+        self.artifact_fetches += counters.get("artifact_fetches", 0)
+        self.artifact_refetches += counters.get("artifact_refetches", 0)
+        self.artifact_corrupt_chunks += counters.get(
+            "artifact_corrupt_chunks", 0
+        )
 
     def record_agent_run(self, agent: str, wall: float) -> None:
         """Attribute one remotely-executed run to its worker agent."""
@@ -229,6 +241,13 @@ class EngineMetrics:
         bucket = self.per_agent.setdefault(agent, AgentMetrics())
         bucket.runs += 1
         bucket.wall_time_s += wall
+
+    def record_agent_artifacts(self, agent: str, hits: int, misses: int) -> None:
+        """Set one agent's cumulative artifact-cache probe counters
+        (the lease ledger's registry entry is authoritative)."""
+        bucket = self.per_agent.setdefault(agent, AgentMetrics())
+        bucket.artifact_hits = hits
+        bucket.artifact_misses = misses
 
     def record_degradation(self, description: str, from_backend: str, to_backend: str) -> None:
         self.degradations += 1
@@ -275,6 +294,10 @@ class EngineMetrics:
             "remote_runs": self.remote_runs,
             "duplicate_completions": self.duplicate_completions,
             "stale_completions": self.stale_completions,
+            "remote_batch_explodes": self.remote_batch_explodes,
+            "artifact_fetches": self.artifact_fetches,
+            "artifact_refetches": self.artifact_refetches,
+            "artifact_corrupt_chunks": self.artifact_corrupt_chunks,
             "store_corrupt_entries": self.store_corrupt_entries,
             "configs_per_batch": (
                 self.batched_runs / self.batches if self.batches else 0.0
@@ -320,6 +343,8 @@ class EngineMetrics:
                 agent: {
                     "runs": bucket.runs,
                     "wall_time_s": bucket.wall_time_s,
+                    "artifact_hits": bucket.artifact_hits,
+                    "artifact_misses": bucket.artifact_misses,
                 }
                 for agent, bucket in sorted(self.per_agent.items())
             },

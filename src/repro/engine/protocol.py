@@ -36,6 +36,35 @@ Robustness model (the PR 3 taxonomy, extended across hosts):
   wins) with byte-parity asserted between the two payloads; one whose
   key is still pending is discarded as stale (the requeued task is the
   authoritative execution).
+
+Batch leases (PR 9): a lease may carry a whole
+:class:`~repro.engine.executor.BatchTask` -- N same-geometry configs
+served by one batched detailed pass on the agent.  The ledger tracks
+the batch as *one* lease with member run keys: heartbeat loss requeues
+the whole batch uncharged; an agent-reported member fault surfaces as
+one ``fail`` event on the batch task, which the executor explodes into
+uncharged singletons exactly like a local batch fault; duplicate batch
+completions dedup per member key with byte-parity asserted.
+``remote_batch_configs`` caps how many members one lease may carry --
+oversized batches are split at grant time (the remainder goes back to
+the front of the supply), so 1 reproduces PR 8 singleton leases.
+
+Artifact ops (PR 9): agents probe/fetch content-addressed artifacts --
+trace-store ``.npt`` columns and checkpoint-store entries -- from the
+supervisor's stores over the same connection, keyed by the stores'
+existing content hashes.  ``artifact_probe`` returns size + sha256
+(positions too, for checkpoints); ``artifact_fetch`` returns one
+chunk per request (base64, bounded).  The agent verifies the whole
+file's sha256 before an atomic rename into its local store, so a
+corrupt transfer is detected and re-fetched, never trusted.
+
+Obs ops (PR 9): agents stream throttled per-phase progress events and
+per-run phase timing ledgers back over the lease connection.  The
+server re-emits them on the supervisor's tracer (they merge into
+``trace.jsonl``), folds per-agent artifact cache counters into the
+agent registry (surfaced in ``live.json`` and the Prometheus
+textfile), and accumulates per-family phase seconds for the report's
+attribution table.
 """
 
 from __future__ import annotations
@@ -43,12 +72,14 @@ from __future__ import annotations
 import base64
 import hashlib
 import json
+import os
 import pickle
 import socket
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.settings import resolve
@@ -72,6 +103,9 @@ MAX_MESSAGE_BYTES = 256 * 1024 * 1024
 #: How long a canceled lease is remembered so the agent's straggler
 #: heartbeats/completions resolve instead of reading "unknown lease".
 _CANCEL_RETENTION_S = 600.0
+
+#: One ``artifact_fetch`` chunk (base64 inflates this ~4/3 on the wire).
+ARTIFACT_CHUNK_BYTES = 1024 * 1024
 
 
 def default_lease_ttl() -> float:
@@ -142,6 +176,19 @@ def payload_digest(payloads: List[dict]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+#: Characters allowed in a wire artifact key (stores key by sha256 hex).
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def file_sha256(path: Path) -> str:
+    """Streaming sha256 of one file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1024 * 1024), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
 class Connection:
     """One newline-delimited-JSON message channel over a socket."""
 
@@ -208,6 +255,7 @@ class _Lease:
     deadline: Optional[float] = None  # ledger clock; None = no run timeout
     canceled_at: Optional[float] = None
     cancel_reason: str = ""
+    member_keys: Optional[List[str]] = None  # batch lease: per-member run keys
 
 
 @dataclass
@@ -222,6 +270,9 @@ class _AgentEntry:
     runs: int = 0
     wall_time_s: float = 0.0
     state: str = "idle"              # idle | running | lost
+    phase: str = ""                  # last obs-reported simulation phase
+    artifact_hits: int = 0           # local-store probe hits
+    artifact_misses: int = 0         # local-store probe misses
 
 
 class LeaseLedger:
@@ -241,13 +292,17 @@ class LeaseLedger:
         clock: Callable[[], float] = time.monotonic,
         max_requeues: int = MAX_LEASE_REQUEUES,
         recorder: Optional[Callable[[str, dict], None]] = None,
+        remote_batch_configs: Optional[int] = None,
     ) -> None:
         if lease_ttl <= 0:
             raise ValueError("lease_ttl must be positive")
+        if remote_batch_configs is not None and remote_batch_configs < 1:
+            raise ValueError("remote_batch_configs must be >= 1")
         self.lease_ttl = lease_ttl
         self.run_timeout = run_timeout
         self.clock = clock
         self.max_requeues = max_requeues
+        self.remote_batch_configs = remote_batch_configs
         self._record = recorder or (lambda kind, fields: None)
         self._lock = threading.Lock()
         self._supply: Optional[Deque] = None
@@ -258,6 +313,7 @@ class LeaseLedger:
         self._deliveries: Dict[str, int] = {}   # key -> grant count
         self._events: Deque[tuple] = deque()
         self._counters: Dict[str, int] = {}
+        self._remote_phases: Dict[str, Dict[str, dict]] = {}
         self._next_lease = 0
         self._next_agent = 0
         self.closing = False
@@ -314,6 +370,17 @@ class LeaseLedger:
             counters, self._counters = self._counters, {}
         return counters
 
+    def consume_remote_phases(self) -> Dict[str, Dict[str, dict]]:
+        """Drain accumulated remote per-family phase ledgers.
+
+        ``{family: {phase: {"seconds": s, "instructions": n}}}`` --
+        obs-streamed by agents, folded into the engine's phase
+        attribution alongside local workers' ledgers.
+        """
+        with self._lock:
+            phases, self._remote_phases = self._remote_phases, {}
+        return phases
+
     def agents_snapshot(self) -> List[dict]:
         """Connected-agent view for live telemetry."""
         now = self.clock()
@@ -327,6 +394,9 @@ class LeaseLedger:
                     "runs": entry.runs,
                     "wall_time_s": round(entry.wall_time_s, 3),
                     "idle_s": round(max(0.0, now - entry.last_seen), 3),
+                    "phase": entry.phase,
+                    "artifact_hits": entry.artifact_hits,
+                    "artifact_misses": entry.artifact_misses,
                 }
                 for agent_id, entry in sorted(self._agents.items())
             ]
@@ -412,6 +482,21 @@ class LeaseLedger:
                 task = self._supply.popleft()
             except IndexError:
                 return None
+            members = getattr(task, "members", None)
+            cap = self.remote_batch_configs
+            if members is not None and cap is not None and len(members) > cap:
+                # The batch is wider than one lease may carry: grant
+                # the head slice, push the remainder back to the front
+                # of the supply (it splits again on the next grant).
+                # A one-member slice travels as the member run itself.
+                head, rest = list(members[:cap]), list(members[cap:])
+                self._supply.appendleft(
+                    rest[0] if len(rest) == 1 else replace(task, members=rest)
+                )
+                task = head[0] if len(head) == 1 else replace(
+                    task, members=head
+                )
+                members = getattr(task, "members", None)
             now = self.clock()
             self._next_lease += 1
             lease_id = f"L{self._next_lease}"
@@ -431,6 +516,10 @@ class LeaseLedger:
             lease = _Lease(
                 lease_id=lease_id, task=task, key=key, agent=agent_id,
                 granted=now, last_beat=now, deadline=deadline,
+                member_keys=(
+                    [getattr(member, "key", None) for member in members]
+                    if members is not None else None
+                ),
             )
             self._leases[lease_id] = lease
             self._bump("leases_granted")
@@ -464,8 +553,15 @@ class LeaseLedger:
         payloads: List[dict],
         wall_s: float,
         reuse: Dict[str, int],
+        keys: Optional[List[str]] = None,
     ) -> str:
-        """Record one completion; returns ``ok``/``duplicate``/``stale``."""
+        """Record one completion; returns ``ok``/``duplicate``/``stale``.
+
+        ``keys`` carries the member run keys of a batch lease (one per
+        payload); the ledger then dedups stragglers *per member*, so a
+        duplicate batch completion resolves even after the original
+        batch was split or exploded into singletons.
+        """
         digest = payload_digest(payloads)
         with self._lock:
             entry = self._agents.get(agent_id)
@@ -475,9 +571,20 @@ class LeaseLedger:
             lease = self._leases.get(lease_id)
             if lease is not None and lease.canceled_at is None:
                 del self._leases[lease_id]
-                self._completed[key] = digest
+                member_keys = keys or lease.member_keys
+                if member_keys and len(member_keys) == len(payloads):
+                    # payload_digest of a 1-list matches the singleton
+                    # formula, so per-member digests dedup uniformly
+                    # against singleton completions of the same runs.
+                    for member_key, payload in zip(member_keys, payloads):
+                        if member_key:
+                            self._completed[member_key] = payload_digest(
+                                [payload]
+                            )
+                else:
+                    self._completed[key] = digest
                 if entry is not None:
-                    entry.runs += 1
+                    entry.runs += len(payloads) if member_keys else 1
                     entry.wall_time_s += wall_s
                 self._events.append(
                     ("complete", lease.task, payloads, wall_s, reuse,
@@ -485,6 +592,8 @@ class LeaseLedger:
                 )
                 return "ok"
             # Lease expired/canceled/unknown: at-least-once straggler.
+            if keys and len(keys) == len(payloads):
+                return self._resolve_stale_batch(agent_id, keys, payloads)
             known = self._completed.get(key)
             if known is not None:
                 if known != digest:
@@ -499,6 +608,33 @@ class LeaseLedger:
             self._bump("stale_completions")
             return "stale"
 
+    def _resolve_stale_batch(
+        self, agent_id: str, keys: List[str], payloads: List[dict]
+    ) -> str:
+        """Per-member straggler resolution for a dead batch lease.
+
+        Members whose keys already completed are deduplicated with
+        byte-parity asserted; any member still unknown makes the whole
+        straggler stale (the requeued execution is authoritative).
+        Called with the ledger lock held.
+        """
+        stale = False
+        for member_key, payload in zip(keys, payloads):
+            known = self._completed.get(member_key)
+            if known is None:
+                stale = True
+            elif known != payload_digest([payload]):
+                self._events.append(
+                    ("parity", member_key, agent_id,
+                     f"duplicate batch-member payload digest != "
+                     f"first-writer {known[:12]}")
+                )
+        if stale:
+            self._bump("stale_completions")
+            return "stale"
+        self._bump("duplicate_completions")
+        return "duplicate"
+
     def fail(
         self,
         agent_id: str,
@@ -506,6 +642,7 @@ class LeaseLedger:
         key: str,
         exc: BaseException,
     ) -> str:
+        exploded: Optional[dict] = None
         with self._lock:
             entry = self._agents.get(agent_id)
             if entry is not None:
@@ -516,8 +653,67 @@ class LeaseLedger:
                 self._bump("stale_completions")
                 return "stale"
             del self._leases[lease_id]
+            if getattr(lease.task, "members", None) is not None:
+                # A member fault on a batch lease: the single fail
+                # event reaches the executor, which explodes the batch
+                # into uncharged singletons exactly like a local batch
+                # fault (the poisoned member is then found alone).
+                self._bump("remote_batch_explodes")
+                exploded = {
+                    "key": lease.key,
+                    "agent": agent_id,
+                    "members": len(lease.task.members),
+                    "error": str(exc),
+                }
             self._events.append(("fail", lease.task, exc, agent_id))
-            return "ok"
+        if exploded is not None:
+            self._record("batch_exploded", exploded)
+        return "ok"
+
+    def observe(
+        self,
+        agent_id: str,
+        phase: str = "",
+        artifacts: Optional[Dict[str, int]] = None,
+        phases: Optional[Dict[str, dict]] = None,
+        family: str = "",
+    ) -> None:
+        """Fold one obs report from an agent into the ledger.
+
+        ``phase`` is the agent's latest simulation phase (live
+        telemetry); ``artifacts`` carries cache counter deltas
+        (``hits``/``misses``/``fetches``/``refetches``/
+        ``corrupt_chunks``); ``phases`` + ``family`` is a completed
+        run's per-phase timing ledger for the attribution table.
+        """
+        with self._lock:
+            entry = self._agents.get(agent_id)
+            if entry is not None:
+                entry.last_seen = self.clock()
+                if phase:
+                    entry.phase = phase
+            if artifacts:
+                if entry is not None:
+                    entry.artifact_hits += int(artifacts.get("hits", 0))
+                    entry.artifact_misses += int(artifacts.get("misses", 0))
+                for counter, wire in (
+                    ("artifact_fetches", "fetches"),
+                    ("artifact_refetches", "refetches"),
+                    ("artifact_corrupt_chunks", "corrupt_chunks"),
+                ):
+                    amount = int(artifacts.get(wire, 0))
+                    if amount:
+                        self._bump(counter, amount)
+            if phases and family:
+                bucket = self._remote_phases.setdefault(family, {})
+                for name, record in phases.items():
+                    slot = bucket.setdefault(
+                        name, {"seconds": 0.0, "instructions": 0}
+                    )
+                    slot["seconds"] += float(record.get("seconds", 0.0))
+                    slot["instructions"] += int(
+                        record.get("instructions", 0)
+                    )
 
     # -- expiry --------------------------------------------------------------------
 
@@ -579,6 +775,8 @@ class LeaseServer:
         checkpoint_interval: int = 0,
         journal=None,
         clock: Callable[[], float] = time.monotonic,
+        remote_batch_configs: Optional[int] = None,
+        artifact_roots: Optional[Dict[str, Path]] = None,
     ) -> None:
         if lease_ttl is None:
             lease_ttl = default_lease_ttl()
@@ -588,11 +786,19 @@ class LeaseServer:
         self.checkpoint_interval = checkpoint_interval
         self.journal = journal
         self.lease_ttl = lease_ttl
+        #: ``{"trace": dir, "checkpoint": dir}`` roots agents may fetch
+        #: content-addressed artifacts from (absent kind = no serving).
+        self.artifact_roots = {
+            kind: Path(root)
+            for kind, root in (artifact_roots or {}).items()
+            if root is not None
+        }
         self.ledger = LeaseLedger(
             lease_ttl=lease_ttl,
             run_timeout=run_timeout,
             clock=clock,
             recorder=self._record,
+            remote_batch_configs=remote_batch_configs,
         )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -623,6 +829,9 @@ class LeaseServer:
 
     def consume_counters(self) -> Dict[str, int]:
         return self.ledger.consume_counters()
+
+    def consume_remote_phases(self) -> Dict[str, Dict[str, dict]]:
+        return self.ledger.consume_remote_phases()
 
     def agents_snapshot(self) -> List[dict]:
         return self.ledger.agents_snapshot()
@@ -759,6 +968,7 @@ class LeaseServer:
             return {"op": "ok", "status": status}, agent_id, False
         if op == "complete":
             payloads = message.get("payloads") or []
+            member_keys = message.get("keys")
             status = self.ledger.complete(
                 agent_id,
                 str(message.get("lease", "")),
@@ -769,8 +979,28 @@ class LeaseServer:
                     str(k): int(v)
                     for k, v in (message.get("reuse") or {}).items()
                 },
+                keys=(
+                    [str(k) for k in member_keys]
+                    if isinstance(member_keys, list) else None
+                ),
             )
             return {"op": "ok", "status": status}, agent_id, False
+        if op == "artifact_probe":
+            return self._artifact_probe(message), agent_id, False
+        if op == "artifact_fetch":
+            return self._artifact_fetch(message), agent_id, False
+        if op == "obs":
+            self.ledger.observe(
+                agent_id,
+                phase=str(message.get("phase", "") or ""),
+                artifacts=message.get("artifacts") or None,
+                phases=message.get("phases") or None,
+                family=str(message.get("family", "") or ""),
+            )
+            self._emit_remote_events(
+                agent_id, message.get("events") or []
+            )
+            return {"op": "ok", "status": "ok"}, agent_id, False
         if op == "fail":
             exc = self._remote_exception(message)
             status = self.ledger.fail(
@@ -785,6 +1015,122 @@ class LeaseServer:
         return (
             {"op": "error", "error": f"unknown op {op!r}"}, agent_id, False,
         )
+
+    # -- artifact serving ----------------------------------------------------------
+
+    def _artifact_path(
+        self, kind: str, key: str, position=None
+    ) -> Optional[Path]:
+        """Resolve one artifact file, or None if unknown/unsafe.
+
+        Keys are the stores' sha256 hex content hashes; anything else
+        is rejected so a wire key can never escape the store root.
+        """
+        root = self.artifact_roots.get(kind)
+        if root is None or len(key) < 2 or not set(key) <= _HEX_DIGITS:
+            return None
+        if kind == "trace":
+            return root / key[:2] / f"{key}.npt"
+        if kind == "checkpoint":
+            try:
+                return root / key[:2] / f"{key}-{int(position)}.json"
+            except (TypeError, ValueError):
+                return None
+        return None
+
+    def _artifact_probe(self, message: dict) -> dict:
+        kind = str(message.get("kind", ""))
+        key = str(message.get("key", ""))
+        if kind == "checkpoint":
+            files = []
+            root = self.artifact_roots.get(kind)
+            if root is not None and len(key) >= 2 and set(key) <= _HEX_DIGITS:
+                directory = root / key[:2]
+                prefix, suffix = f"{key}-", ".json"
+                try:
+                    names = sorted(os.listdir(directory))
+                except OSError:
+                    names = []
+                for name in names:
+                    if not (name.startswith(prefix)
+                            and name.endswith(suffix)):
+                        continue
+                    try:
+                        position = int(name[len(prefix):-len(suffix)])
+                        path = directory / name
+                        files.append({
+                            "position": position,
+                            "size": path.stat().st_size,
+                            "sha256": file_sha256(path),
+                        })
+                    except (OSError, ValueError):
+                        continue  # unreadable entry: just not offered
+            files.sort(key=lambda entry: entry["position"])
+            return {"op": "artifact", "found": bool(files), "files": files}
+        path = self._artifact_path(kind, key)
+        try:
+            if path is None or not path.is_file():
+                return {"op": "artifact", "found": False}
+            return {
+                "op": "artifact",
+                "found": True,
+                "size": path.stat().st_size,
+                "sha256": file_sha256(path),
+            }
+        except OSError:
+            return {"op": "artifact", "found": False}
+
+    def _artifact_fetch(self, message: dict) -> dict:
+        path = self._artifact_path(
+            str(message.get("kind", "")),
+            str(message.get("key", "")),
+            message.get("position"),
+        )
+        try:
+            offset = max(0, int(message.get("offset", 0)))
+            length = int(message.get("length", ARTIFACT_CHUNK_BYTES))
+        except (TypeError, ValueError):
+            return {"op": "error", "error": "bad artifact_fetch range"}
+        length = max(1, min(length, ARTIFACT_CHUNK_BYTES))
+        try:
+            if path is None or not path.is_file():
+                return {"op": "artifact", "found": False}
+            with open(path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                handle.seek(offset)
+                data = handle.read(length)
+        except OSError:
+            return {"op": "artifact", "found": False}
+        return {
+            "op": "chunk",
+            "data": base64.b64encode(data).decode("ascii"),
+            "size": size,
+            "eof": offset + len(data) >= size,
+        }
+
+    def _emit_remote_events(self, agent_id: str, events) -> None:
+        """Re-emit agent-streamed phase events on the supervisor's
+        tracer so they merge into the sweep's ``trace.jsonl``."""
+        try:
+            from repro.obs import trace as obs_trace
+        except Exception:
+            return
+        for entry in events:
+            if not isinstance(entry, dict):
+                continue
+            attrs = entry.get("attrs")
+            attrs = dict(attrs) if isinstance(attrs, dict) else {}
+            attrs.pop("agent", None)
+            attrs.pop("phase", None)
+            try:
+                obs_trace.event(
+                    "remote_phase",
+                    agent=agent_id,
+                    phase=str(entry.get("phase", "")),
+                    **{str(k): v for k, v in attrs.items()},
+                )
+            except Exception:
+                pass  # telemetry must never take the connection down
 
     @staticmethod
     def _remote_exception(message: dict) -> BaseException:

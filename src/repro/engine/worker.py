@@ -24,20 +24,40 @@ remote runs too; anything else is ``transient``.  Completed results
 travel back as the exact JSON payload dicts the store persists, which
 is what makes distributed stores byte-identical to local ones.
 
+A lease may carry a whole batch task (N same-geometry configs served
+by one batched pass); the completion then reports one payload and one
+member run key per config, so the supervisor dedups stragglers per
+member.  Before executing, the agent *prefetches artifacts*: it probes
+its local trace/checkpoint stores for the lease's content-addressed
+artifacts and fetches misses from the supervisor over the same
+connection (chunked base64, whole-file sha256-verified, written via
+the stores' atomic-rename discipline) -- so a fresh host costs one
+trace fetch + one checkpoint fetch instead of regenerating everything
+from zero.  While a run executes, the child's per-phase obs events
+stream back (throttled) as ``obs`` messages; after each run the agent
+reports the run's phase-timing ledger and its artifact cache counters
+the same way.
+
 Network fault injection (``$REPRO_FAULT_PLAN``, per-agent): the verbs
-``dead``/``drop``/``delay`` match the agent's Nth granted lease
-(1-based) rather than a plan slot -- plans are per-process, so ``@N``
-selects *when this agent* misbehaves deterministically regardless of
-which runs it happens to lease.  ``dead@1`` SIGKILLs the whole agent
-on its first lease; ``drop@1`` executes the run but severs the
-connection instead of reporting it (a partition -- the work is lost
-and the supervisor requeues); ``delay@1:300`` holds the completion
-back 300 ms (heartbeating throughout).
+``dead``/``drop``/``delay``/``corrupt`` match the agent's Nth granted
+lease (1-based) rather than a plan slot -- plans are per-process, so
+``@N`` selects *when this agent* misbehaves deterministically
+regardless of which runs it happens to lease.  ``dead@1`` SIGKILLs the
+whole agent on its first lease; ``drop@1`` executes the run but severs
+the connection instead of reporting it (a partition -- the work is
+lost and the supervisor requeues); ``drop@1:fetch`` severs mid
+``artifact_fetch`` instead, before the run executes; ``delay@1:300``
+holds the completion back 300 ms (heartbeating throughout);
+``corrupt@1`` flips one byte in a received artifact chunk -- the agent
+must detect the bad sha256, discard the bytes, count the corruption
+and re-fetch.
 """
 
 from __future__ import annotations
 
 import argparse
+import base64
+import hashlib
 import multiprocessing
 import os
 import signal
@@ -56,11 +76,53 @@ from repro.workloads import trace_store
 from repro.engine import faults
 from repro.engine.planner import RESULTS_EPOCH
 from repro.engine.protocol import (
+    ARTIFACT_CHUNK_BYTES,
     Connection,
     ProtocolError,
     decode_task,
     parse_address,
 )
+
+#: Minimum interval between streamed same-phase obs events (matches the
+#: local pool's phase-event throttle).
+_PHASE_STREAM_MIN_S = 0.25
+
+#: Verification-failure re-fetch budget per artifact.
+_FETCH_ATTEMPTS = 3
+
+
+class _InjectedSever(RuntimeError):
+    """An injected mid-fetch connection drop (``drop@N:fetch``)."""
+
+
+def _phase_notifier(pipe):
+    """A throttled obs-phase observer that streams phase starts to the
+    agent over ``pipe`` (same-phase events are rate-limited; a phase
+    *change* always emits)."""
+    state = {"t": 0.0, "phase": None}
+
+    def notify(phase: str, attrs: dict) -> None:
+        now = time.monotonic()
+        if phase == state["phase"] and now - state["t"] < _PHASE_STREAM_MIN_S:
+            return
+        state["t"], state["phase"] = now, phase
+        try:
+            pipe.send({"phase": phase, "attrs": dict(attrs or {})})
+        except Exception:
+            pass  # a full or broken pipe must never fail the run
+
+    return notify
+
+
+def _merged_phases(results) -> dict:
+    """Sum the per-result phase ledgers back into batch totals."""
+    merged: dict = {}
+    for result in results:
+        for name, entry in (getattr(result, "phase_times", None) or {}).items():
+            slot = merged.setdefault(name, {"seconds": 0.0, "instructions": 0})
+            slot["seconds"] += float(entry.get("seconds", 0.0))
+            slot["instructions"] += int(entry.get("instructions", 0))
+    return merged
 
 
 def _child_main(pipe, task, scale: Scale) -> None:
@@ -68,10 +130,17 @@ def _child_main(pipe, task, scale: Scale) -> None:
 
     Runs in a forked child so a hang or SIGKILL (injected or real)
     never takes the agent's lease loop down; the agent turns a silent
-    child death into a ``crash`` report.
+    child death into a ``crash`` report.  Interim ``{"phase": ...}``
+    messages precede the single final document.
     """
     from repro.engine import executor as executor_mod
 
+    try:
+        from repro.obs import phases as obs_phases
+
+        obs_phases.set_notifier(_phase_notifier(pipe))
+    except Exception:
+        pass
     try:
         payload = executor_mod._worker(task, scale)
         if isinstance(task, executor_mod.BatchTask):
@@ -85,6 +154,10 @@ def _child_main(pipe, task, scale: Scale) -> None:
                 "payloads": [r.to_payload() for r in results],
                 "wall_s": wall,
                 "reuse": {str(k): int(v) for k, v in dict(reuse).items()},
+                "phases": _merged_phases(results),
+                "family": str(
+                    getattr(results[0], "family", "") if results else ""
+                ),
             }
         )
     except KernelError as exc:
@@ -131,6 +204,12 @@ class WorkerAgent:
         self._lease_ordinal = 0   # network faults key on this, 1-based
         self._sessions = 0
         self._env_applied = False
+        #: Artifact-cache counter deltas pending the next obs report.
+        self._artifact = {
+            "hits": 0, "misses": 0, "fetches": 0,
+            "refetches": 0, "corrupt_chunks": 0,
+        }
+        self._corrupt_fired = False  # one injected corruption per lease
 
     def _log(self, text: str) -> None:
         if not self.quiet:
@@ -213,29 +292,39 @@ class WorkerAgent:
             key = str(reply.get("key", ""))
             task = decode_task(reply["task"])
             spec = faults.network_fault(self._lease_ordinal)
+            self._corrupt_fired = False
             if spec is not None and spec.kind == "dead":
                 # A dead host does not say goodbye.
                 os.kill(os.getpid(), signal.SIGKILL)
+            try:
+                self._prefetch_artifacts(
+                    connection, lease_id, task, scale, heartbeat_s, spec
+                )
+            except _InjectedSever as sever:
+                self._log(f"injected {sever}: severing connection")
+                return None
             doc = self._execute(connection, lease_id, task, scale, heartbeat_s)
             if doc is None:
                 continue  # canceled by the supervisor mid-run
             if spec is not None and spec.kind == "delay":
                 self._delay(connection, lease_id, spec, heartbeat_s)
-            if spec is not None and spec.kind == "drop":
+            if spec is not None and spec.kind == "drop" and spec.arg != "fetch":
                 # Partition: the finished work is lost with the link.
                 self._log(f"injected drop: discarding completion of {key[:12]}")
                 return None
             if doc.get("ok"):
-                reply = connection.request(
-                    {
-                        "op": "complete",
-                        "lease": lease_id,
-                        "key": key,
-                        "payloads": doc["payloads"],
-                        "wall_s": doc["wall_s"],
-                        "reuse": doc["reuse"],
-                    }
-                )
+                message = {
+                    "op": "complete",
+                    "lease": lease_id,
+                    "key": key,
+                    "payloads": doc["payloads"],
+                    "wall_s": doc["wall_s"],
+                    "reuse": doc["reuse"],
+                }
+                members = getattr(task, "members", None)
+                if members is not None:
+                    message["keys"] = [member.key for member in members]
+                reply = connection.request(message)
                 self._log(
                     f"completed {key[:12]} in {doc['wall_s']:.3f}s "
                     f"({reply.get('status', '?')})"
@@ -253,6 +342,13 @@ class WorkerAgent:
                     }
                 )
                 self._log(f"failed {key[:12]}: {doc.get('error', '')!r}")
+            # Per-run observability: the run's phase-timing ledger plus
+            # any artifact cache counters accumulated since last report.
+            self._send_obs(
+                connection,
+                phases=doc.get("phases") or None,
+                family=str(doc.get("family", "") or ""),
+            )
 
     # -- execution -----------------------------------------------------------------
 
@@ -264,38 +360,71 @@ class WorkerAgent:
         scale: Scale,
         heartbeat_s: float,
     ) -> Optional[dict]:
-        """Run one task in a child, heartbeating; None when canceled."""
+        """Run one task in a child, heartbeating; None when canceled.
+
+        The child's pipe carries interim ``{"phase": ...}`` progress
+        messages (forwarded to the supervisor as ``obs`` events) before
+        the single final ``{"ok": ...}`` document.
+        """
         parent_end, child_end = multiprocessing.Pipe(duplex=False)
         process = multiprocessing.Process(
             target=_child_main, args=(child_end, task, scale), daemon=True
         )
         process.start()
         child_end.close()
+        doc = None
+        pipe_eof = False
+        next_beat = time.monotonic() + heartbeat_s
         try:
-            while True:
-                process.join(heartbeat_s)
-                if not process.is_alive():
+            while doc is None and not pipe_eof:
+                alive = process.is_alive()
+                while parent_end.poll(0.05):
+                    try:
+                        message = parent_end.recv()
+                    except (EOFError, OSError):
+                        pipe_eof = True
+                        break
+                    if not isinstance(message, dict):
+                        continue
+                    if "ok" in message:
+                        doc = message
+                        break
+                    if "phase" in message:
+                        phase = str(message.get("phase", ""))
+                        self._send_obs(
+                            connection,
+                            phase=phase,
+                            events=[{
+                                "phase": phase,
+                                "attrs": message.get("attrs") or {},
+                            }],
+                        )
+                    if time.monotonic() >= next_beat:
+                        break  # a chatty child must not starve heartbeats
+                if doc is not None or pipe_eof:
                     break
-                reply = connection.request(
-                    {"op": "heartbeat", "lease": lease_id}
-                )
-                if reply.get("status") != "ok":
-                    self._log("lease canceled; abandoning run")
-                    process.kill()
-                    process.join()
-                    return None
+                if not alive and not parent_end.poll():
+                    break  # died without reporting
+                if time.monotonic() >= next_beat:
+                    reply = connection.request(
+                        {"op": "heartbeat", "lease": lease_id}
+                    )
+                    if reply.get("status") != "ok":
+                        self._log("lease canceled; abandoning run")
+                        process.kill()
+                        process.join()
+                        return None
+                    next_beat = time.monotonic() + heartbeat_s
         except BaseException:
             # Connection loss (or anything else): never leave a child
             # simulating a run nobody is waiting for.
             process.kill()
             process.join()
             raise
-        doc = None
-        if parent_end.poll():
-            try:
-                doc = parent_end.recv()
-            except (EOFError, OSError):
-                doc = None
+        process.join(10.0)
+        if process.is_alive():
+            process.kill()
+            process.join()
         parent_end.close()
         if doc is None:
             # Died without reporting: the remote twin of a pool crash.
@@ -323,6 +452,225 @@ class WorkerAgent:
             remaining -= chunk
             if remaining > 0:
                 connection.request({"op": "heartbeat", "lease": lease_id})
+
+    # -- observability -------------------------------------------------------------
+
+    @staticmethod
+    def _json_safe(attrs: dict) -> dict:
+        return {
+            str(k): (
+                v if isinstance(v, (str, int, float, bool, type(None)))
+                else str(v)
+            )
+            for k, v in attrs.items()
+        }
+
+    def _send_obs(
+        self,
+        connection: Connection,
+        phase: str = "",
+        events: Optional[list] = None,
+        phases: Optional[dict] = None,
+        family: str = "",
+    ) -> None:
+        """One ``obs`` report: current phase, streamed events, a run's
+        phase ledger, and any pending artifact counter deltas."""
+        message: dict = {"op": "obs"}
+        if phase:
+            message["phase"] = phase
+        if events:
+            message["events"] = [
+                {
+                    "phase": str(entry.get("phase", "")),
+                    "attrs": self._json_safe(dict(entry.get("attrs") or {})),
+                }
+                for entry in events
+            ]
+        if phases:
+            message["phases"] = phases
+            message["family"] = family
+        artifacts = {k: v for k, v in self._artifact.items() if v}
+        if artifacts:
+            message["artifacts"] = artifacts
+        if len(message) == 1:
+            return  # nothing to report
+        for counter in self._artifact:
+            self._artifact[counter] = 0
+        connection.request(message)
+
+    # -- artifact cache ------------------------------------------------------------
+
+    def _prefetch_artifacts(
+        self,
+        connection: Connection,
+        lease_id: str,
+        task,
+        scale: Scale,
+        heartbeat_s: float,
+        spec,
+    ) -> None:
+        """Probe the local stores for the lease's content-addressed
+        artifacts; fetch misses from the supervisor.
+
+        A miss the supervisor cannot serve either is not an error --
+        the run then generates the artifact locally exactly as before.
+        """
+        from repro.engine import executor as executor_mod
+
+        trace_root = os.environ.get(trace_store.TRACE_DIR_ENV_VAR)
+        if not trace_root:
+            return
+        store = trace_store.TraceStore(trace_root)
+        checkpoint_root = os.environ.get(checkpoint.CHECKPOINT_DIR_ENV_VAR)
+        members = getattr(task, "members", None)
+        seen_traces, seen_states = set(), set()
+        for member in (members if members is not None else [task]):
+            request = member.request
+            workload = request.workload
+            if workload is None and member.workload_key is not None:
+                workload = executor_mod._resolve_workload(*member.workload_key)
+            if workload is None:
+                continue
+            trace_key = store.key_for(workload, scale)
+            if trace_key not in seen_traces:
+                seen_traces.add(trace_key)
+                self._ensure_trace(
+                    connection, lease_id, store, trace_key, heartbeat_s, spec
+                )
+            if checkpoint_root:
+                state = checkpoint.state_key(
+                    workload, scale, request.config, request.enhancements
+                )
+                if state not in seen_states:
+                    seen_states.add(state)
+                    self._ensure_checkpoints(
+                        connection, lease_id, Path(checkpoint_root), state,
+                        heartbeat_s, spec,
+                    )
+
+    def _ensure_trace(
+        self, connection, lease_id, store, key, heartbeat_s, spec
+    ) -> None:
+        if key in store:
+            self._artifact["hits"] += 1
+            return
+        self._artifact["misses"] += 1
+        probe = connection.request(
+            {"op": "artifact_probe", "kind": "trace", "key": key}
+        )
+        if probe.get("op") != "artifact" or not probe.get("found"):
+            return
+        self._fetch_file(
+            connection, lease_id, "trace", key, None, store.path_for(key),
+            str(probe.get("sha256", "")), heartbeat_s, spec,
+        )
+
+    def _ensure_checkpoints(
+        self, connection, lease_id, root, key, heartbeat_s, spec
+    ) -> None:
+        """One warm-state chain is one artifact: local presence of any
+        position is a hit; otherwise every offered position is fetched."""
+        directory = root / key[:2]
+        prefix, suffix = f"{key}-", ".json"
+        try:
+            have = any(
+                name.startswith(prefix) and name.endswith(suffix)
+                for name in os.listdir(directory)
+            )
+        except OSError:
+            have = False
+        if have:
+            self._artifact["hits"] += 1
+            return
+        self._artifact["misses"] += 1
+        probe = connection.request(
+            {"op": "artifact_probe", "kind": "checkpoint", "key": key}
+        )
+        if probe.get("op") != "artifact" or not probe.get("found"):
+            return
+        for entry in probe.get("files") or []:
+            position = entry.get("position")
+            if position is None:
+                continue
+            self._fetch_file(
+                connection, lease_id, "checkpoint", key, int(position),
+                directory / f"{key}-{int(position)}{suffix}",
+                str(entry.get("sha256", "")), heartbeat_s, spec,
+            )
+
+    def _fetch_file(
+        self, connection, lease_id, kind, key, position, dest,
+        sha256_expected, heartbeat_s, spec,
+    ) -> bool:
+        """Chunked fetch, whole-file sha256 verify, atomic rename."""
+        for attempt in range(_FETCH_ATTEMPTS):
+            data = self._fetch_bytes(
+                connection, lease_id, kind, key, position, heartbeat_s, spec
+            )
+            if data is None:
+                return False  # vanished server-side: generate locally
+            if hashlib.sha256(data).hexdigest() == sha256_expected:
+                try:
+                    dest.parent.mkdir(parents=True, exist_ok=True)
+                    fd, tmp = tempfile.mkstemp(
+                        dir=str(dest.parent), prefix=".fetch-"
+                    )
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(data)
+                    os.replace(tmp, dest)
+                except OSError:
+                    return False
+                self._artifact["fetches"] += 1
+                if attempt:
+                    self._artifact["refetches"] += attempt
+                self._log(f"fetched {kind} {key[:12]} ({len(data)} bytes)")
+                return True
+            self._artifact["corrupt_chunks"] += 1
+            self._log(
+                f"{kind} {key[:12]} failed sha256 verification; re-fetching"
+            )
+        return False
+
+    def _fetch_bytes(
+        self, connection, lease_id, kind, key, position, heartbeat_s, spec
+    ) -> Optional[bytes]:
+        chunks = []
+        offset = 0
+        next_beat = time.monotonic() + heartbeat_s
+        while True:
+            reply = connection.request(
+                {
+                    "op": "artifact_fetch",
+                    "kind": kind,
+                    "key": key,
+                    "position": position,
+                    "offset": offset,
+                    "length": ARTIFACT_CHUNK_BYTES,
+                }
+            )
+            if reply.get("op") != "chunk":
+                return None
+            chunk = base64.b64decode(str(reply.get("data", "")))
+            if (
+                spec is not None and spec.kind == "corrupt"
+                and not self._corrupt_fired and chunk
+            ):
+                # Injected wire corruption: flip one byte, once -- the
+                # verify must fail and the re-fetch come back clean.
+                self._corrupt_fired = True
+                flipped = bytearray(chunk)
+                flipped[0] ^= 0xFF
+                chunk = bytes(flipped)
+            chunks.append(chunk)
+            offset += len(chunk)
+            if spec is not None and spec.kind == "drop" and spec.arg == "fetch":
+                raise _InjectedSever(f"drop mid-{kind} artifact_fetch")
+            if reply.get("eof") or not chunk:
+                break
+            if time.monotonic() >= next_beat:
+                connection.request({"op": "heartbeat", "lease": lease_id})
+                next_beat = time.monotonic() + heartbeat_s
+        return b"".join(chunks)
 
     # -- environment ---------------------------------------------------------------
 

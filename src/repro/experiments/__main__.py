@@ -25,6 +25,7 @@ flag                     environment                      default
 ``--trace/--no-trace``   ``REPRO_TRACE``                  tracing off
 ``--metrics-file``       ``REPRO_METRICS_FILE``           no Prometheus export
 ``--batch-configs``      ``REPRO_BATCH_CONFIGS``          1 (config batching off)
+``--remote-batch-configs``  ``REPRO_REMOTE_BATCH_CONFIGS``  the --batch-configs cap
 ``--kernel-threads``     ``REPRO_KERNEL_THREADS``         0 (numba's own default)
 ``--lease-ttl``          ``REPRO_LEASE_TTL``              10 (seconds)
 =======================  ===============================  =========================
@@ -75,6 +76,8 @@ from repro.obs.trace import TRACE_ENV_VAR, default_enabled as default_trace
 from repro.settings import (
     BATCH_CONFIGS_ENV_VAR,
     KERNEL_THREADS_ENV_VAR,
+    REMOTE_BATCH_CONFIGS_ENV_VAR,
+    default_remote_batch_configs,
     resolve as resolve_setting,
 )
 from repro.experiments import figure1, figure2, figure3_4, figure5, figure6
@@ -254,6 +257,15 @@ def main(argv: list[str] | None = None) -> int:
         "batching off); results are bit-identical either way",
     )
     parser.add_argument(
+        "--remote-batch-configs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap how many batch members one remote lease may carry "
+        f"(default: ${REMOTE_BATCH_CONFIGS_ENV_VAR} or the "
+        "--batch-configs cap); only meaningful with --listen",
+    )
+    parser.add_argument(
         "--kernel-threads",
         type=int,
         default=None,
@@ -341,6 +353,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(str(exc))
     if batch_configs < 1:
         parser.error("--batch-configs must be >= 1 (1 disables batching)")
+    if args.remote_batch_configs is not None and args.remote_batch_configs < 1:
+        parser.error("--remote-batch-configs must be >= 1")
+    if args.remote_batch_configs is None:
+        # A bad $REPRO_REMOTE_BATCH_CONFIGS should fail at parse time
+        # like the other env-backed settings, not deep in the engine.
+        try:
+            default_remote_batch_configs()
+        except ValueError as exc:
+            parser.error(str(exc))
     try:
         kernel_threads = resolve_setting(
             args.kernel_threads, KERNEL_THREADS_ENV_VAR, 0, int, "an integer"
@@ -380,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
         trace=trace,
         metrics_file=Path(args.metrics_file) if args.metrics_file else None,
         batch_configs=batch_configs,
+        remote_batch_configs=args.remote_batch_configs,
         listen=args.listen,
         lease_ttl=args.lease_ttl,
         min_agents=args.workers_remote,

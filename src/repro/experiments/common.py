@@ -102,6 +102,9 @@ class ExperimentContext:
     #: Config-batching width (None: $REPRO_BATCH_CONFIGS or 1 = off):
     #: how many same-geometry runs one batched pass may serve.
     batch_configs: Optional[int] = None
+    #: Per-lease batching width for remote agents (None:
+    #: $REPRO_REMOTE_BATCH_CONFIGS or the batch_configs cap).
+    remote_batch_configs: Optional[int] = None
     #: Distributed sweeps: HOST:PORT to accept remote worker agents on
     #: (None = single host), lease heartbeat budget in seconds (None:
     #: $REPRO_LEASE_TTL or 10) and how many agents to wait for before
@@ -131,6 +134,7 @@ class ExperimentContext:
                 trace=self.trace,
                 metrics_file=self.metrics_file,
                 batch_configs=self.batch_configs,
+                remote_batch_configs=self.remote_batch_configs,
                 listen=self.listen,
                 lease_ttl=self.lease_ttl,
                 min_agents=self.min_agents,

@@ -231,6 +231,16 @@ def render_prometheus(
                 entry.get("wall_time_s", 0.0),
                 label,
             )
+            gauge(
+                "repro_sweep_agent_artifact_hits",
+                entry.get("artifact_hits", 0),
+                label,
+            )
+            gauge(
+                "repro_sweep_agent_artifact_misses",
+                entry.get("artifact_misses", 0),
+                label,
+            )
     return "\n".join(lines) + "\n"
 
 

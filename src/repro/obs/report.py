@@ -132,22 +132,46 @@ def coverage(events: List[dict]) -> Dict[str, float]:
     }
 
 
-def agent_rows(events: List[dict]) -> List[Sequence[object]]:
-    """(agent, runs, seconds) rows from ``remote_run`` spans (empty for
-    single-host sweeps), sorted by descending wall time."""
-    buckets: Dict[str, List[float]] = defaultdict(lambda: [0, 0.0])
+def agent_rows(
+    events: List[dict],
+    per_agent: Optional[Dict[str, dict]] = None,
+) -> List[Sequence[object]]:
+    """(agent, runs, seconds, phases, artifact hits/misses) rows from
+    ``remote_run`` spans and streamed ``remote_phase`` events (empty
+    for single-host sweeps), sorted by descending wall time.
+    ``per_agent`` is engine-stats.json's table, which carries each
+    agent's artifact-cache probe counters."""
+    buckets: Dict[str, List[float]] = defaultdict(lambda: [0, 0.0, 0])
     for event in events:
-        if event.get("event") != "span" or event.get("name") != _REMOTE_RUN_SPAN:
-            continue
-        agent = _attr(event, "agent", "?")
-        bucket = buckets[agent]
-        bucket[0] += 1
-        bucket[1] += float(event.get("dur", 0.0))
-    rows = [
-        [agent, runs, seconds] for agent, (runs, seconds) in buckets.items()
-    ]
+        name = event.get("name")
+        if event.get("event") == "span" and name == _REMOTE_RUN_SPAN:
+            bucket = buckets[_attr(event, "agent", "?")]
+            bucket[0] += 1
+            bucket[1] += float(event.get("dur", 0.0))
+        elif event.get("event") == "point" and name == "remote_phase":
+            buckets[_attr(event, "agent", "?")][2] += 1
+    stats = per_agent or {}
+    rows = []
+    for agent, (runs, seconds, phases) in buckets.items():
+        entry = stats.get(agent, {})
+        rows.append([
+            agent, runs, seconds, phases,
+            entry.get("artifact_hits", 0),
+            entry.get("artifact_misses", 0),
+        ])
     rows.sort(key=lambda row: -row[2])
     return rows
+
+
+def per_agent_stats(cache_dir: Path) -> Dict[str, dict]:
+    """engine-stats.json's ``per_agent`` table, if the sweep wrote one."""
+    try:
+        stats = json.loads(
+            (cache_dir / "engine-stats.json").read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return {}
+    return stats.get("per_agent", {}) or {}
 
 
 def replay_lines(events: List[dict], run_prefix: str) -> List[str]:
@@ -355,10 +379,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 rows,
             )
         )
-    agents = agent_rows(events)
+    agents = agent_rows(events, per_agent_stats(cache_dir))
     if agents:
         print("\nremote worker agents:")
-        print(format_table(("agent", "runs", "seconds"), agents))
+        print(format_table(
+            ("agent", "runs", "seconds", "phases",
+             "artifact hits", "misses"),
+            agents,
+        ))
     stats = coverage(events)
     print(
         f"\nbatch wall time {stats['batch_s']:.3f}s; run spans "

@@ -26,6 +26,10 @@ T = TypeVar("T")
 #: Engine config-batching width (``--batch-configs``); 1 = batching off.
 BATCH_CONFIGS_ENV_VAR = "REPRO_BATCH_CONFIGS"
 
+#: Cap on how many configs one remote lease may carry
+#: (``--remote-batch-configs``); unset = same as ``--batch-configs``.
+REMOTE_BATCH_CONFIGS_ENV_VAR = "REPRO_REMOTE_BATCH_CONFIGS"
+
 #: Worker threads for the data-parallel batch timing kernel
 #: (``--kernel-threads``); 0 = the numba runtime's own default.
 KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
@@ -67,6 +71,25 @@ def default_batch_configs() -> int:
     if width < 1:
         raise ValueError(f"${BATCH_CONFIGS_ENV_VAR} must be >= 1, got {width}")
     return width
+
+
+def default_remote_batch_configs():
+    """Remote lease batching cap from ``$REPRO_REMOTE_BATCH_CONFIGS``.
+
+    ``None`` (the default) means remote leases carry batches exactly as
+    the engine grouped them under ``--batch-configs``.  A positive value
+    caps how many member configs one lease may carry: oversized batches
+    are split at grant time, so less-capable agents can lease narrower
+    slices of the same sweep.  1 reproduces singleton leases.
+    """
+    cap = resolve(
+        None, REMOTE_BATCH_CONFIGS_ENV_VAR, None, int, "an integer"
+    )
+    if cap is not None and cap < 1:
+        raise ValueError(
+            f"${REMOTE_BATCH_CONFIGS_ENV_VAR} must be >= 1, got {cap}"
+        )
+    return cap
 
 
 def default_kernel_threads() -> int:

@@ -6,20 +6,24 @@ launch real ``python -m repro.engine.worker`` agent subprocesses
 against an in-process engine listening on an ephemeral localhost port.
 """
 
+import hashlib
 import os
+import shutil
 import subprocess
 import sys
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import pytest
 
 from repro.cpu.config import ARCH_CONFIGS
 from repro.engine import Engine, RunRequest
+from repro.engine.planner import RESULTS_EPOCH
 from repro.engine.protocol import (
     MAX_LEASE_REQUEUES,
     LeaseLedger,
+    LeaseServer,
     RemoteFailure,
     parse_address,
     payload_digest,
@@ -27,6 +31,7 @@ from repro.engine.protocol import (
 from repro.scale import Scale
 from repro.techniques.reference import ReferenceTechnique
 from repro.techniques.truncated import RunZ
+from repro.workloads.inputs import clear_trace_cache
 from repro.workloads.spec import get_workload
 
 from tests.test_engine import SCALE
@@ -292,6 +297,325 @@ class TestCompletionDedup:
         assert events[0][2] is exc
 
 
+# -- batch leases (fake clock) ------------------------------------------------------
+
+
+@dataclass
+class FakeBatch:
+    """The minimal batch-task shape the ledger needs (members + key)."""
+
+    members: list = field(default_factory=list)
+
+    @property
+    def key(self):
+        return self.members[0].key
+
+
+def _batch(keys):
+    return FakeBatch([FakeTask(k) for k in keys])
+
+
+class TestBatchLeases:
+    def test_grant_caps_and_splits_batches(self):
+        """A batch wider than the remote cap grants its head slice and
+        pushes the remainder back to the front of the supply; a
+        one-member tail travels as the member run itself."""
+        ledger, clock, supply = make_ledger(remote_batch_configs=2)
+        agent = ledger.join("a1")
+        supply.append(_batch(["k1", "k2", "k3", "k4", "k5"]))
+        lease, _ = ledger.grant(agent)
+        assert lease.member_keys == ["k1", "k2"]
+        assert [m.key for m in lease.task.members] == ["k1", "k2"]
+        lease2, _ = ledger.grant(agent)
+        assert lease2.member_keys == ["k3", "k4"]
+        lease3, _ = ledger.grant(agent)
+        assert lease3.member_keys is None
+        assert lease3.key == "k5"
+        assert ledger.grant(agent) is None and not supply
+
+    def test_uncapped_batch_travels_whole(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        supply.append(_batch(["k1", "k2", "k3"]))
+        lease, _ = ledger.grant(agent)
+        assert lease.member_keys == ["k1", "k2", "k3"]
+
+    def test_batch_expiry_requeues_whole_batch_uncharged(self):
+        """Heartbeat loss on a batch lease is one uncharged requeue
+        event carrying the whole batch task."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        agent = ledger.join("a1")
+        supply.append(_batch(["k1", "k2", "k3"]))
+        ledger.grant(agent)
+        clock.advance(9.5)
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["requeue"]
+        assert [m.key for m in events[0][1].members] == ["k1", "k2", "k3"]
+        counters = ledger.consume_counters()
+        assert counters["lease_requeues"] == 1
+        assert "remote_batch_explodes" not in counters
+
+    def test_batch_member_fault_reports_explode(self):
+        """A member fault on a batch lease surfaces as one fail event
+        (the executor explodes it) and counts a remote explode."""
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        supply.append(_batch(["k1", "k2"]))
+        lease, _ = ledger.grant(agent)
+        exc = RemoteFailure("transient", "InjectedFault", "member poison")
+        assert ledger.fail(agent, lease.lease_id, lease.key, exc) == "ok"
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["fail"]
+        assert [m.key for m in events[0][1].members] == ["k1", "k2"]
+        assert ledger.consume_counters()["remote_batch_explodes"] == 1
+
+    def test_live_batch_completion_counts_members(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        supply.append(_batch(["k1", "k2"]))
+        lease, _ = ledger.grant(agent)
+        payloads = [{"cpi": 1.0}, {"cpi": 2.0}]
+        status = ledger.complete(
+            agent, lease.lease_id, lease.key, payloads, 0.8, {},
+            keys=["k1", "k2"],
+        )
+        assert status == "ok"
+        row = [r for r in ledger.agents_snapshot() if r["agent"] == agent][0]
+        assert row["runs"] == 2
+
+    def test_duplicate_batch_completion_dedups_per_member(self):
+        """A dead batch lease's straggler resolves against per-member
+        digests -- even when the rerun completed the members as
+        singletons after an explode."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        supply.append(_batch(["k1", "k2"]))
+        lease, _ = ledger.grant(slow)
+        clock.advance(9.5)
+        ledger.collect()  # batch requeued, slow presumed dead
+        payloads = [{"cpi": 1.0}, {"cpi": 2.0}]
+        # The requeued members complete as singletons via a live agent.
+        fast = ledger.join("fast")
+        for key, payload in zip(["k1", "k2"], payloads):
+            supply.append(FakeTask(key))
+            release, _ = ledger.grant(fast)
+            ledger.complete(fast, release.lease_id, key, [payload], 0.1, {})
+        ledger.collect()
+        # The dead agent's whole-batch completion arrives after all.
+        assert ledger.complete(
+            slow, lease.lease_id, "k1", payloads, 9.9, {}, keys=["k1", "k2"]
+        ) == "duplicate"
+        assert ledger.collect() == []
+        assert ledger.consume_counters()["duplicate_completions"] == 1
+
+    def test_stale_batch_completion_with_unknown_member_discarded(self):
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        supply.append(_batch(["k1", "k2"]))
+        lease, _ = ledger.grant(slow)
+        clock.advance(9.5)
+        ledger.collect()  # requeued; nobody completed the members yet
+        assert ledger.complete(
+            slow, lease.lease_id, "k1", [{"cpi": 1.0}, {"cpi": 2.0}],
+            9.9, {}, keys=["k1", "k2"],
+        ) == "stale"
+        assert ledger.collect() == []
+        assert ledger.consume_counters()["stale_completions"] == 1
+
+    def test_batch_straggler_member_parity_violation(self):
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        supply.append(_batch(["k1", "k2"]))
+        lease, _ = ledger.grant(slow)
+        clock.advance(9.5)
+        ledger.collect()
+        fast = ledger.join("fast")
+        supply.append(_batch(["k1", "k2"]))
+        release, _ = ledger.grant(fast)
+        ledger.complete(
+            fast, release.lease_id, release.key,
+            [{"cpi": 1.0}, {"cpi": 2.0}], 0.2, {}, keys=["k1", "k2"],
+        )
+        ledger.collect()
+        # Same members, different bytes for k2: a parity violation.
+        ledger.complete(
+            slow, lease.lease_id, "k1",
+            [{"cpi": 1.0}, {"cpi": 9.9}], 9.9, {}, keys=["k1", "k2"],
+        )
+        events = ledger.collect()
+        assert [e[0] for e in events] == ["parity"]
+        assert events[0][1] == "k2"
+
+    def test_singleton_straggler_dedups_against_batch_member(self):
+        """Member digests use the singleton digest formula, so a
+        singleton straggler of a batch-completed run deduplicates."""
+        ledger, clock, supply = make_ledger(lease_ttl=9.0)
+        slow = ledger.join("slow")
+        supply.append(FakeTask("k1"))
+        lease, _ = ledger.grant(slow)
+        clock.advance(9.5)
+        ledger.collect()  # singleton requeued
+        fast = ledger.join("fast")
+        supply.append(_batch(["k1", "k2"]))
+        release, _ = ledger.grant(fast)
+        payloads = [{"cpi": 1.0}, {"cpi": 2.0}]
+        ledger.complete(
+            fast, release.lease_id, release.key, payloads, 0.2, {},
+            keys=["k1", "k2"],
+        )
+        ledger.collect()
+        assert ledger.complete(
+            slow, lease.lease_id, "k1", [payloads[0]], 9.9, {}
+        ) == "duplicate"
+
+
+class TestLedgerObserve:
+    def test_observe_folds_phase_artifacts_and_ledgers(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        ledger.observe(
+            agent,
+            phase="timing_batch",
+            artifacts={"hits": 2, "misses": 1, "fetches": 1,
+                       "refetches": 0, "corrupt_chunks": 0},
+            phases={"timing": {"seconds": 1.5, "instructions": 100}},
+            family="Reference",
+        )
+        row = [r for r in ledger.agents_snapshot() if r["agent"] == agent][0]
+        assert row["phase"] == "timing_batch"
+        assert row["artifact_hits"] == 2
+        assert row["artifact_misses"] == 1
+        counters = ledger.consume_counters()
+        assert counters["artifact_fetches"] == 1
+        assert "artifact_refetches" not in counters
+        phases = ledger.consume_remote_phases()
+        assert phases["Reference"]["timing"]["seconds"] == pytest.approx(1.5)
+        assert phases["Reference"]["timing"]["instructions"] == 100
+        assert ledger.consume_remote_phases() == {}  # drained
+
+    def test_observe_accumulates_across_reports(self):
+        ledger, clock, supply = make_ledger()
+        agent = ledger.join("a1")
+        for _ in range(2):
+            ledger.observe(
+                agent,
+                artifacts={"hits": 1, "fetches": 2, "corrupt_chunks": 1},
+                phases={"fast_forward": {"seconds": 0.5, "instructions": 7}},
+                family="RunZ",
+            )
+        row = [r for r in ledger.agents_snapshot() if r["agent"] == agent][0]
+        assert row["artifact_hits"] == 2
+        counters = ledger.consume_counters()
+        assert counters["artifact_fetches"] == 4
+        assert counters["artifact_corrupt_chunks"] == 2
+        phases = ledger.consume_remote_phases()
+        assert phases["RunZ"]["fast_forward"]["seconds"] == pytest.approx(1.0)
+        assert phases["RunZ"]["fast_forward"]["instructions"] == 14
+
+
+# -- artifact wire ops (server-side, no sockets) -----------------------------------
+
+
+TRACE_KEY = hashlib.sha256(b"trace").hexdigest()
+STATE_KEY = hashlib.sha256(b"state").hexdigest()
+
+
+@pytest.fixture()
+def artifact_server(tmp_path):
+    trace_root = tmp_path / "traces"
+    checkpoint_root = tmp_path / "checkpoints"
+    server = LeaseServer(
+        "127.0.0.1", 0,
+        scale_instructions_per_m=1000, results_epoch=RESULTS_EPOCH,
+        artifact_roots={"trace": trace_root, "checkpoint": checkpoint_root},
+    )
+    try:
+        yield server, trace_root, checkpoint_root
+    finally:
+        server.close(drain_s=0.0)
+
+
+class TestArtifactWire:
+    def _write_trace(self, root, key, data):
+        path = root / key[:2] / f"{key}.npt"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+        return path
+
+    def test_probe_missing_artifact(self, artifact_server):
+        server, _, _ = artifact_server
+        reply = server._artifact_probe(
+            {"kind": "trace", "key": TRACE_KEY}
+        )
+        assert reply == {"op": "artifact", "found": False}
+
+    def test_probe_and_fetch_trace_roundtrip(self, artifact_server):
+        server, trace_root, _ = artifact_server
+        data = bytes(range(256)) * 64
+        self._write_trace(trace_root, TRACE_KEY, data)
+        probe = server._artifact_probe({"kind": "trace", "key": TRACE_KEY})
+        assert probe["found"] and probe["size"] == len(data)
+        assert probe["sha256"] == hashlib.sha256(data).hexdigest()
+        # Chunked fetch with a small window reassembles the exact bytes.
+        import base64 as b64
+
+        got, offset = b"", 0
+        while True:
+            reply = server._artifact_fetch(
+                {"kind": "trace", "key": TRACE_KEY,
+                 "offset": offset, "length": 1000}
+            )
+            assert reply["op"] == "chunk"
+            chunk = b64.b64decode(reply["data"])
+            got += chunk
+            offset += len(chunk)
+            if reply["eof"]:
+                break
+        assert got == data
+
+    def test_unsafe_keys_rejected(self, artifact_server):
+        server, trace_root, _ = artifact_server
+        for key in ("../../etc/passwd", "ABCDEF", "k", ""):
+            assert server._artifact_probe(
+                {"kind": "trace", "key": key}
+            ) == {"op": "artifact", "found": False}
+            assert server._artifact_fetch(
+                {"kind": "trace", "key": key, "offset": 0}
+            ) == {"op": "artifact", "found": False}
+
+    def test_unknown_kind_not_served(self, artifact_server):
+        server, _, _ = artifact_server
+        reply = server._artifact_probe({"kind": "journal", "key": TRACE_KEY})
+        assert reply == {"op": "artifact", "found": False}
+
+    def test_checkpoint_probe_lists_positions(self, artifact_server):
+        server, _, checkpoint_root = artifact_server
+        directory = checkpoint_root / STATE_KEY[:2]
+        directory.mkdir(parents=True)
+        for position in (500, 1000):
+            (directory / f"{STATE_KEY}-{position}.json").write_text(
+                '{"position": %d}' % position
+            )
+        probe = server._artifact_probe(
+            {"kind": "checkpoint", "key": STATE_KEY}
+        )
+        assert probe["found"]
+        assert [entry["position"] for entry in probe["files"]] == [500, 1000]
+        for entry in probe["files"]:
+            assert entry["size"] > 0 and len(entry["sha256"]) == 64
+
+    def test_fetch_clamps_length(self, artifact_server):
+        server, trace_root, _ = artifact_server
+        self._write_trace(trace_root, TRACE_KEY, b"abcdef")
+        import base64 as b64
+
+        reply = server._artifact_fetch(
+            {"kind": "trace", "key": TRACE_KEY, "offset": 2, "length": 0}
+        )
+        assert b64.b64decode(reply["data"]) == b"c"  # length clamped to 1
+        assert not reply["eof"]
+
+
 # -- end to end: real agents over localhost ----------------------------------------
 
 
@@ -306,6 +630,46 @@ def _requests(count=3):
     ]
 
 
+def _config_sweep(count=6):
+    """Same-geometry latency variants: one batchable group of runs."""
+    workload = get_workload("gzip", "reference", seed=7)
+    base = ARCH_CONFIGS[0]
+    configs = [base] + [
+        base.replace(
+            name=f"lat{i}",
+            l2_latency=base.l2_latency + 1 + i,
+            mem_latency_first=base.mem_latency_first + 10 * i,
+        )
+        for i in range(1, count)
+    ]
+    return [
+        RunRequest(ReferenceTechnique(), workload, config)
+        for config in configs
+    ]
+
+
+def _prime_artifacts(cache_root: Path, requests) -> None:
+    """Populate a supervisor cache's trace/checkpoint stores, then wipe
+    the results so a fresh sweep re-executes everything remotely --
+    the artifact cache then has something to serve to cold agents.
+
+    The in-process trace LRU is dropped first: a prior engine run in
+    this process would otherwise serve the trace from memory and the
+    priming run would never write it into ``cache_root/traces``."""
+    clear_trace_cache()
+    prime = Engine(scale=SCALE, jobs=1, cache_dir=cache_root, batch_configs=4)
+    try:
+        prime.run_many(requests)
+    finally:
+        prime.close()
+    shutil.rmtree(cache_root / "v1", ignore_errors=True)
+    for name in ("journal.jsonl", "journal.jsonl.1", "engine-stats.json"):
+        try:
+            (cache_root / name).unlink()
+        except OSError:
+            pass
+
+
 def _store_bytes(root: Path) -> dict:
     """Map of result-store entries to their exact bytes."""
     out = {}
@@ -316,7 +680,7 @@ def _store_bytes(root: Path) -> dict:
     return out
 
 
-def _spawn_agent(port, name, fault_plan=None, backend="python"):
+def _spawn_agent(port, name, fault_plan=None, backend="python", cache_dir=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(Path(__file__).resolve().parents[1] / "src"),
@@ -326,9 +690,12 @@ def _spawn_agent(port, name, fault_plan=None, backend="python"):
     env.pop("REPRO_FAULT_PLAN", None)
     if fault_plan:
         env["REPRO_FAULT_PLAN"] = fault_plan
+    command = [sys.executable, "-m", "repro.engine.worker",
+               "--connect", f"127.0.0.1:{port}", "--name", name]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
     return subprocess.Popen(
-        [sys.executable, "-m", "repro.engine.worker",
-         "--connect", f"127.0.0.1:{port}", "--name", name],
+        command,
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
     )
 
@@ -447,6 +814,195 @@ class TestDistributedSweep:
         assert all(result is not None for result in results)
         assert snapshot["resumed"] == 2
         assert snapshot["runs_launched"] == 2  # only the new work ran
+
+    def test_batched_sweep_fetches_artifacts_and_matches_single_host(
+        self, tmp_path, distributed_engine
+    ):
+        """The tentpole anchor: a remote agent leases whole batches,
+        fetches the missing trace through the wire-level artifact cache
+        and produces a store byte-identical to single-host batching."""
+        requests = _config_sweep()
+        reference = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path / "ref", batch_configs=4
+        )
+        try:
+            reference.run_many(requests)
+        finally:
+            reference.close()
+        _prime_artifacts(tmp_path / "dist", requests)
+
+        engine = distributed_engine(batch_configs=4, min_agents=1)
+        agent = None
+        try:
+            port = engine.lease_server.port
+            agent = _spawn_agent(port, "fetcher")
+            results = engine.run_many(requests)
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        assert all(result is not None for result in results)
+        assert _store_bytes(tmp_path / "dist") == _store_bytes(
+            tmp_path / "ref"
+        )
+        assert snapshot["failed_runs"] == []
+        assert snapshot["remote_runs"] == len(requests)
+        # The fresh agent missed locally and fetched the shared trace
+        # from the supervisor's store -- exactly once, verified clean.
+        assert snapshot["artifact_fetches"] >= 1
+        assert snapshot.get("artifact_refetches", 0) == 0
+        assert snapshot.get("artifact_corrupt_chunks", 0) == 0
+        agent_row = snapshot["per_agent"]["fetcher"]
+        assert agent_row["artifact_misses"] >= 1
+        assert agent_row["runs"] == len(requests)
+        # Remote per-phase observations reached the attribution table.
+        family = results[0].family
+        assert snapshot["per_family"][family]["phases"]
+
+    def test_remote_batch_cap_splits_leases(
+        self, tmp_path, distributed_engine
+    ):
+        """--remote-batch-configs below --batch-configs splits one wide
+        batch across several leases without changing the results."""
+        requests = _config_sweep()
+        reference = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path / "ref", batch_configs=1
+        )
+        try:
+            reference.run_many(requests)
+        finally:
+            reference.close()
+
+        engine = distributed_engine(
+            batch_configs=6, remote_batch_configs=2, min_agents=1
+        )
+        agent = None
+        try:
+            port = engine.lease_server.port
+            agent = _spawn_agent(port, "splitter")
+            results = engine.run_many(requests)
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        assert all(result is not None for result in results)
+        assert _store_bytes(tmp_path / "dist") == _store_bytes(
+            tmp_path / "ref"
+        )
+        # 6 batchable configs at <=2 members per lease: >= 3 grants.
+        assert snapshot["leases_granted"] >= 3
+        assert snapshot["remote_runs"] == len(requests)
+
+    def test_corrupt_artifact_chunk_detected_and_refetched(
+        self, tmp_path, distributed_engine
+    ):
+        """corrupt@1: a flipped chunk byte fails the whole-file sha256,
+        is counted, and the re-fetch comes back clean -- results and
+        store bytes are unaffected."""
+        requests = _config_sweep()
+        _prime_artifacts(tmp_path / "dist", requests)
+
+        engine = distributed_engine(batch_configs=4, min_agents=1)
+        agent = None
+        try:
+            port = engine.lease_server.port
+            agent = _spawn_agent(port, "noisy", fault_plan="corrupt@1")
+            results = engine.run_many(requests)
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        assert all(result is not None for result in results)
+        assert snapshot["failed_runs"] == []
+        assert snapshot["artifact_corrupt_chunks"] >= 1
+        assert snapshot["artifact_refetches"] >= 1
+        assert snapshot["artifact_fetches"] >= 1
+
+    def test_drop_mid_fetch_requeues_lease(
+        self, tmp_path, distributed_engine
+    ):
+        """drop@1:fetch severs the connection during artifact transfer;
+        the lease requeues uncharged and the reconnected agent fetches
+        clean."""
+        requests = _config_sweep()
+        _prime_artifacts(tmp_path / "dist", requests)
+
+        engine = distributed_engine(batch_configs=4, min_agents=1)
+        agent = None
+        try:
+            port = engine.lease_server.port
+            agent = _spawn_agent(port, "flaky", fault_plan="drop@1:fetch")
+            results = engine.run_many(requests)
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        assert all(result is not None for result in results)
+        assert snapshot["failed_runs"] == []
+        assert snapshot["lease_requeues"] >= 1
+        assert snapshot["artifact_fetches"] >= 1
+        # Uncharged: every completion was a first attempt.
+        assert snapshot["runs_launched"] == snapshot["runs_succeeded"]
+
+    def test_remote_member_fault_explodes_batch(
+        self, tmp_path, distributed_engine
+    ):
+        """A poisoned member fails its whole remote batch; the executor
+        explodes it into uncharged singletons and only the poisoned run
+        is charged a retry -- full PR 3 fault parity."""
+        requests = _config_sweep()
+        reference = Engine(
+            scale=SCALE, jobs=1, cache_dir=tmp_path / "ref", batch_configs=4
+        )
+        try:
+            reference.run_many(requests)
+        finally:
+            reference.close()
+
+        engine = distributed_engine(batch_configs=4, min_agents=1)
+        agent = None
+        try:
+            port = engine.lease_server.port
+            # exc@2 arms inside the agent's child for plan slot 2: the
+            # batched pass raises, then the singleton rerun of slot 2
+            # fails once more (charged) and succeeds on its retry.
+            agent = _spawn_agent(port, "poisoned", fault_plan="exc@2")
+            results = engine.run_many(requests)
+            snapshot = engine.metrics.snapshot()
+        finally:
+            engine.close()
+            if agent is not None:
+                try:
+                    agent.wait(timeout=15)
+                finally:
+                    agent.kill()
+
+        assert all(result is not None for result in results)
+        assert _store_bytes(tmp_path / "dist") == _store_bytes(
+            tmp_path / "ref"
+        )
+        assert snapshot["failed_runs"] == []
+        assert snapshot["remote_batch_explodes"] >= 1
 
     def test_worker_rejects_epoch_mismatch(self, tmp_path, monkeypatch):
         """An agent from a different results epoch must refuse to mix

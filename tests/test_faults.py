@@ -65,6 +65,15 @@ class TestPlanParsing:
             FaultSpec(kind="delay", slot=3, arg="400"),
         ]
 
+    def test_artifact_verbs(self):
+        """``corrupt`` flips a fetched chunk byte; ``drop@N:fetch``
+        severs mid-``artifact_fetch`` instead of after execution."""
+        plan = parse_plan("corrupt@2,drop@1:fetch")
+        assert plan == [
+            FaultSpec(kind="corrupt", slot=2),
+            FaultSpec(kind="drop", slot=1, arg="fetch"),
+        ]
+
 
 class TestNetworkFaults:
     """``network_fault`` keys on the agent's Nth granted lease."""

@@ -691,6 +691,25 @@ class TestReport:
         # Engine lifecycle spans stay out of the table.
         assert not any(row[2] in ("batch", "run") for row in rows)
 
+    def test_agent_rows_fold_phases_and_artifact_counters(self):
+        events = _synthetic_events() + [
+            {"event": "span", "name": "remote_run", "ts": 4.0, "dur": 1.5,
+             "worker": "supervisor", "pid": 1, "seq": 4, "id": 4,
+             "parent": None, "attrs": {"agent": "a1", "run": "bbbb2222"}},
+            {"event": "point", "name": "remote_phase", "ts": 4.2,
+             "worker": "supervisor", "pid": 1, "seq": 5, "parent": None,
+             "attrs": {"agent": "a1", "phase": "timing_batch"}},
+            {"event": "point", "name": "remote_phase", "ts": 4.3,
+             "worker": "supervisor", "pid": 1, "seq": 6, "parent": None,
+             "attrs": {"agent": "a1", "phase": "trace_load"}},
+        ]
+        per_agent = {"a1": {"runs": 1, "wall_time_s": 1.5,
+                            "artifact_hits": 2, "artifact_misses": 3}}
+        rows = obs_report.agent_rows(events, per_agent)
+        assert rows == [["a1", 1, 1.5, 2, 2, 3]]
+        # Without the stats table the counters default to zero.
+        assert obs_report.agent_rows(events) == [["a1", 1, 1.5, 2, 0, 0]]
+
     def test_coverage_counts_runs_and_supervisor_work(self):
         stats = obs_report.coverage(_synthetic_events())
         assert stats["batch_s"] == pytest.approx(10.0)
