@@ -124,6 +124,30 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 
+
+def _append_bench_history(args, suite: str, report: dict) -> None:
+    """Record a suite's report into the sweep-history store.
+
+    Targets ``--history-dir`` (default ``$REPRO_CACHE_DIR``); silently
+    a no-op when neither names a directory, so the benchmark never
+    gains a hard dependency on a persistent cache.
+    """
+    target = args.history_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not target:
+        return
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.obs import history as obs_history
+
+        record_id = obs_history.append(
+            Path(target), obs_history.bench_record(suite, report)
+        )
+        print(f"history: {suite} -> {record_id[:12]}", file=sys.stderr)
+    except Exception as exc:  # history is telemetry, never a failure
+        print(f"history append skipped: {exc!r}", file=sys.stderr)
+    finally:
+        sys.path.remove(str(REPO / "src"))
+
 #: One timed sweep pass, executed in a clean child interpreter.
 _CHILD = """
 import hashlib, json, sys, time
@@ -492,6 +516,7 @@ def run_store_suite(args) -> int:
         "warm_counters": warm["counters"],
     }
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    _append_bench_history(args, "stores", report)
     print(json.dumps(report, indent=2))
     print(f"wrote {args.out}", file=sys.stderr)
     if args.min_speedup and speedup < args.min_speedup:
@@ -656,6 +681,7 @@ def run_batch_suite(args) -> int:
         "scaling": scaling,
     }
     Path(args.batch_out).write_text(json.dumps(report, indent=2) + "\n")
+    _append_bench_history(args, "batch", report)
     print(json.dumps(report, indent=2))
     print(f"wrote {args.batch_out}", file=sys.stderr)
     if args.min_batch_speedup and speedup_cold < args.min_batch_speedup:
@@ -782,6 +808,7 @@ def run_distributed_suite(args) -> int:
         "warmed_agent_counters": warmed["counters"],
     }
     Path(args.distributed_out).write_text(json.dumps(report, indent=2) + "\n")
+    _append_bench_history(args, "distributed", report)
     print(json.dumps(report, indent=2))
     print(f"wrote {args.distributed_out}", file=sys.stderr)
     if args.min_distributed_speedup and speedup < args.min_distributed_speedup:
@@ -835,6 +862,10 @@ def main(argv=None) -> int:
                         "(0 disables)")
     parser.add_argument("--distributed-out",
                         default=str(REPO / "BENCH_distributed.json"))
+    parser.add_argument("--history-dir", default=None,
+                        help="sweep-history cache dir to record each "
+                        "suite's report into (default: $REPRO_CACHE_DIR; "
+                        "unset = no history)")
     args = parser.parse_args(argv)
 
     status = 0

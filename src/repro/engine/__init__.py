@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.cpu import checkpoint
 from repro.cpu.config import BASELINE, Enhancements, ProcessorConfig
 from repro.cpu.kernels.registry import default_backend_name, resolve_backend_name
+from repro.obs import history as obs_history
 from repro.obs import phases as obs_phases
 from repro.obs import trace as obs_trace
 from repro.obs.live import (
@@ -44,8 +45,10 @@ from repro.obs.live import (
 from repro.scale import Scale, default_scale
 from repro.settings import (
     BATCH_CONFIGS_ENV_VAR,
+    HISTORY_ENV_VAR,
     REMOTE_BATCH_CONFIGS_ENV_VAR,
     default_batch_configs,
+    default_history,
     default_remote_batch_configs,
     resolve,
 )
@@ -77,6 +80,7 @@ from repro.engine.store import SCHEMA_VERSION, ResultStore
 
 __all__ = [
     "BATCH_CONFIGS_ENV_VAR",
+    "HISTORY_ENV_VAR",
     "REMOTE_BATCH_CONFIGS_ENV_VAR",
     "BatchTask",
     "Engine",
@@ -218,6 +222,7 @@ class Engine:
         listen: Optional[str] = None,
         lease_ttl: Optional[float] = None,
         min_agents: int = 0,
+        history: Optional[bool] = None,
     ) -> None:
         self.scale = scale if scale is not None else default_scale()
         if retries is None:
@@ -261,6 +266,15 @@ class Engine:
             backoff_base=backoff_base,
         )
         self.store = ResultStore(cache_dir) if cache_dir is not None else None
+        # Sweep-history recording: append-only metadata beside the
+        # store, so it only exists where there is a store to sit beside.
+        if history is None:
+            history = default_history()
+        self.history = bool(history) and self.store is not None
+        #: The id of the history record close() appended (None until
+        #: then, or when recording is off / nothing ran).
+        self.last_history_id: Optional[str] = None
+        self._planned_keys: set = set()
         self.checkpoint_interval_m = checkpoint_interval
         self.trace_cache = trace_cache
         if trace is None:
@@ -446,6 +460,9 @@ class Engine:
             plan = Plan.build(requests, self.scale)
         self.metrics.runs_requested += plan.num_requested
         self.metrics.runs_deduplicated += plan.num_requested - plan.num_unique
+        # The union of planned content keys fingerprints the config
+        # grid for the sweep-history record (order-independent).
+        self._planned_keys.update(plan.keys)
 
         results: List[Optional[TechniqueResult]] = [None] * plan.num_unique
         errors: Dict[int, BaseException] = {}
@@ -565,6 +582,7 @@ class Engine:
                 backend=info.backend or self._default_backend,
             )
             self.metrics.record_reuse(info.reuse)
+            self.metrics.record_resources(info.resources)
             if info.agent is not None:
                 self.metrics.record_agent_run(info.agent, wall)
                 obs_trace.emit_span(
@@ -687,37 +705,74 @@ class Engine:
                 return None
             path = self.store.root / STATS_FILENAME
         path = Path(path)
-        self.metrics.write_json(
-            path,
-            extra={
-                "scale": self.scale.instructions_per_m,
-                "jobs": self.jobs,
-                "run_timeout_s": self.run_timeout,
-                "max_retries": self.executor.retries,
-                "cache_dir": str(self.store.root) if self.store else None,
-                "batch_configs": self.batch_configs,
-                "remote_batch_configs": self.remote_batch_configs,
-                "results_epoch": RESULTS_EPOCH,
-                "schema_version": SCHEMA_VERSION,
-                "checkpoint_interval_m": self.checkpoint_interval_m,
-                "trace_cache": self.trace_cache,
-                "trace": self.trace,
-                "listen": (
-                    f"{self.lease_server.host}:{self.lease_server.port}"
-                    if self.lease_server is not None
-                    else None
-                ),
-                "lease_ttl_s": (
-                    self.lease_server.lease_ttl
-                    if self.lease_server is not None
-                    else None
-                ),
-                "metrics_file": str(self.metrics_file)
-                if self.metrics_file
-                else None,
-            },
-        )
+        self.metrics.write_json(path, extra=self._stats_extra())
         return path
+
+    def _stats_extra(self) -> Dict[str, object]:
+        """Engine-context fields appended to every stats snapshot (both
+        ``engine-stats.json`` and the sweep-history record)."""
+        return {
+            "scale": self.scale.instructions_per_m,
+            "jobs": self.jobs,
+            "run_timeout_s": self.run_timeout,
+            "max_retries": self.executor.retries,
+            "cache_dir": str(self.store.root) if self.store else None,
+            "batch_configs": self.batch_configs,
+            "remote_batch_configs": self.remote_batch_configs,
+            "results_epoch": RESULTS_EPOCH,
+            "schema_version": SCHEMA_VERSION,
+            "checkpoint_interval_m": self.checkpoint_interval_m,
+            "trace_cache": self.trace_cache,
+            "trace": self.trace,
+            "listen": (
+                f"{self.lease_server.host}:{self.lease_server.port}"
+                if self.lease_server is not None
+                else None
+            ),
+            "lease_ttl_s": (
+                self.lease_server.lease_ttl
+                if self.lease_server is not None
+                else None
+            ),
+            "metrics_file": str(self.metrics_file)
+            if self.metrics_file
+            else None,
+        }
+
+    def _append_history(self) -> Optional[str]:
+        """Record this sweep into ``<cache-dir>/v1/history/``.
+
+        Runs once, at close; a sweep that planned nothing (a pure
+        library construction, or report tooling) records nothing.
+        History is metadata beside the store -- failure to append never
+        fails shutdown, and the result/trace/checkpoint stores are
+        byte-identical with recording on or off.
+        """
+        if not self.history or self.store is None:
+            return None
+        if self.metrics.runs_requested <= 0:
+            return None
+        stats = self.metrics.snapshot()
+        stats.update(self._stats_extra())
+        identity = {
+            "backend": self._default_backend,
+            "jobs": self.jobs,
+            "batch_configs": self.batch_configs,
+            "remote_batch_configs": self.remote_batch_configs,
+            "scale": self.scale.instructions_per_m,
+            "listen": stats.get("listen"),
+            "lease_ttl_s": stats.get("lease_ttl_s"),
+        }
+        record = obs_history.sweep_record(
+            stats,
+            fingerprint=obs_history.grid_fingerprint(self._planned_keys),
+            identity=identity,
+        )
+        try:
+            self.last_history_id = obs_history.append(self.store.root, record)
+        except OSError:
+            self.last_history_id = None
+        return self.last_history_id
 
     def merged_trace_path(self) -> Optional[Path]:
         """Where the merged ``trace.jsonl`` lands (None when untraced)."""
@@ -729,6 +784,11 @@ class Engine:
         """Stop telemetry, merge the trace, release the journal handle
         and restore the environment variables the store activation
         exported (safe to call repeatedly)."""
+        if self.history:
+            # Before the lease server closes: the record captures the
+            # listen address and lease TTL as part of sweep identity.
+            self._append_history()
+            self.history = False
         if self.lease_server is not None:
             self.lease_server.close()
             self.lease_server = None

@@ -78,6 +78,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 from repro.cpu import checkpoint
 from repro.cpu.kernels.registry import BACKEND_ENV_VAR, KernelError
 from repro.obs import phases as obs_phases
+from repro.obs import resources as obs_resources
 from repro.obs import trace as obs_trace
 from repro.obs.live import InflightTracker
 from repro.workloads import trace_store
@@ -156,6 +157,10 @@ class RunInfo:
     payload: Optional[dict] = None
     #: Name of the worker agent that executed the run (None = local).
     agent: Optional[str] = None
+    #: Resource sample for the run (max-RSS bytes, CPU seconds; see
+    #: :mod:`repro.obs.resources`).  None when unmeasured.  A batched
+    #: run carries its even CPU share of the pass, like wall time.
+    resources: Optional[Dict[str, float]] = None
 
     @property
     def degraded(self) -> bool:
@@ -415,6 +420,7 @@ def _worker(task, scale: Scale):
         **{k: v for k, v in attrs.items() if k in ("run", "family", "benchmark")}
     )
     obs_phases.drain()  # stray ledger state must not leak into this run
+    usage_baseline = obs_resources.snapshot()
     try:
         request = _rebind_workload(task).request
         faults.activate(task.slot, task.attempt)
@@ -434,7 +440,13 @@ def _worker(task, scale: Scale):
                     os.environ[BACKEND_ENV_VAR] = previous
         wall = time.perf_counter() - started
         result.phase_times = obs_phases.drain()
-        return task.slot, result, wall, _consume_reuse_counters()
+        return (
+            task.slot,
+            result,
+            wall,
+            _consume_reuse_counters(),
+            obs_resources.sample_since(usage_baseline),
+        )
     finally:
         obs_trace.clear_context()
         if events is not None:
@@ -445,8 +457,8 @@ def _worker(task, scale: Scale):
 def _run_batch(task: BatchTask, scale: Scale):
     """Execute one config-batched pass; returns per-member results.
 
-    The return shape is ``(slots, results, wall, reuse)`` with one slot
-    and one result per member.  Any exception -- including injected
+    The return shape is ``(slots, results, wall, reuse, resources)``
+    with one slot and one result per member.  Any exception -- including injected
     faults armed for *any* member slot -- propagates whole, and the
     parent explodes the batch back into singletons.  The phase ledger
     is drained once for the shared pass and divided evenly across the
@@ -470,6 +482,7 @@ def _run_batch(task: BatchTask, scale: Scale):
         **{k: v for k, v in attrs.items() if k in ("run", "family", "benchmark")}
     )
     obs_phases.drain()  # stray ledger state must not leak into this batch
+    usage_baseline = obs_resources.snapshot()
     try:
         members = [_rebind_workload(member) for member in task.members]
         technique = members[0].request.technique
@@ -504,6 +517,7 @@ def _run_batch(task: BatchTask, scale: Scale):
             results,
             wall,
             _consume_reuse_counters(),
+            obs_resources.sample_since(usage_baseline),
         )
     finally:
         obs_trace.clear_context()
@@ -798,7 +812,10 @@ class Executor:
             while queue:
                 task = queue.popleft()
                 if telemetry is not None:
-                    telemetry.set_queue(len(queue))
+                    # Member-weighted: a queued batch is N pending runs.
+                    telemetry.set_queue(
+                        sum(_deadline_budget(t) for t in queue)
+                    )
                 if isinstance(task, BatchTask):
                     exploded = self._run_batch_inline(
                         task, scale, on_success, on_batch, telemetry
@@ -844,7 +861,7 @@ class Executor:
                     )
                 )
             try:
-                slot, result, wall, reuse = _worker(task, scale)
+                slot, result, wall, reuse, resources = _worker(task, scale)
             except Exception as exc:
                 action = self._after_failure(
                     task, exc, supervision, on_failure, on_retry, on_degrade
@@ -861,6 +878,7 @@ class Executor:
                     telemetry.finish(task.slot)
             info = self._info(task, supervision)
             info.reuse = reuse
+            info.resources = resources
             on_success(slot, result, wall, info)
             return
 
@@ -882,6 +900,7 @@ class Executor:
                 attempt=task.attempt,
                 backend=task.backend,
                 pid=os.getpid(),
+                runs=len(task.members),
             )
             obs_phases.set_notifier(
                 lambda phase, attrs=None, slot=task.slot: (
@@ -921,12 +940,14 @@ class Executor:
         carries the pass's store-reuse counters so they are folded into
         the metrics exactly once.
         """
-        slots, results, wall, reuse = payload
+        slots, results, wall, reuse, resources = payload
         share = wall / max(1, len(slots))
+        member_resources = obs_resources.share(resources, len(slots))
         for index, (slot, result) in enumerate(zip(slots, results)):
             info = RunInfo(
                 attempts=1, backend=task.backend, batch_size=len(slots)
             )
+            info.resources = member_resources
             if index == 0:
                 info.reuse = reuse
             on_success(slot, result, share, info)
@@ -943,6 +964,7 @@ class Executor:
         supervision: Dict[int, _Supervision],
         on_success: SuccessCallback,
         on_batch: Optional[BatchCallback],
+        resources: Optional[Dict[str, float]] = None,
     ) -> None:
         """Fan a remotely-completed lease out into success callbacks.
 
@@ -953,6 +975,7 @@ class Executor:
         results = [TechniqueResult.from_payload(p) for p in payloads]
         if isinstance(task, BatchTask):
             share = wall / max(1, len(results))
+            member_resources = obs_resources.share(resources, len(results))
             for index, (member, result) in enumerate(
                 zip(task.members, results)
             ):
@@ -963,6 +986,7 @@ class Executor:
                     payload=payloads[index],
                     agent=agent,
                 )
+                info.resources = member_resources
                 if index == 0:
                     info.reuse = reuse
                 on_success(member.slot, result, share, info)
@@ -973,6 +997,7 @@ class Executor:
         info.reuse = reuse
         info.payload = payloads[0]
         info.agent = agent
+        info.resources = resources
         on_success(task.slot, results[0], wall, info)
 
     def _run_parallel(
@@ -1006,9 +1031,13 @@ class Executor:
             if telemetry is None:
                 return
             running = []
+            submitted_unstarted = 0
             for task in futures.values():
                 begun = events.start_time(task)
                 if begun is None:
+                    # Submitted but not yet executing: still queued work
+                    # (a batch still counts as its member runs).
+                    submitted_unstarted += _deadline_budget(task)
                     continue
                 running.append(
                     {
@@ -1021,10 +1050,17 @@ class Executor:
                         "phase": events.phase(task),
                         "phase_attrs": events.phase_attrs(task),
                         "started": begun,
+                        "runs": _deadline_budget(task),
                     }
                 )
+            # Weight every pending unit by its member count: a BatchTask
+            # is one future but ``configs_per_batch`` pending runs, and
+            # an ETA that counted it as one run would be optimistic by
+            # roughly that factor.
             queued = (
-                len(pending) + len(waiting) + (len(futures) - len(running))
+                sum(_deadline_budget(t) for t in pending)
+                + sum(_deadline_budget(t) for _, t in waiting)
+                + submitted_unstarted
             )
             telemetry.sync(running, queued)
 
@@ -1074,9 +1110,10 @@ class Executor:
                         task, payload, on_success, on_batch
                     )
                 else:
-                    slot, result, wall, reuse = payload
+                    slot, result, wall, reuse, resources = payload
                     info = self._info(task, supervision)
                     info.reuse = reuse
+                    info.resources = resources
                     on_success(slot, result, wall, info)
             return False
 
@@ -1085,10 +1122,11 @@ class Executor:
             for event in remote.collect():
                 kind = event[0]
                 if kind == "complete":
-                    _, task, payloads, wall_s, reuse, agent = event
+                    _, task, payloads, wall_s, reuse, agent, resources = event
                     self._dispatch_remote_success(
                         task, payloads, wall_s, reuse, agent,
                         supervision, on_success, on_batch,
+                        resources=resources,
                     )
                 elif kind == "fail":
                     _, task, exc, _agent = event

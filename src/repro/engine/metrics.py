@@ -129,6 +129,13 @@ class EngineMetrics:
     wall_time_s: float = 0.0    # sum of per-run execution wall time
     batch_time_s: float = 0.0   # end-to-end run_many() wall time
     instructions: int = 0       # instructions simulated (detailed + warm)
+    # Per-run resource telemetry (see repro.obs.resources):
+    max_rss_bytes: int = 0      # peak resident set observed by any run
+    cpu_time_s: float = 0.0     # CPU seconds runs burned (user + system)
+    cpu_user_s: float = 0.0
+    cpu_system_s: float = 0.0
+    run_rss_samples: List[float] = field(default_factory=list)
+    run_cpu_samples: List[float] = field(default_factory=list)
     per_family: Dict[str, FamilyMetrics] = field(default_factory=dict)
     per_backend: Dict[str, BackendMetrics] = field(default_factory=dict)
     per_agent: Dict[str, AgentMetrics] = field(default_factory=dict)
@@ -249,6 +256,20 @@ class EngineMetrics:
         bucket.artifact_hits = hits
         bucket.artifact_misses = misses
 
+    def record_resources(self, resources: Optional[Dict[str, float]]) -> None:
+        """Fold one run's resource sample (RSS high-water, CPU time)
+        into the totals; None (unmeasured platform) is a no-op."""
+        if not resources:
+            return
+        rss = int(resources.get("max_rss_bytes", 0) or 0)
+        cpu = float(resources.get("cpu_s", 0.0) or 0.0)
+        self.max_rss_bytes = max(self.max_rss_bytes, rss)
+        self.cpu_time_s += cpu
+        self.cpu_user_s += float(resources.get("cpu_user_s", 0.0) or 0.0)
+        self.cpu_system_s += float(resources.get("cpu_system_s", 0.0) or 0.0)
+        self.run_rss_samples.append(float(rss))
+        self.run_cpu_samples.append(cpu)
+
     def record_degradation(self, description: str, from_backend: str, to_backend: str) -> None:
         self.degradations += 1
         self.degraded_runs.append(
@@ -312,6 +333,29 @@ class EngineMetrics:
             "batch_time_s": self.batch_time_s,
             "instructions": self.instructions,
             "instructions_per_second": self.instructions_per_second,
+            "resources": {
+                "max_rss_bytes": self.max_rss_bytes,
+                "cpu_time_s": self.cpu_time_s,
+                "cpu_user_s": self.cpu_user_s,
+                "cpu_system_s": self.cpu_system_s,
+                "samples": len(self.run_cpu_samples),
+                "run_rss_bytes": {
+                    "p50": _percentile(self.run_rss_samples, 0.50),
+                    "p90": _percentile(self.run_rss_samples, 0.90),
+                    "max": (
+                        max(self.run_rss_samples)
+                        if self.run_rss_samples else 0.0
+                    ),
+                },
+                "run_cpu_s": {
+                    "p50": _percentile(self.run_cpu_samples, 0.50),
+                    "p90": _percentile(self.run_cpu_samples, 0.90),
+                    "max": (
+                        max(self.run_cpu_samples)
+                        if self.run_cpu_samples else 0.0
+                    ),
+                },
+            },
             "failures_by_kind": dict(sorted(self.failures_by_kind.items())),
             "per_family": {
                 family: {

@@ -82,6 +82,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.obs import resources as obs_resources
 from repro.settings import resolve
 
 #: Environment fallback for ``--lease-ttl`` (flag > env > default).
@@ -334,7 +335,8 @@ class LeaseLedger:
 
         Event tuples (consumed by the executor's scheduling loop):
 
-        * ``("complete", task, payloads, wall_s, reuse, agent)``
+        * ``("complete", task, payloads, wall_s, reuse, agent,
+          resources)``
         * ``("fail", task, exception, agent)`` -- charged normally
         * ``("timeout", task, agent, reason)`` -- charged as a timeout
         * ``("requeue", task, agent, reason)`` -- **uncharged**
@@ -554,6 +556,7 @@ class LeaseLedger:
         wall_s: float,
         reuse: Dict[str, int],
         keys: Optional[List[str]] = None,
+        resources: Optional[Dict[str, float]] = None,
     ) -> str:
         """Record one completion; returns ``ok``/``duplicate``/``stale``.
 
@@ -588,7 +591,7 @@ class LeaseLedger:
                     entry.wall_time_s += wall_s
                 self._events.append(
                     ("complete", lease.task, payloads, wall_s, reuse,
-                     agent_id)
+                     agent_id, resources)
                 )
                 return "ok"
             # Lease expired/canceled/unknown: at-least-once straggler.
@@ -982,6 +985,9 @@ class LeaseServer:
                 keys=(
                     [str(k) for k in member_keys]
                     if isinstance(member_keys, list) else None
+                ),
+                resources=obs_resources.normalize(
+                    message.get("resources")
                 ),
             )
             return {"op": "ok", "status": status}, agent_id, False

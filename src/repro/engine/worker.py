@@ -144,9 +144,9 @@ def _child_main(pipe, task, scale: Scale) -> None:
     try:
         payload = executor_mod._worker(task, scale)
         if isinstance(task, executor_mod.BatchTask):
-            _, results, wall, reuse = payload
+            _, results, wall, reuse, resources = payload
         else:
-            _, result, wall, reuse = payload
+            _, result, wall, reuse, resources = payload
             results = [result]
         pipe.send(
             {
@@ -154,6 +154,7 @@ def _child_main(pipe, task, scale: Scale) -> None:
                 "payloads": [r.to_payload() for r in results],
                 "wall_s": wall,
                 "reuse": {str(k): int(v) for k, v in dict(reuse).items()},
+                "resources": resources,
                 "phases": _merged_phases(results),
                 "family": str(
                     getattr(results[0], "family", "") if results else ""
@@ -320,6 +321,7 @@ class WorkerAgent:
                     "payloads": doc["payloads"],
                     "wall_s": doc["wall_s"],
                     "reuse": doc["reuse"],
+                    "resources": doc.get("resources"),
                 }
                 members = getattr(task, "members", None)
                 if members is not None:

@@ -23,6 +23,7 @@ flag                     environment                      default
 ``--max-retries``        ``REPRO_MAX_RETRIES``            1
 ``--checkpoint-interval``  ``REPRO_CHECKPOINT_INTERVAL``  500 (M instructions)
 ``--trace/--no-trace``   ``REPRO_TRACE``                  tracing off
+``--history/--no-history``  ``REPRO_HISTORY``             history recording on
 ``--metrics-file``       ``REPRO_METRICS_FILE``           no Prometheus export
 ``--batch-configs``      ``REPRO_BATCH_CONFIGS``          1 (config batching off)
 ``--remote-batch-configs``  ``REPRO_REMOTE_BATCH_CONFIGS``  the --batch-configs cap
@@ -38,7 +39,9 @@ remote-only.  See EXPERIMENTS.md, "Distributed sweeps".
 
 ``python -m repro.experiments report`` renders a traced sweep's
 ``trace.jsonl`` (wall-time attribution, ``--run KEY`` replay,
-``--chrome`` export); see :mod:`repro.obs.report`.
+``--chrome`` export); its ``history`` / ``compare`` / ``dashboard``
+subcommands read the sweep-history store every cached sweep appends to
+at exit (``<cache-dir>/v1/history/``); see :mod:`repro.obs.report`.
 
 ``--no-cache`` disables the persistent cache even when a directory is
 configured.  When a cache directory is active, engine metrics are
@@ -75,6 +78,7 @@ from repro.obs.live import METRICS_FILE_ENV_VAR
 from repro.obs.trace import TRACE_ENV_VAR, default_enabled as default_trace
 from repro.settings import (
     BATCH_CONFIGS_ENV_VAR,
+    HISTORY_ENV_VAR,
     KERNEL_THREADS_ENV_VAR,
     REMOTE_BATCH_CONFIGS_ENV_VAR,
     default_remote_batch_configs,
@@ -241,6 +245,23 @@ def main(argv: list[str] | None = None) -> int:
         help="disable tracing even when $REPRO_TRACE requests it",
     )
     parser.add_argument(
+        "--history",
+        dest="history",
+        action="store_true",
+        default=None,
+        help="append this sweep's stats to the sweep-history store "
+        f"(<cache-dir>/v1/history/) at exit (default: ${HISTORY_ENV_VAR} "
+        "or on when a cache dir is active); inspect with "
+        "'report history' / 'report compare' / 'report dashboard'",
+    )
+    parser.add_argument(
+        "--no-history",
+        dest="history",
+        action="store_false",
+        help=f"disable history recording even when ${HISTORY_ENV_VAR} "
+        "requests it",
+    )
+    parser.add_argument(
         "--metrics-file",
         default=None,
         metavar="FILE",
@@ -405,6 +426,7 @@ def main(argv: list[str] | None = None) -> int:
         listen=args.listen,
         lease_ttl=args.lease_ttl,
         min_agents=args.workers_remote,
+        history=args.history,
     )
     try:
         for name in names:
@@ -435,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
         trace_path = context.engine.merged_trace_path()
         if trace_path is not None and trace_path.exists():
             summary += f"; trace: {trace_path}"
+        if context.engine.last_history_id:
+            summary += f"; history: {context.engine.last_history_id[:12]}"
         print(summary, file=sys.stderr)
     return 0
 

@@ -112,6 +112,9 @@ class ExperimentContext:
     listen: Optional[str] = None
     lease_ttl: Optional[float] = None
     min_agents: int = 0
+    #: Sweep-history recording (None: $REPRO_HISTORY or on): append one
+    #: record per sweep to <cache_dir>/v1/history/ at engine close.
+    history: Optional[bool] = None
 
     #: The engine executing this context's runs; built from the fields
     #: above unless injected.
@@ -138,6 +141,7 @@ class ExperimentContext:
                 listen=self.listen,
                 lease_ttl=self.lease_ttl,
                 min_agents=self.min_agents,
+                history=self.history,
             )
 
     # -- workloads ---------------------------------------------------------------

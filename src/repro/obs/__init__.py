@@ -22,13 +22,29 @@ state, so traced and untraced sweeps produce bit-identical results):
     in-flight runs to ``<cache-dir>/v1/live.json`` every second and,
     optionally, exports engine counters as a Prometheus textfile.
 
+:mod:`repro.obs.resources`
+    Per-run resource telemetry: peak RSS and CPU-time deltas sampled
+    around each run (``getrusage`` + ``/proc/self/statm``), flowing
+    through worker return values and the wire protocol into
+    ``engine-stats.json`` and the Prometheus export.
+
+:mod:`repro.obs.history`
+    The append-only sweep-history store: one content-addressed JSONL
+    record per sweep under ``<cache-dir>/v1/history/``, powering the
+    ``report history`` / ``compare`` / ``dashboard`` subcommands.
+
 :mod:`repro.obs.report`
     The ``python -m repro.experiments report`` surface: wall-time
-    attribution tables, per-run replay, and a Chrome/Perfetto
-    ``trace-viewer.json`` export (imported on demand, not re-exported
-    here, to keep this package free of experiment dependencies).
+    attribution tables, per-run replay, a Chrome/Perfetto
+    ``trace-viewer.json`` export, and the sweep-history subcommands
+    (imported on demand, not re-exported here, to keep this package
+    free of experiment dependencies).
+
+:mod:`repro.obs.dashboard`
+    A zero-dependency static HTML renderer for the history store, the
+    live snapshot and BENCH_*.json trajectories (imported on demand).
 """
 
-from repro.obs import phases, trace
+from repro.obs import history, phases, resources, trace
 
-__all__ = ["phases", "trace"]
+__all__ = ["history", "phases", "resources", "trace"]

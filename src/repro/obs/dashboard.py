@@ -1,0 +1,378 @@
+"""Zero-dependency static dashboard for the sweep-history store.
+
+``python -m repro.experiments report dashboard --html OUT`` lands here.
+:func:`render_html` folds three data sources into one self-contained
+HTML file -- inline CSS, inline SVG sparklines, not a single external
+URL -- so the output renders from a file:// open on an air-gapped CI
+artifact browser:
+
+* the sweep-history store (:mod:`repro.obs.history`): per-sweep wall /
+  CPU / peak-RSS trend lines and a recent-sweeps table;
+* the live snapshot (``<cache-dir>/v1/live.json``) left by the most
+  recent (or still-running) sweep: progress, in-flight runs, queue
+  depth, connected agents, per-agent artifact hit rates;
+* ``BENCH_*.json`` reports (the measure_sweep suites), both the copies
+  recorded into history and any files sitting in ``--bench-dir``.
+
+Everything is rendered server-side; the only script in the page is a
+few inline lines that stamp relative ages, and the page degrades to
+plain tables with JavaScript disabled.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import history as obs_history
+from repro.obs.live import LIVE_FILENAME
+
+_SPARK_W = 220
+_SPARK_H = 36
+_SPARK_PAD = 3
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def sparkline(values: Sequence[float], unit: str = "") -> str:
+    """An inline SVG sparkline for ``values`` (empty-safe)."""
+    points = [float(v) for v in values if v is not None]
+    if not points:
+        return '<span class="muted">no data</span>'
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    inner_w = _SPARK_W - 2 * _SPARK_PAD
+    inner_h = _SPARK_H - 2 * _SPARK_PAD
+    step = inner_w / max(1, len(points) - 1)
+    coords = []
+    for index, value in enumerate(points):
+        x = _SPARK_PAD + index * step
+        y = _SPARK_PAD + inner_h * (1.0 - (value - lo) / span)
+        coords.append(f"{x:.1f},{y:.1f}")
+    last = points[-1]
+    label = f"{last:g}{unit}"
+    title = (
+        f"{len(points)} samples, min {lo:g}{unit}, max {hi:g}{unit}, "
+        f"last {last:g}{unit}"
+    )
+    polyline = " ".join(coords)
+    last_x, last_y = coords[-1].split(",")
+    return (
+        f'<svg class="spark" width="{_SPARK_W}" height="{_SPARK_H}" '
+        f'viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img">'
+        f"<title>{_esc(title)}</title>"
+        f'<polyline points="{polyline}" fill="none" '
+        f'stroke="currentColor" stroke-width="1.5"/>'
+        f'<circle cx="{last_x}" cy="{last_y}" r="2.5" '
+        f'fill="currentColor"/></svg>'
+        f'<span class="spark-label">{_esc(label)}</span>'
+    )
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{cell}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _section(title: str, body: str, note: str = "") -> str:
+    note_html = f'<p class="muted">{_esc(note)}</p>' if note else ""
+    return f"<section><h2>{_esc(title)}</h2>{note_html}{body}</section>"
+
+
+def _load_live(cache_dir: Path) -> Optional[dict]:
+    path = Path(cache_dir) / "v1" / LIVE_FILENAME
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _bench_files(bench_dir: Optional[Path]) -> List[Tuple[str, dict]]:
+    if bench_dir is None:
+        bench_dir = Path(".")
+    reports: List[Tuple[str, dict]] = []
+    try:
+        paths = sorted(Path(bench_dir).glob("BENCH_*.json"))
+    except OSError:
+        return reports
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict):
+            reports.append((path.name, doc))
+    return reports
+
+
+def _num(value: object) -> float:
+    """Lenient numeric coercion (summary rows use "-" for absent)."""
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0.0
+
+
+def _numeric_scalars(doc: dict) -> List[Tuple[str, float]]:
+    out = []
+    for key in sorted(doc):
+        value = doc[key]
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out.append((key, float(value)))
+    return out
+
+
+def _history_section(records: List[dict]) -> str:
+    sweeps = [r for r in records if r.get("kind") == "sweep"]
+    if not sweeps:
+        return _section(
+            "Sweep history",
+            '<p class="muted">No sweeps recorded yet. Run a sweep with '
+            "history enabled (<code>--history</code> / "
+            "<code>REPRO_HISTORY=1</code>).</p>",
+        )
+    rows = [obs_history.summary_row(r) for r in sweeps]
+    trends = _table(
+        ("metric", "trend (oldest &rarr; newest)"),
+        [
+            ("batch wall time (s)",
+             sparkline([_num(r["batch_s"]) for r in rows], "s")),
+            ("CPU time (s)",
+             sparkline([_num(r["cpu_s"]) for r in rows], "s")),
+            ("peak RSS (MB)",
+             sparkline([_num(r["max_rss_mb"]) for r in rows], "MB")),
+            ("runs",
+             sparkline([_num(r["runs"]) for r in rows])),
+        ],
+    )
+    recent = _table(
+        ("id", "when", "backend", "runs", "batch_s", "cpu_s", "max_rss_mb",
+         "host", "label"),
+        [
+            [_esc(r["id"]), _esc(r["when"]), _esc(r["backend"]),
+             _esc(r["runs"]), _esc(r["batch_s"]), _esc(r["cpu_s"]),
+             _esc(r["max_rss_mb"]), _esc(r["host"]), _esc(r["label"])]
+            for r in rows[-20:]
+        ],
+    )
+    note = f"{len(sweeps)} recorded sweep(s); table shows the last 20."
+    return _section("Sweep history", trends + recent, note)
+
+
+def _live_section(live: Optional[dict]) -> str:
+    if not live:
+        return _section(
+            "Live sweep",
+            '<p class="muted">No <code>live.json</code> found; no sweep '
+            "is running (or the last one predates live telemetry).</p>",
+        )
+    metrics = live.get("metrics") or {}
+    updated = live.get("updated_unix")
+    facts = [
+        ("updated",
+         f'<span data-unix="{_esc(updated)}">'
+         f"{_esc(_strftime(updated))}</span>"),
+        ("pid", _esc(live.get("pid", "-"))),
+        ("in-flight runs",
+         _esc(live.get("in_flight_runs", len(live.get("in_flight") or [])))),
+        ("queued runs", _esc(live.get("queued", 0))),
+        ("runs succeeded", _esc(metrics.get("runs_succeeded", 0))),
+        ("cache hits", _esc(metrics.get("cache_hits", 0))),
+        ("failures", _esc(metrics.get("failures", 0))),
+    ]
+    body = _table(("fact", "value"), facts)
+    agents = live.get("agents") or []
+    if agents:
+        body += "<h3>Connected agents</h3>" + _table(
+            ("agent", "leases", "last heartbeat"),
+            [
+                [_esc(a.get("agent", a.get("name", "-"))),
+                 _esc(a.get("leases", a.get("runs", "-"))),
+                 _esc(_strftime(a.get("last_heartbeat_unix")))]
+                for a in agents
+            ],
+        )
+    return _section("Live sweep", body)
+
+
+def _agents_section(records: List[dict], live: Optional[dict]) -> str:
+    per_agent: Dict[str, dict] = {}
+    sweeps = [r for r in records if r.get("kind") == "sweep"]
+    if sweeps:
+        per_agent = (sweeps[-1].get("stats") or {}).get("per_agent") or {}
+    if not per_agent and live:
+        per_agent = (live.get("metrics") or {}).get("per_agent") or {}
+    if not per_agent:
+        return _section(
+            "Agent artifact hit rates",
+            '<p class="muted">No per-agent stats recorded (the most '
+            "recent sweep was not distributed).</p>",
+        )
+    rows = []
+    for agent, entry in sorted(per_agent.items()):
+        hits = int(entry.get("artifact_hits", 0) or 0)
+        misses = int(entry.get("artifact_misses", 0) or 0)
+        probes = hits + misses
+        rate = f"{100.0 * hits / probes:.1f}%" if probes else "-"
+        rows.append([
+            _esc(agent), _esc(entry.get("runs", 0)),
+            _esc(round(float(entry.get("wall_time_s", 0.0) or 0.0), 2)),
+            _esc(hits), _esc(misses), _esc(rate),
+        ])
+    return _section(
+        "Agent artifact hit rates",
+        _table(("agent", "runs", "wall_s", "artifact hits",
+                "artifact misses", "hit rate"), rows),
+        "From the most recent recorded sweep.",
+    )
+
+
+def _bench_section(records: List[dict], bench_dir: Optional[Path]) -> str:
+    history_benches = [r for r in records if r.get("kind") == "bench"]
+    file_benches = _bench_files(bench_dir)
+
+    # Trajectory: per suite, the speedup-ish scalar over time.
+    by_suite: Dict[str, List[Tuple[float, dict]]] = {}
+    for record in history_benches:
+        bench = record.get("bench") or {}
+        report = bench.get("report") or {}
+        suite = str(bench.get("suite", "?"))
+        when = float(record.get("recorded_unix", 0.0) or 0.0)
+        by_suite.setdefault(suite, []).append((when, report))
+
+    parts = []
+    if by_suite:
+        trend_rows = []
+        for suite in sorted(by_suite):
+            entries = sorted(by_suite[suite], key=lambda pair: pair[0])
+            scalars_per_entry = [
+                dict(_numeric_scalars(report)) for _, report in entries
+            ]
+            keys = sorted(
+                {k for scalars in scalars_per_entry for k in scalars
+                 if "speedup" in k or k.endswith("_pct")}
+            ) or sorted({k for scalars in scalars_per_entry for k in scalars})
+            for key in keys:
+                trend_rows.append([
+                    _esc(f"{suite}: {key}"),
+                    sparkline([s.get(key) for s in scalars_per_entry]),
+                ])
+        parts.append(
+            "<h3>Recorded trajectory</h3>"
+            + _table(("suite metric", "trend (oldest &rarr; newest)"),
+                     trend_rows)
+        )
+    if file_benches:
+        file_rows = []
+        for name, doc in file_benches:
+            scalars = ", ".join(
+                f"{k}={v:g}" for k, v in _numeric_scalars(doc)[:6]
+            )
+            file_rows.append([
+                _esc(name),
+                _esc(str(doc.get("benchmark", "-"))[:90]),
+                _esc(scalars or "-"),
+            ])
+        parts.append(
+            "<h3>On-disk reports</h3>"
+            + _table(("file", "benchmark", "headline scalars"), file_rows)
+        )
+    if not parts:
+        parts.append(
+            '<p class="muted">No BENCH_*.json reports recorded or found '
+            "on disk.</p>"
+        )
+    return _section("Benchmark trajectory", "".join(parts))
+
+
+def _strftime(unix: object) -> str:
+    try:
+        stamp = float(unix)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+_CSS = """
+:root { color-scheme: light dark; }
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; padding: 0 1rem; }
+h1 { font-size: 1.4rem; }
+h2 { font-size: 1.1rem; border-bottom: 1px solid #8884;
+     padding-bottom: .25rem; margin-top: 2rem; }
+h3 { font-size: 1rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; width: 100%; }
+th, td { border: 1px solid #8883; padding: .3rem .55rem;
+         text-align: left; vertical-align: middle;
+         font-variant-numeric: tabular-nums; }
+th { background: #8881; }
+.muted { opacity: .65; }
+.spark { vertical-align: middle; color: #2a7ae2; }
+.spark-label { margin-left: .5rem; font-variant-numeric: tabular-nums; }
+code { background: #8882; padding: 0 .25rem; border-radius: 3px; }
+footer { margin-top: 2rem; font-size: .85rem; opacity: .65; }
+"""
+
+_JS = """
+for (const el of document.querySelectorAll('[data-unix]')) {
+  const t = parseFloat(el.getAttribute('data-unix'));
+  if (!isFinite(t)) continue;
+  const age = Math.max(0, Date.now() / 1000 - t);
+  const label = age < 120 ? Math.round(age) + 's ago'
+    : age < 7200 ? Math.round(age / 60) + 'm ago'
+    : Math.round(age / 3600) + 'h ago';
+  el.textContent = el.textContent + ' (' + label + ')';
+}
+"""
+
+
+def render_html(
+    cache_dir: Path,
+    bench_dir: Optional[Path] = None,
+    now_unix: Optional[float] = None,
+) -> str:
+    """One self-contained HTML page for ``cache_dir``'s observatory.
+
+    The page embeds everything inline -- CSS, SVG, the few lines of
+    JS -- and references no external resource, so it renders offline
+    and CI can assert self-containedness by grepping for URLs.
+    """
+    cache_dir = Path(cache_dir)
+    records = obs_history.read_records(cache_dir)
+    live = _load_live(cache_dir)
+    generated = now_unix if now_unix is not None else time.time()
+    body = "".join([
+        _history_section(records),
+        _live_section(live),
+        _agents_section(records, live),
+        _bench_section(records, bench_dir),
+    ])
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        '<meta name="viewport" content="width=device-width, '
+        'initial-scale=1">\n'
+        f"<title>repro sweep observatory</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        "<body>\n"
+        f"<h1>repro sweep observatory</h1>\n"
+        f'<p class="muted">cache dir <code>{_esc(cache_dir)}</code> '
+        f"&middot; generated {_esc(_strftime(generated))} &middot; "
+        f"{len(records)} history record(s)</p>\n"
+        f"{body}\n"
+        "<footer>Self-contained report: no external scripts, styles, "
+        "fonts or images.</footer>\n"
+        f"<script>{_JS}</script>\n"
+        "</body></html>\n"
+    )

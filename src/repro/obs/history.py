@@ -1,0 +1,265 @@
+"""Append-only, content-addressed sweep-history store.
+
+Every sweep (local, batched, or distributed) appends one record at
+supervisor exit; benchmark suites append one record per leg.  The
+store is sharded JSONL under ``<cache-dir>/v1/history/``: a record is
+one JSON line appended with ``O_APPEND`` to the shard named by the
+first two hex digits of its content id, so concurrent sweeps sharing a
+cache directory never clobber each other -- at worst a crash leaves a
+truncated final line, which the reader skips exactly like the PR 5
+trace reader skips a killed worker's partial event.
+
+Records are content-addressed: ``id`` is the SHA-256 of the record's
+canonical JSON (sorted keys, ``id`` excluded).  The reader recomputes
+and verifies the digest, so a corrupted line is dropped rather than
+trusted, and replayed/duplicated appends deduplicate naturally.
+
+The store is additive-only observability: it never feeds back into
+result keys, journaling, or checkpoints, and the result/trace stores
+stay byte-identical whether history recording is on or off.
+
+Record shape (schema 1)::
+
+    {"schema": 1, "id": "<sha256>", "kind": "sweep" | "bench",
+     "recorded_unix": t, "label": str | null,
+     "sweep": {"fingerprint": ..., "backend": ..., "host": ...,
+               "git": ..., "pid": ..., ...engine knobs...},
+     "stats": {...engine-stats snapshot...},   # sweep records
+     "bench": {"suite": ..., "report": {...}}} # bench records
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import subprocess
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Subdirectory of the store's versioned dir holding history shards.
+HISTORY_SUBDIR = "history"
+
+#: Version of the history record format.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Enables history recording by default ("0"/"false"/... disable).
+HISTORY_ENV_VAR = "REPRO_HISTORY"
+
+
+def history_dir(cache_dir: os.PathLike) -> Path:
+    """The history shard directory for ``cache_dir``.
+
+    Lives beside ``events/`` and ``trace.jsonl`` under ``v1/`` --
+    deliberately outside the two-hex-digit result shards, so store
+    byte-parity comparisons (``v*/??/*.json``) never see it.
+    """
+    return Path(cache_dir) / "v1" / HISTORY_SUBDIR
+
+
+def record_id(record: Dict) -> str:
+    """Content address: SHA-256 over canonical JSON, ``id`` excluded."""
+    body = {key: value for key, value in record.items() if key != "id"}
+    canonical = json.dumps(body, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` for the source tree, if any."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def grid_fingerprint(keys) -> str:
+    """Config-grid identity: digest of the sorted unique run keys."""
+    joined = "\n".join(sorted(set(str(key) for key in keys)))
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+def sweep_record(
+    stats: Dict,
+    *,
+    fingerprint: Optional[str] = None,
+    identity: Optional[Dict] = None,
+    label: Optional[str] = None,
+    recorded_unix: Optional[float] = None,
+) -> Dict:
+    """Build (but do not append) a sweep record from an engine-stats
+    snapshot plus sweep identity."""
+    sweep = {
+        "fingerprint": fingerprint,
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "git": git_describe(),
+    }
+    if identity:
+        sweep.update(identity)
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "kind": "sweep",
+        "recorded_unix": (
+            time.time() if recorded_unix is None else float(recorded_unix)
+        ),
+        "label": label,
+        "sweep": sweep,
+        "stats": stats,
+    }
+
+
+def bench_record(
+    suite: str,
+    report: Dict,
+    *,
+    label: Optional[str] = None,
+    recorded_unix: Optional[float] = None,
+) -> Dict:
+    """Build (but do not append) a benchmark-suite record."""
+    return {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "kind": "bench",
+        "recorded_unix": (
+            time.time() if recorded_unix is None else float(recorded_unix)
+        ),
+        "label": label,
+        "sweep": {
+            "fingerprint": None,
+            "host": socket.gethostname(),
+            "pid": os.getpid(),
+            "git": git_describe(),
+            "suite": suite,
+        },
+        "bench": {"suite": suite, "report": report},
+    }
+
+
+def append(cache_dir: os.PathLike, record: Dict) -> str:
+    """Append ``record`` to the history store; returns its content id.
+
+    The line lands in the shard named by the id's first two hex digits
+    via a single ``O_APPEND`` write, which the kernel serializes
+    against concurrent appenders on a local filesystem; a crash can
+    only truncate the final line, never interleave two records.
+    """
+    record = dict(record)
+    record.setdefault("schema", HISTORY_SCHEMA_VERSION)
+    record["id"] = record_id(record)
+    directory = history_dir(cache_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=True, default=str) + "\n"
+    shard = directory / f"{record['id'][:2]}.jsonl"
+    fd = os.open(
+        shard, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+    )
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+    return record["id"]
+
+
+def read_records(cache_dir: os.PathLike) -> List[Dict]:
+    """All verified records, oldest first; corruption silently dropped.
+
+    Tolerates truncated final lines, garbage lines, unknown schema
+    versions, and records whose recomputed digest no longer matches
+    their claimed ``id`` (bit rot); duplicate ids collapse to one.
+    """
+    directory = history_dir(cache_dir)
+    if not directory.is_dir():
+        return []
+    seen: Dict[str, Dict] = {}
+    for shard in sorted(directory.glob("*.jsonl")):
+        try:
+            text = shard.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if record.get("schema") != HISTORY_SCHEMA_VERSION:
+                continue
+            claimed = record.get("id")
+            if not isinstance(claimed, str) or record_id(record) != claimed:
+                continue
+            seen[claimed] = record
+    records = list(seen.values())
+    records.sort(key=lambda r: (r.get("recorded_unix", 0.0), r.get("id", "")))
+    return records
+
+
+def resolve(records: List[Dict], ref: str) -> Dict:
+    """A record by id prefix or negative age index (``-1`` = newest).
+
+    Raises ``ValueError`` when the reference is ambiguous or unknown.
+    """
+    ref = ref.strip()
+    if not ref:
+        raise ValueError("empty history reference")
+    if ref.lstrip("-").isdigit() and ref.startswith("-"):
+        index = int(ref)
+        if not records or not -len(records) <= index <= -1:
+            raise ValueError(
+                f"history index {ref} out of range "
+                f"({len(records)} records)"
+            )
+        return records[index]
+    matches = [
+        record for record in records
+        if str(record.get("id", "")).startswith(ref)
+    ]
+    if not matches:
+        raise ValueError(f"no history record matches {ref!r}")
+    if len(matches) > 1:
+        raise ValueError(
+            f"history reference {ref!r} is ambiguous "
+            f"({len(matches)} matches); use more digits"
+        )
+    return matches[0]
+
+
+def summary_row(record: Dict) -> Dict:
+    """Flat listing fields for one record (the ``history`` CLI table)."""
+    stats = record.get("stats") or {}
+    sweep = record.get("sweep") or {}
+    resources = stats.get("resources") or {}
+    return {
+        "id": str(record.get("id", ""))[:12],
+        "kind": record.get("kind", "?"),
+        "when": time.strftime(
+            "%Y-%m-%d %H:%M:%S",
+            time.localtime(record.get("recorded_unix", 0.0)),
+        ),
+        "backend": str(
+            sweep.get("backend") or stats.get("default_backend") or "-"
+        ),
+        "runs": stats.get("runs_launched", "-"),
+        "batch_s": stats.get("batch_time_s", "-"),
+        "cpu_s": resources.get("cpu_time_s", "-"),
+        "max_rss_mb": (
+            round(resources.get("max_rss_bytes", 0) / 1e6, 1)
+            if resources.get("max_rss_bytes")
+            else "-"
+        ),
+        "host": str(sweep.get("host") or "-"),
+        "label": str(record.get("label") or ""),
+    }

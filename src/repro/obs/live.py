@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: Filename of the live snapshot under the store's versioned directory.
 LIVE_FILENAME = "live.json"
@@ -73,6 +74,7 @@ class InflightTracker:
         backend: Optional[str] = None,
         pid: Optional[int] = None,
         started: Optional[float] = None,
+        runs: int = 1,
     ) -> None:
         with self._lock:
             self._runs[slot] = {
@@ -85,6 +87,7 @@ class InflightTracker:
                 "phase": None,
                 "phase_attrs": {},
                 "started": started if started is not None else time.monotonic(),
+                "runs": max(1, runs),
             }
 
     def set_phase(
@@ -127,6 +130,7 @@ class InflightTracker:
                     "phase": run.get("phase"),
                     "phase_attrs": run.get("phase_attrs") or {},
                     "started": run.get("started", time.monotonic()),
+                    "runs": max(1, run.get("runs", 1)),
                 }
                 for run in runs
             }
@@ -147,8 +151,16 @@ class InflightTracker:
             self.queued = 0
 
     def counts(self) -> Dict[str, int]:
+        """Member-weighted counts: a config-batched execution is one
+        tracker entry but ``len(members)`` in-flight runs, so ETAs and
+        gauges stay in run units rather than task units."""
         with self._lock:
-            return {"in_flight": len(self._runs), "queued": self.queued}
+            return {
+                "in_flight": sum(
+                    run.get("runs", 1) for run in self._runs.values()
+                ),
+                "queued": self.queued,
+            }
 
     def snapshot(self) -> dict:
         now = time.monotonic()
@@ -164,11 +176,13 @@ class InflightTracker:
                     "phase": run["phase"],
                     "phase_attrs": run.get("phase_attrs") or {},
                     "elapsed_s": round(now - run["started"], 3),
+                    "runs": run.get("runs", 1),
                 }
                 for run in sorted(self._runs.values(), key=lambda r: r["slot"])
             ]
             return {
                 "in_flight": in_flight,
+                "in_flight_runs": sum(run["runs"] for run in in_flight),
                 "queued": self.queued,
                 "done": self.done,
                 "total": self.total,
@@ -177,6 +191,35 @@ class InflightTracker:
 
 def _prometheus_escape(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+#: Help strings for the labelled / derived series; plain engine
+#: counters fall back to a generated one-liner.  Every exported series
+#: gets both a ``# HELP`` and a ``# TYPE`` line (the exposition format
+#: lint below enforces it).
+_SERIES_HELP = {
+    "repro_sweep_failures_by_kind": "Terminal run failures by error kind.",
+    "repro_sweep_family_runs": "Executed runs per technique family.",
+    "repro_sweep_family_wall_time_seconds":
+        "Run wall time per technique family.",
+    "repro_sweep_in_flight": "Runs executing right now (batch members "
+        "counted individually).",
+    "repro_sweep_queued": "Runs waiting to execute (batch members "
+        "counted individually).",
+    "repro_sweep_agents_connected": "Remote worker agents currently "
+        "connected.",
+    "repro_sweep_agent_runs": "Runs completed per remote worker agent.",
+    "repro_sweep_agent_wall_time_seconds":
+        "Run wall time per remote worker agent.",
+    "repro_sweep_agent_artifact_hits":
+        "Artifact-store probe hits per remote worker agent.",
+    "repro_sweep_agent_artifact_misses":
+        "Artifact-store probe misses per remote worker agent.",
+    "repro_sweep_run_rss_bytes":
+        "Peak resident-set size observed by any run this sweep.",
+    "repro_sweep_run_cpu_seconds":
+        "Total CPU time (user+system) burned by this sweep's runs.",
+}
 
 
 def render_prometheus(
@@ -189,18 +232,32 @@ def render_prometheus(
     Scalars become ``repro_sweep_<name>`` gauges; per-family run counts
     and wall time are labelled series; nested objects are skipped.
     ``agents`` (the lease server's snapshot, when a sweep is
-    distributed) adds connected-agent gauges.
+    distributed) adds connected-agent gauges.  Every series is emitted
+    as one contiguous group with exactly one ``# HELP`` and one
+    ``# TYPE`` preamble, as the exposition format requires
+    (:func:`lint_prometheus` checks the invariant).
     """
-    lines: List[str] = []
+    order: List[str] = []
+    samples: Dict[str, List[Tuple[str, object]]] = {}
 
     def gauge(name: str, value, labels: str = "") -> None:
-        lines.append(f"# TYPE {name} gauge")
-        lines.append(f"{name}{labels} {value}")
+        if name not in samples:
+            samples[name] = []
+            order.append(name)
+        samples[name].append((labels, value))
 
     for name, value in sorted(metrics.items()):
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
         gauge(f"repro_sweep_{name}", value)
+    resources = metrics.get("resources") or {}
+    if isinstance(resources, dict):
+        gauge(
+            "repro_sweep_run_rss_bytes", resources.get("max_rss_bytes", 0)
+        )
+        gauge(
+            "repro_sweep_run_cpu_seconds", resources.get("cpu_time_s", 0.0)
+        )
     for kind, count in sorted((metrics.get("failures_by_kind") or {}).items()):
         gauge(
             "repro_sweep_failures_by_kind",
@@ -241,7 +298,132 @@ def render_prometheus(
                 entry.get("artifact_misses", 0),
                 label,
             )
+    lines: List[str] = []
+    for name in order:
+        help_text = _SERIES_HELP.get(
+            name,
+            "Engine counter "
+            f"{name[len('repro_sweep_'):]} for the current sweep.",
+        )
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in samples[name]:
+            lines.append(f"{name}{labels} {value}")
     return "\n".join(lines) + "\n"
+
+
+#: Exposition-format grammar fragments for :func:`lint_prometheus`.
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>\S+)$"
+)
+_LABELS_RE = re.compile(
+    r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$'
+)
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Strict exposition-format problems in a textfile (empty = clean).
+
+    Enforces what a picky scraper would: every sample's metric has a
+    ``# HELP`` and ``# TYPE`` preamble *before* its first sample, each
+    emitted exactly once, all of a metric's lines form one contiguous
+    group, names and label syntax match the grammar, and values parse
+    as floats.
+    """
+    problems: List[str] = []
+    helped: set = set()
+    typed: set = set()
+    sampled: set = set()
+    closed: set = set()
+    current: Optional[str] = None
+
+    def enter_group(name: str, line_no: int) -> None:
+        nonlocal current
+        if name == current:
+            return
+        if name in closed:
+            problems.append(
+                f"line {line_no}: metric {name} reappears after its "
+                "group ended (series must be contiguous)"
+            )
+        if current is not None:
+            closed.add(current)
+        current = name
+
+    for line_no, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            keyword = line[2:6]
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or not parts[3].strip():
+                problems.append(
+                    f"line {line_no}: malformed {keyword} line"
+                )
+                continue
+            name = parts[2]
+            if not _METRIC_NAME_RE.match(name):
+                problems.append(
+                    f"line {line_no}: invalid metric name {name!r}"
+                )
+                continue
+            enter_group(name, line_no)
+            registry = helped if keyword == "HELP" else typed
+            if name in registry:
+                problems.append(
+                    f"line {line_no}: duplicate # {keyword} for {name}"
+                )
+            registry.add(name)
+            if keyword == "TYPE":
+                kind = parts[3].strip()
+                if kind not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    problems.append(
+                        f"line {line_no}: invalid TYPE {kind!r} for {name}"
+                    )
+                if name in sampled:
+                    problems.append(
+                        f"line {line_no}: # TYPE for {name} after its "
+                        "samples"
+                    )
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        enter_group(name, line_no)
+        if name not in helped:
+            problems.append(
+                f"line {line_no}: sample for {name} without # HELP"
+            )
+        if name not in typed:
+            problems.append(
+                f"line {line_no}: sample for {name} without # TYPE"
+            )
+        if labels is not None and not _LABELS_RE.match(labels):
+            problems.append(
+                f"line {line_no}: malformed labels {labels!r} on {name}"
+            )
+        try:
+            float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {line_no}: non-numeric value "
+                f"{match.group('value')!r} for {name}"
+            )
+        sampled.add(name)
+    for name in sorted((helped | typed) - sampled):
+        problems.append(f"metric {name} has a preamble but no samples")
+    return problems
 
 
 class LiveMonitor:

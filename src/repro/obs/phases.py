@@ -42,6 +42,17 @@ PHASE_ORDER = (
     "checkpoint_save",
 )
 
+def ordered(names) -> List[str]:
+    """Sort phase names into report display order.
+
+    Canonical phases (:data:`PHASE_ORDER`) come first, in pipeline
+    order; unknown names follow alphabetically, so ad-hoc phases from
+    newer instrumentation still render deterministically.
+    """
+    rank = {name: index for index, name in enumerate(PHASE_ORDER)}
+    return sorted(names, key=lambda n: (rank.get(n, len(rank)), n))
+
+
 # phase -> [seconds, instructions]
 _ledger: Dict[str, List[float]] = {}
 

@@ -1,4 +1,4 @@
-"""Trace reporting: wall-time attribution, run replay, Chrome export.
+"""Trace reporting: attribution, replay, Chrome export, sweep history.
 
 ``python -m repro.experiments report`` lands here.  The input is the
 merged ``trace.jsonl`` a traced sweep leaves under ``<cache-dir>/v1/``
@@ -11,9 +11,23 @@ sweep was killed before its supervisor could merge them):
 * ``--run KEY`` replays one run's full event history (every attempt,
   queue wait, phase, retry and degradation) in time order;
 * ``--chrome FILE`` writes a ``chrome://tracing`` / Perfetto-compatible
-  JSON export (one timeline row per worker process);
+  JSON export (one timeline row per worker process; remote agents get
+  their own rows, named by agent);
 * ``--check`` validates the event stream's schema and (optionally)
   enforces ``--min-coverage``, for CI smoke jobs.
+
+Three subcommands sit on top of the sweep-history store
+(:mod:`repro.obs.history`):
+
+* ``report history`` lists recorded sweeps (id, time, backend, runs,
+  wall/CPU time, peak RSS);
+* ``report compare A B`` diffs two recorded sweeps -- counters, phase
+  p50s and resource totals -- flagging shifts beyond each metric's
+  noise band (derived from the within-sweep p50/p90 spread) as
+  regressions; ``--check`` exits nonzero when any are flagged;
+* ``report dashboard --html OUT`` renders the whole history (plus
+  ``live.json`` and any ``BENCH_*.json`` reports) as one
+  self-contained static HTML file.
 """
 
 from __future__ import annotations
@@ -23,8 +37,10 @@ import json
 import sys
 from collections import defaultdict
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs import history as obs_history
+from repro.obs import phases as obs_phases
 from repro.obs import trace as obs_trace
 
 #: Span names that represent per-run simulation phases (the attribution
@@ -208,11 +224,29 @@ def replay_lines(events: List[dict], run_prefix: str) -> List[str]:
     return lines
 
 
+def _chrome_track(event: dict) -> str:
+    """The timeline row an event belongs on.
+
+    Supervisor-side records of remote work -- ``remote_run`` spans and
+    the ``remote_phase`` points the lease server re-emits from agent
+    obs streams -- are routed to a per-agent track named by the owning
+    agent, rather than being buried in (or dropped from) the
+    supervisor's own row, so a distributed sweep replays end-to-end.
+    """
+    name = event.get("name")
+    if name in ("remote_phase", _REMOTE_RUN_SPAN):
+        agent = (event.get("attrs") or {}).get("agent")
+        if agent:
+            return f"agent:{agent}"
+    return str(event.get("worker", "?"))
+
+
 def chrome_trace(events: List[dict]) -> dict:
     """A ``chrome://tracing`` / Perfetto ``traceEvents`` document.
 
-    Each worker process becomes one timeline row; span timestamps are
-    rebased to the earliest event and expressed in microseconds.
+    Each worker process becomes one timeline row (remote worker agents
+    get their own ``agent:<name>`` rows); span timestamps are rebased
+    to the earliest event and expressed in microseconds.
     """
     origin: Optional[float] = None
     for event in events:
@@ -223,7 +257,7 @@ def chrome_trace(events: List[dict]) -> dict:
         origin = 0.0
     trace_events: List[dict] = []
     workers = sorted(
-        {str(e.get("worker", "?")) for e in events if e.get("event") != "meta"}
+        {_chrome_track(e) for e in events if e.get("event") != "meta"}
     )
     worker_pid = {worker: index + 1 for index, worker in enumerate(workers)}
     for worker, pid in worker_pid.items():
@@ -238,8 +272,7 @@ def chrome_trace(events: List[dict]) -> dict:
         )
     for event in events:
         kind = event.get("event")
-        worker = str(event.get("worker", "?"))
-        pid = worker_pid.get(worker, 0)
+        pid = worker_pid.get(_chrome_track(event), 0)
         attrs = event.get("attrs") or {}
         if kind == "span":
             trace_events.append(
@@ -270,7 +303,336 @@ def chrome_trace(events: List[dict]) -> dict:
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
 
 
+# -- sweep history: list, compare, dashboard ----------------------------------
+
+#: Counters diffed one-to-one between two sweeps.  A mismatch is
+#: reported as drift (the grids differ or runs failed) but is not a
+#: performance regression by itself.
+_COMPARE_COUNTERS = (
+    "runs_requested",
+    "runs_launched",
+    "runs_succeeded",
+    "cache_hits",
+    "failures",
+    "quarantined",
+    "retries",
+    "batches",
+    "batched_runs",
+    "remote_runs",
+    "instructions",
+)
+
+#: Sweep-level timing/resource metrics: dotted stats path ->
+#: (relative tolerance, absolute floor).  The relative part absorbs
+#: proportional jitter; the floor keeps tiny sweeps (where scheduler
+#: noise dwarfs the signal) from flagging spurious regressions.
+_SWEEP_METRICS = (
+    ("wall_time_s", 0.75, 2.0),
+    ("batch_time_s", 0.75, 2.0),
+    ("resources.cpu_time_s", 0.75, 2.0),
+    ("resources.max_rss_bytes", 0.50, 64e6),
+)
+
+#: Phase p50 noise band: relative tolerance on the baseline p50 plus an
+#: absolute floor; the within-sweep p90-p50 spread of *either* sweep
+#: widens the band further (a phase that varies that much between runs
+#: of one sweep can drift that much between sweeps without meaning
+#: anything).
+_PHASE_REL_TOL = 0.5
+_PHASE_ABS_FLOOR_S = 0.005
+
+
+def _stat(stats: dict, dotted: str, default=0.0):
+    node = stats
+    for part in dotted.split("."):
+        if not isinstance(node, dict):
+            return default
+        node = node.get(part)
+    return default if node is None else node
+
+
+def compare_records(base: dict, cand: dict) -> dict:
+    """Aligned diff of two sweep-history records.
+
+    Returns ``{"rows": [...], "regressions": [...], "aligned": bool}``;
+    each row is ``(metric, base, cand, band, status)`` with status one
+    of ``ok`` / ``drift`` / ``improved`` / ``REGRESSION``.  Only shifts
+    *beyond the noise band in the slow/expensive direction* are
+    regressions; counter mismatches are drift.
+    """
+    base_stats = base.get("stats") or {}
+    cand_stats = cand.get("stats") or {}
+    rows: List[Tuple[object, ...]] = []
+    regressions: List[str] = []
+    drift = False
+
+    base_print = (base.get("sweep") or {}).get("fingerprint")
+    cand_print = (cand.get("sweep") or {}).get("fingerprint")
+    if base_print and cand_print and base_print != cand_print:
+        drift = True
+        rows.append(
+            ("grid_fingerprint", str(base_print)[:12], str(cand_print)[:12],
+             "-", "drift")
+        )
+
+    for counter in _COMPARE_COUNTERS:
+        base_value = _stat(base_stats, counter, 0)
+        cand_value = _stat(cand_stats, counter, 0)
+        status = "ok"
+        if base_value != cand_value:
+            status = "drift"
+            drift = True
+        rows.append((counter, base_value, cand_value, "-", status))
+
+    for metric, rel_tol, abs_floor in _SWEEP_METRICS:
+        base_value = float(_stat(base_stats, metric, 0.0) or 0.0)
+        cand_value = float(_stat(cand_stats, metric, 0.0) or 0.0)
+        band = max(rel_tol * base_value, abs_floor)
+        if cand_value > base_value + band:
+            status = "REGRESSION"
+            regressions.append(
+                f"{metric}: {base_value:g} -> {cand_value:g} "
+                f"(band +{band:g})"
+            )
+        elif base_value > cand_value + band:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            (metric, round(base_value, 4), round(cand_value, 4),
+             round(band, 4), status)
+        )
+
+    base_families = (base_stats.get("per_family") or {})
+    cand_families = (cand_stats.get("per_family") or {})
+    for family in sorted(set(base_families) & set(cand_families)):
+        base_phases = base_families[family].get("phases") or {}
+        cand_phases = cand_families[family].get("phases") or {}
+        for phase in obs_phases.ordered(set(base_phases) & set(cand_phases)):
+            base_entry = base_phases[phase]
+            cand_entry = cand_phases[phase]
+            base_p50 = float(base_entry.get("p50_s", 0.0) or 0.0)
+            cand_p50 = float(cand_entry.get("p50_s", 0.0) or 0.0)
+            spread = max(
+                float(base_entry.get("p90_s", 0.0) or 0.0) - base_p50,
+                float(cand_entry.get("p90_s", 0.0) or 0.0) - cand_p50,
+                0.0,
+            )
+            band = max(
+                spread, _PHASE_REL_TOL * base_p50, _PHASE_ABS_FLOOR_S
+            )
+            metric = f"{family}/{phase} p50_s"
+            if cand_p50 > base_p50 + band:
+                status = "REGRESSION"
+                regressions.append(
+                    f"{metric}: {base_p50:g}s -> {cand_p50:g}s "
+                    f"(band +{band:g}s)"
+                )
+            elif base_p50 > cand_p50 + band:
+                status = "improved"
+            else:
+                status = "ok"
+            rows.append(
+                (metric, round(base_p50, 5), round(cand_p50, 5),
+                 round(band, 5), status)
+            )
+
+    return {"rows": rows, "regressions": regressions, "aligned": not drift}
+
+
+def _resolved_cache_dir(parser, value) -> Path:
+    import os
+
+    from repro.experiments.common import CACHE_DIR_ENV_VAR
+
+    if value is not None:
+        return Path(value)
+    env = os.environ.get(CACHE_DIR_ENV_VAR)
+    if env:
+        return Path(env)
+    parser.error("--cache-dir (or $REPRO_CACHE_DIR) is required")
+
+
+def _history_main(argv: List[str]) -> int:
+    from repro.experiments.common import CACHE_DIR_ENV_VAR, format_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report history",
+        description="List recorded sweeps from the sweep-history store.",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help=f"sweep cache directory (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--kind", choices=("sweep", "bench"), default=None,
+        help="only records of this kind",
+    )
+    parser.add_argument(
+        "--backend", default=None, help="only sweeps on this backend"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="only the N most recent records",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit records as JSON lines"
+    )
+    args = parser.parse_args(argv)
+    cache_dir = _resolved_cache_dir(parser, args.cache_dir)
+    records = obs_history.read_records(cache_dir)
+    if args.kind:
+        records = [r for r in records if r.get("kind") == args.kind]
+    if args.backend:
+        records = [
+            r for r in records
+            if str((r.get("sweep") or {}).get("backend", "")) == args.backend
+        ]
+    if args.limit > 0:
+        records = records[-args.limit:]
+    if not records:
+        print(
+            f"no history records under "
+            f"{obs_history.history_dir(cache_dir)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+        return 0
+    rows = [
+        [row["id"], row["kind"], row["when"], row["backend"], row["runs"],
+         row["batch_s"], row["cpu_s"], row["max_rss_mb"], row["host"],
+         row["label"]]
+        for row in (obs_history.summary_row(r) for r in records)
+    ]
+    print(format_table(
+        ("id", "kind", "when", "backend", "runs", "batch_s", "cpu_s",
+         "max_rss_mb", "host", "label"),
+        rows,
+    ))
+    return 0
+
+
+def _compare_main(argv: List[str]) -> int:
+    from repro.experiments.common import CACHE_DIR_ENV_VAR, format_table
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report compare",
+        description="Diff two recorded sweeps (counters, phase p50s, "
+        "resources), flagging shifts beyond each metric's noise band.",
+    )
+    parser.add_argument(
+        "base", help="baseline record: id prefix, or -N (e.g. -2)"
+    )
+    parser.add_argument(
+        "candidate", help="candidate record: id prefix, or -N (e.g. -1)"
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help=f"sweep cache directory (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any regression is flagged",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    args = parser.parse_args(argv)
+    cache_dir = _resolved_cache_dir(parser, args.cache_dir)
+    records = [
+        r for r in obs_history.read_records(cache_dir)
+        if r.get("kind") == "sweep"
+    ]
+    try:
+        base = obs_history.resolve(records, args.base)
+        cand = obs_history.resolve(records, args.candidate)
+    except ValueError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    result = compare_records(base, cand)
+    if args.json:
+        print(json.dumps(
+            {
+                "base": base.get("id"),
+                "candidate": cand.get("id"),
+                "aligned": result["aligned"],
+                "regressions": result["regressions"],
+                "rows": [list(row) for row in result["rows"]],
+            },
+            sort_keys=True,
+        ))
+    else:
+        print(
+            f"base      {str(base.get('id'))[:12]}  "
+            f"{obs_history.summary_row(base)['when']}"
+        )
+        print(
+            f"candidate {str(cand.get('id'))[:12]}  "
+            f"{obs_history.summary_row(cand)['when']}"
+        )
+        print()
+        print(format_table(
+            ("metric", "base", "candidate", "noise band", "status"),
+            [list(row) for row in result["rows"]],
+        ))
+        print()
+        if result["regressions"]:
+            for line in result["regressions"]:
+                print(f"REGRESSION: {line}")
+        else:
+            aligned = "aligned" if result["aligned"] else "drifted"
+            print(f"no regressions flagged; counters {aligned}")
+    if args.check and result["regressions"]:
+        return 1
+    return 0
+
+
+def _dashboard_main(argv: List[str]) -> int:
+    from repro.experiments.common import CACHE_DIR_ENV_VAR
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments report dashboard",
+        description="Render the sweep history, live state and BENCH "
+        "trajectory as one self-contained static HTML file.",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None,
+        help=f"sweep cache directory (default: ${CACHE_DIR_ENV_VAR})",
+    )
+    parser.add_argument(
+        "--html", type=Path, required=True, metavar="OUT",
+        help="output HTML path",
+    )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=None, metavar="DIR",
+        help="directory scanned for BENCH_*.json reports "
+        "(default: the current directory)",
+    )
+    args = parser.parse_args(argv)
+    cache_dir = _resolved_cache_dir(parser, args.cache_dir)
+    from repro.obs.dashboard import render_html
+
+    text = render_html(cache_dir, bench_dir=args.bench_dir)
+    args.html.parent.mkdir(parents=True, exist_ok=True)
+    args.html.write_text(text, encoding="utf-8")
+    print(f"wrote dashboard ({len(text)} bytes) to {args.html}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "history":
+        return _history_main(argv[1:])
+    if argv and argv[0] == "compare":
+        return _compare_main(argv[1:])
+    if argv and argv[0] == "dashboard":
+        return _dashboard_main(argv[1:])
+
     from repro.experiments.common import CACHE_DIR_ENV_VAR, format_table
 
     parser = argparse.ArgumentParser(

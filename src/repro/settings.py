@@ -34,6 +34,12 @@ REMOTE_BATCH_CONFIGS_ENV_VAR = "REPRO_REMOTE_BATCH_CONFIGS"
 #: (``--kernel-threads``); 0 = the numba runtime's own default.
 KERNEL_THREADS_ENV_VAR = "REPRO_KERNEL_THREADS"
 
+#: Sweep-history recording (``--history``/``--no-history``); when on
+#: (the default), every cached sweep appends one record to
+#: ``<cache-dir>/v1/history/`` at supervisor exit.  ``0``/``false``/
+#: ``no``/``off`` disable it.
+HISTORY_ENV_VAR = "REPRO_HISTORY"
+
 
 def resolve(
     flag: Optional[T],
@@ -90,6 +96,28 @@ def default_remote_batch_configs():
             f"${REMOTE_BATCH_CONFIGS_ENV_VAR} must be >= 1, got {cap}"
         )
     return cap
+
+
+def _parse_bool(raw: str) -> bool:
+    value = raw.strip().lower()
+    if value in ("1", "true", "yes", "on"):
+        return True
+    if value in ("0", "false", "no", "off", ""):
+        return False
+    raise ValueError(raw)
+
+
+def default_history() -> bool:
+    """Sweep-history recording from ``$REPRO_HISTORY`` (default on).
+
+    History is append-only metadata beside the result store; it never
+    changes result/trace/checkpoint bytes, so it is safe to leave on.
+    Only sweeps with a persistent ``cache_dir`` have anywhere to
+    record to -- in-memory engines skip it regardless.
+    """
+    return resolve(
+        None, HISTORY_ENV_VAR, True, _parse_bool, "a boolean (0/1)"
+    )
 
 
 def default_kernel_threads() -> int:

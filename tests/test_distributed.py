@@ -229,9 +229,10 @@ class TestCompletionDedup:
         assert status == "ok"
         events = ledger.collect()
         assert [e[0] for e in events] == ["complete"]
-        _, task, payloads, wall, reuse, from_agent = events[0]
+        _, task, payloads, wall, reuse, from_agent, resources = events[0]
         assert task.key == "k1" and payloads == self.PAYLOADS
         assert from_agent == agent
+        assert resources is None
 
     def test_duplicate_completion_dedups_on_byte_parity(self):
         """At-least-once: the straggler's identical bytes are dropped."""

@@ -692,11 +692,14 @@ class TestWorkloadStripping:
 
         request = RunRequest(RunZ(500), workload, ARCH_CONFIGS[0])
         task = RunTask(slot=3, request=request, key="k")
-        slot, result, wall, reuse = _worker(_strip_workload(task), SCALE)
+        slot, result, wall, reuse, resources = _worker(
+            _strip_workload(task), SCALE
+        )
         assert slot == 3
         direct = RunZ(500).run(workload, ARCH_CONFIGS[0], SCALE)
         assert _result_fingerprint(result) == _result_fingerprint(direct)
         assert isinstance(reuse, dict)
+        assert resources is None or "cpu_s" in resources
 
 
 class TestContextIntegration:
